@@ -1,0 +1,105 @@
+//! One bench per paper table/figure: each runs a shortened version of the
+//! corresponding experiment so `cargo bench` exercises every reproduction
+//! path end to end. The full-length series come from the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use willow_sim::experiments as sim_exp;
+use willow_testbed::experiments as tb_exp;
+use willow_workload::power_model::LinearPowerModel;
+
+const SEED: u64 = 2011;
+const TICKS: usize = 60; // shortened: benches measure the machinery
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_thermal_calibration", |b| {
+        b.iter(|| black_box(sim_exp::fig4()))
+    });
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_cold");
+    g.sample_size(10);
+    g.bench_function("fig5_fig6_sweep", |b| {
+        b.iter(|| black_box(sim_exp::fig5_fig6(SEED, TICKS, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consolidation_savings");
+    g.sample_size(10);
+    g.bench_function("fig7_baseline_vs_willow", |b| {
+        b.iter(|| black_box(sim_exp::fig7(SEED, TICKS, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migrations");
+    g.sample_size(10);
+    g.bench_function("fig9_fig10_sweep", |b| {
+        b.iter(|| black_box(sim_exp::fig9_fig10(SEED, TICKS, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig11_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switches");
+    g.sample_size(10);
+    g.bench_function("fig11_fig12_sweep", |b| {
+        b.iter(|| black_box(sim_exp::fig11_fig12(SEED, TICKS, 1)))
+    });
+    g.finish();
+}
+
+fn bench_tab1(c: &mut Criterion) {
+    c.bench_function("tab1_power_curve", |b| {
+        b.iter(|| black_box(LinearPowerModel::TESTBED.table1_rows()))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_parameter_estimation", |b| {
+        b.iter(|| black_box(tb_exp::parameter_estimation()))
+    });
+}
+
+fn bench_tab2(c: &mut Criterion) {
+    c.bench_function("tab2_app_profile", |b| {
+        b.iter(|| black_box(willow_testbed::apps::table2()))
+    });
+}
+
+fn bench_deficit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testbed");
+    g.sample_size(10);
+    g.bench_function("fig15_18_deficit_run", |b| {
+        b.iter(|| black_box(tb_exp::deficit_experiment(SEED)))
+    });
+    g.finish();
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testbed_consolidation");
+    g.sample_size(10);
+    g.bench_function("fig19_tab3_consolidation_run", |b| {
+        b.iter(|| black_box(tb_exp::consolidation_experiment(SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_fig5_fig6,
+    bench_fig7,
+    bench_fig9_fig10,
+    bench_fig11_fig12,
+    bench_tab1,
+    bench_fig14,
+    bench_tab2,
+    bench_deficit,
+    bench_consolidation
+);
+criterion_main!(benches);

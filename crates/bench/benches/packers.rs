@@ -1,0 +1,47 @@
+//! Bin-packer benchmarks: FFDLR vs the baselines, plus the `O(n log n)`
+//! scaling claim behind the paper's §V-A2 complexity analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use willow_binpack::{BestFitDecreasing, Ffdlr, FirstFit, FirstFitDecreasing, NextFit, Packer};
+
+fn instance(n_items: usize, n_bins: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items = (0..n_items).map(|_| rng.gen_range(1.0..50.0)).collect();
+    let bins = (0..n_bins).map(|_| rng.gen_range(20.0..120.0)).collect();
+    (items, bins)
+}
+
+fn bench_packers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packers");
+    let (items, bins) = instance(64, 32, 7);
+    let packers: Vec<Box<dyn Packer>> = vec![
+        Box::new(NextFit),
+        Box::new(FirstFit),
+        Box::new(FirstFitDecreasing),
+        Box::new(BestFitDecreasing),
+        Box::new(Ffdlr),
+    ];
+    for p in &packers {
+        group.bench_function(p.name(), |b| {
+            b.iter(|| black_box(p.pack(black_box(&items), black_box(&bins))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ffdlr_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffdlr_scaling");
+    for &n in &[16usize, 64, 256, 1024] {
+        let (items, bins) = instance(n, n / 2, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Ffdlr.pack(black_box(&items), black_box(&bins))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packers, bench_ffdlr_scaling);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Thermal-model benchmarks: the Eq. 2 step, the Eq. 3 limit solver, trace
+//! integration and the least-squares constant fit behind Fig. 14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use willow_thermal::calibration::{fit_constants, synthesize_trace};
+use willow_thermal::integrator::integrate_fixed_step;
+use willow_thermal::model::{step_temperature, ThermalParams};
+use willow_thermal::units::{Celsius, Seconds, Watts};
+
+fn bench_step(c: &mut Criterion) {
+    c.bench_function("thermal_step_eq2", |b| {
+        b.iter(|| {
+            black_box(step_temperature(
+                black_box(ThermalParams::SIMULATION),
+                black_box(Celsius(42.0)),
+                black_box(Celsius(25.0)),
+                black_box(Watts(300.0)),
+                black_box(Seconds(1.0)),
+            ))
+        })
+    });
+}
+
+fn bench_limit(c: &mut Criterion) {
+    c.bench_function("power_limit_eq3", |b| {
+        b.iter(|| {
+            black_box(willow_thermal::power_limit(
+                black_box(ThermalParams::SIMULATION),
+                black_box(Celsius(55.0)),
+                black_box(Celsius(25.0)),
+                black_box(Celsius(70.0)),
+                black_box(Seconds(4.0)),
+            ))
+        })
+    });
+}
+
+fn bench_integrate(c: &mut Criterion) {
+    let powers: Vec<Watts> = (0..10_000).map(|i| Watts((i % 450) as f64)).collect();
+    c.bench_function("integrate_10k_steps", |b| {
+        b.iter(|| {
+            black_box(integrate_fixed_step(
+                ThermalParams::SIMULATION,
+                Celsius(25.0),
+                Celsius(25.0),
+                black_box(&powers),
+                Seconds(1.0),
+            ))
+        })
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let trace = synthesize_trace(
+        ThermalParams::EXPERIMENTAL,
+        Celsius(25.0),
+        Celsius(25.0),
+        &[Watts(100.0), Watts(200.0), Watts(300.0), Watts(0.0)],
+        Seconds(60.0),
+        Seconds(0.5),
+    );
+    c.bench_function("fit_constants_fig14", |b| {
+        b.iter(|| black_box(fit_constants(black_box(&trace), Celsius(25.0))))
+    });
+}
+
+criterion_group!(benches, bench_step, bench_limit, bench_integrate, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! Classic packing baselines: Next-Fit, First-Fit, First-Fit Decreasing and
+//! Best-Fit Decreasing, generalized to variable-sized bins.
+//!
+//! These exist (a) as comparison points for the FFDLR choice the paper makes
+//! (ablation `ablation_packers`) and (b) because Willow's consolidation path
+//! reuses BFD internally.
+
+use crate::packing::{desc_order, validate_instance, Packer, Packing};
+
+/// Next-Fit: keep one open bin; if the item does not fit, move to the next
+/// bin and never look back. `O(n + m)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextFit;
+
+impl Packer for NextFit {
+    fn pack(&self, items: &[f64], bins: &[f64]) -> Packing {
+        validate_instance(items, bins);
+        let mut assignment = vec![None; items.len()];
+        let mut current = 0usize;
+        let mut remaining: Option<f64> = bins.first().copied();
+        for (i, &size) in items.iter().enumerate() {
+            while let Some(rem) = remaining {
+                if size <= rem + 1e-12 {
+                    assignment[i] = Some(current);
+                    remaining = Some(rem - size);
+                    break;
+                }
+                current += 1;
+                remaining = bins.get(current).copied();
+            }
+        }
+        Packing::from_assignment(assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "next-fit"
+    }
+}
+
+/// First-Fit: place each item into the lowest-indexed bin where it fits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl Packer for FirstFit {
+    fn pack(&self, items: &[f64], bins: &[f64]) -> Packing {
+        validate_instance(items, bins);
+        let mut free: Vec<f64> = bins.to_vec();
+        let mut assignment = vec![None; items.len()];
+        for (i, &size) in items.iter().enumerate() {
+            if let Some(b) = free.iter().position(|&f| size <= f + 1e-12) {
+                assignment[i] = Some(b);
+                free[b] -= size;
+            }
+        }
+        Packing::from_assignment(assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// First-Fit Decreasing: sort items descending, then First-Fit, with bins
+/// visited in descending capacity order (the natural generalization to
+/// variable bins: big demands try big surpluses first).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFitDecreasing;
+
+impl Packer for FirstFitDecreasing {
+    fn pack(&self, items: &[f64], bins: &[f64]) -> Packing {
+        validate_instance(items, bins);
+        let item_order = desc_order(items);
+        let bin_order = desc_order(bins);
+        let mut free: Vec<f64> = bins.to_vec();
+        let mut assignment = vec![None; items.len()];
+        for &i in &item_order {
+            let size = items[i];
+            if let Some(&b) = bin_order.iter().find(|&&b| size <= free[b] + 1e-12) {
+                assignment[i] = Some(b);
+                free[b] -= size;
+            }
+        }
+        Packing::from_assignment(assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "ffd"
+    }
+}
+
+/// Best-Fit Decreasing: sort items descending; place each into the bin with
+/// the least remaining capacity that still fits ("tightest fit").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitDecreasing;
+
+impl Packer for BestFitDecreasing {
+    fn pack(&self, items: &[f64], bins: &[f64]) -> Packing {
+        validate_instance(items, bins);
+        let item_order = desc_order(items);
+        let mut free: Vec<f64> = bins.to_vec();
+        let mut assignment = vec![None; items.len()];
+        for &i in &item_order {
+            let size = items[i];
+            let best = free
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| size <= f + 1e-12)
+                .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)));
+            if let Some((b, _)) = best {
+                assignment[i] = Some(b);
+                free[b] -= size;
+            }
+        }
+        Packing::from_assignment(assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "bfd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_packers() -> Vec<Box<dyn Packer>> {
+        vec![
+            Box::new(NextFit),
+            Box::new(FirstFit),
+            Box::new(FirstFitDecreasing),
+            Box::new(BestFitDecreasing),
+        ]
+    }
+
+    #[test]
+    fn empty_instances() {
+        for p in all_packers() {
+            let out = p.pack(&[], &[]);
+            assert!(out.assignment.is_empty());
+            let out = p.pack(&[1.0], &[]);
+            assert_eq!(out.unplaced, vec![0]);
+            let out = p.pack(&[], &[1.0]);
+            assert!(out.assignment.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_results_are_capacity_feasible() {
+        let items = [7.0, 5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 1.0];
+        let bins = [10.0, 8.0, 6.0, 3.0];
+        for p in all_packers() {
+            let out = p.pack(&items, &bins);
+            assert!(out.is_valid(&items, &bins), "{} invalid", p.name());
+        }
+    }
+
+    #[test]
+    fn oversized_item_is_unplaced_everywhere() {
+        let items = [100.0, 1.0];
+        let bins = [10.0, 10.0];
+        for p in all_packers() {
+            let out = p.pack(&items, &bins);
+            assert!(out.unplaced.contains(&0), "{}", p.name());
+            // Next-Fit burns through all bins failing to place item 0 and
+            // then has nowhere left for item 1; every other packer places it.
+            if p.name() != "next-fit" {
+                assert!(!out.unplaced.contains(&1), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fits_are_accepted() {
+        let items = [5.0, 5.0];
+        let bins = [5.0, 5.0];
+        for p in all_packers() {
+            let out = p.pack(&items, &bins);
+            assert!(out.unplaced.is_empty(), "{} rejected exact fit", p.name());
+        }
+    }
+
+    #[test]
+    fn next_fit_never_revisits() {
+        // 3 then 8: NF opens bin0 (cap 10, rem 7), 8 doesn't fit, moves to
+        // bin1; the later 5 can then not use bin0 again.
+        let out = NextFit.pack(&[3.0, 8.0, 5.0], &[10.0, 8.0]);
+        assert_eq!(out.assignment, vec![Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn first_fit_revisits_earlier_bins() {
+        let out = FirstFit.pack(&[3.0, 8.0, 5.0], &[10.0, 8.0]);
+        assert_eq!(out.assignment, vec![Some(0), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn ffd_beats_ff_on_classic_instance() {
+        // Classic: sizes where FF fragments but FFD packs tight.
+        let items = [4.0, 4.0, 6.0, 6.0];
+        let bins = [10.0, 10.0, 10.0];
+        let ffd = FirstFitDecreasing.pack(&items, &bins);
+        assert_eq!(ffd.bins_used(), 2, "FFD pairs 6+4 twice");
+        let ff = FirstFit.pack(&items, &bins);
+        assert_eq!(ff.bins_used(), 3, "FF wastes a bin");
+    }
+
+    #[test]
+    fn bfd_prefers_tightest_bin() {
+        let out = BestFitDecreasing.pack(&[5.0], &[9.0, 6.0, 5.0]);
+        assert_eq!(out.assignment, vec![Some(2)]);
+    }
+
+    #[test]
+    fn ffd_targets_largest_bins_first() {
+        let out = FirstFitDecreasing.pack(&[5.0], &[6.0, 9.0]);
+        assert_eq!(out.assignment, vec![Some(1)]);
+    }
+
+    #[test]
+    fn zero_size_items_place_anywhere() {
+        for p in all_packers() {
+            let out = p.pack(&[0.0, 0.0], &[0.0]);
+            assert!(out.unplaced.is_empty(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_item_rejected() {
+        let _ = FirstFit.pack(&[-1.0], &[10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_bin_rejected() {
+        let _ = BestFitDecreasing.pack(&[1.0], &[f64::NAN]);
+    }
+}

@@ -1,0 +1,169 @@
+//! FFDLR — First-Fit Decreasing using Largest bins, then Repack
+//! (Friesen & Langston, *Variable sized bin packing*, SIAM J. Comput. 1986;
+//! paper §IV-F).
+//!
+//! The scheme as the paper describes it:
+//!
+//! 1. normalize bin and demand sizes so the largest bin has size 1;
+//! 2. pack the demands (first-fit decreasing) into largest-size bins;
+//! 3. repeat until all demands are matched with a surplus;
+//! 4. at the end, repack the contents of all bins into the smallest possible
+//!    bins.
+//!
+//! Step 4 matters to Willow beyond the approximation bound: repacking groups
+//! into the *smallest* feasible surplus runs every receiving server as close
+//! to full utilization as possible, so the emptied large surpluses (idle
+//! servers) can be deactivated during consolidation. Runtime is
+//! `O(n log n)` for `n = items + bins`, and the solution is within
+//! `(3/2)·OPT + 1` bins of optimal.
+
+use crate::packing::{desc_order, validate_instance, Packer, Packing};
+
+/// The FFDLR packer. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ffdlr;
+
+impl Packer for Ffdlr {
+    fn pack(&self, items: &[f64], bins: &[f64]) -> Packing {
+        validate_instance(items, bins);
+        if items.is_empty() || bins.is_empty() {
+            return Packing::from_assignment(vec![None; items.len()]);
+        }
+
+        // Phase 1: first-fit decreasing over bins in decreasing capacity
+        // order ("pack into the first bin of size 1", i.e. largest first).
+        // Normalization by the largest bin is implicit: only relative order
+        // and fit tests matter and both are scale-invariant.
+        let item_order = desc_order(items);
+        let bin_order = desc_order(bins);
+        let mut free: Vec<f64> = bins.to_vec();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); bins.len()];
+        let mut placed_any = vec![false; items.len()];
+        for &i in &item_order {
+            let size = items[i];
+            if let Some(&b) = bin_order.iter().find(|&&b| size <= free[b] + 1e-12) {
+                free[b] -= size;
+                groups[b].push(i);
+                placed_any[i] = true;
+            }
+        }
+
+        // Phase 2: repack each non-empty group into the smallest bin that
+        // holds its total. Processing groups in decreasing total and always
+        // taking the smallest feasible unused bin is always feasible: the
+        // phase-1 assignment itself is a witness matching, and exchanging
+        // any two bins that serve smaller-total groups preserves fit.
+        let mut group_totals: Vec<(usize, f64)> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(b, g)| (b, g.iter().map(|&i| items[i]).sum::<f64>()))
+            .collect();
+        group_totals.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // Bins in ascending capacity for smallest-fit lookup.
+        let mut asc_bins: Vec<usize> = (0..bins.len()).collect();
+        asc_bins.sort_by(|&a, &b| bins[a].total_cmp(&bins[b]).then(a.cmp(&b)));
+        let mut used = vec![false; bins.len()];
+
+        let mut assignment = vec![None; items.len()];
+        for (orig_bin, total) in group_totals {
+            let target = asc_bins
+                .iter()
+                .copied()
+                .find(|&b| !used[b] && total <= bins[b] + 1e-9)
+                // Unreachable by the exchange argument above, but fall back
+                // to the phase-1 bin rather than panic on float edge cases.
+                .unwrap_or(orig_bin);
+            used[target] = true;
+            for &i in &groups[orig_bin] {
+                assignment[i] = Some(target);
+            }
+        }
+        Packing::from_assignment(assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "ffdlr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cases() {
+        assert!(Ffdlr.pack(&[], &[]).assignment.is_empty());
+        assert_eq!(Ffdlr.pack(&[2.0], &[]).unplaced, vec![0]);
+        assert!(Ffdlr.pack(&[], &[2.0]).assignment.is_empty());
+    }
+
+    #[test]
+    fn results_are_feasible() {
+        let items = [9.0, 7.0, 5.0, 4.0, 4.0, 3.0, 2.0, 1.0, 1.0];
+        let bins = [12.0, 10.0, 8.0, 6.0, 4.0];
+        let out = Ffdlr.pack(&items, &bins);
+        assert!(out.is_valid(&items, &bins));
+    }
+
+    #[test]
+    fn repack_moves_group_to_smallest_feasible_bin() {
+        // One 5.0 item; bins 20 and 6. Phase 1 puts it in the 20-bin,
+        // repack must move it to the 6-bin, freeing the large server.
+        let out = Ffdlr.pack(&[5.0], &[20.0, 6.0]);
+        assert_eq!(out.assignment, vec![Some(1)]);
+    }
+
+    #[test]
+    fn repack_preserves_feasibility_with_multiple_groups() {
+        // Two groups after phase 1; ensure both land in distinct bins that
+        // fit them.
+        let items = [8.0, 7.0, 2.0];
+        let bins = [10.0, 10.0, 9.0];
+        let out = Ffdlr.pack(&items, &bins);
+        assert!(out.is_valid(&items, &bins));
+        assert!(out.unplaced.is_empty());
+        // The two groups (8+2=10 and 7) must use bins (10) and (9 or 10).
+        assert_eq!(out.bins_used(), 2);
+    }
+
+    #[test]
+    fn unplaceable_demand_is_dropped_not_split() {
+        // 11 fits nowhere; Willow never splits a demand (§IV-E).
+        let items = [11.0, 3.0];
+        let bins = [10.0, 4.0];
+        let out = Ffdlr.pack(&items, &bins);
+        assert_eq!(out.unplaced, vec![0]);
+        assert!(out.assignment[1].is_some());
+    }
+
+    #[test]
+    fn prefers_fewer_bins_than_next_fit() {
+        use crate::baselines::NextFit;
+        let items = [6.0, 4.0, 6.0, 4.0];
+        let bins = [10.0, 10.0, 10.0, 10.0];
+        let ffdlr = Ffdlr.pack(&items, &bins);
+        let nf = NextFit.pack(&items, &bins);
+        assert!(ffdlr.bins_used() <= nf.bins_used());
+        assert_eq!(ffdlr.bins_used(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let items = [5.0, 5.0, 3.0, 2.0];
+        let bins = [7.0, 7.0, 7.0];
+        assert_eq!(Ffdlr.pack(&items, &bins), Ffdlr.pack(&items, &bins));
+    }
+
+    #[test]
+    fn exact_fill_runs_servers_full() {
+        // Groups can exactly fill the small bins, leaving big ones empty.
+        let items = [3.0, 3.0, 4.0];
+        let bins = [50.0, 10.0, 7.0, 4.0];
+        let out = Ffdlr.pack(&items, &bins);
+        assert!(out.is_valid(&items, &bins));
+        // The 50-bin must stay empty after repacking.
+        assert!(out.assignment.iter().all(|a| *a != Some(0)));
+    }
+}

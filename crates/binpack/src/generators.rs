@@ -1,0 +1,166 @@
+//! Seeded instance generators for tests and benchmarks.
+//!
+//! Three families: uniform random, bimodal (many small + few large — the
+//! typical VM fleet), and the paper's {1, 2, 5, 9} relative-power mix.
+
+use rand::Rng;
+
+/// A bin-packing instance: item sizes and bin capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Item sizes (demands).
+    pub items: Vec<f64>,
+    /// Bin capacities (surpluses).
+    pub bins: Vec<f64>,
+}
+
+impl Instance {
+    /// Total item size.
+    #[must_use]
+    pub fn total_demand(&self) -> f64 {
+        self.items.iter().sum()
+    }
+
+    /// Total bin capacity.
+    #[must_use]
+    pub fn total_capacity(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Ratio of demand to capacity — > 1 means infeasible in aggregate.
+    #[must_use]
+    pub fn pressure(&self) -> f64 {
+        let cap = self.total_capacity();
+        if cap <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_demand() / cap
+    }
+}
+
+/// Uniform item sizes in `[lo, hi)`, bin capacities in `[2·lo, 2·hi)`.
+pub fn uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_items: usize,
+    n_bins: usize,
+    lo: f64,
+    hi: f64,
+) -> Instance {
+    assert!(lo >= 0.0 && hi > lo, "need 0 ≤ lo < hi");
+    Instance {
+        items: (0..n_items).map(|_| rng.gen_range(lo..hi)).collect(),
+        bins: (0..n_bins).map(|_| rng.gen_range(2.0 * lo..2.0 * hi)).collect(),
+    }
+}
+
+/// Bimodal fleet: `small_share` of the items are small (`[1, 5)`), the rest
+/// large (`[20, 50)`), with bins sized for a handful of small or one large.
+pub fn bimodal<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_items: usize,
+    n_bins: usize,
+    small_share: f64,
+) -> Instance {
+    assert!((0.0..=1.0).contains(&small_share));
+    let items = (0..n_items)
+        .map(|_| {
+            if rng.gen::<f64>() < small_share {
+                rng.gen_range(1.0..5.0)
+            } else {
+                rng.gen_range(20.0..50.0)
+            }
+        })
+        .collect();
+    let bins = (0..n_bins).map(|_| rng.gen_range(25.0..60.0)).collect();
+    Instance { items, bins }
+}
+
+/// The paper's workload mix: items drawn from the relative powers
+/// {1, 2, 5, 9} scaled by `unit`, bins uniform up to the paper's ≈17-unit
+/// server mean.
+pub fn paper_mix<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_items: usize,
+    n_bins: usize,
+    unit: f64,
+) -> Instance {
+    const WEIGHTS: [f64; 4] = [1.0, 2.0, 5.0, 9.0];
+    let items = (0..n_items)
+        .map(|_| WEIGHTS[rng.gen_range(0..WEIGHTS.len())] * unit)
+        .collect();
+    let bins = (0..n_bins).map(|_| rng.gen_range(1.0..17.0) * unit).collect();
+    Instance { items, bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ffdlr, Packer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_shapes_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = uniform(&mut rng, 40, 20, 1.0, 10.0);
+        assert_eq!(inst.items.len(), 40);
+        assert_eq!(inst.bins.len(), 20);
+        assert!(inst.items.iter().all(|&s| (1.0..10.0).contains(&s)));
+        assert!(inst.bins.iter().all(|&c| (2.0..20.0).contains(&c)));
+        assert!(inst.pressure() > 0.0);
+    }
+
+    #[test]
+    fn bimodal_has_both_modes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = bimodal(&mut rng, 200, 50, 0.7);
+        let small = inst.items.iter().filter(|&&s| s < 5.0).count();
+        let large = inst.items.iter().filter(|&&s| s >= 20.0).count();
+        assert_eq!(small + large, 200, "no items between the modes");
+        assert!(small > large, "small mode dominates at 70 % share");
+    }
+
+    #[test]
+    fn paper_mix_uses_exact_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = paper_mix(&mut rng, 100, 30, 26.5);
+        for &s in &inst.items {
+            let rel = s / 26.5;
+            assert!(
+                [1.0, 2.0, 5.0, 9.0].iter().any(|w| (rel - w).abs() < 1e-9),
+                "item {s} not a paper weight"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_instances_are_packable_by_ffdlr() {
+        // Feasibility isn't guaranteed, but the packer must at least be
+        // valid on every generated family.
+        let mut rng = StdRng::seed_from_u64(4);
+        for inst in [
+            uniform(&mut rng, 30, 15, 1.0, 8.0),
+            bimodal(&mut rng, 30, 15, 0.6),
+            paper_mix(&mut rng, 30, 15, 1.0),
+        ] {
+            let packing = Ffdlr.pack(&inst.items, &inst.bins);
+            assert!(packing.is_valid(&inst.items, &inst.bins));
+        }
+    }
+
+    #[test]
+    fn empty_capacity_pressure_is_infinite() {
+        let inst = Instance {
+            items: vec![1.0],
+            bins: vec![],
+        };
+        assert!(inst.pressure().is_infinite());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = uniform(&mut StdRng::seed_from_u64(7), 10, 5, 1.0, 9.0);
+        let b = uniform(&mut StdRng::seed_from_u64(7), 10, 5, 1.0, 9.0);
+        assert_eq!(a, b);
+    }
+}

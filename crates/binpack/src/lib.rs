@@ -1,0 +1,44 @@
+//! Variable-sized bin packing for Willow's migration planner (paper §IV-F).
+//!
+//! Matching power demands with surpluses "reduces to the classical bin
+//! packing problem. The surpluses available in different nodes form the
+//! bins. The bins are variable sized and the demands need to be fitted in
+//! them." The paper picks the FFDLR scheme of Friesen & Langston — simple,
+//! `O(n log n)`, with a guaranteed bound of `(3/2)·OPT + 1` — because its
+//! final repacking step "into the smallest possible bins" tries to run every
+//! server at full utilization so emptied servers can be deactivated during
+//! consolidation.
+//!
+//! This crate implements FFDLR plus the classic baselines (First-Fit
+//! Decreasing, Best-Fit Decreasing, Next-Fit, First-Fit) behind one
+//! [`Packer`] trait, an exact brute-force reference for small instances, and
+//! instance generators for benchmarking. All packers are deterministic.
+//!
+//! Sizes are plain non-negative `f64`s — callers normalize from watts; the
+//! algorithms never assume unit bins except where the underlying guarantee
+//! requires normalization (handled internally).
+//!
+//! # Example
+//!
+//! ```
+//! use willow_binpack::{Ffdlr, Packer};
+//!
+//! // Demands of 30, 20 and 10 W must fit into surpluses of 35 and 30 W.
+//! let packing = Ffdlr.pack(&[30.0, 20.0, 10.0], &[35.0, 30.0]);
+//! assert!(packing.unplaced.is_empty());
+//! assert!(packing.is_valid(&[30.0, 20.0, 10.0], &[35.0, 30.0]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod exact;
+pub mod ffdlr;
+pub mod generators;
+pub mod packing;
+
+pub use baselines::{BestFitDecreasing, FirstFit, FirstFitDecreasing, NextFit};
+pub use exact::optimal_bins_used;
+pub use ffdlr::Ffdlr;
+pub use packing::{Packer, Packing};

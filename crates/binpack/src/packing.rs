@@ -1,0 +1,232 @@
+//! The packing result type and the [`Packer`] trait all algorithms share.
+
+use std::fmt;
+
+/// Result of packing `items` into `bins` (both referenced by index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    /// `assignment[i] = Some(b)` places item `i` into bin `b`; `None` means
+    /// the item could not be placed anywhere (Willow passes such demands up
+    /// the hierarchy, or ultimately sheds them).
+    pub assignment: Vec<Option<usize>>,
+    /// Indices of unplaced items, in input order (redundant with
+    /// `assignment` but convenient).
+    pub unplaced: Vec<usize>,
+}
+
+impl Packing {
+    /// Construct from an assignment vector.
+    #[must_use]
+    pub fn from_assignment(assignment: Vec<Option<usize>>) -> Self {
+        let unplaced = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.is_none().then_some(i))
+            .collect();
+        Packing {
+            assignment,
+            unplaced,
+        }
+    }
+
+    /// Number of distinct bins that received at least one item.
+    #[must_use]
+    pub fn bins_used(&self) -> usize {
+        let mut bins: Vec<usize> = self.assignment.iter().copied().flatten().collect();
+        bins.sort_unstable();
+        bins.dedup();
+        bins.len()
+    }
+
+    /// Load placed into each of `n_bins` bins.
+    #[must_use]
+    pub fn bin_loads(&self, items: &[f64], n_bins: usize) -> Vec<f64> {
+        let mut loads = vec![0.0; n_bins];
+        for (i, a) in self.assignment.iter().enumerate() {
+            if let Some(b) = a {
+                loads[*b] += items[i];
+            }
+        }
+        loads
+    }
+
+    /// Validate capacity feasibility of this packing against the instance:
+    /// every bin's load must not exceed its capacity (with a tiny floating
+    /// tolerance) and every assignment index must be in range.
+    #[must_use]
+    pub fn is_valid(&self, items: &[f64], bins: &[f64]) -> bool {
+        if self.assignment.len() != items.len() {
+            return false;
+        }
+        if self
+            .assignment
+            .iter()
+            .flatten()
+            .any(|&b| b >= bins.len())
+        {
+            return false;
+        }
+        self.bin_loads(items, bins.len())
+            .iter()
+            .zip(bins)
+            .all(|(load, cap)| *load <= cap + 1e-9)
+    }
+
+    /// Total size successfully placed.
+    #[must_use]
+    pub fn placed_size(&self, items: &[f64]) -> f64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_some())
+            .map(|(i, _)| items[i])
+            .sum()
+    }
+
+    /// Total size left unplaced.
+    #[must_use]
+    pub fn unplaced_size(&self, items: &[f64]) -> f64 {
+        self.unplaced.iter().map(|&i| items[i]).sum()
+    }
+
+    /// Capacity wasted in *used* bins: Σ(capacity − load) over bins that
+    /// received at least one item. The quantity FFDLR's repacking stage
+    /// minimizes so emptied servers can sleep.
+    #[must_use]
+    pub fn waste(&self, items: &[f64], bins: &[f64]) -> f64 {
+        let loads = self.bin_loads(items, bins.len());
+        loads
+            .iter()
+            .zip(bins)
+            .filter(|(load, _)| **load > 0.0)
+            .map(|(load, cap)| (cap - load).max(0.0))
+            .sum()
+    }
+
+    /// Fragmentation: waste as a fraction of the used bins' capacity
+    /// (0 = every used bin exactly full; 0 for an empty packing).
+    #[must_use]
+    pub fn fragmentation(&self, items: &[f64], bins: &[f64]) -> f64 {
+        let loads = self.bin_loads(items, bins.len());
+        let used_cap: f64 = loads
+            .iter()
+            .zip(bins)
+            .filter(|(load, _)| **load > 0.0)
+            .map(|(_, cap)| *cap)
+            .sum();
+        if used_cap <= 0.0 {
+            return 0.0;
+        }
+        self.waste(items, bins) / used_cap
+    }
+}
+
+impl fmt::Display for Packing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "packing: {} placed, {} unplaced, {} bins used",
+            self.assignment.len() - self.unplaced.len(),
+            self.unplaced.len(),
+            self.bins_used()
+        )
+    }
+}
+
+/// A bin-packing algorithm over variable-sized bins.
+///
+/// Implementations must be deterministic and must uphold:
+/// * every placed item fits (bin loads never exceed capacities),
+/// * items and bins are addressed by their input indices,
+/// * zero-size items are always placeable (into any bin, if one exists).
+///
+/// # Panics
+/// Implementations panic on negative or non-finite sizes/capacities —
+/// demands and surpluses are physical watt quantities and the caller must
+/// have clamped them already.
+pub trait Packer {
+    /// Pack `items` (sizes) into `bins` (capacities).
+    fn pack(&self, items: &[f64], bins: &[f64]) -> Packing;
+
+    /// Name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared input validation for all packers.
+pub(crate) fn validate_instance(items: &[f64], bins: &[f64]) {
+    assert!(
+        items.iter().all(|s| s.is_finite() && *s >= 0.0),
+        "item sizes must be finite and non-negative"
+    );
+    assert!(
+        bins.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "bin capacities must be finite and non-negative"
+    );
+}
+
+/// Indices sorted by size descending (ties broken by index for determinism).
+pub(crate) fn desc_order(sizes: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignment_extracts_unplaced() {
+        let p = Packing::from_assignment(vec![Some(0), None, Some(1), None]);
+        assert_eq!(p.unplaced, vec![1, 3]);
+        assert_eq!(p.bins_used(), 2);
+    }
+
+    #[test]
+    fn loads_and_sizes() {
+        let items = [5.0, 3.0, 2.0];
+        let p = Packing::from_assignment(vec![Some(0), Some(0), None]);
+        assert_eq!(p.bin_loads(&items, 2), vec![8.0, 0.0]);
+        assert_eq!(p.placed_size(&items), 8.0);
+        assert_eq!(p.unplaced_size(&items), 2.0);
+    }
+
+    #[test]
+    fn validity_checks_capacities_and_ranges() {
+        let items = [5.0, 3.0];
+        assert!(Packing::from_assignment(vec![Some(0), Some(1)]).is_valid(&items, &[5.0, 3.0]));
+        // Overfull bin.
+        assert!(!Packing::from_assignment(vec![Some(0), Some(0)]).is_valid(&items, &[7.0, 3.0]));
+        // Out-of-range bin index.
+        assert!(!Packing::from_assignment(vec![Some(2), None]).is_valid(&items, &[7.0, 3.0]));
+        // Wrong assignment length.
+        assert!(!Packing::from_assignment(vec![Some(0)]).is_valid(&items, &[7.0]));
+    }
+
+    #[test]
+    fn waste_and_fragmentation() {
+        let items = [5.0, 3.0];
+        let bins = [10.0, 8.0, 6.0];
+        // Both items in bin 0: waste 2 in one used bin of cap 10.
+        let p = Packing::from_assignment(vec![Some(0), Some(0)]);
+        assert!((p.waste(&items, &bins) - 2.0).abs() < 1e-12);
+        assert!((p.fragmentation(&items, &bins) - 0.2).abs() < 1e-12);
+        // Unused bins don't count as waste.
+        let spread = Packing::from_assignment(vec![Some(0), Some(2)]);
+        assert!((spread.waste(&items, &bins) - (5.0 + 3.0)).abs() < 1e-12);
+        // Empty packing has zero fragmentation by definition.
+        let empty = Packing::from_assignment(vec![None, None]);
+        assert_eq!(empty.fragmentation(&items, &bins), 0.0);
+    }
+
+    #[test]
+    fn desc_order_is_stable_on_ties() {
+        assert_eq!(desc_order(&[1.0, 3.0, 3.0, 2.0]), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = Packing::from_assignment(vec![Some(0), None]);
+        assert_eq!(p.to_string(), "packing: 1 placed, 1 unplaced, 1 bins used");
+    }
+}

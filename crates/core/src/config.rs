@@ -1,0 +1,327 @@
+//! Controller configuration (the paper's tunables, §IV-C/§IV-E/§V-B1).
+
+use serde::{Deserialize, Serialize};
+use willow_network::MigrationCostModel;
+use willow_thermal::units::{Seconds, Watts};
+
+/// Which bin-packing algorithm the migration planner uses (§IV-F; the paper
+/// chooses FFDLR, the alternatives exist for the packer ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackerChoice {
+    /// Friesen–Langston FFDLR (the paper's choice).
+    Ffdlr,
+    /// First-Fit Decreasing.
+    FirstFitDecreasing,
+    /// Best-Fit Decreasing.
+    BestFitDecreasing,
+    /// Next-Fit (weak baseline).
+    NextFit,
+}
+
+/// How the unidirectional "no migrations into reduced-budget nodes" rule
+/// (§IV-E) is interpreted. See `DESIGN.md`: the literal reading conflicts
+/// with the paper's own deficit experiment, where a global supply plunge —
+/// which reduces *every* budget proportionally — triggers migrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReducedTargetRule {
+    /// A node is an ineligible target if its budget shrank *more than its
+    /// parent's budget shrank proportionally* this supply period — i.e. it
+    /// was disproportionately tightened (thermal cap, redistribution away
+    /// from it). Global proportional dips do not disqualify targets. This
+    /// matches the paper's experiments and is the default.
+    Disproportionate,
+    /// Literal reading: any budget decrease disqualifies the node as a
+    /// target (used by the `ablation_unidirectional` bench).
+    Strict,
+    /// Rule disabled (used by ablations).
+    Off,
+}
+
+/// How a parent's budget is divided among its children on supply ticks.
+///
+/// §IV-A states budgets are split "in proportion to their demands"; the
+/// testbed experiments (§V-C4) instead divide "the available power supply …
+/// proportionally between the servers" in a way that leaves high-utilization
+/// servers deficient when supply plunges — which only happens with an
+/// equal/capacity split (a pure demand-proportional split scales everyone's
+/// budget by the same factor and never creates a surplus to migrate into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Proportional to smoothed demand `CP` (paper §IV-A; simulation
+    /// default). Hard caps (thermal) still bind, which is what generates
+    /// migrations in the hot-zone experiments.
+    ProportionalToDemand,
+    /// Equal share per child, clipped by caps (testbed experiments).
+    EqualShare,
+    /// Proportional to each child's hard cap.
+    ProportionalToCapacity,
+}
+
+/// Demand-smoothing scheme (paper §IV-C: "although it is possible to use
+/// sophisticated ARIMA type of models, a simple exponential smoothing is
+/// often adequate").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SmootherKind {
+    /// Eq. 4 exponential smoothing with the configured `alpha` (default).
+    Exponential,
+    /// Holt double-exponential (level + trend) smoothing with the
+    /// configured `alpha` as level gain and this trend gain — tracks
+    /// demand ramps without the persistent lag of Eq. 4.
+    Holt {
+        /// Trend gain `β ∈ (0, 1)`.
+        beta: f64,
+    },
+}
+
+/// How the thermal hard constraint is derived from a device's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThermalEstimate {
+    /// Invert Eq. 3 over the next `Δ_S` window (the paper's conservative
+    /// end-of-window prediction; default).
+    WindowPrediction,
+    /// Naive reactive throttling: full rating while under the limit, zero
+    /// once over it — the strawman the `ablation_thermal` bench compares
+    /// against (oscillates and can overshoot between supply ticks).
+    NaiveThrottle,
+}
+
+/// All Willow tunables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Exponential-smoothing parameter `α` of Eq. 4, `0 < α < 1`.
+    pub alpha: f64,
+    /// Which smoother turns raw measurements into `CP` values.
+    pub smoother: SmootherKind,
+    /// Supply-side multiplier: `Δ_S = η1·Δ_D`. Paper simulations use 4.
+    pub eta1: u32,
+    /// Consolidation multiplier: `Δ_A = η2·Δ_D`, `η2 > η1`. Paper uses 7.
+    pub eta2: u32,
+    /// Wall-clock length of one demand period `Δ_D`. The paper argues
+    /// ≥ 500 ms is safe; simulations use abstract "time units", we default
+    /// to 1 s.
+    pub delta_d: Seconds,
+    /// Migration margin `P_min`: minimum surplus both end nodes must retain
+    /// after a migration (§IV-E).
+    pub margin: Watts,
+    /// Consolidation threshold: servers whose utilization (demand relative
+    /// to full-load power) falls below this fraction become consolidation
+    /// sources (the testbed uses 20 %).
+    pub consolidation_threshold: f64,
+    /// Migration cost model (temporary power + fabric traffic).
+    pub cost_model: MigrationCostModel,
+    /// Bin-packing algorithm for matching deficits with surpluses.
+    pub packer: PackerChoice,
+    /// Budget-division policy on supply ticks.
+    pub allocation: AllocationPolicy,
+    /// How thermal limits become power caps.
+    pub thermal_estimate: ThermalEstimate,
+    /// Interpretation of the reduced-budget target rule.
+    pub reduced_rule: ReducedTargetRule,
+    /// Wake sleeping servers (at consolidation granularity) when demand had
+    /// to be dropped for lack of surplus.
+    pub wake_on_deficit: bool,
+    /// Ping-pong window `Δ_f` in demand periods: re-migrating an app within
+    /// this window after its last move counts as a ping-pong event in the
+    /// stability statistics (paper observes none for `Δ_f < 50·Δ_D`).
+    pub pingpong_window: u64,
+    /// Fabric traffic units generated per watt actually drawn by a server —
+    /// the *indirect* network impact: query traffic follows the VMs to
+    /// wherever they run (§V-B5).
+    pub query_traffic_per_watt: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            alpha: 0.5,
+            smoother: SmootherKind::Exponential,
+            eta1: 4,
+            eta2: 7,
+            delta_d: Seconds(1.0),
+            margin: Watts(5.0),
+            consolidation_threshold: 0.20,
+            cost_model: MigrationCostModel::default(),
+            packer: PackerChoice::Ffdlr,
+            allocation: AllocationPolicy::ProportionalToDemand,
+            thermal_estimate: ThermalEstimate::WindowPrediction,
+            reduced_rule: ReducedTargetRule::Disproportionate,
+            wake_on_deficit: true,
+            pingpong_window: 50,
+            query_traffic_per_watt: 1.0,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Validate the invariants the paper states (`0 < α < 1`, `η2 > η1 ≥ 1`,
+    /// positive periods, sane fractions).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(ConfigError::Alpha(self.alpha));
+        }
+        if let SmootherKind::Holt { beta } = self.smoother {
+            if !(beta > 0.0 && beta < 1.0) {
+                return Err(ConfigError::Alpha(beta));
+            }
+        }
+        if self.eta1 == 0 || self.eta2 <= self.eta1 {
+            return Err(ConfigError::Granularities {
+                eta1: self.eta1,
+                eta2: self.eta2,
+            });
+        }
+        if !self.delta_d.is_positive() {
+            return Err(ConfigError::Period);
+        }
+        if !self.margin.is_valid() {
+            return Err(ConfigError::Margin);
+        }
+        if !(0.0..=1.0).contains(&self.consolidation_threshold) {
+            return Err(ConfigError::Threshold(self.consolidation_threshold));
+        }
+        Ok(())
+    }
+
+    /// The supply-side period `Δ_S` in seconds.
+    #[must_use]
+    pub fn delta_s(&self) -> Seconds {
+        self.delta_d * f64::from(self.eta1)
+    }
+
+    /// The consolidation period `Δ_A` in seconds.
+    #[must_use]
+    pub fn delta_a(&self) -> Seconds {
+        self.delta_d * f64::from(self.eta2)
+    }
+}
+
+/// Configuration validation errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `α` outside (0, 1).
+    Alpha(f64),
+    /// `η1`/`η2` violate `η2 > η1 ≥ 1`.
+    Granularities {
+        /// Supplied η1.
+        eta1: u32,
+        /// Supplied η2.
+        eta2: u32,
+    },
+    /// Non-positive `Δ_D`.
+    Period,
+    /// Invalid margin.
+    Margin,
+    /// Consolidation threshold outside [0, 1].
+    Threshold(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Alpha(a) => write!(f, "α must be in (0,1), got {a}"),
+            ConfigError::Granularities { eta1, eta2 } => {
+                write!(f, "need η2 > η1 ≥ 1, got η1={eta1}, η2={eta2}")
+            }
+            ConfigError::Period => write!(f, "Δ_D must be positive"),
+            ConfigError::Margin => write!(f, "margin must be finite and ≥ 0"),
+            ConfigError::Threshold(t) => {
+                write!(f, "consolidation threshold must be in [0,1], got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = ControllerConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.eta1, 4);
+        assert_eq!(c.eta2, 7);
+        assert_eq!(c.packer, PackerChoice::Ffdlr);
+        assert_eq!(c.consolidation_threshold, 0.20);
+    }
+
+    #[test]
+    fn derived_periods() {
+        let c = ControllerConfig::default();
+        assert_eq!(c.delta_s(), Seconds(4.0));
+        assert_eq!(c.delta_a(), Seconds(7.0));
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        let mut c = ControllerConfig::default();
+        c.alpha = 1.0;
+        assert_eq!(c.validate(), Err(ConfigError::Alpha(1.0)));
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_eta_order_violation() {
+        let mut c = ControllerConfig::default();
+        c.eta1 = 7;
+        c.eta2 = 7;
+        assert!(matches!(c.validate(), Err(ConfigError::Granularities { .. })));
+        c.eta1 = 0;
+        c.eta2 = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let mut c = ControllerConfig::default();
+        c.consolidation_threshold = 1.5;
+        assert!(matches!(c.validate(), Err(ConfigError::Threshold(_))));
+    }
+
+    #[test]
+    fn serde_round_trip_all_variants() {
+        // Every enum knob must survive serialization (experiment configs
+        // are persisted as JSON by the CLI).
+        for packer in [
+            PackerChoice::Ffdlr,
+            PackerChoice::FirstFitDecreasing,
+            PackerChoice::BestFitDecreasing,
+            PackerChoice::NextFit,
+        ] {
+            for rule in [
+                ReducedTargetRule::Disproportionate,
+                ReducedTargetRule::Strict,
+                ReducedTargetRule::Off,
+            ] {
+                let mut c = ControllerConfig::default();
+                c.packer = packer;
+                c.reduced_rule = rule;
+                c.smoother = SmootherKind::Holt { beta: 0.25 };
+                c.thermal_estimate = ThermalEstimate::NaiveThrottle;
+                c.allocation = AllocationPolicy::ProportionalToCapacity;
+                let json = serde_json::to_string(&c).unwrap();
+                let back: ControllerConfig = serde_json::from_str(&json).unwrap();
+                assert_eq!(c, back);
+            }
+        }
+    }
+
+    #[test]
+    fn holt_beta_validated() {
+        let mut c = ControllerConfig::default();
+        c.smoother = SmootherKind::Holt { beta: 1.0 };
+        assert!(c.validate().is_err());
+        c.smoother = SmootherKind::Holt { beta: 0.3 };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_nonpositive_period() {
+        let mut c = ControllerConfig::default();
+        c.delta_d = Seconds(0.0);
+        assert_eq!(c.validate(), Err(ConfigError::Period));
+    }
+}

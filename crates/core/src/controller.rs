@@ -1,0 +1,1442 @@
+//! The Willow controller: hierarchical supply/demand adaptation,
+//! local-first migration planning, and consolidation.
+//!
+//! One [`Willow::step`] call is one demand period `Δ_D`:
+//!
+//! 1. **Measure** — raw per-app demands (supplied by the caller) plus
+//!    pending migration costs are smoothed (Eq. 4) into leaf `CP` values
+//!    and aggregated up the tree (one upward control message per link).
+//! 2. **Supply adaptation** — every `η1` periods, hard caps are refreshed
+//!    from the thermal model (Eq. 3 over the `Δ_S` window), and the total
+//!    supply is divided top-down proportionally to demand, clipped by caps
+//!    (one downward message per link; Property 3: ≤ 2 messages per link per
+//!    period).
+//! 3. **Demand adaptation** — per-level bottom-up bin packing of deficits
+//!    into surpluses: local (sibling) surpluses first, leftovers passed up
+//!    for non-local placement, margins enforced at both ends, costs charged
+//!    as temporary demand, residual deficits shed.
+//! 4. **Consolidation** — every `η2` periods, servers below the utilization
+//!    threshold try to empty themselves (local targets preferred); emptied
+//!    servers sleep. Sleeping servers may be woken when demand was shed.
+//! 5. **Physics** — each server draws `min(demand, budget)` and its RC
+//!    thermal state advances by `Δ_D`.
+
+use crate::config::{AllocationPolicy, ControllerConfig, PackerChoice, ReducedTargetRule};
+use crate::migration::{MigrationReason, MigrationRecord, TickReport};
+use crate::server::{ServerSpec, ServerState};
+use crate::state::PowerState;
+use std::collections::HashMap;
+use willow_binpack::{BestFitDecreasing, Ffdlr, FirstFitDecreasing, NextFit, Packer};
+use willow_network::Fabric;
+use willow_power::allocation::allocate_proportional;
+use willow_thermal::units::Watts;
+use willow_topology::{NodeId, Tree};
+use willow_workload::app::AppId;
+
+/// Errors from [`Willow::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WillowError {
+    /// Config invariant violated.
+    Config(crate::config::ConfigError),
+    /// The server specs do not cover every leaf exactly once.
+    LeafCoverage {
+        /// Leaves in the tree.
+        leaves: usize,
+        /// Server specs supplied.
+        specs: usize,
+    },
+    /// A spec references a non-leaf node.
+    NotALeaf(NodeId),
+    /// Two specs reference the same leaf.
+    DuplicateLeaf(NodeId),
+    /// Two applications share an id.
+    DuplicateApp(AppId),
+}
+
+impl std::fmt::Display for WillowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WillowError::Config(e) => write!(f, "invalid config: {e}"),
+            WillowError::LeafCoverage { leaves, specs } => {
+                write!(f, "{specs} server specs for {leaves} leaves")
+            }
+            WillowError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),
+            WillowError::DuplicateLeaf(n) => write!(f, "leaf {n} specified twice"),
+            WillowError::DuplicateApp(a) => write!(f, "application {a} hosted twice"),
+        }
+    }
+}
+
+impl std::error::Error for WillowError {}
+
+/// A deficit parcel traveling up the hierarchy: one application that must
+/// leave its server.
+#[derive(Debug, Clone)]
+struct DeficitItem {
+    server: usize,
+    app: AppId,
+    demand: Watts,
+    reason: MigrationReason,
+}
+
+/// Cumulative operation counters backing the paper's §V-A2 complexity
+/// analysis: the distributed scheme solves one pod-sized packing instance
+/// per PMU node per period, so instances scale with the node count and the
+/// work per instance with the branching factor — not with the data center
+/// as a whole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ControlStats {
+    /// Bin-packing instances solved (demand-side adaptation).
+    pub packing_instances: u64,
+    /// Deficit items offered across all instances.
+    pub items_offered: u64,
+    /// Bins (candidate targets) offered across all instances.
+    pub bins_offered: u64,
+    /// Control messages exchanged on tree links.
+    pub messages: u64,
+    /// Migrations executed (both reasons).
+    pub migrations: u64,
+}
+
+/// The Willow control system. See the crate docs for the model.
+pub struct Willow {
+    tree: Tree,
+    config: ControllerConfig,
+    servers: Vec<ServerState>,
+    /// Arena index → server index (None for interior nodes).
+    leaf_server: Vec<Option<usize>>,
+    power: PowerState,
+    fabric: Fabric,
+    tick: u64,
+    /// For each app: the server it last migrated *from* and when. Ping-pong
+    /// is defined as the paper does — "migrates demand from server A to B
+    /// and then immediately from B to A" — i.e. a return to the previous
+    /// host within the `Δ_f` window.
+    last_move: HashMap<AppId, (NodeId, u64)>,
+    /// Demand shed last period (drives wake-on-deficit).
+    last_dropped: Watts,
+    /// Cumulative operation counters.
+    stats: ControlStats,
+}
+
+impl Willow {
+    /// Build a controller for `tree` with one [`ServerSpec`] per leaf.
+    pub fn new(
+        tree: Tree,
+        specs: Vec<ServerSpec>,
+        config: ControllerConfig,
+    ) -> Result<Self, WillowError> {
+        config.validate().map_err(WillowError::Config)?;
+        let leaves: Vec<NodeId> = tree.leaves().collect();
+        if specs.len() != leaves.len() {
+            return Err(WillowError::LeafCoverage {
+                leaves: leaves.len(),
+                specs: specs.len(),
+            });
+        }
+        let mut leaf_server = vec![None; tree.len()];
+        let mut servers = Vec::with_capacity(specs.len());
+        let mut seen_apps = HashMap::new();
+        for spec in &specs {
+            if !tree.node(spec.node).is_leaf() {
+                return Err(WillowError::NotALeaf(spec.node));
+            }
+            if leaf_server[spec.node.index()].is_some() {
+                return Err(WillowError::DuplicateLeaf(spec.node));
+            }
+            for app in &spec.apps {
+                if seen_apps.insert(app.id, spec.node).is_some() {
+                    return Err(WillowError::DuplicateApp(app.id));
+                }
+            }
+            leaf_server[spec.node.index()] = Some(servers.len());
+            servers.push(ServerState::from_spec_with_smoother(
+                spec,
+                crate::server::DemandSmoother::new(config.smoother, config.alpha),
+            ));
+        }
+        let power = PowerState::new(&tree);
+        let fabric = Fabric::new(&tree);
+        Ok(Willow {
+            tree,
+            config,
+            servers,
+            leaf_server,
+            power,
+            fabric,
+            tick: 0,
+            last_move: HashMap::new(),
+            last_dropped: Watts::ZERO,
+            stats: ControlStats::default(),
+        })
+    }
+
+    /// The PMU tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Immutable view of server states (indexed by server order).
+    #[must_use]
+    pub fn servers(&self) -> &[ServerState] {
+        &self.servers
+    }
+
+    /// The switch fabric's traffic counters for the current period.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Current power state (CP/TP/caps per node).
+    #[must_use]
+    pub fn power(&self) -> &PowerState {
+        &self.power
+    }
+
+    /// Cumulative operation counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> ControlStats {
+        self.stats
+    }
+
+    /// The demand-period counter (number of completed `step` calls).
+    #[must_use]
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Ping-pong bookkeeping as a serializable list, sorted by app id.
+    #[must_use]
+    pub fn last_moves(&self) -> Vec<(AppId, NodeId, u64)> {
+        let mut out: Vec<(AppId, NodeId, u64)> = self
+            .last_move
+            .iter()
+            .map(|(&app, &(from, t))| (app, from, t))
+            .collect();
+        out.sort_by_key(|(app, _, _)| *app);
+        out
+    }
+
+    /// Demand shed in the last completed period.
+    #[must_use]
+    pub fn last_dropped(&self) -> Watts {
+        self.last_dropped
+    }
+
+    /// Rebuild a controller from previously captured parts (the
+    /// checkpoint/restore path — see `crate::snapshot`). Validates the
+    /// config and the leaf coverage of the server states.
+    pub(crate) fn from_parts(
+        tree: Tree,
+        config: ControllerConfig,
+        servers: Vec<ServerState>,
+        power: PowerState,
+        tick: u64,
+        last_moves: Vec<(AppId, NodeId, u64)>,
+        last_dropped: Watts,
+    ) -> Result<Willow, WillowError> {
+        config.validate().map_err(WillowError::Config)?;
+        let leaves = tree.leaves().count();
+        if servers.len() != leaves {
+            return Err(WillowError::LeafCoverage {
+                leaves,
+                specs: servers.len(),
+            });
+        }
+        let mut leaf_server = vec![None; tree.len()];
+        for (si, server) in servers.iter().enumerate() {
+            if !tree.node(server.node).is_leaf() {
+                return Err(WillowError::NotALeaf(server.node));
+            }
+            if leaf_server[server.node.index()].is_some() {
+                return Err(WillowError::DuplicateLeaf(server.node));
+            }
+            leaf_server[server.node.index()] = Some(si);
+        }
+        let fabric = Fabric::new(&tree);
+        Ok(Willow {
+            tree,
+            config,
+            servers,
+            leaf_server,
+            power,
+            fabric,
+            tick,
+            last_move: last_moves
+                .into_iter()
+                .map(|(app, from, t)| (app, (from, t)))
+                .collect(),
+            last_dropped,
+            stats: ControlStats::default(),
+        })
+    }
+
+    /// Server index hosting `app`, if any.
+    #[must_use]
+    pub fn locate_app(&self, app: AppId) -> Option<usize> {
+        self.servers.iter().position(|s| s.find_app(app).is_some())
+    }
+
+    fn packer(&self) -> Box<dyn Packer> {
+        match self.config.packer {
+            PackerChoice::Ffdlr => Box::new(Ffdlr),
+            PackerChoice::FirstFitDecreasing => Box::new(FirstFitDecreasing),
+            PackerChoice::BestFitDecreasing => Box::new(BestFitDecreasing),
+            PackerChoice::NextFit => Box::new(NextFit),
+        }
+    }
+
+    /// Effective packing size of a demand parcel: the moved demand plus the
+    /// temporary cost it charges the target while migrating.
+    fn effective_size(&self, demand: Watts) -> f64 {
+        (demand + self.config.cost_model.node_cost(demand)).0
+    }
+
+    /// Drive one demand period. `app_demand` is indexed by `AppId.0` and
+    /// gives each application's raw power demand this period; `supply` is
+    /// the data center's total power budget (used on supply ticks).
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step(&mut self, app_demand: &[Watts], supply: Watts) -> TickReport {
+        let tick = self.tick;
+        let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
+        let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
+        let mut report = TickReport {
+            tick,
+            supply_tick,
+            consolidation_tick,
+            ..TickReport::default()
+        };
+        self.fabric.reset_epoch();
+
+        // ------------------------------------------------ 1. measurement
+        self.measure(app_demand);
+        // Upward demand reports: one message per tree link.
+        report.control_messages += self.tree.len() - 1;
+        self.stats.messages += (self.tree.len() - 1) as u64;
+
+        // ------------------------------------------- 2. supply adaptation
+        if supply_tick {
+            self.supply_adaptation(supply);
+            // Downward budget directives: one message per tree link.
+            report.control_messages += self.tree.len() - 1;
+            self.stats.messages += (self.tree.len() - 1) as u64;
+        }
+
+        // ------------------------------------------- 3. demand adaptation
+        let migrations = self.demand_adaptation(tick);
+        report.migrations.extend(migrations);
+
+        // --------------------------------------------- 4. consolidation
+        if consolidation_tick {
+            let (migs, slept) = self.consolidate(tick);
+            report.migrations.extend(migs);
+            report.slept = slept;
+            if self.config.wake_on_deficit && self.last_dropped.0 > 0.0 {
+                report.woken = self.wake_servers(self.last_dropped, tick);
+            }
+        }
+
+        // ------------------------------------------------- 5. physics
+        self.power.aggregate_demands(&self.tree);
+        let mut dropped = Watts::ZERO;
+        for (si, server) in self.servers.iter_mut().enumerate() {
+            let leaf = server.node.index();
+            let budget = self.power.tp[leaf];
+            let demand = if server.active {
+                self.power.cp[leaf]
+            } else {
+                Watts::ZERO
+            };
+            let drawn = demand.min(budget);
+            let shortfall = (demand - budget).non_negative();
+            dropped += shortfall;
+            if shortfall.0 > 0.0 {
+                // Degraded operation: attribute the shed demand to QoS
+                // classes, lowest priority first (§IV-E / §VI).
+                let plan = crate::shedding::shed_by_priority(
+                    &server.apps,
+                    &server.app_demand,
+                    shortfall,
+                );
+                for (acc, class_shed) in report.shed_by_priority.iter_mut().zip(plan.by_class) {
+                    *acc += class_shed;
+                }
+            }
+            server.thermal.advance(drawn, self.config.delta_d);
+            // Indirect network impact: query traffic follows the workload.
+            self.fabric.record_query(
+                &self.tree,
+                server.node,
+                drawn.0 * self.config.query_traffic_per_watt,
+            );
+            let _ = si;
+            report.server_power.push(drawn);
+            report.server_budget.push(budget);
+            report.server_temp.push(server.thermal.temperature());
+            report.server_active.push(server.active);
+        }
+        report.dropped_demand = dropped;
+        self.last_dropped = dropped;
+        for level in 0..=self.tree.height() {
+            report
+                .imbalance
+                .push(self.power.level_imbalance(&self.tree, level));
+        }
+
+        self.tick += 1;
+        report
+    }
+
+    /// Smooth raw demands into leaf `CP` values and aggregate upward.
+    fn measure(&mut self, app_demand: &[Watts]) {
+        for server in &mut self.servers {
+            if server.active {
+                for (i, app) in server.apps.iter().enumerate() {
+                    let idx = app.id.0 as usize;
+                    assert!(
+                        idx < app_demand.len(),
+                        "demand vector too short for {}",
+                        app.id
+                    );
+                    server.app_demand[i] = app_demand[idx];
+                }
+                let raw = server.raw_demand();
+                let smoothed = server.smoother.observe(raw);
+                self.power.cp[server.node.index()] = smoothed;
+            } else {
+                self.power.cp[server.node.index()] = Watts::ZERO;
+            }
+            // Migration costs are charged for exactly one period.
+            server.pending_cost = Watts::ZERO;
+        }
+        self.power.aggregate_demands(&self.tree);
+    }
+
+    /// Refresh hard caps from the thermal model and divide the supply
+    /// top-down proportional to demand (§IV-D).
+    fn supply_adaptation(&mut self, supply: Watts) {
+        let window = self.config.delta_s();
+        for server in &self.servers {
+            // Sleeping servers present their wake-up headroom; they are at
+            // (or cooling toward) ambient, so this is near their rating.
+            let cap = match self.config.thermal_estimate {
+                crate::config::ThermalEstimate::WindowPrediction => {
+                    server.thermal.power_limit(window)
+                }
+                crate::config::ThermalEstimate::NaiveThrottle => {
+                    if server.thermal.over_limit() {
+                        Watts::ZERO
+                    } else {
+                        server.thermal.rating()
+                    }
+                }
+            };
+            self.power.cap[server.node.index()] = cap;
+        }
+        self.power.aggregate_caps(&self.tree);
+
+        self.power.tp_old.copy_from_slice(&self.power.tp);
+        let root = self.tree.root();
+        self.power.tp[root.index()] = supply.min(self.power.cap[root.index()]);
+        for level in (1..=self.tree.height()).rev() {
+            for &node in self.tree.nodes_at_level(level) {
+                let children = self.tree.children(node);
+                let caps: Vec<Watts> =
+                    children.iter().map(|c| self.power.cap[c.index()]).collect();
+                // The allocation "demand" weights depend on the policy.
+                let weights: Vec<Watts> = match self.config.allocation {
+                    AllocationPolicy::ProportionalToDemand => {
+                        children.iter().map(|c| self.power.cp[c.index()]).collect()
+                    }
+                    AllocationPolicy::EqualShare => children.iter().map(|_| Watts(1.0)).collect(),
+                    AllocationPolicy::ProportionalToCapacity => caps.clone(),
+                };
+                let budgets = allocate_proportional(self.power.tp[node.index()], &weights, &caps)
+                    .expect("validated inputs");
+                for (c, b) in children.iter().zip(budgets) {
+                    self.power.tp[c.index()] = b;
+                }
+            }
+        }
+
+        // Budget-reduction flags for the unidirectional target rule.
+        for id in self.tree.ids() {
+            let i = id.index();
+            let reduced = match self.config.reduced_rule {
+                ReducedTargetRule::Off => false,
+                ReducedTargetRule::Strict => self.power.tp[i].0 < self.power.tp_old[i].0 - 1e-9,
+                ReducedTargetRule::Disproportionate => {
+                    let old = self.power.tp_old[i].0;
+                    let new = self.power.tp[i].0;
+                    if old <= 0.0 || new >= old {
+                        false
+                    } else {
+                        match self.tree.parent(id) {
+                            None => false, // global events never flag the root
+                            Some(p) => {
+                                let p_old = self.power.tp_old[p.index()].0;
+                                let p_new = self.power.tp[p.index()].0;
+                                let parent_ratio = if p_old > 0.0 { p_new / p_old } else { 1.0 };
+                                new / old < parent_ratio - 1e-6
+                            }
+                        }
+                    }
+                }
+            };
+            self.power.reduced[i] = reduced;
+        }
+    }
+
+    /// True if `leaf` may receive migrations: active, and neither it nor
+    /// any ancestor was flagged as budget-reduced (§IV-E final rule).
+    fn target_eligible(&self, leaf: NodeId) -> bool {
+        let Some(si) = self.leaf_server[leaf.index()] else {
+            return false;
+        };
+        if !self.servers[si].active {
+            return false;
+        }
+        if self.power.reduced[leaf.index()] {
+            return false;
+        }
+        !self
+            .tree
+            .ancestors(leaf)
+            .any(|a| self.power.reduced[a.index()])
+    }
+
+    /// Remaining surplus a target server can absorb (margin already
+    /// deducted).
+    fn bin_capacity(&self, leaf: NodeId) -> Watts {
+        (self.power.tp[leaf.index()] - self.power.cp[leaf.index()] - self.config.margin)
+            .non_negative()
+    }
+
+    /// Bottom-up demand-side adaptation: local packing first, leftovers up.
+    fn demand_adaptation(&mut self, tick: u64) -> Vec<MigrationRecord> {
+        let mut records = Vec::new();
+
+        // Collect deficit items at the leaves.
+        let mut pending = self.collect_deficit_items();
+        if pending.is_empty() {
+            return records;
+        }
+
+        // Process levels bottom-up; at each level, each PMU node packs the
+        // pending items originating in its subtree into surpluses in its
+        // subtree (excluding the origin's child-subtree, already tried).
+        for level in 1..=self.tree.height() {
+            if pending.is_empty() {
+                break;
+            }
+            let nodes: Vec<NodeId> = self.tree.nodes_at_level(level).to_vec();
+            let mut still_pending = Vec::new();
+            for pmu in nodes {
+                let scope = self.tree.subtree_leaves(pmu);
+                // Items whose origin server lies under this PMU.
+                let (mine, other): (Vec<DeficitItem>, Vec<DeficitItem>) =
+                    std::mem::take(&mut pending).into_iter().partition(|item| {
+                        scope.binary_search(&self.servers[item.server].node).is_ok()
+                    });
+                pending = other;
+                if mine.is_empty() {
+                    continue;
+                }
+                // Group items by the child of `pmu` containing their origin
+                // (that child's subtree was already tried at level-1).
+                let mut groups: HashMap<NodeId, Vec<DeficitItem>> = HashMap::new();
+                for item in mine {
+                    let child = self.child_containing(pmu, self.servers[item.server].node);
+                    groups.entry(child).or_default().push(item);
+                }
+                let mut group_keys: Vec<NodeId> = groups.keys().copied().collect();
+                group_keys.sort_unstable();
+                for child in group_keys {
+                    let items = groups.remove(&child).expect("key exists");
+                    let excluded = self.tree.subtree_leaves(child);
+                    let leftovers =
+                        self.pack_and_execute(&scope, &excluded, items, tick, &mut records);
+                    still_pending.extend(leftovers);
+                }
+            }
+            pending = still_pending;
+        }
+        // Items left after the root instance stay on their servers; their
+        // demand above budget is shed in the physics phase.
+        records
+    }
+
+    /// Deficit items: for every active server over budget, pick the largest
+    /// apps until the remainder fits under `TP − margin` (cost-adjusted).
+    fn collect_deficit_items(&self) -> Vec<DeficitItem> {
+        let mut items = Vec::new();
+        let overhead = self.config.cost_model.node_overhead;
+        for (si, server) in self.servers.iter().enumerate() {
+            if !server.active {
+                continue;
+            }
+            let leaf = server.node.index();
+            let cp = self.power.cp[leaf];
+            let tp = self.power.tp[leaf];
+            let excess = (cp - tp + self.config.margin).non_negative();
+            if excess.0 <= 1e-9 {
+                continue;
+            }
+            // Shedding `shed` relieves `shed·(1 − overhead)` net of the
+            // temporary cost charged back to the source.
+            let target_shed = if overhead < 1.0 {
+                excess.0 / (1.0 - overhead)
+            } else {
+                excess.0
+            };
+            // Settled apps first (Property 4: a demand that migrated stays
+            // put for ≥ Δ_f whenever possible), then largest-first to
+            // minimize the number of migrations.
+            let mut order: Vec<usize> = (0..server.apps.len()).collect();
+            let tick = self.tick;
+            order.sort_by(|&a, &b| {
+                let recent = |i: usize| {
+                    self.last_move
+                        .get(&server.apps[i].id)
+                        .is_some_and(|&(_, t)| {
+                            tick.saturating_sub(t) < self.config.pingpong_window
+                        })
+                };
+                recent(a)
+                    .cmp(&recent(b)) // settled (false) before recent (true)
+                    .then(server.app_demand[b].0.total_cmp(&server.app_demand[a].0))
+                    .then(a.cmp(&b))
+            });
+            let mut shed = 0.0;
+            for idx in order {
+                if shed >= target_shed {
+                    break;
+                }
+                let demand = server.app_demand[idx];
+                if demand.0 <= 0.0 {
+                    continue;
+                }
+                shed += demand.0;
+                items.push(DeficitItem {
+                    server: si,
+                    app: server.apps[idx].id,
+                    demand,
+                    reason: MigrationReason::Demand,
+                });
+            }
+        }
+        items
+    }
+
+    /// The child of `pmu` whose subtree contains `leaf`.
+    fn child_containing(&self, pmu: NodeId, leaf: NodeId) -> NodeId {
+        if pmu == leaf {
+            return leaf;
+        }
+        let mut n = leaf;
+        loop {
+            match self.tree.parent(n) {
+                Some(p) if p == pmu => return n,
+                Some(p) => n = p,
+                None => unreachable!("leaf must lie under pmu"),
+            }
+        }
+    }
+
+    /// Pack `items` into eligible surpluses among `scope` leaves minus
+    /// `excluded` leaves; execute the migrations that fit; return leftovers.
+    fn pack_and_execute(
+        &mut self,
+        scope: &[NodeId],
+        excluded: &[NodeId],
+        items: Vec<DeficitItem>,
+        tick: u64,
+        records: &mut Vec<MigrationRecord>,
+    ) -> Vec<DeficitItem> {
+        let bins_nodes: Vec<NodeId> = scope
+            .iter()
+            .copied()
+            .filter(|leaf| excluded.binary_search(leaf).is_err())
+            .filter(|&leaf| self.target_eligible(leaf))
+            .collect();
+        if bins_nodes.is_empty() {
+            return items;
+        }
+        let bin_caps: Vec<f64> = bins_nodes.iter().map(|&l| self.bin_capacity(l).0).collect();
+        let sizes: Vec<f64> = items.iter().map(|it| self.effective_size(it.demand)).collect();
+        self.stats.packing_instances += 1;
+        self.stats.items_offered += sizes.len() as u64;
+        self.stats.bins_offered += bin_caps.len() as u64;
+        let packing = self.packer().pack(&sizes, &bin_caps);
+
+        let mut leftovers = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            match packing.assignment[i] {
+                Some(b) => {
+                    let target_leaf = bins_nodes[b];
+                    // Property 4 / ping-pong avoidance: never bounce an app
+                    // straight back to the host it recently left — defer it
+                    // to the next level (other bins) or shed it instead.
+                    if self.would_pingpong(item.app, target_leaf, tick) {
+                        leftovers.push(item);
+                    } else {
+                        self.execute_migration(item, target_leaf, tick, records);
+                    }
+                }
+                None => leftovers.push(item),
+            }
+        }
+        leftovers
+    }
+
+    /// True if placing `app` on `target` now would return it to the host it
+    /// left within the ping-pong window `Δ_f`.
+    fn would_pingpong(&self, app: AppId, target: NodeId, tick: u64) -> bool {
+        self.last_move.get(&app).is_some_and(|&(prev_from, t)| {
+            target == prev_from && tick.saturating_sub(t) < self.config.pingpong_window
+        })
+    }
+
+    /// Physically move an app, charge costs, record traffic and stats.
+    fn execute_migration(
+        &mut self,
+        item: DeficitItem,
+        target_leaf: NodeId,
+        tick: u64,
+        records: &mut Vec<MigrationRecord>,
+    ) {
+        let src_idx = item.server;
+        let tgt_idx = self.leaf_server[target_leaf.index()].expect("target is a server leaf");
+        debug_assert_ne!(src_idx, tgt_idx, "cannot migrate to self");
+        let src_leaf = self.servers[src_idx].node;
+
+        let app_pos = self.servers[src_idx]
+            .find_app(item.app)
+            .expect("item's app still hosted at source");
+        let (app, demand) = self.servers[src_idx].take_app(app_pos);
+        self.servers[tgt_idx].host_app(app, demand);
+
+        // Temporary cost demand on both ends (§IV-E), charged next period;
+        // non-local moves additionally pay the IP-reconfiguration charge.
+        let local = self.tree.are_siblings(src_leaf, target_leaf);
+        let cost = self.config.cost_model.end_node_cost(demand, local);
+        self.servers[src_idx].pending_cost += cost;
+        self.servers[tgt_idx].pending_cost += cost;
+
+        // Keep leaf CPs current so later packing sees updated surpluses.
+        self.power.cp[src_leaf.index()] =
+            (self.power.cp[src_leaf.index()] - demand).non_negative() + cost;
+        self.power.cp[target_leaf.index()] += demand + cost;
+
+        // Fabric accounting.
+        let units = self.config.cost_model.traffic_units(demand);
+        self.fabric
+            .record_migration(&self.tree, src_leaf, target_leaf, units);
+
+        let hops = self.tree.path_len(src_leaf, target_leaf) - 1; // switches on path
+        // Ping-pong: the app returns to the host it last left, within Δ_f.
+        let pingpong = self.last_move.get(&item.app).is_some_and(|&(prev_from, t)| {
+            target_leaf == prev_from && tick.saturating_sub(t) < self.config.pingpong_window
+        });
+        self.last_move.insert(item.app, (src_leaf, tick));
+
+        self.stats.migrations += 1;
+        records.push(MigrationRecord {
+            tick,
+            app: item.app,
+            from: src_leaf,
+            to: target_leaf,
+            moved: demand,
+            reason: item.reason,
+            local,
+            hops,
+            pingpong,
+        });
+    }
+
+    /// Consolidation (§IV-E end, §V-C5): below-threshold servers try to
+    /// empty themselves — local targets first — and sleep if they succeed.
+    fn consolidate(&mut self, tick: u64) -> (Vec<MigrationRecord>, Vec<NodeId>) {
+        let mut records = Vec::new();
+        let mut slept = Vec::new();
+        // Candidates ordered thermally constrained (lowest hard cap, i.e.
+        // hot zones) first, then emptiest first: the paper's Fig. 7 notes
+        // that Willow "tries to move as much work away from these [hot]
+        // servers as possible … hence they remain shut down for more time".
+        let mut candidates: Vec<usize> = (0..self.servers.len())
+            .filter(|&i| {
+                self.servers[i].active
+                    && self.servers[i].utilization() < self.config.consolidation_threshold
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let cap = |i: usize| self.power.cap[self.servers[i].node.index()].0;
+            cap(a)
+                .total_cmp(&cap(b))
+                .then(
+                    self.servers[a]
+                        .utilization()
+                        .total_cmp(&self.servers[b].utilization()),
+                )
+                .then(a.cmp(&b))
+        });
+
+        // Servers that receive consolidated load this round must not be
+        // evacuated in the same round — that would cascade apps through
+        // multiple hops in a single period.
+        let mut received: Vec<bool> = vec![false; self.servers.len()];
+        for si in candidates {
+            // Re-check: a candidate may have received load meanwhile.
+            if received[si]
+                || !self.servers[si].active
+                || self.servers[si].utilization() >= self.config.consolidation_threshold
+            {
+                continue;
+            }
+            let leaf = self.servers[si].node;
+            if self.servers[si].apps.is_empty() {
+                self.sleep_server(si, tick);
+                slept.push(leaf);
+                continue;
+            }
+            if let Some(migs) = self.plan_full_evacuation(si, tick) {
+                for (item, target) in migs {
+                    let tgt_idx =
+                        self.leaf_server[target.index()].expect("target is a server leaf");
+                    received[tgt_idx] = true;
+                    self.execute_migration(item, target, tick, &mut records);
+                }
+                debug_assert!(self.servers[si].apps.is_empty());
+                self.sleep_server(si, tick);
+                slept.push(leaf);
+            }
+        }
+        // Consolidation migrations are re-labeled with their reason.
+        for r in &mut records {
+            r.reason = MigrationReason::Consolidation;
+        }
+        (records, slept)
+    }
+
+    /// Try to place *all* apps of server `si` elsewhere (local bins first,
+    /// then anywhere eligible). Returns the migration plan or `None` if the
+    /// server cannot be fully evacuated.
+    fn plan_full_evacuation(
+        &mut self,
+        si: usize,
+        _tick: u64,
+    ) -> Option<Vec<(DeficitItem, NodeId)>> {
+        let leaf = self.servers[si].node;
+        let items: Vec<DeficitItem> = self.servers[si]
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| DeficitItem {
+                server: si,
+                app: app.id,
+                demand: self.servers[si].app_demand[i],
+                reason: MigrationReason::Consolidation,
+            })
+            .collect();
+        let sizes: Vec<f64> = items.iter().map(|it| self.effective_size(it.demand)).collect();
+
+        // Eligible bins: siblings first, then the rest of the data center.
+        // Within each class: coolest zone (largest hard cap) first so
+        // consolidated load lands where thermal headroom is, then
+        // most-utilized first so consolidation fills the fullest servers
+        // (the FFDLR "run every server at full utilization" rationale)
+        // instead of cascading load through near-idle ones.
+        let by_fill_desc = |nodes: &mut Vec<NodeId>| {
+            nodes.sort_by(|&a, &b| {
+                let cap = |n: NodeId| self.power.cap[n.index()].0;
+                let util = |n: NodeId| {
+                    self.leaf_server[n.index()].map_or(0.0, |i| self.servers[i].utilization())
+                };
+                cap(b)
+                    .total_cmp(&cap(a))
+                    .then(util(b).total_cmp(&util(a)))
+                    .then(a.cmp(&b))
+            });
+        };
+        let mut siblings: Vec<NodeId> = self
+            .tree
+            .siblings(leaf)
+            .filter(|&l| self.target_eligible(l))
+            .collect();
+        by_fill_desc(&mut siblings);
+        let mut rest: Vec<NodeId> = self
+            .tree
+            .leaves()
+            .filter(|&l| l != leaf && self.target_eligible(l))
+            .filter(|l| !siblings.contains(l))
+            .collect();
+        by_fill_desc(&mut rest);
+        let mut bins_nodes = siblings;
+        bins_nodes.extend(rest);
+        if bins_nodes.is_empty() {
+            return None;
+        }
+        // First-fit over the ordered bins keeps the locality preference;
+        // a full FFDLR over the union would not honor sibling priority.
+        let caps: Vec<f64> = bins_nodes.iter().map(|&l| self.bin_capacity(l).0).collect();
+        let mut free = caps;
+        let mut plan = Vec::with_capacity(items.len());
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
+        let tick = self.tick;
+        for i in order {
+            let placed = free.iter().enumerate().position(|(b, &f)| {
+                sizes[i] <= f + 1e-12 && !self.would_pingpong(items[i].app, bins_nodes[b], tick)
+            });
+            match placed {
+                Some(b) => {
+                    free[b] -= sizes[i];
+                    plan.push((items[i].clone(), bins_nodes[b]));
+                }
+                None => return None, // all-or-nothing evacuation
+            }
+        }
+        Some(plan)
+    }
+
+    fn sleep_server(&mut self, si: usize, tick: u64) {
+        let server = &mut self.servers[si];
+        server.active = false;
+        server.last_activity_change = tick;
+        server.smoother.reset();
+        self.power.cp[server.node.index()] = Watts::ZERO;
+    }
+
+    // ------------------------------------------------------------------
+    // Operator / failure-injection API
+    // ------------------------------------------------------------------
+
+    /// Change a server's ambient temperature mid-run — a cooling failure
+    /// (ambient rises) or repair (ambient falls). The next supply tick
+    /// recomputes the thermal cap from the new environment and the
+    /// demand-side machinery migrates workload accordingly.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn set_server_ambient(&mut self, server: usize, ambient: willow_thermal::units::Celsius) {
+        self.servers[server].thermal.set_ambient(ambient);
+    }
+
+    /// Drain a server for maintenance: try to evacuate every hosted app
+    /// (margins respected) and put it to sleep. Returns `true` on success;
+    /// on failure the server is left untouched and awake.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn drain_server(&mut self, server: usize) -> bool {
+        if !self.servers[server].active {
+            return true;
+        }
+        let tick = self.tick;
+        if self.servers[server].apps.is_empty() {
+            self.sleep_server(server, tick);
+            return true;
+        }
+        let Some(plan) = self.plan_full_evacuation(server, tick) else {
+            return false;
+        };
+        let mut records = Vec::new();
+        for (item, target) in plan {
+            self.execute_migration(item, target, tick, &mut records);
+        }
+        debug_assert!(self.servers[server].apps.is_empty());
+        self.sleep_server(server, tick);
+        true
+    }
+
+    /// Wake a sleeping server (after maintenance). No-op if already awake.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn force_wake(&mut self, server: usize) {
+        if !self.servers[server].active {
+            let tick = self.tick;
+            self.servers[server].active = true;
+            self.servers[server].last_activity_change = tick;
+        }
+    }
+
+    /// Wake sleeping servers (largest thermal headroom first) until their
+    /// combined ratings cover `needed`. Returns the woken leaves.
+    fn wake_servers(&mut self, needed: Watts, tick: u64) -> Vec<NodeId> {
+        let mut sleeping: Vec<usize> = (0..self.servers.len())
+            .filter(|&i| !self.servers[i].active)
+            .collect();
+        sleeping.sort_by(|&a, &b| {
+            self.servers[b]
+                .thermal
+                .rating()
+                .0
+                .total_cmp(&self.servers[a].thermal.rating().0)
+                .then(a.cmp(&b))
+        });
+        let mut woken = Vec::new();
+        let mut covered = Watts::ZERO;
+        for si in sleeping {
+            if covered >= needed {
+                break;
+            }
+            let server = &mut self.servers[si];
+            server.active = true;
+            server.last_activity_change = tick;
+            covered += server.thermal.rating();
+            woken.push(server.node);
+        }
+        woken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerConfig;
+    use willow_thermal::units::Celsius;
+    use willow_workload::app::{Application, SIM_APP_CLASSES};
+
+    /// Two pods of two servers each; app i on server i with ~`w` watts mean.
+    fn small_setup(apps_per_server: usize) -> (Tree, Vec<ServerSpec>, usize) {
+        let tree = Tree::uniform(&[2, 2]);
+        let mut next_id = 0u32;
+        let specs: Vec<ServerSpec> = tree
+            .leaves()
+            .map(|leaf| {
+                let apps: Vec<Application> = (0..apps_per_server)
+                    .map(|_| {
+                        let a = Application::new(AppId(next_id), 0, &SIM_APP_CLASSES[0]);
+                        next_id += 1;
+                        a
+                    })
+                    .collect();
+                ServerSpec::simulation_default(leaf).with_apps(apps)
+            })
+            .collect();
+        (tree, specs, next_id as usize)
+    }
+
+    fn demands(n: usize, w: f64) -> Vec<Watts> {
+        vec![Watts(w); n]
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let (tree, specs, _) = small_setup(1);
+        assert!(Willow::new(tree.clone(), specs.clone(), ControllerConfig::default()).is_ok());
+        // Too few specs.
+        let err = Willow::new(tree.clone(), specs[..2].to_vec(), ControllerConfig::default());
+        assert!(matches!(err, Err(WillowError::LeafCoverage { .. })));
+        // Duplicate leaf.
+        let mut dup = specs.clone();
+        dup[1].node = dup[0].node;
+        assert!(matches!(
+            Willow::new(tree.clone(), dup, ControllerConfig::default()),
+            Err(WillowError::DuplicateLeaf(_))
+        ));
+        // Duplicate app id.
+        let mut dup_app = specs.clone();
+        let a = dup_app[0].apps[0].clone();
+        dup_app[1].apps = vec![a];
+        assert!(matches!(
+            Willow::new(tree.clone(), dup_app, ControllerConfig::default()),
+            Err(WillowError::DuplicateApp(_))
+        ));
+        // Non-leaf spec.
+        let mut non_leaf = specs;
+        non_leaf[0].node = tree.root();
+        assert!(matches!(
+            Willow::new(tree, non_leaf, ControllerConfig::default()),
+            Err(WillowError::NotALeaf(_))
+        ));
+    }
+
+    #[test]
+    fn ample_supply_no_migrations_no_drops() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        for _ in 0..20 {
+            let r = w.step(&demands(n_apps, 10.0), Watts(10_000.0));
+            assert_eq!(r.dropped_demand, Watts(0.0));
+            assert_eq!(
+                r.migrations_by_reason(MigrationReason::Demand),
+                0,
+                "no deficit ⇒ no demand-driven migrations"
+            );
+            assert_eq!(r.pingpongs(), 0);
+        }
+    }
+
+    #[test]
+    fn budgets_allocated_proportionally_to_demand() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        // Unequal demands; ample supply: each server's budget ≥ demand.
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(40.0);
+        let r = w.step(&d, Watts(10_000.0));
+        assert!(r.server_budget[0] >= Watts(40.0));
+        for i in 1..4 {
+            assert!(r.server_budget[i] >= Watts(10.0));
+        }
+    }
+
+    #[test]
+    fn supply_plunge_triggers_migration_under_equal_share() {
+        // The testbed scenario (§V-C4): equal-share budgets, a supply
+        // plunge leaves the loaded server deficient while idle servers keep
+        // surplus ⇒ demand-driven migration.
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1; // supply adaptation every tick
+        cfg.eta2 = 2;
+        cfg.consolidation_threshold = 0.0; // isolate demand-driven behaviour
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        // Server 0 hosts apps 0, 1 at 60 W each; everyone else idles at 10 W.
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let r = w.step(&d, Watts(800.0)); // 200 W each: no deficit
+        assert_eq!(r.migrations_by_reason(MigrationReason::Demand), 0);
+        // Plunge: 100 W each. Server 0 (demand 120) is deficient; siblings
+        // (demand 20) have surplus 75 ≥ app's effective 63.
+        let r = w.step(&d, Watts(400.0));
+        let demand_migs: Vec<_> = r
+            .migrations
+            .iter()
+            .filter(|m| m.reason == MigrationReason::Demand)
+            .collect();
+        assert!(!demand_migs.is_empty(), "plunge must trigger migration");
+        assert!(
+            demand_migs.iter().all(|m| m.from == w.servers()[0].node),
+            "migrations must come off the loaded server"
+        );
+    }
+
+    #[test]
+    fn migrations_prefer_siblings() {
+        // Server 0 in deficit; both its sibling (server 1) and the other pod
+        // have surplus ⇒ the migration must use the sibling (local).
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 2;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        let r = w.step(&d, Watts(400.0));
+        let demand_migs: Vec<_> = r
+            .migrations
+            .iter()
+            .filter(|m| m.reason == MigrationReason::Demand)
+            .collect();
+        assert!(!demand_migs.is_empty());
+        assert!(
+            demand_migs.iter().all(|m| m.local),
+            "sibling surplus must be preferred: {demand_migs:?}"
+        );
+    }
+
+    #[test]
+    fn demand_dropped_when_no_surplus_anywhere() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut cfg = ControllerConfig::default();
+        cfg.wake_on_deficit = false;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        // Demand far beyond the total supply.
+        let d = demands(n_apps, 200.0);
+        let mut r = TickReport::default();
+        for _ in 0..5 {
+            r = w.step(&d, Watts(100.0));
+        }
+        assert!(r.dropped_demand.0 > 0.0, "undersupply must shed demand");
+    }
+
+    #[test]
+    fn consolidation_empties_idle_server_and_sleeps_it() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut cfg = ControllerConfig::default();
+        cfg.consolidation_threshold = 0.2; // 90 W on a 450 W server
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        // All servers lightly loaded; ample supply.
+        let d = demands(n_apps, 20.0);
+        let mut slept_any = false;
+        let mut consolidation_migs = 0;
+        for _ in 0..15 {
+            let r = w.step(&d, Watts(10_000.0));
+            slept_any |= !r.slept.is_empty();
+            consolidation_migs += r.migrations_by_reason(MigrationReason::Consolidation);
+        }
+        assert!(slept_any, "idle servers must be consolidated away");
+        assert!(consolidation_migs > 0);
+        let active = w.servers().iter().filter(|s| s.active).count();
+        assert!(active < 4, "at least one server must sleep");
+        // All apps still hosted somewhere.
+        let hosted: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(hosted, n_apps);
+    }
+
+    #[test]
+    fn sleeping_servers_draw_no_power() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let d = demands(n_apps, 10.0);
+        let mut last = None;
+        for _ in 0..20 {
+            last = Some(w.step(&d, Watts(10_000.0)));
+        }
+        let r = last.unwrap();
+        for (i, active) in r.server_active.iter().enumerate() {
+            if !active {
+                assert_eq!(r.server_power[i], Watts(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn wake_on_deficit_restores_capacity() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut cfg = ControllerConfig::default();
+        cfg.consolidation_threshold = 0.2;
+        cfg.wake_on_deficit = true;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        // Phase 1: idle ⇒ consolidation puts servers to sleep.
+        let low = demands(n_apps, 15.0);
+        for _ in 0..15 {
+            let _ = w.step(&low, Watts(10_000.0));
+        }
+        let active_before = w.servers().iter().filter(|s| s.active).count();
+        assert!(active_before < 4);
+        // Phase 2: demand surges beyond what awake servers can host.
+        let high = demands(n_apps, 400.0);
+        let mut woke = false;
+        for _ in 0..20 {
+            let r = w.step(&high, Watts(10_000.0));
+            woke |= !r.woken.is_empty();
+        }
+        assert!(woke, "dropped demand must wake sleeping servers");
+        let active_after = w.servers().iter().filter(|s| s.active).count();
+        assert!(active_after > active_before);
+    }
+
+    #[test]
+    fn thermal_cap_limits_hot_server_and_workload_flees_hot_zone() {
+        // Server 0 sits in a hot zone: once it heats up, its thermal cap —
+        // and hence its budget — must fall well below its rating, its
+        // temperature must never cross the limit, and Willow must migrate
+        // its workload toward the cool zone (the Fig. 5/7 behaviour).
+        let (tree, mut specs, n_apps) = small_setup(1);
+        specs[0].ambient = Celsius(45.0);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(400.0);
+        let mut min_loaded_budget = f64::INFINITY;
+        for _ in 0..50 {
+            let r = w.step(&d, Watts(10_000.0));
+            assert!(
+                r.server_temp[0] <= Celsius(70.0 + 1e-6),
+                "thermal limit violated: {}",
+                r.server_temp[0]
+            );
+            if r.server_active[0] && r.server_power[0].0 > 100.0 {
+                min_loaded_budget = min_loaded_budget.min(r.server_budget[0].0);
+            }
+        }
+        assert!(
+            min_loaded_budget < 450.0 * 0.8,
+            "hot loaded server budget {min_loaded_budget} should fall well below rating"
+        );
+        // The heavy app must have left the hot zone.
+        let host = w.locate_app(AppId(0)).expect("app still hosted");
+        assert_ne!(host, 0, "workload must migrate out of the hot zone");
+    }
+
+    #[test]
+    fn thermal_limit_never_violated() {
+        let (tree, mut specs, n_apps) = small_setup(2);
+        for s in &mut specs[2..] {
+            s.ambient = Celsius(40.0);
+        }
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let d = demands(n_apps, 120.0);
+        for _ in 0..100 {
+            let r = w.step(&d, Watts(1_200.0));
+            for (i, t) in r.server_temp.iter().enumerate() {
+                assert!(
+                    t.0 <= 70.0 + 1e-6,
+                    "server {i} exceeded thermal limit: {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property3_message_bound() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let links = tree.len() - 1;
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        for _ in 0..10 {
+            let r = w.step(&demands(n_apps, 10.0), Watts(10_000.0));
+            assert!(
+                r.control_messages <= 2 * links,
+                "Property 3: ≤ 2 messages per link per Δ_D"
+            );
+        }
+    }
+
+    #[test]
+    fn no_pingpong_under_stable_demand() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let mut d = demands(n_apps, 30.0);
+        d[0] = Watts(80.0);
+        d[1] = Watts(80.0);
+        let mut total_pingpongs = 0;
+        for _ in 0..60 {
+            let r = w.step(&d, Watts(500.0));
+            total_pingpongs += r.pingpongs();
+        }
+        assert_eq!(total_pingpongs, 0, "stable demand must not ping-pong");
+    }
+
+    #[test]
+    fn apps_conserved_across_arbitrary_churn() {
+        let (tree, specs, n_apps) = small_setup(3);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        // Deterministic wavy demand + supply.
+        for t in 0..120u64 {
+            let d: Vec<Watts> = (0..n_apps)
+                .map(|i| Watts(20.0 + 15.0 * (((t as usize + i) % 7) as f64)))
+                .collect();
+            let supply = Watts(600.0 + 300.0 * ((t % 11) as f64 / 10.0));
+            let _ = w.step(&d, supply);
+            let hosted: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+            assert_eq!(hosted, n_apps, "apps must never be lost or duplicated");
+            // Demand alignment invariant.
+            for s in w.servers() {
+                assert_eq!(s.apps.len(), s.app_demand.len());
+            }
+        }
+    }
+
+    #[test]
+    fn strict_reduced_rule_blocks_targets_on_global_dip() {
+        // Identical scenario to `supply_plunge_triggers_migration_under_
+        // equal_share`, but under the literal reading of the §IV-E rule a
+        // global dip reduces every budget, so no target is eligible and no
+        // migration may happen — the inconsistency DESIGN.md documents.
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.reduced_rule = ReducedTargetRule::Strict;
+        cfg.eta1 = 1;
+        cfg.eta2 = 2;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        let r = w.step(&d, Watts(400.0));
+        assert_eq!(
+            r.migrations_by_reason(MigrationReason::Demand),
+            0,
+            "strict rule forbids all targets after a global reduction"
+        );
+    }
+
+    #[test]
+    fn shedding_respects_priorities_end_to_end() {
+        use willow_workload::app::Priority;
+        // One server pod, two apps per server: app even = Low, odd = High.
+        let tree = Tree::uniform(&[2, 2]);
+        let mut id = 0u32;
+        let specs: Vec<ServerSpec> = tree
+            .leaves()
+            .map(|leaf| {
+                let apps: Vec<_> = (0..2)
+                    .map(|_| {
+                        let prio = if id.is_multiple_of(2) { Priority::Low } else { Priority::High };
+                        let a = Application::new(AppId(id), 0, &SIM_APP_CLASSES[0])
+                            .with_priority(prio);
+                        id += 1;
+                        a
+                    })
+                    .collect();
+                ServerSpec::simulation_default(leaf).with_apps(apps)
+            })
+            .collect();
+        let mut cfg = ControllerConfig::default();
+        cfg.wake_on_deficit = false;
+        cfg.consolidation_threshold = 0.0;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        // Demand far above supply: shedding is unavoidable everywhere.
+        let d = demands(id as usize, 150.0);
+        let mut low = 0.0;
+        let mut high = 0.0;
+        for _ in 0..10 {
+            let r = w.step(&d, Watts(800.0));
+            low += r.shed_by_priority[Priority::Low.index()].0;
+            high += r.shed_by_priority[Priority::High.index()].0;
+        }
+        assert!(low > 0.0, "undersupply must shed low-priority demand");
+        assert!(
+            high < low,
+            "high-priority demand ({high}) must shed less than low ({low})"
+        );
+    }
+
+    #[test]
+    fn naive_throttle_ablation_overshoots_where_willow_does_not() {
+        use crate::config::ThermalEstimate;
+        // Hot-zone server driven hard: the naive reactive throttle lets the
+        // temperature cross the limit between supply ticks; Willow's
+        // window-prediction cap (tested elsewhere) never does.
+        let (tree, mut specs, n_apps) = small_setup(1);
+        for s in &mut specs {
+            s.ambient = Celsius(45.0);
+        }
+        let mut cfg = ControllerConfig::default();
+        cfg.thermal_estimate = ThermalEstimate::NaiveThrottle;
+        cfg.consolidation_threshold = 0.0;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let d = demands(n_apps, 400.0);
+        let mut max_temp = f64::MIN;
+        for _ in 0..100 {
+            let r = w.step(&d, Watts(10_000.0));
+            max_temp = max_temp.max(r.server_temp.iter().map(|t| t.0).fold(f64::MIN, f64::max));
+        }
+        assert!(
+            max_temp > 70.0,
+            "naive throttling should overshoot the limit, peaked at {max_temp}"
+        );
+    }
+
+    #[test]
+    fn locate_app_finds_hosts() {
+        let (tree, specs, _) = small_setup(1);
+        let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        assert_eq!(w.locate_app(AppId(0)), Some(0));
+        assert_eq!(w.locate_app(AppId(3)), Some(3));
+        assert_eq!(w.locate_app(AppId(99)), None);
+    }
+}

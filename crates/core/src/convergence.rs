@@ -1,0 +1,110 @@
+//! δ-convergence analysis (paper §V-A1).
+//!
+//! Willow's updates propagate one way per kind — demand reports leaf→root,
+//! budget directives root→leaf — so an update made at time `t` is visible
+//! everywhere by `t + δ` with `δ ≤ h·α`, where `h` is the number of levels
+//! and `α` the per-level update-processing latency. The paper argues that
+//! choosing `Δ_D ≥ 10·h·α` "would avoid instabilities in decision making",
+//! and that with `h ≤ 5` and `α` of a few tens of milliseconds, `δ ≤ 50 ms`
+//! and any `Δ_D > 500 ms` is safe.
+//!
+//! This module computes those quantities for a concrete topology so
+//! deployments can validate their control periods, and the simulator's
+//! tests check the arithmetic against the paper's worked example.
+
+use serde::{Deserialize, Serialize};
+use willow_thermal::units::Seconds;
+use willow_topology::Tree;
+
+/// The §V-A1 convergence analysis for one topology and per-level latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceAnalysis {
+    /// Number of levels an update crosses (the tree height).
+    pub levels: u8,
+    /// Assumed per-level update propagation latency `α`.
+    pub alpha: Seconds,
+    /// The convergence bound `δ = h·α`: every site perceives an update
+    /// within this time.
+    pub delta: Seconds,
+    /// The paper's safety margin: the smallest `Δ_D` that keeps decisions
+    /// stable (`10·δ`).
+    pub recommended_delta_d: Seconds,
+}
+
+impl ConvergenceAnalysis {
+    /// Analyze a topology under a per-level latency `α`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not positive.
+    #[must_use]
+    pub fn for_tree(tree: &Tree, alpha: Seconds) -> Self {
+        assert!(alpha.is_positive(), "per-level latency must be positive");
+        let levels = tree.height();
+        let delta = alpha * f64::from(levels);
+        ConvergenceAnalysis {
+            levels,
+            alpha,
+            delta,
+            recommended_delta_d: delta * 10.0,
+        }
+    }
+
+    /// True if a chosen demand period keeps the 10× stability margin.
+    #[must_use]
+    pub fn is_safe(&self, delta_d: Seconds) -> bool {
+        delta_d >= self.recommended_delta_d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // "Even in a very large data center, the number of levels in the
+        // hierarchy is unlikely to be more than 4 or 5, and update at each
+        // level can be done in a few tens of milliseconds. Therefore
+        // δ ≤ 50 ms, and a Δ_D value exceeding 500 ms should be safe."
+        let tree = willow_topology::Tree::uniform(&[2, 4, 4, 4, 4]); // 5 levels
+        let analysis = ConvergenceAnalysis::for_tree(&tree, Seconds(0.010));
+        assert_eq!(analysis.levels, 5);
+        assert!((analysis.delta.0 - 0.050).abs() < 1e-12);
+        assert!((analysis.recommended_delta_d.0 - 0.500).abs() < 1e-12);
+        assert!(analysis.is_safe(Seconds(0.6)));
+        assert!(!analysis.is_safe(Seconds(0.4)));
+    }
+
+    #[test]
+    fn fig3_topology_analysis() {
+        let tree = willow_topology::Tree::paper_fig3();
+        let analysis = ConvergenceAnalysis::for_tree(&tree, Seconds(0.020));
+        assert_eq!(analysis.levels, 3);
+        assert!((analysis.delta.0 - 0.060).abs() < 1e-12);
+        // The default 1 s Δ_D is comfortably safe.
+        assert!(analysis.is_safe(crate::config::ControllerConfig::default().delta_d));
+    }
+
+    #[test]
+    fn delta_grows_with_height() {
+        let shallow = ConvergenceAnalysis::for_tree(
+            &willow_topology::Tree::uniform(&[4]),
+            Seconds(0.01),
+        );
+        let deep = ConvergenceAnalysis::for_tree(
+            &willow_topology::Tree::uniform(&[2, 2, 2, 2]),
+            Seconds(0.01),
+        );
+        assert!(deep.delta > shallow.delta);
+        assert!(deep.recommended_delta_d > shallow.recommended_delta_d);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_alpha_rejected() {
+        let _ = ConvergenceAnalysis::for_tree(
+            &willow_topology::Tree::paper_fig3(),
+            Seconds(0.0),
+        );
+    }
+}

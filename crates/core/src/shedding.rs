@@ -1,0 +1,197 @@
+//! Priority-aware demand shedding (paper §I / §VI).
+//!
+//! When a node's demand exceeds its budget and no migration target exists,
+//! "some of the applications that are hosted in the node are either shut
+//! down completely or run in a degraded operational mode to stay within
+//! the power budget" (§IV-E). The paper defers multiple QoS classes to
+//! future work; this module implements the natural policy: shortfall is
+//! absorbed by the lowest priority class first, spread proportionally to
+//! demand *within* a class (every low-priority app degrades a little
+//! before any normal-priority app degrades at all).
+
+use willow_thermal::units::Watts;
+use willow_workload::app::{Application, Priority};
+
+/// Outcome of shedding a shortfall across one server's applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedPlan {
+    /// Power shed from each priority class (indexed by
+    /// [`Priority::index`]: Low, Normal, High).
+    pub by_class: [Watts; 3],
+    /// Power actually served to each application after shedding, aligned
+    /// with the input order.
+    pub served: Vec<Watts>,
+    /// Shortfall that could not be attributed to any application (e.g. the
+    /// budget does not even cover the server's non-migratable base load).
+    pub unattributed: Watts,
+}
+
+impl ShedPlan {
+    /// Total power shed across all classes.
+    #[must_use]
+    pub fn total_shed(&self) -> Watts {
+        self.by_class.iter().copied().sum()
+    }
+}
+
+/// Absorb `shortfall` watts by degrading applications, lowest priority
+/// class first, proportionally within a class.
+///
+/// `apps` and `demands` must be aligned.
+///
+/// # Panics
+/// Panics (debug) if the slices disagree in length or the shortfall is
+/// negative.
+#[must_use]
+pub fn shed_by_priority(apps: &[Application], demands: &[Watts], shortfall: Watts) -> ShedPlan {
+    debug_assert_eq!(apps.len(), demands.len());
+    debug_assert!(shortfall.0 >= -1e-9, "shortfall must be non-negative");
+    let mut plan = ShedPlan {
+        by_class: [Watts::ZERO; 3],
+        served: demands.to_vec(),
+        unattributed: Watts::ZERO,
+    };
+    let mut remaining = shortfall.non_negative();
+    for class in Priority::ALL {
+        if remaining.0 <= 1e-12 {
+            break;
+        }
+        let members: Vec<usize> = (0..apps.len())
+            .filter(|&i| apps[i].priority == class && demands[i].0 > 0.0)
+            .collect();
+        let class_total: Watts = members.iter().map(|&i| demands[i]).sum();
+        if class_total.0 <= 0.0 {
+            continue;
+        }
+        let class_shed = remaining.min(class_total);
+        let fraction = class_shed / class_total;
+        for &i in &members {
+            plan.served[i] = demands[i] * (1.0 - fraction);
+        }
+        plan.by_class[class.index()] = class_shed;
+        remaining -= class_shed;
+    }
+    plan.unattributed = remaining;
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willow_workload::app::{AppClass, AppId};
+
+    fn app(id: u32, priority: Priority) -> Application {
+        let class = AppClass {
+            name: "t",
+            mean_power: Watts(100.0),
+        };
+        Application::new(AppId(id), 0, &class).with_priority(priority)
+    }
+
+    #[test]
+    fn zero_shortfall_sheds_nothing() {
+        let apps = vec![app(0, Priority::Low), app(1, Priority::High)];
+        let demands = vec![Watts(30.0), Watts(40.0)];
+        let plan = shed_by_priority(&apps, &demands, Watts::ZERO);
+        assert_eq!(plan.total_shed(), Watts::ZERO);
+        assert_eq!(plan.served, demands);
+        assert_eq!(plan.unattributed, Watts::ZERO);
+    }
+
+    #[test]
+    fn low_class_absorbs_first() {
+        let apps = vec![
+            app(0, Priority::Low),
+            app(1, Priority::Normal),
+            app(2, Priority::High),
+        ];
+        let demands = vec![Watts(20.0), Watts(30.0), Watts(40.0)];
+        // Shortfall smaller than the Low tier: only Low degrades.
+        let plan = shed_by_priority(&apps, &demands, Watts(15.0));
+        assert!((plan.by_class[0].0 - 15.0).abs() < 1e-9);
+        assert_eq!(plan.by_class[1], Watts::ZERO);
+        assert_eq!(plan.by_class[2], Watts::ZERO);
+        assert!((plan.served[0].0 - 5.0).abs() < 1e-9);
+        assert_eq!(plan.served[1], Watts(30.0));
+        assert_eq!(plan.served[2], Watts(40.0));
+    }
+
+    #[test]
+    fn overflow_cascades_to_next_class() {
+        let apps = vec![
+            app(0, Priority::Low),
+            app(1, Priority::Normal),
+            app(2, Priority::High),
+        ];
+        let demands = vec![Watts(20.0), Watts(30.0), Watts(40.0)];
+        // 20 (all of Low) + 10 of Normal.
+        let plan = shed_by_priority(&apps, &demands, Watts(30.0));
+        assert!((plan.by_class[0].0 - 20.0).abs() < 1e-9);
+        assert!((plan.by_class[1].0 - 10.0).abs() < 1e-9);
+        assert_eq!(plan.by_class[2], Watts::ZERO);
+        assert_eq!(plan.served[0], Watts(0.0));
+        assert!((plan.served[1].0 - 20.0).abs() < 1e-9);
+        assert_eq!(plan.served[2], Watts(40.0));
+    }
+
+    #[test]
+    fn proportional_within_class() {
+        let apps = vec![app(0, Priority::Low), app(1, Priority::Low)];
+        let demands = vec![Watts(10.0), Watts(30.0)];
+        let plan = shed_by_priority(&apps, &demands, Watts(20.0));
+        // Half the class total is shed ⇒ each app degrades 50 %.
+        assert!((plan.served[0].0 - 5.0).abs() < 1e-9);
+        assert!((plan.served[1].0 - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_class_is_last_resort() {
+        let apps = vec![app(0, Priority::High)];
+        let demands = vec![Watts(50.0)];
+        let plan = shed_by_priority(&apps, &demands, Watts(20.0));
+        assert!((plan.by_class[2].0 - 20.0).abs() < 1e-9);
+        assert!((plan.served[0].0 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unattributed_shortfall_is_reported() {
+        let apps = vec![app(0, Priority::Low)];
+        let demands = vec![Watts(10.0)];
+        // Shortfall exceeds everything sheddable (e.g. base load exceeds
+        // the budget): the excess is unattributed, not silently lost.
+        let plan = shed_by_priority(&apps, &demands, Watts(25.0));
+        assert!((plan.by_class[0].0 - 10.0).abs() < 1e-9);
+        assert!((plan.unattributed.0 - 15.0).abs() < 1e-9);
+        assert_eq!(plan.served[0], Watts(0.0));
+    }
+
+    #[test]
+    fn conservation() {
+        let apps = vec![
+            app(0, Priority::Low),
+            app(1, Priority::Normal),
+            app(2, Priority::Normal),
+            app(3, Priority::High),
+        ];
+        let demands = vec![Watts(5.0), Watts(25.0), Watts(15.0), Watts(55.0)];
+        for shortfall in [0.0, 3.0, 20.0, 60.0, 100.0, 200.0] {
+            let plan = shed_by_priority(&apps, &demands, Watts(shortfall));
+            let served: f64 = plan.served.iter().map(|w| w.0).sum();
+            let total: f64 = demands.iter().map(|w| w.0).sum();
+            let accounted = served + plan.total_shed().0;
+            assert!(
+                (accounted - total).abs() < 1e-9,
+                "shortfall {shortfall}: served {served} + shed {} ≠ {total}",
+                plan.total_shed()
+            );
+            assert!(plan.served.iter().all(|w| w.0 >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn empty_apps_everything_unattributed() {
+        let plan = shed_by_priority(&[], &[], Watts(40.0));
+        assert_eq!(plan.unattributed, Watts(40.0));
+        assert_eq!(plan.total_shed(), Watts::ZERO);
+    }
+}

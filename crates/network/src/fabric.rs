@@ -1,0 +1,333 @@
+//! Per-epoch traffic accounting over the switch tree (paper Fig. 8).
+//!
+//! The switch hierarchy is congruent to the power-control hierarchy: every
+//! *interior* node of the PMU tree carries a switch (level-1 switches sit
+//! with the servers, level-2 above them, …). Query traffic for a server
+//! enters at the root and traverses every switch down to the server's
+//! level-1 switch; migration traffic traverses the switches on the
+//! source→LCA→target path. "In the presence of redundant paths with two
+//! switches, the load is balanced evenly between the switches" — modelled
+//! as a per-node redundancy divisor.
+
+use serde::{Deserialize, Serialize};
+use willow_topology::{NodeId, Tree};
+
+/// Classes of traffic tracked separately so the experiments can report
+/// query load, migration load (Fig. 10) and migration cost (Fig. 12)
+/// independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// User-query traffic serving the applications (indirect impact).
+    Query,
+    /// VM-state transfer during migrations (direct impact).
+    Migration,
+}
+
+/// Per-epoch traffic counters for every switch in the fabric.
+///
+/// Counters are indexed by the PMU-tree [`NodeId`] of the interior node the
+/// switch is attached to. Leaf nodes carry no switch; recording traffic
+/// "at" a leaf attributes it to the leaf's ancestors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// `query[i]` — query traffic through the switch at arena index `i`.
+    query: Vec<f64>,
+    /// `migration[i]` — migration traffic through that switch.
+    migration: Vec<f64>,
+    /// Highest combined per-epoch traffic ever seen at each switch
+    /// (survives [`Fabric::reset_epoch`]) — capacity-planning signal.
+    peak: Vec<f64>,
+    /// Redundant-path divisor per node (≥ 1): traffic recorded at a node is
+    /// divided by this, modelling even balancing across parallel switches.
+    redundancy: Vec<f64>,
+    n_nodes: usize,
+}
+
+impl Fabric {
+    /// Build a fabric for `tree` with no redundancy (one switch per
+    /// interior node).
+    #[must_use]
+    pub fn new(tree: &Tree) -> Self {
+        Fabric::with_redundancy(tree, 1)
+    }
+
+    /// Build a fabric where every interior node has `paths` parallel
+    /// switches sharing load evenly.
+    ///
+    /// # Panics
+    /// Panics if `paths == 0`.
+    #[must_use]
+    pub fn with_redundancy(tree: &Tree, paths: usize) -> Self {
+        assert!(paths > 0, "need at least one path");
+        let n = tree.len();
+        Fabric {
+            query: vec![0.0; n],
+            migration: vec![0.0; n],
+            peak: vec![0.0; n],
+            redundancy: vec![paths as f64; n],
+            n_nodes: n,
+        }
+    }
+
+    /// Build a fabric with a *per-level* redundancy profile: `levels[l]`
+    /// parallel switches at tree level `l`. Data centers typically deploy
+    /// more path redundancy toward the core (Fig. 8's higher levels) than
+    /// at the access layer; levels beyond the slice default to 1.
+    ///
+    /// # Panics
+    /// Panics if any entry is zero.
+    #[must_use]
+    pub fn with_level_redundancy(tree: &Tree, levels: &[usize]) -> Self {
+        assert!(levels.iter().all(|&p| p > 0), "need at least one path per level");
+        let n = tree.len();
+        let mut redundancy = vec![1.0; n];
+        for id in tree.ids() {
+            let l = tree.level(id) as usize;
+            redundancy[id.index()] = *levels.get(l).unwrap_or(&1) as f64;
+        }
+        Fabric {
+            query: vec![0.0; n],
+            migration: vec![0.0; n],
+            peak: vec![0.0; n],
+            redundancy,
+            n_nodes: n,
+        }
+    }
+
+    /// Zero the per-epoch counters, folding the closing epoch's combined
+    /// traffic into the all-time peaks.
+    pub fn reset_epoch(&mut self) {
+        for i in 0..self.n_nodes {
+            let total = self.query[i] + self.migration[i];
+            if total > self.peak[i] {
+                self.peak[i] = total;
+            }
+            self.query[i] = 0.0;
+            self.migration[i] = 0.0;
+        }
+    }
+
+    /// Highest combined per-epoch traffic ever observed at `node`
+    /// (including the current, unfinished epoch).
+    #[must_use]
+    pub fn peak_traffic(&self, node: NodeId) -> f64 {
+        self.peak[node.index()].max(self.total_traffic(node))
+    }
+
+    /// Record `units` of query traffic destined to `server`: it traverses
+    /// every switch on the root→server path (all ancestors of the leaf).
+    pub fn record_query(&mut self, tree: &Tree, server: NodeId, units: f64) {
+        debug_assert!(units >= 0.0);
+        for anc in tree.ancestors(server) {
+            self.query[anc.index()] += units / self.redundancy[anc.index()];
+        }
+    }
+
+    /// Record `units` of migration traffic from `from` to `to`: it
+    /// traverses the switches at every interior node on the tree path
+    /// between them (up to and including the LCA, and down again).
+    pub fn record_migration(&mut self, tree: &Tree, from: NodeId, to: NodeId, units: f64) {
+        debug_assert!(units >= 0.0);
+        if from == to {
+            return;
+        }
+        let lca = tree.lca(from, to);
+        let mut climb = |start: NodeId, include_lca: bool| {
+            let mut n = start;
+            while n != lca {
+                n = tree.parent(n).expect("lca is an ancestor");
+                if n != lca || include_lca {
+                    self.migration[n.index()] += units / self.redundancy[n.index()];
+                }
+            }
+        };
+        climb(from, true); // LCA switch counted once
+        climb(to, false);
+    }
+
+    /// Query traffic through the switch at `node` this epoch.
+    #[must_use]
+    pub fn query_traffic(&self, node: NodeId) -> f64 {
+        self.query[node.index()]
+    }
+
+    /// Migration traffic through the switch at `node` this epoch.
+    #[must_use]
+    pub fn migration_traffic(&self, node: NodeId) -> f64 {
+        self.migration[node.index()]
+    }
+
+    /// Combined traffic through the switch at `node` this epoch.
+    #[must_use]
+    pub fn total_traffic(&self, node: NodeId) -> f64 {
+        self.query[node.index()] + self.migration[node.index()]
+    }
+
+    /// Sum of a traffic kind across a set of switches (e.g. all level-1
+    /// switches for Figs. 10–12).
+    #[must_use]
+    pub fn sum_traffic(&self, nodes: &[NodeId], kind: TrafficKind) -> f64 {
+        let source = match kind {
+            TrafficKind::Query => &self.query,
+            TrafficKind::Migration => &self.migration,
+        };
+        nodes.iter().map(|n| source[n.index()]).sum()
+    }
+
+    /// Number of nodes this fabric was built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// True when built over an empty tree (never in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_nodes == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Tree {
+        Tree::paper_fig3()
+    }
+
+    #[test]
+    fn query_traffic_climbs_to_root() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let server = t.find("server1").unwrap();
+        f.record_query(&t, server, 10.0);
+        let l1 = t.parent(server).unwrap();
+        let l2 = t.parent(l1).unwrap();
+        assert_eq!(f.query_traffic(l1), 10.0);
+        assert_eq!(f.query_traffic(l2), 10.0);
+        assert_eq!(f.query_traffic(t.root()), 10.0);
+        // Unrelated switch untouched.
+        let other_l1 = t.parent(t.find("server18").unwrap()).unwrap();
+        assert_eq!(f.query_traffic(other_l1), 0.0);
+    }
+
+    #[test]
+    fn local_migration_touches_only_shared_switch() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let a = t.find("server1").unwrap();
+        let b = t.find("server2").unwrap();
+        assert!(t.are_siblings(a, b));
+        f.record_migration(&t, a, b, 5.0);
+        let l1 = t.parent(a).unwrap();
+        assert_eq!(f.migration_traffic(l1), 5.0);
+        assert_eq!(f.migration_traffic(t.root()), 0.0, "local stays local");
+    }
+
+    #[test]
+    fn nonlocal_migration_traverses_lca_path() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let a = t.find("server1").unwrap(); // first pod
+        let b = t.find("server18").unwrap(); // last pod, other half
+        f.record_migration(&t, a, b, 4.0);
+        // Path: l1(a) → l2(a) → root → l2(b) → l1(b): five switches.
+        let l1a = t.parent(a).unwrap();
+        let l2a = t.parent(l1a).unwrap();
+        let l1b = t.parent(b).unwrap();
+        let l2b = t.parent(l1b).unwrap();
+        for sw in [l1a, l2a, t.root(), l2b, l1b] {
+            assert_eq!(f.migration_traffic(sw), 4.0, "switch {sw}");
+        }
+        // Total = 5 switches × 4 units.
+        let all: Vec<NodeId> = t.ids().collect();
+        assert_eq!(f.sum_traffic(&all, TrafficKind::Migration), 20.0);
+    }
+
+    #[test]
+    fn self_migration_is_free() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let a = t.find("server3").unwrap();
+        f.record_migration(&t, a, a, 100.0);
+        let all: Vec<NodeId> = t.ids().collect();
+        assert_eq!(f.sum_traffic(&all, TrafficKind::Migration), 0.0);
+    }
+
+    #[test]
+    fn redundancy_halves_per_switch_load() {
+        let t = tree();
+        let mut single = Fabric::new(&t);
+        let mut dual = Fabric::with_redundancy(&t, 2);
+        let a = t.find("server1").unwrap();
+        let b = t.find("server4").unwrap(); // same half, different pod
+        single.record_migration(&t, a, b, 8.0);
+        dual.record_migration(&t, a, b, 8.0);
+        let l2 = t.lca(a, b);
+        assert_eq!(single.migration_traffic(l2), 8.0);
+        assert_eq!(dual.migration_traffic(l2), 4.0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let a = t.find("server1").unwrap();
+        f.record_query(&t, a, 3.0);
+        f.record_migration(&t, a, t.find("server2").unwrap(), 3.0);
+        f.reset_epoch();
+        let all: Vec<NodeId> = t.ids().collect();
+        assert_eq!(f.sum_traffic(&all, TrafficKind::Query), 0.0);
+        assert_eq!(f.sum_traffic(&all, TrafficKind::Migration), 0.0);
+    }
+
+    #[test]
+    fn level_redundancy_profile() {
+        let t = tree();
+        // Double paths at level 2, quadruple at the root level (3).
+        let mut f = Fabric::with_level_redundancy(&t, &[1, 1, 2, 4]);
+        let a = t.find("server1").unwrap();
+        f.record_query(&t, a, 8.0);
+        let l1 = t.parent(a).unwrap();
+        let l2 = t.parent(l1).unwrap();
+        assert_eq!(f.query_traffic(l1), 8.0, "level 1 has a single path");
+        assert_eq!(f.query_traffic(l2), 4.0, "level 2 splits across 2 paths");
+        assert_eq!(f.query_traffic(t.root()), 2.0, "root splits across 4");
+    }
+
+    #[test]
+    fn peaks_survive_epoch_resets() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let a = t.find("server1").unwrap();
+        let l1 = t.parent(a).unwrap();
+        f.record_query(&t, a, 10.0);
+        f.reset_epoch();
+        f.record_query(&t, a, 4.0);
+        assert_eq!(f.query_traffic(l1), 4.0, "epoch counter reset");
+        assert_eq!(f.peak_traffic(l1), 10.0, "peak remembers the busy epoch");
+        // A busier current epoch raises the reported peak immediately.
+        f.record_query(&t, a, 20.0);
+        assert_eq!(f.peak_traffic(l1), 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per level")]
+    fn zero_level_redundancy_rejected() {
+        let t = tree();
+        let _ = Fabric::with_level_redundancy(&t, &[1, 0]);
+    }
+
+    #[test]
+    fn kinds_tracked_independently() {
+        let t = tree();
+        let mut f = Fabric::new(&t);
+        let a = t.find("server1").unwrap();
+        let l1 = t.parent(a).unwrap();
+        f.record_query(&t, a, 7.0);
+        f.record_migration(&t, a, t.find("server2").unwrap(), 2.0);
+        assert_eq!(f.query_traffic(l1), 7.0);
+        assert_eq!(f.migration_traffic(l1), 2.0);
+        assert_eq!(f.total_traffic(l1), 9.0);
+    }
+}

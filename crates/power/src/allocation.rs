@@ -1,0 +1,305 @@
+//! Capped proportional budget division (paper §IV-A, §IV-D).
+//!
+//! "The power budget in every level gets distributed to its children nodes
+//! in proportion to their demands", subject to each child's *hard
+//! constraint* (thermal/circuit cap). Capping creates leftover budget, which
+//! is re-distributed among the uncapped children — classic water-filling —
+//! so that the three §IV-D surplus actions hold:
+//!
+//! 1. under-provisioned nodes are allocated just enough to satisfy demand
+//!    (proportional division already guarantees a node never receives more
+//!    than its fair share while others starve),
+//! 2. remaining surplus can host additional workload, and
+//! 3. residual surplus is spread over children proportional to demand.
+
+use serde::{Deserialize, Serialize};
+use willow_thermal::units::Watts;
+
+/// Errors from [`allocate_proportional`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationError {
+    /// Demand and cap slices differ in length.
+    LengthMismatch {
+        /// Number of demand entries supplied.
+        demands: usize,
+        /// Number of cap entries supplied.
+        caps: usize,
+    },
+    /// A demand or cap was negative or non-finite.
+    InvalidInput,
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationError::LengthMismatch { demands, caps } => {
+                write!(f, "{demands} demands but {caps} caps")
+            }
+            AllocationError::InvalidInput => write!(f, "negative or non-finite power value"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// Divide `total` among children with the given `demands`, each capped by
+/// its hard constraint in `caps`. Returns one budget per child.
+///
+/// ```
+/// use willow_power::allocate_proportional;
+/// use willow_thermal::units::Watts;
+///
+/// // 100 W split over demands 10/30/60, child 2 thermally capped at 20 W:
+/// let budgets = allocate_proportional(
+///     Watts(100.0),
+///     &[Watts(10.0), Watts(30.0), Watts(60.0)],
+///     &[Watts(450.0), Watts(450.0), Watts(20.0)],
+/// )
+/// .unwrap();
+/// assert_eq!(budgets[2], Watts(20.0));          // hard cap binds
+/// let total: f64 = budgets.iter().map(|b| b.0).sum();
+/// assert!((total - 100.0).abs() < 1e-9);        // nothing is lost
+/// assert!(budgets[1].0 > 30.0);                 // freed watts flow on
+/// ```
+///
+/// Properties (tested below and by property tests):
+/// * budgets are non-negative and never exceed caps;
+/// * budgets sum to `min(total, Σcaps)` when any child can absorb budget
+///   (no budget is silently destroyed; genuine excess stays at the parent);
+/// * when nothing is capped, budgets are exactly proportional to demands;
+/// * zero-demand children receive budget only after every positive-demand
+///   child is saturated (the paper allocates "in proportion to their
+///   demands"; a zero-demand node's proportional share is zero, but
+///   action 2 of §IV-D allows parking leftover budget anywhere it fits so
+///   new workload can be brought in).
+pub fn allocate_proportional(
+    total: Watts,
+    demands: &[Watts],
+    caps: &[Watts],
+) -> Result<Vec<Watts>, AllocationError> {
+    if demands.len() != caps.len() {
+        return Err(AllocationError::LengthMismatch {
+            demands: demands.len(),
+            caps: caps.len(),
+        });
+    }
+    if !total.is_valid()
+        || demands.iter().any(|d| !d.is_valid())
+        || caps.iter().any(|c| !c.is_valid())
+    {
+        return Err(AllocationError::InvalidInput);
+    }
+    let n = demands.len();
+    let mut budgets = vec![Watts::ZERO; n];
+    if n == 0 {
+        return Ok(budgets);
+    }
+
+    // Phase A: proportional water-filling over positive-demand children.
+    let mut remaining = total;
+    let mut active: Vec<usize> = (0..n).filter(|&i| demands[i].0 > 0.0).collect();
+    // Each round distributes the remaining budget proportionally; children
+    // that hit their cap drop out and free the excess for the next round.
+    // Terminates in ≤ n rounds because every round saturates ≥1 child or
+    // exhausts the budget.
+    while remaining.0 > 1e-12 && !active.is_empty() {
+        let demand_sum: f64 = active.iter().map(|&i| demands[i].0).sum();
+        debug_assert!(demand_sum > 0.0);
+        let mut saturated = Vec::new();
+        let mut next_remaining = remaining;
+        for &i in &active {
+            let share = remaining * (demands[i].0 / demand_sum);
+            let room = caps[i] - budgets[i];
+            let grant = share.min(room);
+            budgets[i] += grant;
+            next_remaining -= grant;
+            if (caps[i] - budgets[i]).0 <= 1e-12 {
+                saturated.push(i);
+            }
+        }
+        // No child saturated and shares were fully granted ⇒ done.
+        if saturated.is_empty() {
+            remaining = next_remaining;
+            break;
+        }
+        active.retain(|i| !saturated.contains(i));
+        remaining = next_remaining;
+    }
+
+    // Phase B (§IV-D action 2): park leftover budget on any child with cap
+    // headroom — zero-demand children included — so surplus can host new
+    // workload instead of being stranded at the parent.
+    if remaining.0 > 1e-12 {
+        for i in 0..n {
+            if remaining.0 <= 1e-12 {
+                break;
+            }
+            let room = caps[i] - budgets[i];
+            let grant = remaining.min(room);
+            budgets[i] += grant;
+            remaining -= grant;
+        }
+    }
+
+    Ok(budgets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: f64) -> Watts {
+        Watts(v)
+    }
+
+    fn total_of(budgets: &[Watts]) -> f64 {
+        budgets.iter().map(|b| b.0).sum()
+    }
+
+    #[test]
+    fn pure_proportional_when_uncapped() {
+        let budgets = allocate_proportional(
+            w(100.0),
+            &[w(10.0), w(30.0), w(60.0)],
+            &[w(1e6), w(1e6), w(1e6)],
+        )
+        .unwrap();
+        assert!((budgets[0].0 - 10.0).abs() < 1e-9);
+        assert!((budgets[1].0 - 30.0).abs() < 1e-9);
+        assert!((budgets[2].0 - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scarcity_splits_proportionally() {
+        let budgets =
+            allocate_proportional(w(50.0), &[w(10.0), w(30.0), w(60.0)], &[w(1e6); 3]).unwrap();
+        assert!((budgets[0].0 - 5.0).abs() < 1e-9);
+        assert!((budgets[1].0 - 15.0).abs() < 1e-9);
+        assert!((budgets[2].0 - 30.0).abs() < 1e-9);
+        assert!((total_of(&budgets) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_are_respected_and_excess_flows_on() {
+        // Child 1 capped at 10; its overflow goes to the others.
+        let budgets = allocate_proportional(
+            w(100.0),
+            &[w(50.0), w(25.0), w(25.0)],
+            &[w(10.0), w(1e6), w(1e6)],
+        )
+        .unwrap();
+        assert!(budgets[0].0 <= 10.0 + 1e-9);
+        assert!((total_of(&budgets) - 100.0).abs() < 1e-9);
+        // The freed 40 W splits evenly between equal-demand children.
+        assert!((budgets[1].0 - 45.0).abs() < 1e-9);
+        assert!((budgets[2].0 - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_hot_zone_gets_less() {
+        // Two identical demands; one child thermally capped — the paper's
+        // hot-zone behaviour (Fig. 5): hot servers receive less budget.
+        let budgets =
+            allocate_proportional(w(400.0), &[w(300.0), w(300.0)], &[w(450.0), w(120.0)])
+                .unwrap();
+        assert!(budgets[1].0 <= 120.0 + 1e-9);
+        assert!(budgets[0].0 > budgets[1].0);
+        assert!((total_of(&budgets) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_beyond_all_caps_stays_at_parent() {
+        let budgets =
+            allocate_proportional(w(1000.0), &[w(10.0), w(10.0)], &[w(100.0), w(50.0)]).unwrap();
+        assert!((budgets[0].0 - 100.0).abs() < 1e-9);
+        assert!((budgets[1].0 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_children_get_leftovers_only() {
+        let budgets = allocate_proportional(
+            w(100.0),
+            &[w(0.0), w(40.0)],
+            &[w(1e6), w(60.0)],
+        )
+        .unwrap();
+        // Positive-demand child saturates at its cap (60); the idle child
+        // parks the remaining 40 (action 2).
+        assert!((budgets[1].0 - 60.0).abs() < 1e-9);
+        assert!((budgets[0].0 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_demand_parks_at_first_fit() {
+        let budgets =
+            allocate_proportional(w(30.0), &[w(0.0), w(0.0)], &[w(20.0), w(20.0)]).unwrap();
+        assert!((budgets[0].0 - 20.0).abs() < 1e-9);
+        assert!((budgets[1].0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_children() {
+        let budgets = allocate_proportional(w(100.0), &[], &[]).unwrap();
+        assert!(budgets.is_empty());
+    }
+
+    #[test]
+    fn zero_total_gives_zero_budgets() {
+        let budgets =
+            allocate_proportional(w(0.0), &[w(10.0), w(20.0)], &[w(100.0), w(100.0)]).unwrap();
+        assert!(budgets.iter().all(|b| b.0 == 0.0));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert_eq!(
+            allocate_proportional(w(10.0), &[w(1.0)], &[]),
+            Err(AllocationError::LengthMismatch {
+                demands: 1,
+                caps: 0
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert_eq!(
+            allocate_proportional(w(10.0), &[w(-1.0)], &[w(5.0)]),
+            Err(AllocationError::InvalidInput)
+        );
+        assert_eq!(
+            allocate_proportional(w(f64::NAN), &[w(1.0)], &[w(5.0)]),
+            Err(AllocationError::InvalidInput)
+        );
+    }
+
+    #[test]
+    fn conservation_random_cases() {
+        // Hand-rolled deterministic pseudo-random sweep (no rand dep here).
+        let mut x = 123_456_789u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64 / 2.0) * 100.0
+        };
+        for _ in 0..200 {
+            let n = 1 + (next() as usize % 6);
+            let demands: Vec<Watts> = (0..n).map(|_| w(next())).collect();
+            let caps: Vec<Watts> = (0..n).map(|_| w(next())).collect();
+            let total = w(next() * 2.0);
+            let budgets = allocate_proportional(total, &demands, &caps).unwrap();
+            let cap_sum: f64 = caps.iter().map(|c| c.0).sum();
+            let expect = total.0.min(cap_sum);
+            assert!(
+                (total_of(&budgets) - expect).abs() < 1e-6,
+                "allocated {} of {} (caps {})",
+                total_of(&budgets),
+                total.0,
+                cap_sum
+            );
+            for (b, c) in budgets.iter().zip(&caps) {
+                assert!(b.0 <= c.0 + 1e-9);
+                assert!(b.0 >= -1e-12);
+            }
+        }
+    }
+}

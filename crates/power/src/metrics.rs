@@ -1,0 +1,233 @@
+//! Deficit, surplus and imbalance (paper Eqs. 5–9) and the migration margin.
+
+use serde::{Deserialize, Serialize};
+use willow_thermal::units::Watts;
+
+/// Demand/budget pair for one node — the `(CP_{l,i}, TP_{l,i})` of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePower {
+    /// Smoothed power demand `CP_{l,i}`.
+    pub demand: Watts,
+    /// Allocated power budget `TP_{l,i}`.
+    pub budget: Watts,
+}
+
+impl NodePower {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(demand: Watts, budget: Watts) -> Self {
+        NodePower { demand, budget }
+    }
+
+    /// Per-node deficit (Eq. 5): `[CP − TP]⁺`.
+    #[must_use]
+    pub fn deficit(&self) -> Watts {
+        deficit(self.demand, self.budget)
+    }
+
+    /// Per-node surplus (Eq. 6): `[TP − CP]⁺`.
+    #[must_use]
+    pub fn surplus(&self) -> Watts {
+        surplus(self.demand, self.budget)
+    }
+}
+
+/// Per-node power deficit `P_def(l,i) = [CP_{l,i} − TP_{l,i}]⁺` (Eq. 5).
+#[must_use]
+pub fn deficit(demand: Watts, budget: Watts) -> Watts {
+    (demand - budget).non_negative()
+}
+
+/// Per-node power surplus `P_sur(l,i) = [TP_{l,i} − CP_{l,i}]⁺` (Eq. 6).
+#[must_use]
+pub fn surplus(demand: Watts, budget: Watts) -> Watts {
+    (budget - demand).non_negative()
+}
+
+/// Level-wide deficit `P_def(l) = max_i P_def(l,i)` (Eq. 7).
+#[must_use]
+pub fn level_deficit<'a>(nodes: impl IntoIterator<Item = &'a NodePower>) -> Watts {
+    nodes
+        .into_iter()
+        .map(NodePower::deficit)
+        .fold(Watts::ZERO, Watts::max)
+}
+
+/// Level-wide surplus `P_sur(l) = max_i P_sur(l,i)` (Eq. 8).
+#[must_use]
+pub fn level_surplus<'a>(nodes: impl IntoIterator<Item = &'a NodePower>) -> Watts {
+    nodes
+        .into_iter()
+        .map(NodePower::surplus)
+        .fold(Watts::ZERO, Watts::max)
+}
+
+/// Power imbalance (Eq. 9): `P_imb(l) = P_def(l) + min[P_def(l), P_sur(l)]`.
+///
+/// The surplus term is capped by the deficit "because any supply that is in
+/// excess of deficit is not handled by our control scheme and is left to the
+/// idle power control schemes that operate at a finer granularity". The
+/// imbalance is the paper's measure of budget-allocation inefficiency: zero
+/// exactly when no node is in deficit.
+#[must_use]
+pub fn imbalance<'a>(nodes: impl IntoIterator<Item = &'a NodePower> + Clone) -> Watts {
+    let p_def = level_deficit(nodes.clone());
+    let p_sur = level_surplus(nodes);
+    p_def + p_def.min(p_sur)
+}
+
+/// The migration-margin rule (§IV-E): a migration of `moved` watts from a
+/// source to a target is admissible only if **both** end nodes retain a
+/// surplus of at least `margin` (`P_min`) afterwards, where the migration
+/// cost `cost` is "added as a temporary power demand to the nodes involved".
+///
+/// Returns `true` when the migration may proceed.
+#[must_use]
+pub fn migration_admissible(
+    source: NodePower,
+    target: NodePower,
+    moved: Watts,
+    cost: Watts,
+    margin: Watts,
+) -> bool {
+    // Source sheds `moved` demand but pays the migration cost while it runs.
+    let src_after = NodePower::new(source.demand - moved + cost, source.budget);
+    // Target gains the demand and also pays the cost.
+    let tgt_after = NodePower::new(target.demand + moved + cost, target.budget);
+    src_after.surplus() >= margin && tgt_after.surplus() >= margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deficit_and_surplus_are_complementary() {
+        let n = NodePower::new(Watts(120.0), Watts(100.0));
+        assert_eq!(n.deficit(), Watts(20.0));
+        assert_eq!(n.surplus(), Watts(0.0));
+        let m = NodePower::new(Watts(80.0), Watts(100.0));
+        assert_eq!(m.deficit(), Watts(0.0));
+        assert_eq!(m.surplus(), Watts(20.0));
+    }
+
+    #[test]
+    fn balanced_node_has_neither() {
+        let n = NodePower::new(Watts(100.0), Watts(100.0));
+        assert_eq!(n.deficit(), Watts(0.0));
+        assert_eq!(n.surplus(), Watts(0.0));
+    }
+
+    #[test]
+    fn level_metrics_take_maxima() {
+        let nodes = [
+            NodePower::new(Watts(120.0), Watts(100.0)), // deficit 20
+            NodePower::new(Watts(90.0), Watts(100.0)),  // surplus 10
+            NodePower::new(Watts(50.0), Watts(100.0)),  // surplus 50
+            NodePower::new(Watts(105.0), Watts(100.0)), // deficit 5
+        ];
+        assert_eq!(level_deficit(&nodes), Watts(20.0));
+        assert_eq!(level_surplus(&nodes), Watts(50.0));
+    }
+
+    #[test]
+    fn imbalance_caps_surplus_by_deficit() {
+        // deficit 20, surplus 50 ⇒ imbalance 20 + min(20, 50) = 40.
+        let nodes = [
+            NodePower::new(Watts(120.0), Watts(100.0)),
+            NodePower::new(Watts(50.0), Watts(100.0)),
+        ];
+        assert_eq!(imbalance(&nodes), Watts(40.0));
+    }
+
+    #[test]
+    fn imbalance_zero_without_deficit() {
+        let nodes = [
+            NodePower::new(Watts(50.0), Watts(100.0)),
+            NodePower::new(Watts(10.0), Watts(100.0)),
+        ];
+        assert_eq!(imbalance(&nodes), Watts(0.0));
+    }
+
+    #[test]
+    fn imbalance_with_surplus_smaller_than_deficit() {
+        // deficit 30, surplus 10 ⇒ 30 + 10 = 40.
+        let nodes = [
+            NodePower::new(Watts(130.0), Watts(100.0)),
+            NodePower::new(Watts(90.0), Watts(100.0)),
+        ];
+        assert_eq!(imbalance(&nodes), Watts(40.0));
+    }
+
+    #[test]
+    fn empty_level_is_balanced() {
+        let nodes: [NodePower; 0] = [];
+        assert_eq!(level_deficit(&nodes), Watts(0.0));
+        assert_eq!(level_surplus(&nodes), Watts(0.0));
+        assert_eq!(imbalance(&nodes), Watts(0.0));
+    }
+
+    #[test]
+    fn migration_margin_accepts_comfortable_move() {
+        let src = NodePower::new(Watts(120.0), Watts(110.0)); // deficit 10
+        let tgt = NodePower::new(Watts(30.0), Watts(100.0)); // surplus 70
+        assert!(migration_admissible(
+            src,
+            tgt,
+            Watts(30.0),
+            Watts(2.0),
+            Watts(10.0)
+        ));
+    }
+
+    #[test]
+    fn migration_margin_rejects_tight_target() {
+        let src = NodePower::new(Watts(120.0), Watts(110.0));
+        let tgt = NodePower::new(Watts(80.0), Watts(100.0)); // surplus 20
+        // Moving 15 W leaves the target with 100 − 95 − cost 2 = 3 < 10.
+        assert!(!migration_admissible(
+            src,
+            tgt,
+            Watts(15.0),
+            Watts(2.0),
+            Watts(10.0)
+        ));
+    }
+
+    #[test]
+    fn migration_margin_rejects_source_left_in_deficit() {
+        // Source stays over budget even after the move ⇒ no surplus ≥ margin.
+        let src = NodePower::new(Watts(200.0), Watts(100.0));
+        let tgt = NodePower::new(Watts(0.0), Watts(300.0));
+        assert!(!migration_admissible(
+            src,
+            tgt,
+            Watts(20.0),
+            Watts(0.0),
+            Watts(5.0)
+        ));
+    }
+
+    #[test]
+    fn migration_cost_counts_against_both_ends() {
+        let src = NodePower::new(Watts(50.0), Watts(60.0));
+        let tgt = NodePower::new(Watts(50.0), Watts(70.0));
+        // Without cost: src surplus after = 60−(50−10)=20 ≥ 10;
+        // tgt surplus after = 70−60=10 ≥ 10 ⇒ admissible.
+        assert!(migration_admissible(
+            src,
+            tgt,
+            Watts(10.0),
+            Watts(0.0),
+            Watts(10.0)
+        ));
+        // A 1 W cost pushes the target below margin.
+        assert!(!migration_admissible(
+            src,
+            tgt,
+            Watts(10.0),
+            Watts(1.0),
+            Watts(10.0)
+        ));
+    }
+}

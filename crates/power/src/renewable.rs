@@ -1,0 +1,164 @@
+//! Renewable supply generators.
+//!
+//! Energy Adaptive Computing is motivated by "the variability associated
+//! with the direct use of renewable energy" (§I, §III). These generators
+//! produce the raw supply traces such a facility sees: a diurnal solar
+//! profile with stochastic cloud cover, and a grid/renewable composition
+//! helper. Buffer the result through [`crate::storage::Battery`] to obtain
+//! the effective supply the controller budgets against.
+
+use crate::supply::SupplyTrace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use willow_thermal::units::Watts;
+
+/// A photovoltaic plant: half-sine daylight profile with AR(1) cloud cover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolarModel {
+    /// Peak output at clear-sky noon.
+    pub peak: Watts,
+    /// Number of supply periods per full day.
+    pub day_length: usize,
+    /// Fraction of the day with daylight (sunrise to sunset).
+    pub daylight_fraction: f64,
+    /// Depth of cloud attenuation (0 = always clear, 1 = clouds can fully
+    /// block).
+    pub cloudiness: f64,
+}
+
+impl SolarModel {
+    /// A default mid-size plant: 1-day horizon of 96 periods (15-min
+    /// supply windows), half the day lit, moderate clouds.
+    #[must_use]
+    pub fn default_plant(peak: Watts) -> Self {
+        SolarModel {
+            peak,
+            day_length: 96,
+            daylight_fraction: 0.5,
+            cloudiness: 0.4,
+        }
+    }
+
+    /// Clear-sky output at period `t` (no clouds): zero at night, half-sine
+    /// during daylight.
+    #[must_use]
+    pub fn clear_sky(&self, t: usize) -> Watts {
+        // Midpoint sampling keeps the discrete profile symmetric about noon.
+        let day_pos = ((t % self.day_length) as f64 + 0.5) / self.day_length as f64;
+        let dawn = (1.0 - self.daylight_fraction) / 2.0;
+        let dusk = dawn + self.daylight_fraction;
+        if day_pos < dawn || day_pos > dusk {
+            return Watts::ZERO;
+        }
+        let x = (day_pos - dawn) / self.daylight_fraction; // 0..1 across daylight
+        self.peak * (std::f64::consts::PI * x).sin().max(0.0)
+    }
+
+    /// Generate `len` periods of output with seeded AR(1) cloud cover.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> SupplyTrace {
+        let rho: f64 = 0.92;
+        let innovation = (1.0 - rho * rho).sqrt();
+        let mut cloud_state = 0.0f64;
+        let values = (0..len)
+            .map(|t| {
+                cloud_state = rho * cloud_state + innovation * (rng.gen::<f64>() * 2.0 - 1.0);
+                // Map the zero-mean state into an attenuation in [0, cloudiness].
+                let attenuation = self.cloudiness * (0.5 + 0.5 * cloud_state).clamp(0.0, 1.0);
+                self.clear_sky(t) * (1.0 - attenuation)
+            })
+            .collect();
+        SupplyTrace::new(values)
+    }
+}
+
+/// Compose a firm grid allocation with a variable renewable trace:
+/// `effective(t) = grid + renewable(t)` — the typical partially-green
+/// facility of the EAC papers.
+#[must_use]
+pub fn compose_with_grid(grid: Watts, renewable: &SupplyTrace) -> SupplyTrace {
+    assert!(grid.is_valid(), "grid allocation must be non-negative");
+    SupplyTrace::new(renewable.iter().map(|r| grid + r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plant() -> SolarModel {
+        SolarModel::default_plant(Watts(4000.0))
+    }
+
+    #[test]
+    fn night_is_dark() {
+        let p = plant();
+        assert_eq!(p.clear_sky(0), Watts::ZERO);
+        assert_eq!(p.clear_sky(95), Watts::ZERO);
+    }
+
+    #[test]
+    fn noon_is_peak() {
+        let p = plant();
+        let noon = p.day_length / 2;
+        let out = p.clear_sky(noon);
+        assert!((out.0 - 4000.0).abs() < 4000.0 * 0.01, "noon {out}");
+    }
+
+    #[test]
+    fn profile_is_symmetric_and_nonnegative() {
+        let p = plant();
+        for t in 0..p.day_length {
+            let v = p.clear_sky(t);
+            assert!(v.0 >= 0.0 && v.0 <= 4000.0 + 1e-9);
+            let mirror = p.clear_sky(p.day_length - t - 1);
+            assert!(
+                (v.0 - mirror.0).abs() < 4000.0 * 0.05,
+                "t={t}: {v} vs {mirror}"
+            );
+        }
+    }
+
+    #[test]
+    fn clouds_only_attenuate() {
+        let p = plant();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = p.generate(&mut rng, 96);
+        for (t, v) in trace.iter().enumerate() {
+            assert!(v.0 <= p.clear_sky(t).0 + 1e-9, "clouds cannot add power");
+            assert!(v.0 >= 0.0);
+        }
+        // But clouds do bite somewhere during daylight.
+        let total: f64 = trace.iter().map(|v| v.0).sum();
+        let clear: f64 = (0..96).map(|t| p.clear_sky(t).0).sum();
+        assert!(total < clear, "some attenuation must occur");
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let p = plant();
+        let a = p.generate(&mut StdRng::seed_from_u64(9), 96);
+        let b = p.generate(&mut StdRng::seed_from_u64(9), 96);
+        assert_eq!(a, b);
+        assert_ne!(a, p.generate(&mut StdRng::seed_from_u64(10), 96));
+    }
+
+    #[test]
+    fn multi_day_wraps() {
+        let p = plant();
+        assert_eq!(p.clear_sky(5), p.clear_sky(5 + 96));
+    }
+
+    #[test]
+    fn grid_composition_adds_firm_power() {
+        let p = plant();
+        let mut rng = StdRng::seed_from_u64(1);
+        let solar = p.generate(&mut rng, 96);
+        let composed = compose_with_grid(Watts(2500.0), &solar);
+        for (s, c) in solar.iter().zip(composed.iter()) {
+            assert!((c.0 - s.0 - 2500.0).abs() < 1e-9);
+        }
+        assert!(composed.min().0 >= 2500.0, "night floor is the grid share");
+    }
+}

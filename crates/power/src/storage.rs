@@ -1,0 +1,240 @@
+//! Energy storage (battery-backed UPS) model.
+//!
+//! The paper's supply-side time constants rest on storage: "because of the
+//! presence of battery backed UPS and other energy storage devices, any
+//! temporary deficit in power supply in a data center is integrated out"
+//! (§IV-C). This module provides that substrate: a battery that buffers a
+//! raw (e.g. renewable) supply into the smoother effective supply the
+//! controller budgets against.
+
+use serde::{Deserialize, Serialize};
+use willow_thermal::units::{Seconds, Watts};
+
+/// A simple battery/UPS: bounded energy store with power limits and a
+/// round-trip efficiency applied on charge.
+///
+/// ```
+/// use willow_power::Battery;
+/// use willow_thermal::units::{Seconds, Watts};
+///
+/// // 1 Wh battery at half charge.
+/// let mut ups = Battery::new(3600.0, 0.5, Watts(100.0), Watts(200.0), 0.9);
+/// // The grid browns out; the facility still needs 150 W for 10 s.
+/// let discharged = ups.settle(Watts(50.0), Watts(150.0), Seconds(10.0));
+/// assert_eq!(discharged, Watts(100.0));
+/// assert!(ups.state_of_charge() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Usable capacity in joules.
+    pub capacity_j: f64,
+    /// Current stored energy in joules.
+    pub charge_j: f64,
+    /// Maximum charging power.
+    pub max_charge: Watts,
+    /// Maximum discharging power.
+    pub max_discharge: Watts,
+    /// Fraction of charged energy that becomes stored energy (round-trip
+    /// losses charged on the way in).
+    pub efficiency: f64,
+}
+
+impl Battery {
+    /// A battery starting at the given state of charge (fraction).
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity, power limits, or an efficiency or
+    /// state-of-charge outside (0, 1].
+    #[must_use]
+    pub fn new(
+        capacity_j: f64,
+        state_of_charge: f64,
+        max_charge: Watts,
+        max_discharge: Watts,
+        efficiency: f64,
+    ) -> Self {
+        assert!(capacity_j > 0.0 && capacity_j.is_finite(), "capacity must be positive");
+        assert!(
+            (0.0..=1.0).contains(&state_of_charge),
+            "state of charge must be in [0, 1]"
+        );
+        assert!(max_charge.is_valid() && max_discharge.is_valid());
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        Battery {
+            capacity_j,
+            charge_j: capacity_j * state_of_charge,
+            max_charge,
+            max_discharge,
+            efficiency,
+        }
+    }
+
+    /// State of charge as a fraction.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        self.charge_j / self.capacity_j
+    }
+
+    /// The power the facility can count on for the next window of length
+    /// `dt` given raw supply `raw`: raw plus what the battery could
+    /// sustainably discharge across the whole window.
+    #[must_use]
+    pub fn available_power(&self, raw: Watts, dt: Seconds) -> Watts {
+        debug_assert!(dt.is_positive());
+        let sustain = Watts(self.charge_j / dt.0).min(self.max_discharge);
+        raw + sustain
+    }
+
+    /// Settle one window: the facility consumed `consumed` while `raw` was
+    /// supplied for `dt`. Surplus charges the battery (capped by charge
+    /// rate, capacity and efficiency); deficit discharges it (capped by
+    /// discharge rate and stored energy). Returns the power actually
+    /// discharged (negative when charging).
+    pub fn settle(&mut self, raw: Watts, consumed: Watts, dt: Seconds) -> Watts {
+        debug_assert!(dt.is_positive());
+        let balance = consumed - raw;
+        if balance.0 > 0.0 {
+            // Deficit: discharge.
+            let want = balance.min(self.max_discharge);
+            let can = Watts(self.charge_j / dt.0);
+            let discharge = want.min(can);
+            self.charge_j = (self.charge_j - discharge.0 * dt.0).max(0.0);
+            discharge
+        } else {
+            // Surplus: charge.
+            let surplus = (-balance).min(self.max_charge);
+            let room = (self.capacity_j - self.charge_j).max(0.0);
+            let stored = (surplus.0 * dt.0 * self.efficiency).min(room);
+            self.charge_j += stored;
+            // Report as negative discharge of the grid-side power used.
+            -Watts(stored / (dt.0 * self.efficiency))
+        }
+    }
+}
+
+/// Buffer a raw supply trace through a battery against an expected constant
+/// consumption, producing the *effective* supply trace the controller can
+/// budget against (one value per window of length `dt`).
+#[must_use]
+pub fn buffer_trace(
+    battery: &mut Battery,
+    raw: &crate::supply::SupplyTrace,
+    expected_consumption: Watts,
+    dt: Seconds,
+) -> crate::supply::SupplyTrace {
+    let values = raw
+        .iter()
+        .map(|r| {
+            let available = battery.available_power(r, dt);
+            let consumed = expected_consumption.min(available);
+            battery.settle(r, consumed, dt);
+            available
+        })
+        .collect();
+    crate::supply::SupplyTrace::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supply::SupplyTrace;
+
+    fn battery() -> Battery {
+        Battery::new(3600.0, 0.5, Watts(100.0), Watts(200.0), 0.9)
+    }
+
+    #[test]
+    fn state_of_charge_tracks_energy() {
+        let b = battery();
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn available_power_adds_sustainable_discharge() {
+        let b = battery();
+        // 1800 J over 10 s = 180 W < 200 W limit.
+        let p = b.available_power(Watts(500.0), Seconds(10.0));
+        assert!((p.0 - 680.0).abs() < 1e-9);
+        // Over 1 s the rate limit binds: 200 W.
+        let p = b.available_power(Watts(500.0), Seconds(1.0));
+        assert!((p.0 - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deficit_discharges() {
+        let mut b = battery();
+        let d = b.settle(Watts(300.0), Watts(400.0), Seconds(5.0));
+        assert!((d.0 - 100.0).abs() < 1e-9);
+        assert!((b.charge_j - (1800.0 - 500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discharge_rate_limited() {
+        let mut b = battery();
+        let d = b.settle(Watts(0.0), Watts(1000.0), Seconds(1.0));
+        assert!((d.0 - 200.0).abs() < 1e-9, "capped at max_discharge");
+    }
+
+    #[test]
+    fn discharge_energy_limited() {
+        let mut b = battery();
+        b.charge_j = 50.0;
+        let d = b.settle(Watts(0.0), Watts(1000.0), Seconds(1.0));
+        assert!((d.0 - 50.0).abs() < 1e-9, "cannot discharge more than stored");
+        assert_eq!(b.charge_j, 0.0);
+    }
+
+    #[test]
+    fn surplus_charges_with_efficiency() {
+        let mut b = battery();
+        let before = b.charge_j;
+        let d = b.settle(Watts(500.0), Watts(450.0), Seconds(10.0));
+        assert!(d.0 < 0.0, "charging reports negative discharge");
+        // 50 W surplus × 10 s × 0.9 = 450 J stored.
+        assert!((b.charge_j - before - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_capped_at_capacity() {
+        let mut b = battery();
+        b.charge_j = b.capacity_j - 10.0;
+        b.settle(Watts(1000.0), Watts(0.0), Seconds(100.0));
+        assert!(b.charge_j <= b.capacity_j + 1e-9);
+    }
+
+    #[test]
+    fn buffered_trace_bridges_plunges() {
+        // Raw supply plunges to zero for two windows; a charged battery
+        // keeps the effective supply near the consumption level.
+        let raw = SupplyTrace::new(vec![
+            Watts(600.0),
+            Watts(600.0),
+            Watts(0.0),
+            Watts(0.0),
+            Watts(600.0),
+        ]);
+        let mut b = Battery::new(40_000.0, 1.0, Watts(500.0), Watts(600.0), 0.95);
+        let eff = buffer_trace(&mut b, &raw, Watts(500.0), Seconds(10.0));
+        assert!(eff.at(2).0 >= 500.0, "battery must bridge the plunge: {}", eff.at(2));
+        assert!(eff.at(3).0 >= 500.0);
+        // And the battery is depleted accordingly.
+        assert!(b.state_of_charge() < 1.0);
+    }
+
+    #[test]
+    fn empty_battery_does_not_help() {
+        let raw = SupplyTrace::new(vec![Watts(0.0)]);
+        let mut b = Battery::new(1000.0, 0.0, Watts(10.0), Watts(10.0), 0.9);
+        let eff = buffer_trace(&mut b, &raw, Watts(100.0), Seconds(1.0));
+        assert_eq!(eff.at(0), Watts(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(0.0, 0.5, Watts(1.0), Watts(1.0), 0.9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Command-line front end for the Willow data-center simulator.
+//!
+//! ```text
+//! # Print a template configuration:
+//! willow-sim template > config.json
+//! # Run it and get metrics as JSON:
+//! willow-sim run config.json
+//! # One-liner sweep at a fixed utilization:
+//! willow-sim quick 0.6
+//! ```
+//!
+//! The configuration format is the serde form of
+//! [`willow_sim::SimConfig`]; results are the serde form of
+//! [`willow_sim::RunMetrics`].
+
+use std::process::ExitCode;
+use willow_sim::{SimConfig, Simulation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("template") => {
+            let cfg = SimConfig::paper_hot_cold(2011, 0.6);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&cfg).expect("config serializes")
+            );
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: willow-sim run <config.json>");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg: SimConfig = match serde_json::from_str(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid config: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run(cfg)
+        }
+        Some("quick") => {
+            let u: f64 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.6);
+            run(SimConfig::paper_hot_cold(2011, u))
+        }
+        _ => {
+            eprintln!("usage: willow-sim <template | run <config.json> | quick [utilization]>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cfg: SimConfig) -> ExitCode {
+    match Simulation::new(cfg) {
+        Ok(mut sim) => {
+            let metrics = sim.run();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&metrics).expect("metrics serialize")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation configuration (the paper's §V-B1 setup, made explicit).
+
+use serde::{Deserialize, Serialize};
+use willow_core::config::ControllerConfig;
+use willow_network::SwitchPowerModel;
+use willow_power::SupplyTrace;
+use willow_thermal::units::{Celsius, Watts};
+
+/// A contiguous range of servers (0-based, half-open) placed in a thermal
+/// zone with the given ambient temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalZone {
+    /// First server index in the zone.
+    pub start: usize,
+    /// One past the last server index.
+    pub end: usize,
+    /// Ambient temperature of the zone.
+    pub ambient: Celsius,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed — every stochastic choice in the run derives from it.
+    pub seed: u64,
+    /// Per-level branching factors, root first (`[2, 3, 3]` = Fig. 3).
+    pub branching: Vec<usize>,
+    /// Average data-center utilization `U ∈ [0, 1]` driving demand means.
+    pub utilization: f64,
+    /// Number of demand periods to simulate.
+    pub ticks: usize,
+    /// Warm-up periods excluded from aggregate metrics.
+    pub warmup: usize,
+    /// Applications per server (the paper places 4).
+    pub apps_per_server: usize,
+    /// Thermal zones; servers not covered default to 25 °C.
+    pub zones: Vec<ThermalZone>,
+    /// Controller tunables.
+    pub controller: ControllerConfig,
+    /// Switch power model for the fabric figures.
+    pub switch_model: SwitchPowerModel,
+    /// Total supply per period; `None` means constant supply
+    /// `supply_factor × servers × 450 W` (the paper's §V-C5 remark that the
+    /// simulations run the supply *close to* the servers' maximum power
+    /// limit — close to, not above, so surpluses genuinely run out at high
+    /// utilization as Fig. 10 requires).
+    pub supply: Option<SupplyTrace>,
+    /// Fraction of the aggregate server rating available when `supply` is
+    /// `None`.
+    pub supply_factor: f64,
+    /// Amplitude of the slow AR(1) drift applied to each application's
+    /// offered load, re-creating the workload-intensity variation of
+    /// §IV-C. Zero disables the drift (pure i.i.d. Poisson demand).
+    pub demand_drift: f64,
+    /// Optional utilization *trace*: one target utilization per demand
+    /// period (held at the last value past the end), replacing the constant
+    /// `utilization` — replay of diurnal or recorded intensity profiles
+    /// (§IV-C "varying intensity"). Values must lie in [0, 1].
+    #[serde(default)]
+    pub utilization_trace: Option<Vec<f64>>,
+}
+
+impl SimConfig {
+    /// The paper's simulation setup: Fig. 3 topology (4 levels, 18
+    /// servers), 4 apps per server, uniform 25 °C, ample supply, 300 ticks
+    /// with 50 warm-up.
+    #[must_use]
+    pub fn paper_default(seed: u64, utilization: f64) -> Self {
+        SimConfig {
+            seed,
+            branching: vec![2, 3, 3],
+            utilization,
+            ticks: 300,
+            warmup: 50,
+            apps_per_server: 4,
+            zones: Vec::new(),
+            controller: ControllerConfig::default(),
+            switch_model: SwitchPowerModel::simulation_default(),
+            supply: None,
+            supply_factor: 0.92,
+            demand_drift: 0.35,
+            utilization_trace: None,
+        }
+    }
+
+    /// The hot/cold-zone setting of §V-B3: servers 1–14 at 25 °C and
+    /// servers 15–18 at 40 °C.
+    #[must_use]
+    pub fn paper_hot_cold(seed: u64, utilization: f64) -> Self {
+        let mut cfg = SimConfig::paper_default(seed, utilization);
+        cfg.zones = vec![ThermalZone {
+            start: 14,
+            end: 18,
+            ambient: Celsius(40.0),
+        }];
+        cfg
+    }
+
+    /// Number of servers implied by the branching factors.
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.branching.iter().product()
+    }
+
+    /// The constant supply used when `supply` is `None`.
+    #[must_use]
+    pub fn ample_supply(&self) -> Watts {
+        Watts(self.n_servers() as f64 * 450.0 * self.supply_factor)
+    }
+
+    /// Validate basic invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.branching.is_empty() || self.branching.contains(&0) {
+            return Err("branching factors must be non-empty and positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.utilization) {
+            return Err(format!("utilization must be in [0,1], got {}", self.utilization));
+        }
+        if self.warmup >= self.ticks {
+            return Err("warmup must be shorter than the run".into());
+        }
+        if self.apps_per_server == 0 {
+            return Err("need at least one app per server".into());
+        }
+        if !(0.0..=1.0).contains(&self.supply_factor) {
+            return Err(format!("supply factor must be in [0,1], got {}", self.supply_factor));
+        }
+        if !(0.0..1.0).contains(&self.demand_drift) {
+            return Err(format!("demand drift must be in [0,1), got {}", self.demand_drift));
+        }
+        if let Some(trace) = &self.utilization_trace {
+            if trace.iter().any(|u| !(0.0..=1.0).contains(u)) {
+                return Err("utilization trace values must be in [0,1]".into());
+            }
+        }
+        let n = self.n_servers();
+        for z in &self.zones {
+            if z.start >= z.end || z.end > n {
+                return Err(format!("zone {z:?} out of range for {n} servers"));
+            }
+        }
+        self.controller.validate().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_fig3() {
+        let cfg = SimConfig::paper_default(1, 0.4);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.n_servers(), 18);
+        assert_eq!(cfg.ample_supply(), Watts(8100.0 * 0.92));
+    }
+
+    #[test]
+    fn hot_cold_covers_last_four() {
+        let cfg = SimConfig::paper_hot_cold(1, 0.4);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.zones.len(), 1);
+        assert_eq!(cfg.zones[0].end - cfg.zones[0].start, 4);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.utilization = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.warmup = cfg.ticks;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.zones = vec![ThermalZone {
+            start: 10,
+            end: 30,
+            ambient: Celsius(40.0),
+        }];
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.branching = vec![2, 0];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = SimConfig::paper_hot_cold(7, 0.6);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,304 @@
+//! The fixed-step simulation loop.
+//!
+//! Each tick: sample per-application Poisson demands at the configured
+//! utilization, feed them plus the period's supply into the Willow
+//! controller, snapshot the fabric, and stream `(TickReport,
+//! FabricSnapshot)` pairs into the aggregate metrics.
+
+use crate::config::SimConfig;
+use crate::metrics::{FabricSnapshot, RunMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use willow_core::controller::Willow;
+use willow_core::migration::TickReport;
+use willow_core::server::ServerSpec;
+use willow_thermal::units::Watts;
+use willow_topology::{NodeId, Tree};
+use willow_workload::app::Application;
+use willow_workload::demand::DemandModel;
+use willow_workload::mix::{place_random_mix, MixConfig};
+
+/// A runnable simulation instance.
+pub struct Simulation {
+    config: SimConfig,
+    willow: Willow,
+    /// All applications, indexed by `AppId.0` (demand sampling needs the
+    /// app's class regardless of where it currently runs).
+    apps: Vec<Application>,
+    demand_model: DemandModel,
+    rng: StdRng,
+    level1: Vec<NodeId>,
+    tick: usize,
+    /// AR(1) state per application driving slow load drift.
+    drift: Vec<f64>,
+}
+
+/// AR(1) persistence of the per-app load drift (per demand period).
+const DRIFT_RHO: f64 = 0.9;
+
+impl Simulation {
+    /// Build a simulation from a validated config.
+    ///
+    /// # Errors
+    /// Returns the validation error string if the config is inconsistent.
+    pub fn new(config: SimConfig) -> Result<Self, String> {
+        config.validate()?;
+        let tree = Tree::uniform(&config.branching);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Place the random application mix (§V-B1).
+        let mix = MixConfig {
+            apps_per_server: config.apps_per_server,
+            classes: willow_workload::app::SIM_APP_CLASSES.to_vec(),
+        };
+        let placement = place_random_mix(&mut rng, &mix, config.n_servers());
+        let mut apps: Vec<Application> = placement.iter().flatten().cloned().collect();
+        apps.sort_by_key(|a| a.id);
+
+        // Server specs with thermal zones applied.
+        let leaves: Vec<NodeId> = tree.leaves().collect();
+        let specs: Vec<ServerSpec> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &leaf)| {
+                let mut spec =
+                    ServerSpec::simulation_default(leaf).with_apps(placement[i].clone());
+                for zone in &config.zones {
+                    if i >= zone.start && i < zone.end {
+                        spec.ambient = zone.ambient;
+                    }
+                }
+                spec
+            })
+            .collect();
+
+        let willow = Willow::new(tree.clone(), specs, config.controller.clone())
+            .map_err(|e| e.to_string())?;
+        let level1 = tree.nodes_at_level(1).to_vec();
+        let n_apps = apps.len();
+        Ok(Simulation {
+            config,
+            willow,
+            apps,
+            demand_model: DemandModel::default(),
+            rng,
+            level1,
+            tick: 0,
+            drift: vec![0.0; n_apps],
+        })
+    }
+
+    /// The configuration this simulation runs.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Access the controller (e.g. for custom probes in tests).
+    #[must_use]
+    pub fn willow(&self) -> &Willow {
+        &self.willow
+    }
+
+    /// The level-1 switch nodes, in arena order.
+    #[must_use]
+    pub fn level1_switches(&self) -> &[NodeId] {
+        &self.level1
+    }
+
+    /// Advance one demand period; returns the controller report and the
+    /// period's fabric snapshot.
+    pub fn step(&mut self) -> (TickReport, FabricSnapshot) {
+        use rand::Rng;
+        let u = match &self.config.utilization_trace {
+            Some(trace) => trace
+                .get(self.tick)
+                .or(trace.last())
+                .copied()
+                .unwrap_or(self.config.utilization),
+            None => self.config.utilization,
+        };
+        let amp = self.config.demand_drift;
+        let innovation = (1.0 - DRIFT_RHO * DRIFT_RHO).sqrt();
+        let demands: Vec<Watts> = self
+            .apps
+            .iter()
+            .zip(self.drift.iter_mut())
+            .map(|(a, x)| {
+                // Slow per-app intensity drift (stationary, zero-mean).
+                *x = DRIFT_RHO * *x + innovation * (self.rng.gen::<f64>() * 2.0 - 1.0);
+                let eff_u = (u * (1.0 + amp * *x)).clamp(0.0, 1.0);
+                self.demand_model.sample_app_demand(&mut self.rng, a, eff_u)
+            })
+            .collect();
+        let supply = match &self.config.supply {
+            Some(trace) => {
+                // Supply changes at the Δ_S granularity: index by supply
+                // period, not demand period.
+                let period = self.tick / self.config.controller.eta1 as usize;
+                trace.at(period)
+            }
+            None => self.config.ample_supply(),
+        };
+        let report = self.willow.step(&demands, supply);
+        let fabric = self.snapshot_fabric();
+        self.tick += 1;
+        (report, fabric)
+    }
+
+    fn snapshot_fabric(&self) -> FabricSnapshot {
+        let f = self.willow.fabric();
+        FabricSnapshot {
+            l1_migration: self
+                .level1
+                .iter()
+                .map(|&n| f.migration_traffic(n))
+                .collect(),
+            l1_query: self.level1.iter().map(|&n| f.query_traffic(n)).collect(),
+        }
+    }
+
+    /// Run to completion, aggregating post-warm-up metrics.
+    pub fn run(&mut self) -> RunMetrics {
+        let n_servers = self.config.n_servers();
+        let n_l1 = self.level1.len();
+        let warmup = self.config.warmup;
+        let ticks = self.config.ticks;
+        let mut collected = Vec::with_capacity(ticks - warmup);
+        for t in 0..ticks {
+            let pair = self.step();
+            if t >= warmup {
+                collected.push(pair);
+            }
+        }
+        RunMetrics::aggregate(collected, n_servers, n_l1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut cfg = SimConfig::paper_default(seed, 0.4);
+            cfg.ticks = 60;
+            cfg.warmup = 10;
+            Simulation::new(cfg).unwrap().run()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed ⇒ identical metrics");
+        assert_ne!(run(42).avg_server_power, run(43).avg_server_power);
+    }
+
+    #[test]
+    fn thermal_safety_invariant_holds() {
+        let mut cfg = SimConfig::paper_hot_cold(7, 0.8);
+        cfg.ticks = 120;
+        cfg.warmup = 0;
+        let m = Simulation::new(cfg).unwrap().run();
+        for (i, peak) in m.peak_server_temp.iter().enumerate() {
+            assert!(*peak <= 70.0 + 1e-6, "server {i} peaked at {peak} °C");
+        }
+    }
+
+    #[test]
+    fn no_pingpong_in_paper_runs() {
+        for u in [0.2, 0.5, 0.8] {
+            let mut cfg = SimConfig::paper_hot_cold(11, u);
+            cfg.ticks = 120;
+            cfg.warmup = 0;
+            let m = Simulation::new(cfg).unwrap().run();
+            assert_eq!(m.pingpongs, 0, "u={u}");
+        }
+    }
+
+    #[test]
+    fn hot_zone_draws_less_power_at_high_utilization() {
+        let mut cfg = SimConfig::paper_hot_cold(3, 0.8);
+        cfg.ticks = 200;
+        cfg.warmup = 50;
+        let m = Simulation::new(cfg).unwrap().run();
+        let cold = m.mean_power(0..14);
+        let hot = m.mean_power(14..18);
+        assert!(
+            hot < cold,
+            "hot zone ({hot:.1} W) must average below cold zone ({cold:.1} W)"
+        );
+    }
+
+    #[test]
+    fn low_utilization_consolidates() {
+        let mut cfg = SimConfig::paper_default(5, 0.15);
+        cfg.ticks = 150;
+        // No warm-up: the big consolidation wave happens in the first Δ_A
+        // periods and must be captured.
+        cfg.warmup = 0;
+        let m = Simulation::new(cfg).unwrap().run();
+        assert!(
+            m.consolidation_migrations > 0,
+            "idle servers must consolidate"
+        );
+        let sleeping: f64 = m.sleep_fraction.iter().sum();
+        assert!(sleeping > 1.0, "several servers should spend time asleep");
+    }
+
+    #[test]
+    fn supply_trace_is_honored() {
+        use willow_power::SupplyTrace;
+        let mut cfg = SimConfig::paper_default(5, 0.5);
+        cfg.ticks = 80;
+        cfg.warmup = 20;
+        cfg.supply = Some(SupplyTrace::constant(Watts(2000.0), 40));
+        let m = Simulation::new(cfg).unwrap().run();
+        let total: f64 = m.avg_server_power.iter().sum();
+        assert!(
+            total <= 2000.0 + 1e-6,
+            "total draw {total} must respect the supply cap"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.utilization = 2.0;
+        assert!(Simulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn utilization_trace_is_replayed() {
+        // A trace that jumps from near-idle to heavy load must show up in
+        // the drawn power.
+        let mut cfg = SimConfig::paper_default(3, 0.5);
+        cfg.ticks = 80;
+        cfg.warmup = 0;
+        cfg.demand_drift = 0.0;
+        let mut trace = vec![0.05; 40];
+        trace.extend(vec![0.8; 40]);
+        cfg.utilization_trace = Some(trace);
+        let mut sim = Simulation::new(cfg).unwrap();
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for t in 0..80 {
+            let (r, _) = sim.step();
+            if t < 40 {
+                early += r.total_power().0;
+            } else {
+                late += r.total_power().0;
+            }
+        }
+        assert!(
+            late > early * 3.0,
+            "heavy phase ({late:.0}) must dwarf idle phase ({early:.0})"
+        );
+    }
+
+    #[test]
+    fn utilization_trace_validated() {
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.utilization_trace = Some(vec![0.5, 1.2]);
+        assert!(Simulation::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Data-center simulator for Willow (paper §V-B).
+//!
+//! This crate replaces the paper's MATLAB simulator: it wires the Willow
+//! controller (`willow-core`) to the stochastic workload model
+//! (`willow-workload`), the supply traces (`willow-power`) and the switch
+//! fabric (`willow-network`), runs deterministic seeded experiments, and
+//! aggregates the metrics behind every simulation figure of the paper
+//! (Figs. 4–12).
+//!
+//! * [`config`] — serializable experiment configuration ([`SimConfig`]).
+//! * [`engine`] — the fixed-step simulation loop ([`Simulation`]).
+//! * [`metrics`] — per-tick and aggregated run metrics.
+//! * [`experiments`] — one runner per paper figure, returning printable row
+//!   series (consumed by the `repro` binary in `willow-bench` and recorded
+//!   in `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod messaging;
+pub mod metrics;
+pub mod parallel;
+pub mod trace;
+
+pub use config::SimConfig;
+pub use engine::Simulation;
+pub use metrics::RunMetrics;

@@ -1,0 +1,257 @@
+//! Message-level emulation of Willow's control plane (paper Fig. 2, §V-A1).
+//!
+//! The controller in `willow-core` is level-synchronous: one `step()`
+//! atomically aggregates demands and distributes budgets. The real system
+//! is distributed — PMUs exchange messages with per-hop latency `α` — and
+//! the paper's stability argument rests on the *measured* propagation
+//! delay `δ ≤ h·α` being much smaller than `Δ_D`. This module emulates the
+//! message plane: demand reports climb the tree one hop per `α`, budget
+//! directives descend likewise, and the emulation records exactly when
+//! every site converged on an update, so δ can be measured instead of
+//! assumed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use willow_thermal::units::{Seconds, Watts};
+use willow_topology::{NodeId, Tree};
+
+/// A control message in flight.
+#[derive(Debug, Clone, PartialEq)]
+enum Payload {
+    /// Demand report, carrying the subtree's aggregated demand.
+    Report(Watts),
+    /// Budget directive for the receiving node.
+    Directive(Watts),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct InFlight {
+    deliver_at: f64,
+    from: NodeId,
+    to: NodeId,
+    payload: Payload,
+}
+
+// BinaryHeap ordering by delivery time (earliest first via Reverse).
+impl Eq for InFlight {}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .total_cmp(&other.deliver_at)
+            .then_with(|| self.to.cmp(&other.to))
+    }
+}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of emulating one reporting round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// When the root had received every leaf's report (the upward δ).
+    pub root_converged_at: Seconds,
+    /// When every leaf had received its budget directive (the downward δ).
+    pub leaves_converged_at: Seconds,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// The root's aggregated view of total demand.
+    pub root_view: Watts,
+}
+
+/// Emulate one full demand-report + budget-directive round over `tree`
+/// with per-hop latency `alpha`. Leaf demands are given per leaf (arena
+/// order of `tree.leaves()`); the root divides `supply` equally per watt
+/// of reported demand (the emulation measures *timing*, not policy).
+///
+/// Interior nodes forward their aggregate upward only once all their
+/// children's reports have arrived — exactly the one-way update flow of
+/// §V-A1.
+///
+/// # Panics
+/// Panics if `alpha` is not positive or `demands` does not match the leaf
+/// count.
+#[must_use]
+pub fn emulate_round(
+    tree: &Tree,
+    alpha: Seconds,
+    demands: &[Watts],
+    supply: Watts,
+) -> RoundOutcome {
+    assert!(alpha.is_positive(), "per-hop latency must be positive");
+    let leaves: Vec<NodeId> = tree.leaves().collect();
+    assert_eq!(leaves.len(), demands.len(), "one demand per leaf");
+
+    let n = tree.len();
+    let mut pending_children: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId(i as u32)).len())
+        .collect();
+    let mut aggregate: Vec<Watts> = vec![Watts::ZERO; n];
+    let mut queue: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    let mut messages = 0usize;
+
+    // Leaves report at t = 0 (their own measurement is local).
+    for (leaf, &d) in leaves.iter().zip(demands) {
+        aggregate[leaf.index()] = d;
+        if let Some(parent) = tree.parent(*leaf) {
+            queue.push(Reverse(InFlight {
+                deliver_at: alpha.0,
+                from: *leaf,
+                to: parent,
+                payload: Payload::Report(d),
+            }));
+        }
+    }
+
+    let root = tree.root();
+    let mut root_converged_at = if tree.len() == 1 { 0.0 } else { f64::NAN };
+    let mut leaves_pending = leaves.len();
+    let mut leaves_converged_at = f64::NAN;
+
+    while let Some(Reverse(msg)) = queue.pop() {
+        messages += 1;
+        let now = msg.deliver_at;
+        match msg.payload {
+            Payload::Report(w) => {
+                let i = msg.to.index();
+                aggregate[i] += w;
+                pending_children[i] -= 1;
+                if pending_children[i] == 0 {
+                    if msg.to == root {
+                        root_converged_at = now;
+                        // Root issues budget directives downward.
+                        let total = aggregate[root.index()];
+                        let scale = if total.0 > 0.0 { supply / total } else { 0.0 };
+                        for &c in tree.children(root) {
+                            queue.push(Reverse(InFlight {
+                                deliver_at: now + alpha.0,
+                                from: root,
+                                to: c,
+                                payload: Payload::Directive(aggregate[c.index()] * scale),
+                            }));
+                        }
+                        if tree.children(root).is_empty() {
+                            leaves_converged_at = now;
+                        }
+                    } else {
+                        let parent = tree.parent(msg.to).expect("non-root has parent");
+                        queue.push(Reverse(InFlight {
+                            deliver_at: now + alpha.0,
+                            from: msg.to,
+                            to: parent,
+                            payload: Payload::Report(aggregate[i]),
+                        }));
+                    }
+                }
+            }
+            Payload::Directive(budget) => {
+                let i = msg.to.index();
+                if tree.node(msg.to).is_leaf() {
+                    leaves_pending -= 1;
+                    if leaves_pending == 0 {
+                        leaves_converged_at = now;
+                    }
+                } else {
+                    // Split proportionally to the aggregates seen on the
+                    // way up and forward.
+                    let total = aggregate[i];
+                    for &c in tree.children(msg.to) {
+                        let share = if total.0 > 0.0 {
+                            budget * (aggregate[c.index()] / total)
+                        } else {
+                            Watts::ZERO
+                        };
+                        queue.push(Reverse(InFlight {
+                            deliver_at: now + alpha.0,
+                            from: msg.to,
+                            to: c,
+                            payload: Payload::Directive(share),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    RoundOutcome {
+        root_converged_at: Seconds(root_converged_at),
+        leaves_converged_at: Seconds(leaves_converged_at),
+        messages,
+        root_view: aggregate[root.index()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willow_core::convergence::ConvergenceAnalysis;
+
+    #[test]
+    fn upward_delta_is_height_times_alpha() {
+        let tree = Tree::paper_fig3(); // height 3
+        let demands = vec![Watts(10.0); 18];
+        let out = emulate_round(&tree, Seconds(0.02), &demands, Watts(500.0));
+        // Reports cross 3 hops: leaf→L1→L2→root.
+        assert!((out.root_converged_at.0 - 0.06).abs() < 1e-12);
+        // Directives cross 3 more hops back down.
+        assert!((out.leaves_converged_at.0 - 0.12).abs() < 1e-12);
+        assert_eq!(out.root_view, Watts(180.0));
+    }
+
+    #[test]
+    fn measured_delta_matches_analysis_bound() {
+        // The measured upward convergence equals the §V-A1 bound h·α for
+        // every uniform topology — the emulation validates the analysis.
+        for branching in [&[3][..], &[2, 3][..], &[2, 3, 3][..], &[2, 2, 2, 2][..]] {
+            let tree = Tree::uniform(branching);
+            let alpha = Seconds(0.01);
+            let analysis = ConvergenceAnalysis::for_tree(&tree, alpha);
+            let demands = vec![Watts(5.0); tree.leaves().count()];
+            let out = emulate_round(&tree, alpha, &demands, Watts(100.0));
+            assert!(
+                (out.root_converged_at.0 - analysis.delta.0).abs() < 1e-12,
+                "{branching:?}: measured {} vs bound {}",
+                out.root_converged_at.0,
+                analysis.delta.0
+            );
+            // Full round trip is 2δ — still far below the recommended Δ_D.
+            assert!(out.leaves_converged_at.0 * 5.0 <= analysis.recommended_delta_d.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn message_count_is_two_per_link() {
+        let tree = Tree::paper_fig3();
+        let demands = vec![Watts(1.0); 18];
+        let out = emulate_round(&tree, Seconds(0.01), &demands, Watts(100.0));
+        // One report and one directive per link.
+        assert_eq!(out.messages, 2 * (tree.len() - 1));
+    }
+
+    #[test]
+    fn budgets_partition_supply() {
+        // The emulation's proportional split conserves the supply at every
+        // level; with equal demands the root view is exact.
+        let tree = Tree::uniform(&[2, 2]);
+        let demands = vec![Watts(25.0), Watts(75.0), Watts(50.0), Watts(50.0)];
+        let out = emulate_round(&tree, Seconds(0.01), &demands, Watts(100.0));
+        assert_eq!(out.root_view, Watts(200.0));
+    }
+
+    #[test]
+    fn single_node_tree_converges_instantly() {
+        let tree = Tree::uniform(&[1]);
+        // One leaf under the root.
+        let out = emulate_round(&tree, Seconds(0.01), &[Watts(9.0)], Watts(10.0));
+        assert!((out.root_converged_at.0 - 0.01).abs() < 1e-12);
+        assert_eq!(out.root_view, Watts(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand per leaf")]
+    fn demand_mismatch_rejected() {
+        let tree = Tree::paper_fig3();
+        let _ = emulate_round(&tree, Seconds(0.01), &[Watts(1.0)], Watts(10.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-tick and aggregated run metrics.
+
+use serde::{Deserialize, Serialize};
+use willow_core::migration::{MigrationReason, TickReport};
+use willow_thermal::units::Watts;
+
+/// Fabric snapshot taken after each tick (the controller resets traffic
+/// counters per period).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FabricSnapshot {
+    /// Migration traffic through each level-1 switch this period.
+    pub l1_migration: Vec<f64>,
+    /// Query traffic through each level-1 switch this period.
+    pub l1_query: Vec<f64>,
+}
+
+impl FabricSnapshot {
+    /// Combined traffic per level-1 switch this period.
+    #[must_use]
+    pub fn l1_total(&self) -> Vec<f64> {
+        self.l1_query
+            .iter()
+            .zip(&self.l1_migration)
+            .map(|(q, m)| q + m)
+            .collect()
+    }
+}
+
+/// Aggregated metrics over a run (excluding warm-up).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunMetrics {
+    /// Ticks aggregated (post-warm-up).
+    pub ticks: usize,
+    /// Mean power drawn per server.
+    pub avg_server_power: Vec<f64>,
+    /// Mean temperature per server (°C).
+    pub avg_server_temp: Vec<f64>,
+    /// Peak temperature per server (°C) — thermal-safety check.
+    pub peak_server_temp: Vec<f64>,
+    /// Fraction of ticks each server spent asleep.
+    pub sleep_fraction: Vec<f64>,
+    /// Total demand-driven migrations.
+    pub demand_migrations: usize,
+    /// Total consolidation-driven migrations.
+    pub consolidation_migrations: usize,
+    /// Total local migrations (both reasons).
+    pub local_migrations: usize,
+    /// Total ping-pong events (should stay 0).
+    pub pingpongs: usize,
+    /// Mean per-period migration traffic per level-1 switch.
+    pub avg_l1_migration_traffic: Vec<f64>,
+    /// Mean per-period query traffic per level-1 switch.
+    pub avg_l1_query_traffic: Vec<f64>,
+    /// Mean demand shed per period.
+    pub avg_dropped: f64,
+    /// Mean level-0 power imbalance (Eq. 9) per period.
+    pub avg_imbalance_l0: f64,
+    /// Total migrated demand (watt·periods).
+    pub migrated_demand: f64,
+    /// Peak combined per-period traffic seen at each level-1 switch —
+    /// the fabric's capacity-planning signal.
+    pub peak_l1_traffic: Vec<f64>,
+}
+
+impl RunMetrics {
+    /// Fold a stream of `(report, fabric)` pairs into aggregates.
+    /// `n_servers`/`n_l1` size the per-entity vectors.
+    #[must_use]
+    pub fn aggregate(
+        stream: impl IntoIterator<Item = (TickReport, FabricSnapshot)>,
+        n_servers: usize,
+        n_l1: usize,
+    ) -> RunMetrics {
+        let mut m = RunMetrics {
+            avg_server_power: vec![0.0; n_servers],
+            avg_server_temp: vec![0.0; n_servers],
+            peak_server_temp: vec![f64::NEG_INFINITY; n_servers],
+            sleep_fraction: vec![0.0; n_servers],
+            avg_l1_migration_traffic: vec![0.0; n_l1],
+            avg_l1_query_traffic: vec![0.0; n_l1],
+            peak_l1_traffic: vec![0.0; n_l1],
+            ..RunMetrics::default()
+        };
+        for (report, fabric) in stream {
+            m.ticks += 1;
+            for i in 0..n_servers {
+                m.avg_server_power[i] += report.server_power[i].0;
+                m.avg_server_temp[i] += report.server_temp[i].0;
+                m.peak_server_temp[i] = m.peak_server_temp[i].max(report.server_temp[i].0);
+                if !report.server_active[i] {
+                    m.sleep_fraction[i] += 1.0;
+                }
+            }
+            m.demand_migrations += report.migrations_by_reason(MigrationReason::Demand);
+            m.consolidation_migrations +=
+                report.migrations_by_reason(MigrationReason::Consolidation);
+            m.local_migrations += report.local_migrations();
+            m.pingpongs += report.pingpongs();
+            m.migrated_demand += report.migrated_demand().0;
+            m.avg_dropped += report.dropped_demand.0;
+            m.avg_imbalance_l0 += report.imbalance.first().copied().unwrap_or(Watts::ZERO).0;
+            for (i, v) in fabric.l1_migration.iter().enumerate() {
+                m.avg_l1_migration_traffic[i] += v;
+            }
+            for (i, v) in fabric.l1_query.iter().enumerate() {
+                m.avg_l1_query_traffic[i] += v;
+            }
+            for (i, total) in fabric.l1_total().iter().enumerate() {
+                if *total > m.peak_l1_traffic[i] {
+                    m.peak_l1_traffic[i] = *total;
+                }
+            }
+        }
+        if m.ticks > 0 {
+            let n = m.ticks as f64;
+            for v in m
+                .avg_server_power
+                .iter_mut()
+                .chain(m.avg_server_temp.iter_mut())
+                .chain(m.sleep_fraction.iter_mut())
+                .chain(m.avg_l1_migration_traffic.iter_mut())
+                .chain(m.avg_l1_query_traffic.iter_mut())
+            {
+                *v /= n;
+            }
+            m.avg_dropped /= n;
+            m.avg_imbalance_l0 /= n;
+        }
+        m
+    }
+
+    /// Mean power across a set of servers.
+    #[must_use]
+    pub fn mean_power(&self, servers: impl IntoIterator<Item = usize>) -> f64 {
+        let idx: Vec<usize> = servers.into_iter().collect();
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.avg_server_power[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Mean temperature across a set of servers.
+    #[must_use]
+    pub fn mean_temp(&self, servers: impl IntoIterator<Item = usize>) -> f64 {
+        let idx: Vec<usize> = servers.into_iter().collect();
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.avg_server_temp[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Total migrations of both kinds.
+    #[must_use]
+    pub fn total_migrations(&self) -> usize {
+        self.demand_migrations + self.consolidation_migrations
+    }
+
+    /// Render the per-server aggregates as CSV (header + one row per
+    /// server) for external plotting.
+    #[must_use]
+    pub fn per_server_csv(&self) -> String {
+        let mut out =
+            String::from("server,avg_power_w,avg_temp_c,peak_temp_c,sleep_fraction\n");
+        for i in 0..self.avg_server_power.len() {
+            out.push_str(&format!(
+                "{},{:.3},{:.3},{:.3},{:.4}\n",
+                i + 1,
+                self.avg_server_power[i],
+                self.avg_server_temp[i],
+                self.peak_server_temp[i],
+                self.sleep_fraction[i]
+            ));
+        }
+        out
+    }
+
+    /// Migration traffic across all level-1 switches normalized to the
+    /// their combined capacity per period (Fig. 10's y-axis).
+    #[must_use]
+    pub fn normalized_l1_migration_traffic(&self, capacity_units: f64) -> f64 {
+        if self.avg_l1_migration_traffic.is_empty() || capacity_units <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self.avg_l1_migration_traffic.iter().sum();
+        total / (capacity_units * self.avg_l1_migration_traffic.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willow_thermal::units::Celsius;
+
+    fn fake_tick(power: f64, temp: f64, active: bool) -> (TickReport, FabricSnapshot) {
+        let report = TickReport {
+            server_power: vec![Watts(power)],
+            server_temp: vec![Celsius(temp)],
+            server_budget: vec![Watts(450.0)],
+            server_active: vec![active],
+            imbalance: vec![Watts(2.0)],
+            dropped_demand: Watts(1.0),
+            ..TickReport::default()
+        };
+        let fabric = FabricSnapshot {
+            l1_migration: vec![4.0],
+            l1_query: vec![10.0],
+        };
+        (report, fabric)
+    }
+
+    #[test]
+    fn aggregation_averages() {
+        let m = RunMetrics::aggregate(
+            vec![fake_tick(100.0, 40.0, true), fake_tick(200.0, 60.0, false)],
+            1,
+            1,
+        );
+        assert_eq!(m.ticks, 2);
+        assert!((m.avg_server_power[0] - 150.0).abs() < 1e-12);
+        assert!((m.avg_server_temp[0] - 50.0).abs() < 1e-12);
+        assert!((m.peak_server_temp[0] - 60.0).abs() < 1e-12);
+        assert!((m.sleep_fraction[0] - 0.5).abs() < 1e-12);
+        assert!((m.avg_dropped - 1.0).abs() < 1e-12);
+        assert!((m.avg_imbalance_l0 - 2.0).abs() < 1e-12);
+        assert!((m.avg_l1_migration_traffic[0] - 4.0).abs() < 1e-12);
+        assert!((m.peak_l1_traffic[0] - 14.0).abs() < 1e-12, "peak = max(query+migration)");
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let m = RunMetrics::aggregate(
+            vec![fake_tick(100.0, 40.0, true)],
+            1,
+            1,
+        );
+        let csv = m.per_server_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "server,avg_power_w,avg_temp_c,peak_temp_c,sleep_fraction"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("1,100.000,40.000,40.000,"));
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn group_means() {
+        let m = RunMetrics {
+            avg_server_power: vec![100.0, 200.0, 300.0],
+            avg_server_temp: vec![30.0, 40.0, 50.0],
+            ..RunMetrics::default()
+        };
+        assert!((m.mean_power([0, 2]) - 200.0).abs() < 1e-12);
+        assert!((m.mean_temp([1]) - 40.0).abs() < 1e-12);
+        assert_eq!(m.mean_power([]), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let m = RunMetrics {
+            avg_l1_migration_traffic: vec![10.0, 30.0],
+            ..RunMetrics::default()
+        };
+        // total 40 over 2 switches × 1000 capacity = 0.02.
+        assert!((m.normalized_l1_migration_traffic(1000.0) - 0.02).abs() < 1e-12);
+        assert_eq!(m.normalized_l1_migration_traffic(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zeroed() {
+        let m = RunMetrics::aggregate(Vec::new(), 2, 1);
+        assert_eq!(m.ticks, 0);
+        assert_eq!(m.avg_server_power, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Parallel parameter sweeps over independent simulation runs.
+//!
+//! Each simulation is deterministic and single-threaded; a sweep (9
+//! utilizations × several seeds) is embarrassingly parallel. This module
+//! fans work out across scoped crossbeam threads with an atomic work
+//! queue, preserving input order in the output.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `inputs` in parallel, preserving order.
+///
+/// Spawns up to `min(inputs.len(), available_parallelism)` worker threads;
+/// falls back to sequential execution for empty or single-element inputs.
+///
+/// # Panics
+/// Propagates panics from `f` (the scope join panics).
+pub fn parallel_map<T, U, F>(inputs: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = inputs.len();
+    if n <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    // Work items behind Options so threads can take ownership by index.
+    let work: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let input = work[i].lock().take().expect("each index taken once");
+                let output = f(input);
+                *results[i].lock() = Some(output);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all work completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen = StdMutex::new(HashSet::new());
+        let _ = parallel_map((0..64).collect(), |x: i32| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // A little work so threads overlap.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        let threads = seen.lock().unwrap().len();
+        if std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false) {
+            assert!(threads > 1, "expected multiple worker threads, saw {threads}");
+        }
+    }
+
+    #[test]
+    fn works_with_heavy_outputs() {
+        let out = parallel_map((0..16).collect(), |x: usize| vec![x; 1000]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), 1000);
+            assert!(v.iter().all(|&e| e == i));
+        }
+    }
+}

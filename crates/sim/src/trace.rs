@@ -1,0 +1,216 @@
+//! Structured event log for simulation runs.
+//!
+//! Downstream users debugging a control policy want *what happened when*,
+//! not just aggregates: this module flattens [`TickReport`]s into a typed
+//! event stream that serializes to JSON-lines for external tooling.
+
+use serde::{Deserialize, Serialize};
+use willow_core::migration::{MigrationReason, TickReport};
+use willow_topology::NodeId;
+use willow_workload::app::AppId;
+
+/// One logged control event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Event {
+    /// An application migrated.
+    Migration {
+        /// The application moved.
+        app: AppId,
+        /// Source server leaf.
+        from: NodeId,
+        /// Target server leaf.
+        to: NodeId,
+        /// Demand moved (W).
+        watts: f64,
+        /// Why.
+        reason: MigrationReason,
+        /// Sibling-local?
+        local: bool,
+    },
+    /// A server entered deep sleep.
+    Sleep {
+        /// The server leaf.
+        node: NodeId,
+    },
+    /// A server was woken.
+    Wake {
+        /// The server leaf.
+        node: NodeId,
+    },
+    /// Demand was shed this period.
+    Shed {
+        /// Total shed (W).
+        watts: f64,
+        /// Shed per QoS class (Low, Normal, High), W.
+        by_class: [f64; 3],
+    },
+}
+
+/// An event with its demand-period timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Demand period the event occurred in.
+    pub tick: u64,
+    /// The event.
+    #[serde(flatten)]
+    pub event: Event,
+}
+
+/// An append-only event log built from tick reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<TimedEvent>,
+}
+
+impl EventLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Extract and append all events from one tick report.
+    pub fn record(&mut self, report: &TickReport) {
+        let tick = report.tick;
+        for m in &report.migrations {
+            self.events.push(TimedEvent {
+                tick,
+                event: Event::Migration {
+                    app: m.app,
+                    from: m.from,
+                    to: m.to,
+                    watts: m.moved.0,
+                    reason: m.reason,
+                    local: m.local,
+                },
+            });
+        }
+        for &node in &report.slept {
+            self.events.push(TimedEvent {
+                tick,
+                event: Event::Sleep { node },
+            });
+        }
+        for &node in &report.woken {
+            self.events.push(TimedEvent {
+                tick,
+                event: Event::Wake { node },
+            });
+        }
+        if report.dropped_demand.0 > 0.0 {
+            self.events.push(TimedEvent {
+                tick,
+                event: Event::Shed {
+                    watts: report.dropped_demand.0,
+                    by_class: [
+                        report.shed_by_priority[0].0,
+                        report.shed_by_priority[1].0,
+                        report.shed_by_priority[2].0,
+                    ],
+                },
+            });
+        }
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize as JSON-lines (one event per line).
+    ///
+    /// # Errors
+    /// Propagates serialization failures (cannot happen for these types in
+    /// practice).
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&serde_json::to_string(ev)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Count of migration events.
+    #[must_use]
+    pub fn migrations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Migration { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use willow_core::migration::MigrationRecord;
+    use willow_thermal::units::Watts;
+
+    fn report_with_everything() -> TickReport {
+        TickReport {
+            tick: 9,
+            migrations: vec![MigrationRecord {
+                tick: 9,
+                app: AppId(4),
+                from: NodeId(3),
+                to: NodeId(5),
+                moved: Watts(33.0),
+                reason: MigrationReason::Demand,
+                local: true,
+                hops: 1,
+                pingpong: false,
+            }],
+            slept: vec![NodeId(7)],
+            woken: vec![NodeId(8)],
+            dropped_demand: Watts(12.0),
+            shed_by_priority: [Watts(12.0), Watts(0.0), Watts(0.0)],
+            ..TickReport::default()
+        }
+    }
+
+    #[test]
+    fn record_extracts_all_event_kinds() {
+        let mut log = EventLog::new();
+        log.record(&report_with_everything());
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.migrations(), 1);
+        assert!(log.events().iter().all(|e| e.tick == 9));
+    }
+
+    #[test]
+    fn quiet_report_logs_nothing() {
+        let mut log = EventLog::new();
+        log.record(&TickReport::default());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut log = EventLog::new();
+        log.record(&report_with_everything());
+        let text = log.to_jsonl().unwrap();
+        assert_eq!(text.lines().count(), 4);
+        // Each line parses back into a TimedEvent.
+        for line in text.lines() {
+            let ev: TimedEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(ev.tick, 9);
+        }
+        assert!(text.contains("\"kind\":\"migration\""));
+        assert!(text.contains("\"kind\":\"shed\""));
+    }
+}

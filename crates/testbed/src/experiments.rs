@@ -1,0 +1,330 @@
+//! The testbed experiments: §V-C4 (energy deficiency, Figs. 15–18) and
+//! §V-C5 (consolidation, Fig. 19 + Table III), plus the §V-C2 baseline
+//! parameter estimation behind Fig. 14.
+
+use crate::apps::AppFactory;
+use crate::cluster::{ClusterConfig, TestbedCluster};
+use serde::{Deserialize, Serialize};
+use willow_power::SupplyTrace;
+use willow_thermal::calibration::{fit_constants, synthesize_trace};
+use willow_thermal::model::ThermalParams;
+use willow_thermal::units::{Celsius, Seconds, Watts};
+use willow_workload::app::Application;
+
+/// The initial placement used by both testbed experiments:
+/// host A ≈ 82 % CPU (A3+A3+A2 = 40 W), host B ≈ 41 % (A2+A2 = 20 W),
+/// host C ≈ 16.5 % (A1 = 8 W). The paper quotes 80/40/20 — its own
+/// Table III does not conserve CPU either, so we match the coarse levels
+/// with the quantized Table-II applications.
+#[must_use]
+pub fn paper_placement() -> [Vec<Application>; 3] {
+    let mut f = AppFactory::new();
+    [
+        vec![f.a3(), f.a3(), f.a2()],
+        vec![f.a2(), f.a2()],
+        vec![f.a1()],
+    ]
+}
+
+/// Demand ticks per Fig. 15 "time unit" (one supply period `Δ_S`).
+const TICKS_PER_UNIT: usize = 4;
+
+/// Result of the §V-C4 energy-deficiency run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeficitRun {
+    /// Fig. 15: available supply per time unit (W).
+    pub supply: Vec<f64>,
+    /// Fig. 16: migrations decided in each time unit.
+    pub migrations: Vec<usize>,
+    /// Fig. 17: host A temperature at the end of each demand tick (°C).
+    pub temp_a: Vec<f64>,
+    /// Fig. 18: average host temperature per time unit (°C).
+    pub avg_temp: Vec<f64>,
+    /// Total demand shed over the run (W·ticks) — QoS impact proxy.
+    pub dropped: f64,
+    /// Ping-pong migrations observed (the paper reports none).
+    pub pingpongs: usize,
+    /// Peak temperature across hosts and ticks (°C).
+    pub peak_temp: f64,
+}
+
+/// Time units whose supply plunges in the Fig. 15 trace.
+pub const PLUNGE_UNITS: [usize; 7] = [7, 8, 9, 12, 13, 25, 26];
+
+/// Run the §V-C4 experiment: 30 time units, nominal supply 680 W with
+/// plunges to 90 % at units 7–9, 12–13 and 25–26.
+#[must_use]
+pub fn deficit_experiment(seed: u64) -> DeficitRun {
+    let units = 30;
+    let nominal = Watts(680.0);
+    let trace = SupplyTrace::paper_deficit_with_depth(nominal, 0.90, units);
+    let mut cfg = ClusterConfig::default();
+    cfg.seed = seed;
+    cfg.swing = 0.10;
+    // Consolidation off for this run: the paper's §V-C4 notes that at ≈60 %
+    // average utilization no server can be shut down.
+    cfg.controller.consolidation_threshold = 0.0;
+    cfg.controller.wake_on_deficit = false;
+    let mut cluster = TestbedCluster::new(cfg, paper_placement());
+
+    let mut out = DeficitRun {
+        supply: trace.iter().map(|w| w.0).collect(),
+        migrations: vec![0; units],
+        temp_a: Vec::with_capacity(units * TICKS_PER_UNIT),
+        avg_temp: vec![0.0; units],
+        dropped: 0.0,
+        pingpongs: 0,
+        peak_temp: f64::NEG_INFINITY,
+    };
+    for unit in 0..units {
+        let supply = trace.at(unit);
+        let mut unit_temp = 0.0;
+        for _ in 0..TICKS_PER_UNIT {
+            let r = cluster.step(supply);
+            out.migrations[unit] += r.migrations.len();
+            out.pingpongs += r.pingpongs();
+            out.dropped += r.dropped_demand.0;
+            out.temp_a.push(r.server_temp[0].0);
+            let avg = r.server_temp.iter().map(|t| t.0).sum::<f64>() / r.server_temp.len() as f64;
+            unit_temp += avg;
+            out.peak_temp = out
+                .peak_temp
+                .max(r.server_temp.iter().map(|t| t.0).fold(f64::MIN, f64::max));
+        }
+        out.avg_temp[unit] = unit_temp / TICKS_PER_UNIT as f64;
+    }
+    out
+}
+
+/// Result of the §V-C5 consolidation run (Fig. 19 + Table III).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsolidationRun {
+    /// Fig. 19: available supply per time unit (W).
+    pub supply: Vec<f64>,
+    /// Table III: initial CPU utilization per host (A, B, C), percent.
+    pub initial_util: [f64; 3],
+    /// Table III: average utilization at the end of the run, percent.
+    pub final_util: [f64; 3],
+    /// Fraction of the run host C spent asleep.
+    pub c_sleep_fraction: f64,
+    /// Average cluster power with Willow (W).
+    pub willow_power: f64,
+    /// Average cluster power with consolidation disabled (W).
+    pub baseline_power: f64,
+    /// Power saving fraction (the paper reports ≈27.5 %).
+    pub savings: f64,
+}
+
+/// Run the §V-C5 experiment: plenty supply (≈750 W, near the power needed
+/// for all three hosts at 100 % utilization), consolidation threshold
+/// "20 %" (0.21 with our quantized apps).
+#[must_use]
+pub fn consolidation_experiment(seed: u64) -> ConsolidationRun {
+    let units = 40;
+    let trace = SupplyTrace::paper_plenty(Watts(750.0), units);
+
+    let run = |consolidate: bool| {
+        let mut cfg = ClusterConfig::default();
+        cfg.seed = seed;
+        cfg.swing = 0.05;
+        if !consolidate {
+            cfg.controller.consolidation_threshold = 0.0;
+        }
+        let mut cluster = TestbedCluster::new(cfg, paper_placement());
+        let d = cluster.design_utilizations();
+        let initial = [d[0] * 100.0, d[1] * 100.0, d[2] * 100.0];
+        let mut final_util = [0.0; 3];
+        let mut c_sleep = 0.0;
+        let mut power_sum = 0.0;
+        let mut ticks = 0.0;
+        let tail = units * TICKS_PER_UNIT / 4; // average utils over last 25 %
+        for unit in 0..units {
+            let supply = trace.at(unit);
+            for tick in 0..TICKS_PER_UNIT {
+                let r = cluster.step(supply);
+                if !r.server_active[2] {
+                    c_sleep += 1.0;
+                }
+                power_sum += cluster.measured_power(&r).0;
+                ticks += 1.0;
+                if unit * TICKS_PER_UNIT + tick >= units * TICKS_PER_UNIT - tail {
+                    let u = cluster.host_utilizations();
+                    for (acc, v) in final_util.iter_mut().zip(u) {
+                        *acc += v * 100.0 / tail as f64;
+                    }
+                }
+            }
+        }
+        (initial, final_util, c_sleep / ticks, power_sum / ticks)
+    };
+
+    let (initial, final_util, c_sleep_fraction, willow_power) = run(true);
+    let (_, _, _, baseline_power) = run(false);
+    ConsolidationRun {
+        supply: trace.iter().map(|w| w.0).collect(),
+        initial_util: initial,
+        final_util,
+        c_sleep_fraction,
+        willow_power,
+        baseline_power,
+        savings: 1.0 - willow_power / baseline_power,
+    }
+}
+
+/// §V-C2 baseline experiment, emulated end to end: drive the host at each
+/// Table-I utilization level, sample its power with a noisy 2 Hz analyzer,
+/// and average — the measured table. A least-squares fit through the
+/// measurements recovers the underlying linear curve.
+#[must_use]
+pub fn measure_table1(seed: u64) -> (Vec<(u32, Watts)>, willow_workload::power_model::LinearPowerModel) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let host = crate::host::HostModel::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for util_pct in [20u32, 40, 60, 80, 100] {
+        let u = f64::from(util_pct) / 100.0;
+        let truth = host.power_at(u);
+        // 60 s of 2 Hz samples with ±1 % analyzer noise.
+        let n = 120;
+        let mean = (0..n)
+            .map(|_| truth.0 * (1.0 + 0.01 * (rng.gen::<f64>() * 2.0 - 1.0)))
+            .sum::<f64>()
+            / f64::from(n);
+        rows.push((util_pct, Watts(mean)));
+        points.push((u, Watts(mean)));
+    }
+    let fit = willow_workload::power_model::fit_linear(&points)
+        .expect("five distinct utilizations are well-conditioned");
+    (rows, fit)
+}
+
+/// §V-C2 baseline: re-run the paper's parameter estimation. A synthetic
+/// power/temperature trace is generated from the published constants
+/// (c1 = 0.2, c2 = 0.1) at the analyzer's 2 Hz sampling rate, then the
+/// least-squares fitter recovers them — the Fig. 14 procedure end to end.
+#[must_use]
+pub fn parameter_estimation() -> ThermalParams {
+    let ambient = Celsius(25.0);
+    let trace = synthesize_trace(
+        ThermalParams::EXPERIMENTAL,
+        ambient,
+        ambient,
+        &[
+            Watts(180.0),
+            Watts(190.0),
+            Watts(200.0),
+            Watts(210.0),
+            Watts(219.0),
+            Watts(0.0),
+        ],
+        Seconds(120.0),
+        Seconds(0.5),
+    );
+    fit_constants(&trace, ambient).expect("well-conditioned trace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deficit_migrations_cluster_at_plunges() {
+        let run = deficit_experiment(3);
+        let plunge: usize = PLUNGE_UNITS.iter().map(|&u| run.migrations[u]).sum();
+        let calm: usize = (0..run.migrations.len())
+            .filter(|u| !PLUNGE_UNITS.contains(u))
+            .map(|u| run.migrations[u])
+            .sum();
+        assert!(plunge > 0, "plunges must trigger migrations");
+        assert!(
+            plunge >= calm,
+            "migrations must concentrate at plunges: plunge={plunge}, calm={calm}"
+        );
+    }
+
+    #[test]
+    fn deficit_decision_stability_within_plunges() {
+        // Paper: migrations at the start of a plunge, then quiet while the
+        // supply stays low (the margins absorb fluctuations).
+        let run = deficit_experiment(3);
+        let first = run.migrations[7];
+        let rest = run.migrations[8] + run.migrations[9];
+        assert!(
+            rest <= first.max(1),
+            "sustained-low units must stay mostly quiet: first={first}, rest={rest}"
+        );
+        assert_eq!(run.pingpongs, 0, "no ping-pong control");
+    }
+
+    #[test]
+    fn deficit_thermal_limits_hold() {
+        let run = deficit_experiment(9);
+        assert!(run.peak_temp <= 70.0 + 1e-6, "peak {}", run.peak_temp);
+        assert_eq!(run.temp_a.len(), 30 * TICKS_PER_UNIT);
+        assert!(run.avg_temp.iter().all(|t| *t > 25.0), "hosts run warm");
+    }
+
+    #[test]
+    fn consolidation_puts_c_to_sleep_and_saves_power() {
+        let run = consolidation_experiment(4);
+        assert!(
+            run.c_sleep_fraction > 0.8,
+            "host C should sleep most of the run: {}",
+            run.c_sleep_fraction
+        );
+        assert!(
+            run.final_util[2] < 1.0,
+            "C's final utilization must be ≈0: {:?}",
+            run.final_util
+        );
+        assert!(
+            run.final_util[1] > run.initial_util[1],
+            "B must absorb C's workload: {:?} → {:?}",
+            run.initial_util,
+            run.final_util
+        );
+        assert!(
+            run.savings > 0.15 && run.savings < 0.45,
+            "savings {:.3} should be in the paper's ballpark (≈0.275)",
+            run.savings
+        );
+    }
+
+    #[test]
+    fn initial_utils_match_table3_levels() {
+        let run = consolidation_experiment(4);
+        assert!((run.initial_util[0] - 80.0).abs() < 10.0, "{:?}", run.initial_util);
+        assert!((run.initial_util[1] - 40.0).abs() < 8.0, "{:?}", run.initial_util);
+        assert!((run.initial_util[2] - 20.0).abs() < 8.0, "{:?}", run.initial_util);
+    }
+
+    #[test]
+    fn measured_table1_matches_ground_truth() {
+        let (rows, fit) = measure_table1(5);
+        assert_eq!(rows.len(), 5);
+        let truth = willow_workload::power_model::LinearPowerModel::TESTBED;
+        for (u, p) in &rows {
+            let expected = truth.power_at(f64::from(*u) / 100.0);
+            assert!(
+                (p.0 - expected.0).abs() < expected.0 * 0.01,
+                "{u}%: measured {p} vs {expected}"
+            );
+        }
+        // The fit recovers the curve within a percent.
+        assert!((fit.static_power.0 - truth.static_power.0).abs() < 3.0);
+        assert!((fit.slope.0 - truth.slope.0).abs() < 3.0);
+        // Monotone, as the paper observes.
+        for w in rows.windows(2) {
+            assert!(w[1].1 .0 > w[0].1 .0);
+        }
+    }
+
+    #[test]
+    fn parameter_estimation_recovers_published_constants() {
+        let fit = parameter_estimation();
+        assert!((fit.c1 - 0.2).abs() < 0.01, "c1 = {}", fit.c1);
+        assert!((fit.c2 - 0.1).abs() < 0.005, "c2 = {}", fit.c2);
+    }
+}

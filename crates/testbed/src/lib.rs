@@ -1,0 +1,34 @@
+//! Emulation of the paper's experimental testbed (§V-C, Figs. 13–19,
+//! Tables I–III).
+//!
+//! The physical testbed was a cluster of three Dell servers running VMware
+//! ESX 3.5, managed by a remote control plane that simulated a two-level
+//! power hierarchy (two level-1 switches, one level-2 root). Power was
+//! measured with an Extech analyzer (~2 Hz), CPU temperature came from the
+//! on-board sensor, and supply variation was injected artificially. None of
+//! that hardware is available, so this crate substitutes:
+//!
+//! * **hosts** whose ground truth is the paper's own measurements — the
+//!   Table-I utilization→power curve (reconstructed from the §V-C5
+//!   arithmetic, see `willow_workload::power_model`), the Table-II
+//!   application power deltas, and RC thermal dynamics;
+//! * the **same controller code** (`willow-core`) the simulator uses, in
+//!   the exact 2-level topology of Fig. 13, with equal-share budget
+//!   division (the only division consistent with the §V-C4 observations);
+//! * **supply traces** with the artificial variation pattern of
+//!   Figs. 15/19.
+//!
+//! The experiments in [`experiments`] regenerate Figs. 15–18 (energy
+//! deficiency) and Fig. 19 + Table III (consolidation), plus the baseline
+//! parameter-estimation of Fig. 14 via the calibration fitter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod cluster;
+pub mod experiments;
+pub mod host;
+
+pub use cluster::{ClusterConfig, TestbedCluster};
+pub use host::{table1, HostModel};

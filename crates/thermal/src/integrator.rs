@@ -1,0 +1,173 @@
+//! Integration of piecewise-constant power traces into temperature series.
+//!
+//! The Willow simulator and testbed both drive devices with power that is
+//! constant within each control interval and jumps at interval boundaries
+//! (the demand-side granularity `Δ_D` of §IV-C). This module turns such a
+//! trace into the exact temperature time series using the closed-form step
+//! from [`crate::model`], and offers energy accounting over the trace.
+
+use crate::model::{step_temperature, ThermalParams};
+use crate::units::{Celsius, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One sample of a temperature time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TempSample {
+    /// Time since the start of the trace.
+    pub at: Seconds,
+    /// Temperature at that instant.
+    pub temperature: Celsius,
+}
+
+/// Result of integrating a power trace: the per-step temperature samples
+/// (including the initial state) plus aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Integration {
+    /// Temperature at each step boundary; `samples[0]` is the initial state.
+    pub samples: Vec<TempSample>,
+    /// Peak temperature reached anywhere in the trace.
+    ///
+    /// Because the per-step trajectory is monotone between endpoints (the
+    /// solution approaches its steady state exponentially without
+    /// overshoot), the maximum over endpoints equals the true maximum.
+    pub peak: Celsius,
+    /// Total energy consumed over the trace, in joules.
+    pub energy_joules: f64,
+}
+
+/// Integrate a piecewise-constant power trace.
+///
+/// `steps` yields `(power, duration)` pairs applied in order starting from
+/// temperature `t0` with ambient `ta`.
+#[must_use]
+pub fn integrate(
+    params: ThermalParams,
+    t0: Celsius,
+    ta: Celsius,
+    steps: impl IntoIterator<Item = (Watts, Seconds)>,
+) -> Integration {
+    let mut samples = vec![TempSample {
+        at: Seconds::ZERO,
+        temperature: t0,
+    }];
+    let mut t = t0;
+    let mut now = Seconds::ZERO;
+    let mut peak = t0;
+    let mut energy = 0.0;
+    for (p, dt) in steps {
+        debug_assert!(dt.0 >= 0.0);
+        t = step_temperature(params, t, ta, p, dt);
+        now += dt;
+        energy += p.0 * dt.0;
+        peak = peak.max(t);
+        samples.push(TempSample {
+            at: now,
+            temperature: t,
+        });
+    }
+    Integration {
+        samples,
+        peak,
+        energy_joules: energy,
+    }
+}
+
+/// Convenience: integrate a fixed-step trace where every entry lasts `dt`.
+#[must_use]
+pub fn integrate_fixed_step(
+    params: ThermalParams,
+    t0: Celsius,
+    ta: Celsius,
+    powers: &[Watts],
+    dt: Seconds,
+) -> Integration {
+    integrate(params, t0, ta, powers.iter().map(|&p| (p, dt)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: ThermalParams = ThermalParams::SIMULATION;
+
+    #[test]
+    fn empty_trace_is_initial_state_only() {
+        let out = integrate(SIM, Celsius(30.0), Celsius(25.0), std::iter::empty());
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.peak, Celsius(30.0));
+        assert_eq!(out.energy_joules, 0.0);
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let out = integrate_fixed_step(
+            SIM,
+            Celsius(25.0),
+            Celsius(25.0),
+            &[Watts(100.0), Watts(200.0), Watts(0.0)],
+            Seconds(10.0),
+        );
+        assert!((out.energy_joules - 3000.0).abs() < 1e-9);
+        assert_eq!(out.samples.len(), 4);
+    }
+
+    #[test]
+    fn heating_then_cooling_shape() {
+        let out = integrate_fixed_step(
+            SIM,
+            Celsius(25.0),
+            Celsius(25.0),
+            &[Watts(400.0), Watts(400.0), Watts(0.0), Watts(0.0)],
+            Seconds(20.0),
+        );
+        let t = |i: usize| out.samples[i].temperature.0;
+        assert!(t(1) > t(0));
+        assert!(t(2) > t(1));
+        assert!(t(3) < t(2), "power cut ⇒ cooling");
+        assert!(t(4) < t(3));
+        assert!((out.peak.0 - t(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_tracks_maximum_endpoint() {
+        let out = integrate_fixed_step(
+            SIM,
+            Celsius(60.0),
+            Celsius(25.0),
+            &[Watts(0.0), Watts(450.0)],
+            Seconds(5.0),
+        );
+        let max_endpoint = out
+            .samples
+            .iter()
+            .map(|s| s.temperature.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.peak.0, max_endpoint);
+    }
+
+    #[test]
+    fn timestamps_accumulate() {
+        let out = integrate(
+            SIM,
+            Celsius(25.0),
+            Celsius(25.0),
+            [(Watts(1.0), Seconds(1.5)), (Watts(1.0), Seconds(2.5))],
+        );
+        assert_eq!(out.samples[0].at, Seconds(0.0));
+        assert_eq!(out.samples[1].at, Seconds(1.5));
+        assert_eq!(out.samples[2].at, Seconds(4.0));
+    }
+
+    #[test]
+    fn fixed_step_equals_generic() {
+        let powers = [Watts(50.0), Watts(150.0), Watts(75.0)];
+        let a = integrate_fixed_step(SIM, Celsius(25.0), Celsius(25.0), &powers, Seconds(7.0));
+        let b = integrate(
+            SIM,
+            Celsius(25.0),
+            Celsius(25.0),
+            powers.iter().map(|&p| (p, Seconds(7.0))),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,272 @@
+//! Zero-cost unit newtypes shared across the Willow workspace.
+//!
+//! The paper works in plain watts, degrees Celsius and seconds; these wrappers
+//! keep those quantities from being mixed up at API boundaries while compiling
+//! down to bare `f64`s. Arithmetic is implemented only where it is physically
+//! meaningful (adding two temperatures is not; adding two powers is).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Electric power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(pub f64);
+
+/// Temperature in degrees Celsius.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(pub f64);
+
+/// A span of time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Seconds(pub f64);
+
+/// Temperature difference in kelvin (== °C difference).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Kelvin(pub f64);
+
+impl Watts {
+    /// Zero watts.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Clamp into `[lo, hi]`.
+    #[must_use]
+    pub fn clamp(self, lo: Watts, hi: Watts) -> Watts {
+        Watts(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// `max(self, 0)` — the `[x]⁺` operator the paper uses in Eqs. 5–6.
+    #[must_use]
+    pub fn non_negative(self) -> Watts {
+        Watts(self.0.max(0.0))
+    }
+
+    /// Larger of two powers.
+    #[must_use]
+    pub fn max(self, other: Watts) -> Watts {
+        Watts(self.0.max(other.0))
+    }
+
+    /// Smaller of two powers.
+    #[must_use]
+    pub fn min(self, other: Watts) -> Watts {
+        Watts(self.0.min(other.0))
+    }
+
+    /// True if the value is a finite, non-negative number of watts.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Seconds {
+    /// Zero seconds.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// True for a finite, strictly positive duration.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0.is_finite() && self.0 > 0.0
+    }
+}
+
+impl Celsius {
+    /// Difference between two absolute temperatures, as kelvin.
+    #[must_use]
+    pub fn delta(self, other: Celsius) -> Kelvin {
+        Kelvin(self.0 - other.0)
+    }
+
+    /// Larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// Smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+}
+
+macro_rules! impl_linear_ops {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0 - rhs.0)
+            }
+        }
+        impl AddAssign for $t {
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $t {
+            fn sub_assign(&mut self, rhs: $t) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            fn mul(self, rhs: f64) -> $t {
+                $t(self.0 * rhs)
+            }
+        }
+        impl Mul<$t> for f64 {
+            type Output = $t;
+            fn mul(self, rhs: $t) -> $t {
+                $t(self * rhs.0)
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            fn div(self, rhs: f64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+        impl Div for $t {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $t) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            fn neg(self) -> $t {
+                $t(-self.0)
+            }
+        }
+        impl Sum for $t {
+            fn sum<I: Iterator<Item = $t>>(iter: I) -> $t {
+                $t(iter.map(|v| v.0).sum())
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+    };
+}
+
+impl_linear_ops!(Watts);
+impl_linear_ops!(Seconds);
+impl_linear_ops!(Kelvin);
+
+// Celsius is an affine quantity: differences yield Kelvin; adding a Kelvin
+// offset yields Celsius. No Celsius + Celsius.
+impl Sub for Celsius {
+    type Output = Kelvin;
+    fn sub(self, rhs: Celsius) -> Kelvin {
+        Kelvin(self.0 - rhs.0)
+    }
+}
+impl Add<Kelvin> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: Kelvin) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+impl Sub<Kelvin> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: Kelvin) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_arithmetic() {
+        let a = Watts(10.0);
+        let b = Watts(4.0);
+        assert_eq!(a + b, Watts(14.0));
+        assert_eq!(a - b, Watts(6.0));
+        assert_eq!(a * 2.0, Watts(20.0));
+        assert_eq!(2.0 * a, Watts(20.0));
+        assert_eq!(a / 2.0, Watts(5.0));
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert_eq!(-a, Watts(-10.0));
+    }
+
+    #[test]
+    fn watts_positive_part_matches_paper_bracket_operator() {
+        assert_eq!(Watts(-3.0).non_negative(), Watts(0.0));
+        assert_eq!(Watts(3.0).non_negative(), Watts(3.0));
+        assert_eq!(Watts(0.0).non_negative(), Watts(0.0));
+    }
+
+    #[test]
+    fn watts_clamp_and_minmax() {
+        assert_eq!(Watts(5.0).clamp(Watts(0.0), Watts(3.0)), Watts(3.0));
+        assert_eq!(Watts(-1.0).clamp(Watts(0.0), Watts(3.0)), Watts(0.0));
+        assert_eq!(Watts(2.0).max(Watts(3.0)), Watts(3.0));
+        assert_eq!(Watts(2.0).min(Watts(3.0)), Watts(2.0));
+    }
+
+    #[test]
+    fn watts_validity() {
+        assert!(Watts(0.0).is_valid());
+        assert!(Watts(450.0).is_valid());
+        assert!(!Watts(-1.0).is_valid());
+        assert!(!Watts(f64::NAN).is_valid());
+        assert!(!Watts(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn celsius_is_affine() {
+        let hot = Celsius(70.0);
+        let cold = Celsius(25.0);
+        let diff: Kelvin = hot - cold;
+        assert_eq!(diff, Kelvin(45.0));
+        assert_eq!(cold + diff, hot);
+        assert_eq!(hot - diff, cold);
+        assert_eq!(hot.delta(cold), Kelvin(45.0));
+    }
+
+    #[test]
+    fn sums() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(5.0), Watts(9.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Watts(17.0));
+    }
+
+    #[test]
+    fn seconds_positivity() {
+        assert!(Seconds(1.0).is_positive());
+        assert!(!Seconds(0.0).is_positive());
+        assert!(!Seconds(-1.0).is_positive());
+        assert!(!Seconds(f64::NAN).is_positive());
+    }
+
+    #[test]
+    fn newtypes_are_zero_cost() {
+        assert_eq!(std::mem::size_of::<Watts>(), std::mem::size_of::<f64>());
+        assert_eq!(std::mem::size_of::<Celsius>(), std::mem::size_of::<f64>());
+        assert_eq!(std::mem::size_of::<Seconds>(), std::mem::size_of::<f64>());
+        assert_eq!(std::mem::size_of::<Kelvin>(), std::mem::size_of::<f64>());
+    }
+}

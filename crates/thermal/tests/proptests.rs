@@ -1,0 +1,126 @@
+//! Property-based tests for the RC thermal model.
+
+use proptest::prelude::*;
+use willow_thermal::limit::{power_limit, steady_state_power, steady_state_temperature};
+use willow_thermal::model::{step_temperature, ThermalParams};
+use willow_thermal::units::{Celsius, Seconds, Watts};
+
+prop_compose! {
+    fn params()(c1 in 0.001f64..0.5, c2 in 0.005f64..0.5) -> ThermalParams {
+        ThermalParams { c1, c2 }
+    }
+}
+
+proptest! {
+    /// The exact step is a semigroup: advancing t1 then t2 equals
+    /// advancing t1 + t2 under constant power.
+    #[test]
+    fn step_composes(
+        p in params(),
+        t0 in 0.0f64..100.0,
+        ta in 0.0f64..50.0,
+        power in 0.0f64..500.0,
+        t1 in 0.01f64..100.0,
+        t2 in 0.01f64..100.0,
+    ) {
+        let a = step_temperature(p, Celsius(t0), Celsius(ta), Watts(power), Seconds(t1));
+        let ab = step_temperature(p, a, Celsius(ta), Watts(power), Seconds(t2));
+        let direct = step_temperature(p, Celsius(t0), Celsius(ta), Watts(power), Seconds(t1 + t2));
+        prop_assert!((ab.0 - direct.0).abs() < 1e-6, "{} vs {}", ab.0, direct.0);
+    }
+
+    /// Temperature trajectories are monotone in power, starting
+    /// temperature and ambient.
+    #[test]
+    fn step_is_monotone(
+        p in params(),
+        t0 in 0.0f64..100.0,
+        ta in 0.0f64..50.0,
+        power in 0.0f64..500.0,
+        dt in 0.01f64..100.0,
+        bump in 0.1f64..100.0,
+    ) {
+        // Weak monotonicity always (long windows can push the influence of
+        // the start temperature below f64 resolution); strict when the
+        // perturbation's analytic effect is numerically resolvable.
+        let base = step_temperature(p, Celsius(t0), Celsius(ta), Watts(power), Seconds(dt));
+        let decay = (-p.c2 * dt).exp();
+        let more_power = step_temperature(p, Celsius(t0), Celsius(ta), Watts(power + bump), Seconds(dt));
+        prop_assert!(more_power >= base);
+        if bump * p.c1 / p.c2 * (1.0 - decay) > 1e-9 {
+            prop_assert!(more_power > base);
+        }
+        let hotter_start = step_temperature(p, Celsius(t0 + bump), Celsius(ta), Watts(power), Seconds(dt));
+        prop_assert!(hotter_start >= base);
+        if bump * decay > 1e-9 {
+            prop_assert!(hotter_start > base);
+        }
+        let hotter_ambient = step_temperature(p, Celsius(t0), Celsius(ta + bump), Watts(power), Seconds(dt));
+        prop_assert!(hotter_ambient >= base);
+        if bump * (1.0 - decay) > 1e-9 {
+            prop_assert!(hotter_ambient > base);
+        }
+    }
+
+    /// The trajectory is bracketed between its endpoints' extremes: it
+    /// never overshoots the steady-state temperature nor undershoots the
+    /// colder of {start, steady state}.
+    #[test]
+    fn no_overshoot(
+        p in params(),
+        t0 in 0.0f64..100.0,
+        ta in 0.0f64..50.0,
+        power in 0.0f64..500.0,
+        dt in 0.01f64..1000.0,
+    ) {
+        let steady = steady_state_temperature(p, Celsius(ta), Watts(power));
+        let end = step_temperature(p, Celsius(t0), Celsius(ta), Watts(power), Seconds(dt));
+        let lo = t0.min(steady.0) - 1e-9;
+        let hi = t0.max(steady.0) + 1e-9;
+        prop_assert!(end.0 >= lo && end.0 <= hi, "{} outside [{lo}, {hi}]", end.0);
+    }
+
+    /// Eq. 3 inversion: applying the solved power limit for the window
+    /// lands exactly on the thermal limit.
+    #[test]
+    fn limit_inverts_step(
+        p in params(),
+        t0 in 0.0f64..70.0,
+        ta in 0.0f64..50.0,
+        headroom in 1.0f64..60.0,
+        window in 0.05f64..500.0,
+    ) {
+        let t_limit = Celsius(ta + headroom);
+        let limit = power_limit(p, Celsius(t0), Celsius(ta), t_limit, Seconds(window));
+        // Only meaningful when the limit is a finite power (device can act).
+        prop_assume!(limit.0.is_finite());
+        let end = step_temperature(p, Celsius(t0), Celsius(ta), limit, Seconds(window));
+        prop_assert!((end.0 - t_limit.0).abs() < 1e-6, "{} vs {}", end.0, t_limit.0);
+    }
+
+    /// The window limit is monotone decreasing in window length and tends
+    /// to the steady-state power from above.
+    #[test]
+    fn limit_bounded_below_by_steady_state(
+        p in params(),
+        ta in 0.0f64..50.0,
+        headroom in 1.0f64..60.0,
+        window in 0.05f64..500.0,
+    ) {
+        let t_limit = Celsius(ta + headroom);
+        // Device at ambient (cold start).
+        let w = power_limit(p, Celsius(ta), Celsius(ta), t_limit, Seconds(window));
+        let ss = steady_state_power(p, Celsius(ta), t_limit);
+        prop_assert!(w.0 >= ss.0 - 1e-9, "window limit {} below steady state {}", w.0, ss.0);
+        let longer = power_limit(p, Celsius(ta), Celsius(ta), t_limit, Seconds(window * 2.0));
+        prop_assert!(longer.0 <= w.0 + 1e-9);
+    }
+
+    /// Steady state round-trips between temperature and power.
+    #[test]
+    fn steady_state_round_trip(p in params(), ta in 0.0f64..50.0, power in 0.0f64..500.0) {
+        let t = steady_state_temperature(p, Celsius(ta), Watts(power));
+        let back = steady_state_power(p, Celsius(ta), t);
+        prop_assert!((back.0 - power).abs() < 1e-6 * power.max(1.0));
+    }
+}

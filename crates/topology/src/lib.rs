@@ -1,0 +1,41 @@
+//! Multi-level power-control hierarchy for Willow (paper §IV-A, Figs. 1–3).
+//!
+//! A data center is organized as a tree of power-management units (PMUs):
+//! the data-center PMU at the top level, rack PMUs below it, server/switch
+//! PMUs below those, and individual devices at the leaves. Every node at
+//! level `l+1` holds configuration information about its children at level
+//! `l`, receives their demand reports, and hands budgets back down.
+//!
+//! This crate provides the *structure* only — an arena-allocated tree with
+//! cheap id-based navigation (parents, children, siblings, ancestors, lowest
+//! common ancestors, level slices) plus builders for arbitrary shapes and for
+//! the exact 4-level / 18-server configuration the paper simulates (Fig. 3).
+//! State that lives *on* the nodes (budgets, demands, temperatures) belongs
+//! to the `willow-power` and `willow-core` crates.
+//!
+//! # Example
+//!
+//! ```
+//! use willow_topology::{Tree, NodeId};
+//!
+//! // The paper's simulation topology: 4 levels, 18 servers.
+//! let tree = Tree::paper_fig3();
+//! assert_eq!(tree.height(), 3);          // root level = 3, leaves = 0
+//! assert_eq!(tree.leaves().count(), 18);
+//!
+//! // Local vs non-local migration is decided by sibling-ness:
+//! let leaves: Vec<NodeId> = tree.leaves().collect();
+//! assert!(tree.are_siblings(leaves[0], leaves[1]));
+//! assert!(!tree.are_siblings(leaves[0], leaves[17]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod spec;
+pub mod tree;
+
+pub use builder::TreeBuilder;
+pub use spec::{to_dot, TopologySpec};
+pub use tree::{Level, Node, NodeId, Tree, TreeError};

@@ -1,0 +1,172 @@
+//! Declarative topology specification (serde) and Graphviz export.
+//!
+//! Lets deployments describe their PMU hierarchy in JSON/TOML-compatible
+//! form and visualize it, instead of writing builder code.
+
+use crate::tree::{Tree, TreeError};
+use crate::TreeBuilder;
+use serde::{Deserialize, Serialize};
+
+/// A recursive topology description: a node name plus its children.
+///
+/// ```
+/// use willow_topology::spec::TopologySpec;
+///
+/// let spec = TopologySpec::branch(
+///     "dc",
+///     vec![
+///         TopologySpec::branch("rack0", vec![TopologySpec::leaf("s1"), TopologySpec::leaf("s2")]),
+///         TopologySpec::branch("rack1", vec![TopologySpec::leaf("s3"), TopologySpec::leaf("s4")]),
+///     ],
+/// );
+/// let tree = spec.build().unwrap();
+/// assert_eq!(tree.leaves().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Node name (must be unique for `Tree::find` to be useful).
+    pub name: String,
+    /// Children; empty for servers/leaves.
+    #[serde(default)]
+    pub children: Vec<TopologySpec>,
+}
+
+impl TopologySpec {
+    /// A leaf node.
+    #[must_use]
+    pub fn leaf(name: impl Into<String>) -> Self {
+        TopologySpec {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// An interior node.
+    #[must_use]
+    pub fn branch(name: impl Into<String>, children: Vec<TopologySpec>) -> Self {
+        TopologySpec {
+            name: name.into(),
+            children,
+        }
+    }
+
+    /// Total node count in the spec.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(TopologySpec::len).sum::<usize>()
+    }
+
+    /// True for a single leaf spec.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // a spec always describes at least its own node
+    }
+
+    /// Materialize into a validated [`Tree`].
+    pub fn build(&self) -> Result<Tree, TreeError> {
+        let mut b = TreeBuilder::new(self.name.clone());
+        let root = b.root();
+        let mut stack: Vec<(crate::NodeId, &TopologySpec)> =
+            self.children.iter().map(|c| (root, c)).collect();
+        while let Some((parent, spec)) = stack.pop() {
+            let id = b.add_child(parent, spec.name.clone());
+            stack.extend(spec.children.iter().map(|c| (id, c)));
+        }
+        b.build()
+    }
+
+    /// Round-trip: describe an existing tree as a spec.
+    #[must_use]
+    pub fn from_tree(tree: &Tree) -> Self {
+        fn build(tree: &Tree, node: crate::NodeId) -> TopologySpec {
+            TopologySpec {
+                name: tree.node(node).name.clone(),
+                children: tree.children(node).iter().map(|&c| build(tree, c)).collect(),
+            }
+        }
+        build(tree, tree.root())
+    }
+}
+
+/// Render a tree as Graphviz DOT (servers as boxes, PMUs as ellipses).
+#[must_use]
+pub fn to_dot(tree: &Tree) -> String {
+    let mut out = String::from("digraph willow {\n  rankdir=TB;\n");
+    for id in tree.ids() {
+        let node = tree.node(id);
+        let shape = if node.is_leaf() { "box" } else { "ellipse" };
+        out.push_str(&format!(
+            "  {} [label=\"{}\\nL{}\" shape={}];\n",
+            id, node.name, node.level, shape
+        ));
+    }
+    for id in tree.ids() {
+        for &c in tree.children(id) {
+            out.push_str(&format!("  {id} -> {c};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_tree() {
+        let tree = Tree::paper_fig3();
+        let spec = TopologySpec::from_tree(&tree);
+        assert_eq!(spec.len(), tree.len());
+        let rebuilt = spec.build().unwrap();
+        assert_eq!(rebuilt.len(), tree.len());
+        assert_eq!(rebuilt.height(), tree.height());
+        assert_eq!(rebuilt.leaves().count(), tree.leaves().count());
+        // Names survive.
+        assert!(rebuilt.find("server1").is_some());
+        assert!(rebuilt.find("server18").is_some());
+    }
+
+    #[test]
+    fn spec_rejects_ragged_shapes() {
+        let spec = TopologySpec::branch(
+            "dc",
+            vec![
+                TopologySpec::leaf("shallow"),
+                TopologySpec::branch("rack", vec![TopologySpec::leaf("deep")]),
+            ],
+        );
+        assert!(matches!(spec.build(), Err(TreeError::RaggedLeaves { .. })));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = TopologySpec::from_tree(&Tree::paper_testbed());
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TopologySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let tree = Tree::paper_testbed();
+        let dot = to_dot(&tree);
+        assert!(dot.starts_with("digraph willow {"));
+        assert!(dot.contains("serverA"));
+        assert!(dot.contains("switch2"));
+        // Edges = nodes − 1.
+        let edge_count = dot.matches(" -> ").count();
+        assert_eq!(edge_count, tree.len() - 1);
+        // Leaves are boxes, interiors ellipses.
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn single_leaf_spec() {
+        let spec = TopologySpec::leaf("only");
+        assert_eq!(spec.len(), 1);
+        let tree = spec.build().unwrap();
+        assert_eq!(tree.height(), 0);
+    }
+}

@@ -1,0 +1,556 @@
+//! Arena-allocated PMU tree with id-based navigation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`Tree`] arena. Stable for the life of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Height of a node above the leaf level; leaves are level 0, the root of
+/// the paper's Fig. 3 topology is level 3.
+pub type Level = u8;
+
+/// One node of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in insertion order.
+    pub children: Vec<NodeId>,
+    /// Height above the leaves (filled in when the tree is finalized).
+    pub level: Level,
+    /// Human-readable name, e.g. `"rack0"` or `"server12"`.
+    pub name: String,
+}
+
+impl Node {
+    /// True if the node has no children.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Errors from tree construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A referenced id does not exist in this tree.
+    UnknownNode(NodeId),
+    /// The builder produced a tree whose leaves are at different depths;
+    /// Willow's level-synchronous control requires a uniform leaf level.
+    RaggedLeaves {
+        /// Depth of the first leaf encountered.
+        expected_depth: usize,
+        /// Conflicting depth found.
+        found_depth: usize,
+    },
+    /// The tree has no nodes.
+    Empty,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            TreeError::RaggedLeaves {
+                expected_depth,
+                found_depth,
+            } => write!(
+                f,
+                "leaves at differing depths ({expected_depth} vs {found_depth}); \
+                 the hierarchy must be uniform"
+            ),
+            TreeError::Empty => write!(f, "tree has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// The power-control hierarchy: an immutable arena of [`Node`]s.
+///
+/// Construction goes through [`crate::TreeBuilder`] (arbitrary shapes),
+/// [`Tree::uniform`] (per-level branching factors) or [`Tree::paper_fig3`]
+/// (the paper's simulated configuration).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Node ids grouped by level; `by_level[l]` are all nodes at level `l`.
+    by_level: Vec<Vec<NodeId>>,
+}
+
+impl Tree {
+    /// Build from a raw arena. Validates parent/child consistency, computes
+    /// levels and requires all leaves to sit at the same depth.
+    pub(crate) fn from_arena(nodes: Vec<Node>, root: NodeId) -> Result<Self, TreeError> {
+        if nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        if root.index() >= nodes.len() {
+            return Err(TreeError::UnknownNode(root));
+        }
+        // Compute depth of every node and check leaf uniformity.
+        let mut depth = vec![usize::MAX; nodes.len()];
+        depth[root.index()] = 0;
+        let mut stack = vec![root];
+        let mut leaf_depth: Option<usize> = None;
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            let node = &nodes[id.index()];
+            if node.is_leaf() {
+                match leaf_depth {
+                    None => leaf_depth = Some(depth[id.index()]),
+                    Some(d) if d != depth[id.index()] => {
+                        return Err(TreeError::RaggedLeaves {
+                            expected_depth: d,
+                            found_depth: depth[id.index()],
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            for &c in &node.children {
+                if c.index() >= nodes.len() {
+                    return Err(TreeError::UnknownNode(c));
+                }
+                depth[c.index()] = depth[id.index()] + 1;
+                stack.push(c);
+            }
+        }
+        debug_assert_eq!(visited, nodes.len(), "arena must be a single tree");
+        let height = leaf_depth.expect("non-empty tree has leaves");
+
+        let mut nodes = nodes;
+        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); height + 1];
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let lvl = (height - depth[i]) as Level;
+            node.level = lvl;
+            by_level[lvl as usize].push(NodeId(i as u32));
+        }
+        Ok(Tree {
+            nodes,
+            root,
+            by_level,
+        })
+    }
+
+    /// A uniform tree described by per-level branching factors, root first.
+    ///
+    /// `Tree::uniform(&[2, 3, 3])` builds a root with 2 children, each with
+    /// 3 children, each with 3 leaves — the paper's Fig. 3 shape (4 levels,
+    /// 18 leaf servers).
+    ///
+    /// # Panics
+    /// Panics if any branching factor is zero.
+    #[must_use]
+    pub fn uniform(branching: &[usize]) -> Tree {
+        assert!(
+            branching.iter().all(|&b| b > 0),
+            "branching factors must be positive"
+        );
+        let mut b = TreeBuilderInner::new("dc");
+        let mut frontier = vec![b.root];
+        for (lvl, &k) in branching.iter().enumerate() {
+            let mut next = Vec::with_capacity(frontier.len() * k);
+            for &parent in &frontier {
+                for _ in 0..k {
+                    // Interior nodes get level-qualified names; leaves are
+                    // renamed to the paper's 1-based server names below.
+                    let name = format!("l{}-{}", branching.len() - lvl - 1, next.len());
+                    next.push(b.add_child(parent, name));
+                }
+            }
+            frontier = next;
+        }
+        // Give leaves stable 1-based names matching the paper ("servers 1–18").
+        for (i, &leaf) in frontier.iter().enumerate() {
+            b.nodes[leaf.index()].name = format!("server{}", i + 1);
+        }
+        Tree::from_arena(b.nodes, b.root).expect("uniform construction is well-formed")
+    }
+
+    /// The paper's simulation topology (Fig. 3): four levels in the power
+    /// control hierarchy and 18 server nodes (root → 2 → 3 → 3).
+    #[must_use]
+    pub fn paper_fig3() -> Tree {
+        Tree::uniform(&[2, 3, 3])
+    }
+
+    /// The 2-level testbed control plane of §V-C1: one level-2 root
+    /// ("control plane"), two level-1 switches, three servers unevenly
+    /// attached (2 + 1), matching Fig. 13's cluster of three ESX hosts.
+    ///
+    /// Note this shape is *ragged-free*: servers hang off both switches at
+    /// the same depth.
+    #[must_use]
+    pub fn paper_testbed() -> Tree {
+        let mut b = TreeBuilderInner::new("control-plane");
+        let s1 = b.add_child(b.root, "switch1");
+        let s2 = b.add_child(b.root, "switch2");
+        b.add_child(s1, "serverA");
+        b.add_child(s1, "serverB");
+        // Keep leaf depth uniform: server C sits under the second switch.
+        b.add_child(s2, "serverC");
+        Tree::from_arena(b.nodes, b.root).expect("testbed construction is well-formed")
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is empty (never true for a constructed tree).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Height of the tree == level of the root.
+    #[must_use]
+    pub fn height(&self) -> Level {
+        self.nodes[self.root.index()].level
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids are only minted by this tree).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Parent of `id`, `None` for the root.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of `id`.
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Level (height above leaves) of `id`.
+    #[must_use]
+    pub fn level(&self, id: NodeId) -> Level {
+        self.node(id).level
+    }
+
+    /// All node ids at a given level, in arena order.
+    #[must_use]
+    pub fn nodes_at_level(&self, level: Level) -> &[NodeId] {
+        self.by_level
+            .get(level as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterator over all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over the leaf nodes (level 0), in arena order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes_at_level(0).iter().copied()
+    }
+
+    /// Siblings of `id` (children of the same parent, excluding `id`).
+    pub fn siblings(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let parent = self.parent(id);
+        parent
+            .map(|p| self.children(p))
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&c| c != id)
+    }
+
+    /// True if `a` and `b` share a parent (and are distinct).
+    #[must_use]
+    pub fn are_siblings(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.parent(a).is_some() && self.parent(a) == self.parent(b)
+    }
+
+    /// Ancestors of `id` from its parent up to the root.
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::successors(self.parent(id), move |&n| self.parent(n))
+    }
+
+    /// Lowest common ancestor of two nodes.
+    #[must_use]
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut x, mut y) = (a, b);
+        // Climb the deeper one (lower level) first.
+        while self.level(x) < self.level(y) {
+            x = self.parent(x).expect("levels bounded by root");
+        }
+        while self.level(y) < self.level(x) {
+            y = self.parent(y).expect("levels bounded by root");
+        }
+        while x != y {
+            x = self.parent(x).expect("distinct nodes at root level impossible");
+            y = self.parent(y).expect("distinct nodes at root level impossible");
+        }
+        x
+    }
+
+    /// Number of tree edges on the path from `a` to `b` — the hop count a
+    /// migration between the two nodes traverses in the control hierarchy.
+    #[must_use]
+    pub fn path_len(&self, a: NodeId, b: NodeId) -> usize {
+        let l = self.lca(a, b);
+        let up = |mut n: NodeId| {
+            let mut hops = 0;
+            while n != l {
+                n = self.parent(n).expect("lca is an ancestor");
+                hops += 1;
+            }
+            hops
+        };
+        up(a) + up(b)
+    }
+
+    /// All leaves in the subtree rooted at `id` (including `id` itself if it
+    /// is a leaf).
+    #[must_use]
+    pub fn subtree_leaves(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if self.node(n).is_leaf() {
+                out.push(n);
+            } else {
+                stack.extend(self.children(n).iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Maximum branching factor among nodes at `level` (the `b_l` of the
+    /// paper's complexity analysis, §V-A2).
+    #[must_use]
+    pub fn max_branching_at(&self, level: Level) -> usize {
+        self.nodes_at_level(level)
+            .iter()
+            .map(|&id| self.children(id).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Look up a node by name (linear scan; intended for tests/config).
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+/// Internal builder shared by [`Tree::uniform`] and [`crate::TreeBuilder`].
+pub(crate) struct TreeBuilderInner {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+}
+
+impl TreeBuilderInner {
+    pub(crate) fn new(root_name: impl Into<String>) -> Self {
+        TreeBuilderInner {
+            nodes: vec![Node {
+                parent: None,
+                children: Vec::new(),
+                level: 0,
+                name: root_name.into(),
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    pub(crate) fn add_child(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            level: 0,
+            name: name.into(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape() {
+        let t = Tree::paper_fig3();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.len(), 1 + 2 + 6 + 18);
+        assert_eq!(t.nodes_at_level(3).len(), 1);
+        assert_eq!(t.nodes_at_level(2).len(), 2);
+        assert_eq!(t.nodes_at_level(1).len(), 6);
+        assert_eq!(t.nodes_at_level(0).len(), 18);
+        assert_eq!(t.leaves().count(), 18);
+    }
+
+    #[test]
+    fn leaf_names_are_one_based() {
+        let t = Tree::paper_fig3();
+        assert!(t.find("server1").is_some());
+        assert!(t.find("server18").is_some());
+        assert!(t.find("server0").is_none());
+        assert!(t.find("server19").is_none());
+    }
+
+    #[test]
+    fn testbed_shape() {
+        let t = Tree::paper_testbed();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaves().count(), 3);
+        let a = t.find("serverA").unwrap();
+        let b = t.find("serverB").unwrap();
+        let c = t.find("serverC").unwrap();
+        assert!(t.are_siblings(a, b));
+        assert!(!t.are_siblings(a, c));
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let t = Tree::paper_fig3();
+        for id in t.ids() {
+            for &c in t.children(id) {
+                assert_eq!(t.parent(c), Some(id));
+                assert_eq!(t.level(c) + 1, t.level(id));
+            }
+        }
+        assert_eq!(t.parent(t.root()), None);
+    }
+
+    #[test]
+    fn levels_partition_nodes() {
+        let t = Tree::paper_fig3();
+        let total: usize = (0..=t.height()).map(|l| t.nodes_at_level(l).len()).sum();
+        assert_eq!(total, t.len());
+        for l in 0..=t.height() {
+            for &id in t.nodes_at_level(l) {
+                assert_eq!(t.level(id), l);
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_of_leaf() {
+        let t = Tree::paper_fig3();
+        let first = t.leaves().next().unwrap();
+        let sibs: Vec<_> = t.siblings(first).collect();
+        assert_eq!(sibs.len(), 2, "each level-1 PMU has 3 servers");
+        assert!(!sibs.contains(&first));
+    }
+
+    #[test]
+    fn root_has_no_siblings() {
+        let t = Tree::paper_fig3();
+        assert_eq!(t.siblings(t.root()).count(), 0);
+    }
+
+    #[test]
+    fn lca_and_path_len() {
+        let t = Tree::paper_fig3();
+        let leaves: Vec<_> = t.leaves().collect();
+        // Same pod (siblings): LCA is their shared parent, 2 hops.
+        let (a, b) = (leaves[0], leaves[1]);
+        assert_eq!(t.lca(a, b), t.parent(a).unwrap());
+        assert_eq!(t.path_len(a, b), 2);
+        // Opposite halves of the tree: LCA is the root, 6 hops.
+        let (x, y) = (leaves[0], leaves[17]);
+        assert_eq!(t.lca(x, y), t.root());
+        assert_eq!(t.path_len(x, y), 6);
+        // Self: zero hops.
+        assert_eq!(t.lca(a, a), a);
+        assert_eq!(t.path_len(a, a), 0);
+        // Node with its ancestor.
+        let anc = t.parent(t.parent(a).unwrap()).unwrap();
+        assert_eq!(t.lca(a, anc), anc);
+        assert_eq!(t.path_len(a, anc), 2);
+    }
+
+    #[test]
+    fn ancestors_reach_root() {
+        let t = Tree::paper_fig3();
+        let leaf = t.leaves().next().unwrap();
+        let anc: Vec<_> = t.ancestors(leaf).collect();
+        assert_eq!(anc.len(), 3);
+        assert_eq!(*anc.last().unwrap(), t.root());
+    }
+
+    #[test]
+    fn subtree_leaves_counts() {
+        let t = Tree::paper_fig3();
+        assert_eq!(t.subtree_leaves(t.root()).len(), 18);
+        let l2 = t.nodes_at_level(2)[0];
+        assert_eq!(t.subtree_leaves(l2).len(), 9);
+        let l1 = t.nodes_at_level(1)[0];
+        assert_eq!(t.subtree_leaves(l1).len(), 3);
+        let leaf = t.leaves().next().unwrap();
+        assert_eq!(t.subtree_leaves(leaf), vec![leaf]);
+    }
+
+    #[test]
+    fn max_branching() {
+        let t = Tree::paper_fig3();
+        assert_eq!(t.max_branching_at(3), 2);
+        assert_eq!(t.max_branching_at(2), 3);
+        assert_eq!(t.max_branching_at(1), 3);
+        assert_eq!(t.max_branching_at(0), 0);
+    }
+
+    #[test]
+    fn uniform_single_level() {
+        let t = Tree::uniform(&[5]);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaves().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn uniform_rejects_zero_branching() {
+        let _ = Tree::uniform(&[2, 0]);
+    }
+
+    #[test]
+    fn display_and_index() {
+        let id = NodeId(7);
+        assert_eq!(id.to_string(), "n7");
+        assert_eq!(id.index(), 7);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the PMU tree.
+
+use proptest::prelude::*;
+use willow_topology::{TopologySpec, Tree};
+
+prop_compose! {
+    /// Uniform trees with 1–4 levels and branching 1–4 per level.
+    fn uniform_tree()(branching in prop::collection::vec(1usize..5, 1..4)) -> Tree {
+        Tree::uniform(&branching)
+    }
+}
+
+proptest! {
+    /// Structural invariants hold for every uniform tree.
+    #[test]
+    fn structural_invariants(tree in uniform_tree()) {
+        // Level partition covers all nodes exactly once.
+        let total: usize = (0..=tree.height()).map(|l| tree.nodes_at_level(l).len()).sum();
+        prop_assert_eq!(total, tree.len());
+        // Parent/child mutual consistency and level arithmetic.
+        for id in tree.ids() {
+            for &c in tree.children(id) {
+                prop_assert_eq!(tree.parent(c), Some(id));
+                prop_assert_eq!(tree.level(c) + 1, tree.level(id));
+            }
+        }
+        // Exactly one root.
+        let roots = tree.ids().filter(|&n| tree.parent(n).is_none()).count();
+        prop_assert_eq!(roots, 1);
+    }
+
+    /// LCA is symmetric, idempotent and dominates both arguments.
+    #[test]
+    fn lca_properties(tree in uniform_tree(), a_pick in 0usize..64, b_pick in 0usize..64) {
+        let nodes: Vec<_> = tree.ids().collect();
+        let a = nodes[a_pick % nodes.len()];
+        let b = nodes[b_pick % nodes.len()];
+        let l = tree.lca(a, b);
+        prop_assert_eq!(l, tree.lca(b, a));
+        prop_assert_eq!(tree.lca(a, a), a);
+        // l is an ancestor-or-self of both.
+        let anc_or_self = |n| std::iter::once(n).chain(tree.ancestors(n)).any(|x| x == l);
+        prop_assert!(anc_or_self(a));
+        prop_assert!(anc_or_self(b));
+    }
+
+    /// Path length is a metric restricted to the tree: symmetric, zero iff
+    /// equal, and satisfies the triangle inequality.
+    #[test]
+    fn path_len_is_a_metric(tree in uniform_tree(), picks in prop::array::uniform3(0usize..64)) {
+        let nodes: Vec<_> = tree.ids().collect();
+        let a = nodes[picks[0] % nodes.len()];
+        let b = nodes[picks[1] % nodes.len()];
+        let c = nodes[picks[2] % nodes.len()];
+        prop_assert_eq!(tree.path_len(a, b), tree.path_len(b, a));
+        prop_assert_eq!(tree.path_len(a, a), 0);
+        if a != b {
+            prop_assert!(tree.path_len(a, b) > 0);
+        }
+        prop_assert!(tree.path_len(a, c) <= tree.path_len(a, b) + tree.path_len(b, c));
+    }
+
+    /// Subtree leaves of the root are exactly all leaves; sibling subtrees
+    /// partition the parent's leaves.
+    #[test]
+    fn subtree_leaves_partition(tree in uniform_tree()) {
+        let all: Vec<_> = tree.leaves().collect();
+        prop_assert_eq!(tree.subtree_leaves(tree.root()), all);
+        for id in tree.ids() {
+            let children = tree.children(id);
+            if children.is_empty() { continue; }
+            let mut union: Vec<_> = children
+                .iter()
+                .flat_map(|&c| tree.subtree_leaves(c))
+                .collect();
+            union.sort_unstable();
+            prop_assert_eq!(union, tree.subtree_leaves(id));
+        }
+    }
+
+    /// Spec round-trip preserves the shape of any uniform tree.
+    #[test]
+    fn spec_round_trip(tree in uniform_tree()) {
+        let spec = TopologySpec::from_tree(&tree);
+        let rebuilt = spec.build().expect("round-trip builds");
+        prop_assert_eq!(rebuilt.len(), tree.len());
+        prop_assert_eq!(rebuilt.height(), tree.height());
+        prop_assert_eq!(rebuilt.leaves().count(), tree.leaves().count());
+        for l in 0..=tree.height() {
+            prop_assert_eq!(
+                rebuilt.nodes_at_level(l).len(),
+                tree.nodes_at_level(l).len()
+            );
+        }
+    }
+}

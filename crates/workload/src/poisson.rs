@@ -1,0 +1,139 @@
+//! Exact Poisson sampling on top of `rand` alone.
+//!
+//! The paper drives each node's power demand with a Poisson distribution
+//! (§V-B1). We avoid pulling in `rand_distr` by implementing Knuth's
+//! multiplication method for small means and exploiting the additivity of
+//! the Poisson distribution for large means: `Poisson(λ) = Σ Poisson(λ/k)`
+//! for any split of `λ`, so sampling is exact at every mean (at O(λ) cost,
+//! which is fine for the tens-to-hundreds range the simulator uses).
+
+use rand::Rng;
+
+/// Largest per-chunk mean fed to Knuth's method. `e^{-30} ≈ 9.4e-14` still
+/// comfortably exceeds the smallest positive `f64`, so the product loop
+/// cannot underflow to a degenerate constant.
+const KNUTH_MAX_MEAN: f64 = 30.0;
+
+/// Draw one Poisson(λ) sample.
+///
+/// # Panics
+/// Panics if `mean` is negative or non-finite.
+#[must_use]
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be finite and non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    let mut remaining = mean;
+    let mut total = 0u64;
+    while remaining > KNUTH_MAX_MEAN {
+        total += knuth(rng, KNUTH_MAX_MEAN);
+        remaining -= KNUTH_MAX_MEAN;
+    }
+    total + knuth(rng, remaining)
+}
+
+/// Knuth's product-of-uniforms method; exact for modest means.
+fn knuth<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    let threshold = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats(mean: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, mean)).collect();
+        let m = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - m;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        (m, var)
+    }
+
+    #[test]
+    fn zero_mean_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn small_mean_moments() {
+        let (m, v) = stats(3.5, 200_000, 42);
+        assert!((m - 3.5).abs() < 0.05, "mean {m}");
+        assert!((v - 3.5).abs() < 0.12, "variance {v}");
+    }
+
+    #[test]
+    fn large_mean_moments_exercise_chunking() {
+        // λ = 170 forces six chunks through the additivity path.
+        let (m, v) = stats(170.0, 50_000, 7);
+        assert!((m - 170.0).abs() < 0.5, "mean {m}");
+        assert!((v - 170.0).abs() < 4.0, "variance {v}");
+    }
+
+    #[test]
+    fn boundary_mean_at_chunk_limit() {
+        let (m, _) = stats(30.0, 100_000, 9);
+        assert!((m - 30.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn tiny_mean_is_mostly_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let zeros = (0..10_000)
+            .filter(|_| sample_poisson(&mut rng, 0.01) == 0)
+            .count();
+        // P(X=0) = e^{-0.01} ≈ 0.99.
+        assert!(zeros > 9_800, "zeros {zeros}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..32).map(|_| sample_poisson(&mut rng, 12.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..32).map(|_| sample_poisson(&mut rng, 12.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_poisson(&mut rng, f64::NAN);
+    }
+}

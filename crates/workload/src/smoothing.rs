@@ -1,0 +1,283 @@
+//! Exponential smoothing of measured power demand (paper Eq. 4).
+//!
+//! "Even with a suitable choice of Δ_D it may be necessary to do further
+//! smoothing in order to determine trend in power consumption. Although it
+//! is possible to use sophisticated ARIMA type of models, a simple
+//! exponential smoothing is often adequate":
+//!
+//! ```text
+//! CP_{l,i} = α·CP_{l,i} + (1 − α)·CP_old_{l,i}      0 < α < 1
+//! ```
+
+use serde::{Deserialize, Serialize};
+use willow_thermal::units::Watts;
+
+/// An exponential smoother with parameter `α ∈ (0, 1)`.
+///
+/// Until the first observation arrives the smoother reports `None`, so
+/// callers never mistake "no data" for "zero demand".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpSmoother {
+    alpha: f64,
+    state: Option<Watts>,
+}
+
+impl ExpSmoother {
+    /// Create a smoother.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1` (Eq. 4's stated range). `α` close to 1
+    /// tracks raw measurements; close to 0 smooths heavily.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "smoothing parameter must satisfy 0 < α < 1, got {alpha}"
+        );
+        ExpSmoother { alpha, state: None }
+    }
+
+    /// The smoothing parameter.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feed one raw measurement; returns the updated smoothed demand.
+    /// The first observation initializes the state directly.
+    pub fn observe(&mut self, raw: Watts) -> Watts {
+        let next = match self.state {
+            None => raw,
+            Some(old) => raw * self.alpha + old * (1.0 - self.alpha),
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// Current smoothed value, if any observation has been made.
+    #[must_use]
+    pub fn value(&self) -> Option<Watts> {
+        self.state
+    }
+
+    /// Forget all history (e.g. after a server is deactivated).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Holt double-exponential smoothing: level + trend.
+///
+/// The paper notes that "it is possible to use sophisticated ARIMA type of
+/// models" for demand trending but settles for Eq. 4; Holt's method is the
+/// simplest member of that family and is provided for the smoother
+/// comparison in the benchmarks. It tracks ramps that plain exponential
+/// smoothing persistently lags.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HoltSmoother {
+    alpha: f64,
+    beta: f64,
+    state: Option<(Watts, Watts)>, // (level, trend per step)
+}
+
+impl HoltSmoother {
+    /// Create a smoother with level gain `alpha` and trend gain `beta`,
+    /// both in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if either gain is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "level gain must be in (0,1)");
+        assert!(beta > 0.0 && beta < 1.0, "trend gain must be in (0,1)");
+        HoltSmoother {
+            alpha,
+            beta,
+            state: None,
+        }
+    }
+
+    /// Feed one raw measurement; returns the updated level estimate.
+    pub fn observe(&mut self, raw: Watts) -> Watts {
+        let next = match self.state {
+            None => (raw, Watts::ZERO),
+            Some((level, trend)) => {
+                let new_level = raw * self.alpha + (level + trend) * (1.0 - self.alpha);
+                let new_trend = (new_level - level) * self.beta + trend * (1.0 - self.beta);
+                (new_level, new_trend)
+            }
+        };
+        self.state = Some(next);
+        next.0
+    }
+
+    /// Current level estimate.
+    #[must_use]
+    pub fn level(&self) -> Option<Watts> {
+        self.state.map(|(l, _)| l)
+    }
+
+    /// Current per-step trend estimate.
+    #[must_use]
+    pub fn trend(&self) -> Option<Watts> {
+        self.state.map(|(_, t)| t)
+    }
+
+    /// Forecast `k` steps ahead: `level + k·trend`, floored at zero watts.
+    #[must_use]
+    pub fn forecast(&self, k: u32) -> Option<Watts> {
+        self.state
+            .map(|(l, t)| (l + t * f64::from(k)).non_negative())
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut s = ExpSmoother::new(0.3);
+        assert_eq!(s.value(), None);
+        assert_eq!(s.observe(Watts(100.0)), Watts(100.0));
+        assert_eq!(s.value(), Some(Watts(100.0)));
+    }
+
+    #[test]
+    fn matches_eq4_recurrence() {
+        let alpha = 0.25;
+        let mut s = ExpSmoother::new(alpha);
+        s.observe(Watts(100.0));
+        let v = s.observe(Watts(200.0));
+        // α·200 + (1−α)·100 = 50 + 75 = 125
+        assert!((v.0 - 125.0).abs() < 1e-12);
+        let v2 = s.observe(Watts(0.0));
+        // α·0 + 0.75·125 = 93.75
+        assert!((v2.0 - 93.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut s = ExpSmoother::new(0.2);
+        s.observe(Watts(0.0));
+        let mut last = Watts(0.0);
+        for _ in 0..200 {
+            last = s.observe(Watts(50.0));
+        }
+        assert!((last.0 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_stays_within_input_range() {
+        let mut s = ExpSmoother::new(0.5);
+        for &x in &[10.0, 90.0, 30.0, 70.0, 50.0] {
+            let v = s.observe(Watts(x));
+            assert!(v.0 >= 10.0 && v.0 <= 90.0, "smoothed {v} escaped range");
+        }
+    }
+
+    #[test]
+    fn high_alpha_tracks_raw_more_closely() {
+        let mut fast = ExpSmoother::new(0.9);
+        let mut slow = ExpSmoother::new(0.1);
+        fast.observe(Watts(0.0));
+        slow.observe(Watts(0.0));
+        let f = fast.observe(Watts(100.0));
+        let s = slow.observe(Watts(100.0));
+        assert!(f.0 > s.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut s = ExpSmoother::new(0.3);
+        s.observe(Watts(42.0));
+        s.reset();
+        assert_eq!(s.value(), None);
+        assert_eq!(s.observe(Watts(7.0)), Watts(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < α < 1")]
+    fn alpha_one_rejected() {
+        let _ = ExpSmoother::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < α < 1")]
+    fn alpha_zero_rejected() {
+        let _ = ExpSmoother::new(0.0);
+    }
+
+    #[test]
+    fn holt_tracks_ramps_better_than_exponential() {
+        // A steady 2 W/step ramp: Holt's level converges onto the ramp
+        // while plain exponential smoothing lags it forever.
+        let mut exp = ExpSmoother::new(0.3);
+        let mut holt = HoltSmoother::new(0.3, 0.2);
+        let mut last_exp = Watts::ZERO;
+        let mut last_holt = Watts::ZERO;
+        let mut truth = Watts::ZERO;
+        for k in 0..200 {
+            truth = Watts(f64::from(k) * 2.0);
+            last_exp = exp.observe(truth);
+            last_holt = holt.observe(truth);
+        }
+        let exp_lag = (truth - last_exp).0;
+        let holt_lag = (truth - last_holt).0.abs();
+        assert!(exp_lag > 3.0, "exponential must lag a ramp: {exp_lag}");
+        assert!(holt_lag < exp_lag / 4.0, "holt lag {holt_lag} vs exp {exp_lag}");
+    }
+
+    #[test]
+    fn holt_forecast_extrapolates_trend() {
+        let mut holt = HoltSmoother::new(0.5, 0.5);
+        for k in 0..50 {
+            holt.observe(Watts(f64::from(k) * 3.0));
+        }
+        let level = holt.level().unwrap();
+        let f5 = holt.forecast(5).unwrap();
+        assert!(f5 > level, "forecast must extend the upward trend");
+        assert!((f5.0 - (level.0 + 5.0 * holt.trend().unwrap().0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holt_forecast_floors_at_zero() {
+        let mut holt = HoltSmoother::new(0.5, 0.5);
+        for k in (0..20).rev() {
+            holt.observe(Watts(f64::from(k)));
+        }
+        // Far-future forecast of a falling series is clamped at zero.
+        assert_eq!(holt.forecast(1000).unwrap(), Watts::ZERO);
+    }
+
+    #[test]
+    fn holt_converges_on_constants() {
+        let mut holt = HoltSmoother::new(0.3, 0.1);
+        let mut last = Watts::ZERO;
+        for _ in 0..300 {
+            last = holt.observe(Watts(42.0));
+        }
+        assert!((last.0 - 42.0).abs() < 1e-6);
+        assert!(holt.trend().unwrap().0.abs() < 1e-6);
+    }
+
+    #[test]
+    fn holt_reset_and_validation() {
+        let mut holt = HoltSmoother::new(0.4, 0.4);
+        holt.observe(Watts(10.0));
+        holt.reset();
+        assert_eq!(holt.level(), None);
+        assert_eq!(holt.forecast(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "trend gain")]
+    fn holt_rejects_bad_beta() {
+        let _ = HoltSmoother::new(0.5, 1.0);
+    }
+}

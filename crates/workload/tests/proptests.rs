@@ -1,0 +1,116 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use willow_thermal::units::Watts;
+use willow_workload::app::{AppClass, AppId, Application};
+use willow_workload::demand::DemandModel;
+use willow_workload::poisson::sample_poisson;
+use willow_workload::power_model::{fit_linear, LinearPowerModel};
+use willow_workload::smoothing::{ExpSmoother, HoltSmoother};
+
+proptest! {
+    // Fewer cases than default: the Poisson moment checks need thousands
+    // of samples per case and dominate debug-profile runtime.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Smoothed output always stays within the running min/max of the
+    /// inputs (exponential smoothing is a convex combination).
+    #[test]
+    fn exp_smoother_is_convex(
+        alpha in 0.01f64..0.99,
+        inputs in prop::collection::vec(0.0f64..1000.0, 1..50),
+    ) {
+        let mut s = ExpSmoother::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &inputs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let v = s.observe(Watts(x));
+            prop_assert!(v.0 >= lo - 1e-9 && v.0 <= hi + 1e-9);
+        }
+    }
+
+    /// On an exact linear ramp Holt's one-step forecast converges to the
+    /// true next value.
+    #[test]
+    fn holt_forecast_converges_on_ramps(slope in 0.1f64..10.0, intercept in 0.0f64..100.0) {
+        let mut h = HoltSmoother::new(0.5, 0.3);
+        let mut last_forecast = None;
+        for k in 0..200u32 {
+            let x = intercept + slope * f64::from(k);
+            if let Some(f) = last_forecast {
+                if k > 150 {
+                    let fv: Watts = f;
+                    prop_assert!(
+                        (fv.0 - x).abs() < slope * 0.05 + 1e-6,
+                        "forecast {} vs truth {x}",
+                        fv.0
+                    );
+                }
+            }
+            h.observe(Watts(x));
+            last_forecast = h.forecast(1);
+        }
+    }
+
+    /// Poisson sample means track λ across magnitudes (law of large
+    /// numbers with generous tolerance).
+    #[test]
+    fn poisson_mean_tracks_lambda(lambda in 0.1f64..200.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000;
+        let mean = (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / f64::from(n);
+        let tol = 5.0 * (lambda / f64::from(n)).sqrt() + 0.05;
+        prop_assert!((mean - lambda).abs() < tol, "mean {mean} vs λ {lambda} (tol {tol})");
+    }
+
+    /// Demand sampling is non-negative, quantized, and zero at zero
+    /// utilization.
+    #[test]
+    fn demand_sampling_invariants(
+        mean_power in 1.0f64..500.0,
+        quantum in 0.25f64..10.0,
+        u in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let class = AppClass { name: "p", mean_power: Watts(mean_power) };
+        let app = Application::new(AppId(0), 0, &class);
+        let model = DemandModel::new(Watts(quantum));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let d = model.sample_app_demand(&mut rng, &app, u);
+            prop_assert!(d.0 >= 0.0);
+            let q = d.0 / quantum;
+            prop_assert!((q - q.round()).abs() < 1e-9, "demand {d} not quantized to {quantum}");
+            if u == 0.0 {
+                prop_assert_eq!(d, Watts(0.0));
+            }
+        }
+    }
+
+    /// Least squares recovers any noiselessly-sampled linear power model.
+    #[test]
+    fn fit_linear_recovers_models(static_w in 0.0f64..300.0, slope_w in 1.0f64..300.0) {
+        let truth = LinearPowerModel::new(Watts(static_w), Watts(slope_w));
+        let pts: Vec<(f64, Watts)> = (0..=5)
+            .map(|i| {
+                let u = f64::from(i) / 5.0;
+                (u, truth.power_at(u))
+            })
+            .collect();
+        let fit = fit_linear(&pts).unwrap();
+        prop_assert!((fit.static_power.0 - static_w).abs() < 1e-6);
+        prop_assert!((fit.slope.0 - slope_w).abs() < 1e-6);
+    }
+
+    /// Power model inversion round-trips across its whole domain.
+    #[test]
+    fn power_model_inversion(static_w in 0.0f64..300.0, slope_w in 1.0f64..300.0, u in 0.0f64..1.0) {
+        let m = LinearPowerModel::new(Watts(static_w), Watts(slope_w));
+        let p = m.power_at(u);
+        prop_assert!((m.utilization_for(p) - u).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Hot/cold-zone experiment (paper §V-B3, Figs. 5–6): 18 servers in the
+//! Fig. 3 topology, servers 15–18 in a 40 °C hot zone, utilization sweep.
+//!
+//! ```text
+//! cargo run --release --example hot_cold_zones
+//! ```
+
+use willow::sim::experiments::{fig5_fig6, COLD_SERVERS, HOT_SERVERS};
+use willow::sim::{SimConfig, Simulation};
+
+fn main() {
+    println!("Willow hot/cold-zone sweep (Fig. 3 topology, Ta = 25 °C vs 40 °C)\n");
+
+    let sweep = fig5_fig6(7, 200, 3);
+    println!("U (%) | cold power (W) | hot power (W) | cold temp (°C) | hot temp (°C)");
+    println!("------+----------------+---------------+----------------+--------------");
+    for (p, t) in sweep.power.iter().zip(&sweep.temperature) {
+        println!(
+            "{:5.0} | {:14.1} | {:13.1} | {:14.1} | {:13.1}",
+            p.utilization * 100.0,
+            p.cold,
+            p.hot,
+            t.cold,
+            t.hot
+        );
+    }
+
+    // Zoom into one run at 60 % utilization and show where the workload
+    // ended up.
+    let mut cfg = SimConfig::paper_hot_cold(7, 0.6);
+    cfg.ticks = 200;
+    cfg.warmup = 40;
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    let metrics = sim.run();
+
+    println!("\nAt U = 60 %:");
+    println!(
+        "  cold-zone mean power {:.1} W, hot-zone {:.1} W",
+        metrics.mean_power(COLD_SERVERS),
+        metrics.mean_power(HOT_SERVERS)
+    );
+    println!(
+        "  hot-zone sleep fraction {:.0} % vs cold {:.0} % — Willow parks \
+         load away from heat",
+        100.0 * metrics.sleep_fraction[14..18].iter().sum::<f64>() / 4.0,
+        100.0 * metrics.sleep_fraction[..14].iter().sum::<f64>() / 14.0,
+    );
+    println!(
+        "  peak temperature anywhere: {:.1} °C (limit 70 °C)",
+        metrics
+            .peak_server_temp
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    );
+    println!(
+        "  {} demand-driven and {} consolidation-driven migrations, {} ping-pongs",
+        metrics.demand_migrations, metrics.consolidation_migrations, metrics.pingpongs
+    );
+}

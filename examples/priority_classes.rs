@@ -1,0 +1,65 @@
+//! QoS priority classes under severe energy deficiency (paper §I and §VI):
+//! when migration cannot cover the shortfall, low-priority work is degraded
+//! first and high-priority work last.
+//!
+//! ```text
+//! cargo run --release --example priority_classes
+//! ```
+
+use willow::core::config::{AllocationPolicy, ControllerConfig};
+use willow::core::controller::Willow;
+use willow::core::server::ServerSpec;
+use willow::thermal::units::Watts;
+use willow::topology::Tree;
+use willow::workload::app::{AppId, Application, Priority, SIM_APP_CLASSES};
+
+fn main() {
+    // Six servers, each hosting one app of every priority class.
+    let tree = Tree::uniform(&[2, 3]);
+    let mut id = 0u32;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            let apps: Vec<Application> = Priority::ALL
+                .into_iter()
+                .map(|priority| {
+                    let a = Application::new(AppId(id), 1, &SIM_APP_CLASSES[1])
+                        .with_priority(priority);
+                    id += 1;
+                    a
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+
+    let mut cfg = ControllerConfig::default();
+    cfg.allocation = AllocationPolicy::EqualShare;
+    cfg.consolidation_threshold = 0.0;
+    cfg.wake_on_deficit = false;
+    let mut willow = Willow::new(tree, specs, cfg).expect("valid setup");
+
+    // Every app offers 40 W; total demand 6×3×40 = 720 W.
+    let demands = vec![Watts(40.0); id as usize];
+
+    println!("supply (W) | shed Low (W) | shed Normal (W) | shed High (W)");
+    println!("-----------+--------------+-----------------+--------------");
+    for supply in [900.0, 700.0, 550.0, 400.0, 250.0] {
+        // Settle several periods at this supply and report the last one.
+        let mut last = None;
+        for _ in 0..8 {
+            last = Some(willow.step(&demands, Watts(supply)));
+        }
+        let r = last.unwrap();
+        println!(
+            "{supply:10.0} | {:12.1} | {:15.1} | {:13.1}",
+            r.shed_by_priority[Priority::Low.index()].0,
+            r.shed_by_priority[Priority::Normal.index()].0,
+            r.shed_by_priority[Priority::High.index()].0,
+        );
+    }
+    println!(
+        "\nAs the envelope tightens, Low absorbs first, then Normal; High-priority \
+         demand is shed only when nothing else remains."
+    );
+}

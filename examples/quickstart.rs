@@ -1,0 +1,85 @@
+//! Quickstart: build a small data center, run Willow for 60 control
+//! periods under a supply dip, and print what the controller did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use willow::core::config::{AllocationPolicy, ControllerConfig};
+use willow::core::controller::Willow;
+use willow::core::migration::MigrationReason;
+use willow::core::server::ServerSpec;
+use willow::thermal::units::Watts;
+use willow::topology::Tree;
+use willow::workload::app::{AppId, Application, SIM_APP_CLASSES};
+
+fn main() {
+    // A two-pod data center: root → 2 PMUs → 3 servers each.
+    let tree = Tree::uniform(&[2, 3]);
+
+    // Two applications per server, drawn round-robin from the paper's
+    // {1, 2, 5, 9}-relative-power classes.
+    let mut next_id = 0u32;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            let apps: Vec<Application> = (0..2)
+                .map(|_| {
+                    let class = (next_id as usize) % SIM_APP_CLASSES.len();
+                    let app = Application::new(AppId(next_id), class, &SIM_APP_CLASSES[class]);
+                    next_id += 1;
+                    app
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+
+    let mut config = ControllerConfig::default();
+    config.allocation = AllocationPolicy::EqualShare;
+    let mut willow = Willow::new(tree, specs, config).expect("valid setup");
+
+    // Constant demand: every app offers 40 % of its mean power.
+    let demands: Vec<Watts> = (0..next_id)
+        .map(|id| {
+            let class = (id as usize) % SIM_APP_CLASSES.len();
+            SIM_APP_CLASSES[class].mean_power * 0.4
+        })
+        .collect();
+
+    println!("tick | supply  | drawn   | migrations (reason)            | dropped");
+    println!("-----+---------+---------+--------------------------------+--------");
+    for tick in 0..60u64 {
+        // Supply dips sharply between ticks 24 and 40.
+        let supply = if (24..40).contains(&tick) {
+            Watts(900.0)
+        } else {
+            Watts(1800.0)
+        };
+        let report = willow.step(&demands, supply);
+        if !report.migrations.is_empty() || tick % 12 == 0 {
+            let migs: Vec<String> = report
+                .migrations
+                .iter()
+                .map(|m| {
+                    let reason = match m.reason {
+                        MigrationReason::Demand => "demand",
+                        MigrationReason::Consolidation => "consol",
+                    };
+                    format!("{}:{}->{} ({reason})", m.app, m.from, m.to)
+                })
+                .collect();
+            println!(
+                "{tick:4} | {:7.1} | {:7.1} | {:<30} | {:.1}",
+                supply.0,
+                report.total_power().0,
+                migs.join(", "),
+                report.dropped_demand.0
+            );
+        }
+        assert_eq!(report.pingpongs(), 0, "Willow must not ping-pong");
+    }
+
+    let active = willow.servers().iter().filter(|s| s.active).count();
+    println!("\n{active}/6 servers active at the end (idle ones were consolidated away).");
+}

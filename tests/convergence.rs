@@ -1,0 +1,200 @@
+//! Tests for the paper's analytical properties (§V-A): δ-convergence,
+//! message complexity (Property 3), decision complexity scaling, and
+//! decision stability (Property 4).
+
+use willow::core::config::ControllerConfig;
+use willow::core::controller::Willow;
+use willow::core::server::ServerSpec;
+use willow::thermal::units::Watts;
+use willow::topology::Tree;
+use willow::workload::app::{AppId, Application, SIM_APP_CLASSES};
+
+fn build(branching: &[usize], apps_per_server: usize) -> (Willow, usize) {
+    let tree = Tree::uniform(branching);
+    let mut id = 0u32;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            let apps: Vec<Application> = (0..apps_per_server)
+                .map(|_| {
+                    let class = id as usize % SIM_APP_CLASSES.len();
+                    let a = Application::new(AppId(id), class, &SIM_APP_CLASSES[class]);
+                    id += 1;
+                    a
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+    let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    (w, id as usize)
+}
+
+/// Property 3: at most two control messages per tree link per demand
+/// period — one demand report up, one budget directive down.
+#[test]
+fn property3_message_bound_scales() {
+    for branching in [&[2, 2][..], &[2, 3, 3][..], &[3, 4, 4][..]] {
+        let (mut w, n_apps) = build(branching, 1);
+        let links = w.tree().len() - 1;
+        let demands = vec![Watts(30.0); n_apps];
+        for _ in 0..12 {
+            let r = w.step(&demands, Watts(1e5));
+            assert!(
+                r.control_messages <= 2 * links,
+                "{branching:?}: {} messages for {links} links",
+                r.control_messages
+            );
+        }
+    }
+}
+
+/// δ-convergence (§V-A1): any demand update made at the leaves is visible
+/// at the root within the same demand period (the implementation is
+/// level-synchronous, so δ < Δ_D by construction). We verify it
+/// observationally: the root's aggregated CP equals the sum of leaf CPs
+/// immediately after a step.
+#[test]
+fn delta_convergence_of_demand_reports() {
+    let (mut w, n_apps) = build(&[2, 3, 3], 2);
+    let demands: Vec<Watts> = (0..n_apps).map(|i| Watts(10.0 + i as f64)).collect();
+    let _ = w.step(&demands, Watts(1e5));
+    let tree = w.tree();
+    let root_cp = w.power().cp[tree.root().index()];
+    let leaf_sum: Watts = tree.leaves().map(|l| w.power().cp[l.index()]).sum();
+    assert!(
+        (root_cp - leaf_sum).0.abs() < 1e-9,
+        "root sees {} but leaves sum to {}",
+        root_cp,
+        leaf_sum
+    );
+}
+
+/// The decision structure is hierarchical: migration hop counts never
+/// exceed one full up-and-down traversal (2 × height), and local (sibling)
+/// migrations touch exactly one switch.
+#[test]
+fn migration_paths_bounded_by_height() {
+    let (mut w, n_apps) = build(&[2, 3, 3], 2);
+    let height = w.tree().height() as usize;
+    // Drive hard enough to force migrations.
+    let mut demands = vec![Watts(20.0); n_apps];
+    for d in demands.iter_mut().take(8) {
+        *d = Watts(200.0);
+    }
+    let mut saw = 0;
+    for t in 0..60u64 {
+        let supply = Watts(if t % 11 < 5 { 3500.0 } else { 6000.0 });
+        let r = w.step(&demands, supply);
+        for m in &r.migrations {
+            saw += 1;
+            assert!(m.hops >= 1 && m.hops < 2 * height);
+            if m.local {
+                assert_eq!(m.hops, 1, "sibling migrations traverse one switch");
+            }
+        }
+    }
+    assert!(saw > 0, "scenario must force migrations");
+}
+
+/// Property 4 / decision stability: under constant demand, once the system
+/// settles there are no further demand-driven migrations — decisions stay
+/// valid (the paper observed stability for Δ_f < 50·Δ_D).
+#[test]
+fn decisions_are_stable_under_constant_demand() {
+    let (mut w, n_apps) = build(&[2, 3, 3], 2);
+    let mut demands = vec![Watts(25.0); n_apps];
+    for d in demands.iter_mut().take(6) {
+        *d = Watts(150.0);
+    }
+    // Settle for 50 periods under a tight but constant supply.
+    for _ in 0..50 {
+        let _ = w.step(&demands, Watts(4000.0));
+    }
+    // The next 50 periods must be migration-free.
+    for t in 0..50 {
+        let r = w.step(&demands, Watts(4000.0));
+        assert!(
+            r.migrations.is_empty(),
+            "tick {t}: unexpected migrations {:?}",
+            r.migrations
+        );
+    }
+}
+
+/// §V-A2 complexity, measured: per period the controller solves at most
+/// one packing instance per interior PMU node per origin pod, and the bins
+/// offered to each instance never exceed the data center's leaf count —
+/// the distributed decomposition the O(log n) decision-depth argument
+/// rests on. Counters must also show per-step instance counts do not grow
+/// faster than the interior node count when the tree grows.
+#[test]
+fn operation_counters_match_complexity_model() {
+    let mut per_size = Vec::new();
+    for branching in [&[2usize, 3, 3][..], &[3, 4, 4][..]] {
+        let (mut w, n_apps) = build(branching, 2);
+        let interior: usize = (1..=w.tree().height())
+            .map(|l| w.tree().nodes_at_level(l).len())
+            .sum();
+        // Force deficits everywhere with a tight equal supply.
+        let mut demands = vec![Watts(30.0); n_apps];
+        for d in demands.iter_mut().step_by(3) {
+            *d = Watts(180.0);
+        }
+        let before = w.stats();
+        let steps = 40u64;
+        for t in 0..steps {
+            let supply = Watts(if t % 9 < 4 { 2500.0 } else { 6000.0 });
+            let _ = w.step(&demands, supply);
+        }
+        let after = w.stats();
+        let instances = after.packing_instances - before.packing_instances;
+        // Each period each interior node handles at most one instance per
+        // origin child; children per node ≤ max branching.
+        let max_branching: usize = (1..=w.tree().height())
+            .map(|l| w.tree().max_branching_at(l))
+            .max()
+            .unwrap_or(1);
+        assert!(
+            instances <= steps * (interior * max_branching) as u64,
+            "{instances} instances exceeds the per-node bound"
+        );
+        assert!(after.messages >= before.messages + steps * (w.tree().len() as u64 - 1));
+        per_size.push((w.tree().leaves().count(), instances));
+    }
+    // Growing the DC 2.7× must not blow instances up super-linearly per
+    // server beyond the pod decomposition (generous 4× headroom).
+    let (n1, i1) = per_size[0];
+    let (n2, i2) = per_size[1];
+    let rate1 = i1 as f64 / n1 as f64;
+    let rate2 = i2 as f64 / n2 as f64;
+    assert!(
+        rate2 <= rate1 * 4.0 + 1.0,
+        "instances/server grew too fast: {rate1:.2} → {rate2:.2}"
+    );
+}
+
+/// Per-level packing instances are bounded by the branching factor: the
+/// paper's O(b_l log b_l)-per-node complexity argument requires that a
+/// level-1 PMU only ever packs over its own children.
+#[test]
+fn local_instances_are_pod_sized() {
+    let (mut w, n_apps) = build(&[2, 3, 3], 2);
+    let mut demands = vec![Watts(20.0); n_apps];
+    demands[0] = Watts(300.0);
+    demands[1] = Watts(300.0);
+    for t in 0..30u64 {
+        let supply = Watts(if t % 2 == 0 { 5000.0 } else { 7000.0 });
+        let r = w.step(&demands, supply);
+        for m in &r.migrations {
+            if m.local {
+                // Local targets share the parent — pod-sized instance.
+                assert_eq!(
+                    w.tree().parent(m.from),
+                    w.tree().parent(m.to),
+                    "local migration must stay within the pod"
+                );
+            }
+        }
+    }
+}
