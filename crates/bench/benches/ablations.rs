@@ -109,7 +109,10 @@ fn ablation_allocation(c: &mut Criterion) {
 fn ablation_thermal(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_thermal");
     g.sample_size(10);
-    for estimate in [ThermalEstimate::WindowPrediction, ThermalEstimate::NaiveThrottle] {
+    for estimate in [
+        ThermalEstimate::WindowPrediction,
+        ThermalEstimate::NaiveThrottle,
+    ] {
         let label = format!("{estimate:?}");
         report(&label, &run_with(|cc| cc.thermal_estimate = estimate));
         g.bench_function(BenchmarkId::from_parameter(&label), |b| {

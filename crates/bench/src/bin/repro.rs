@@ -89,7 +89,10 @@ fn ext_baseline() {
 fn ext_imbalance() {
     header("Extension — Eq. 9 power imbalance, Willow vs frozen controller");
     let rows = sim_exp::ext_imbalance(SEED, TICKS, N_SEEDS);
-    println!("  {:>6}  {:>12}  {:>16}", "U (%)", "willow (W)", "no-migration (W)");
+    println!(
+        "  {:>6}  {:>12}  {:>16}",
+        "U (%)", "willow (W)", "no-migration (W)"
+    );
     for r in &rows {
         println!(
             "  {:>6.0}  {:>12}  {:>16}",
@@ -132,7 +135,10 @@ fn fig5_fig6(p5: bool, p6: bool) {
     let sweep = sim_exp::fig5_fig6(SEED, TICKS, N_SEEDS);
     if p5 {
         header("Fig. 5 — average server power vs utilization (hot/cold zones)");
-        println!("  {:>6}  {:>16}  {:>16}", "U (%)", "servers 1-14 (W)", "servers 15-18 (W)");
+        println!(
+            "  {:>6}  {:>16}  {:>16}",
+            "U (%)", "servers 1-14 (W)", "servers 15-18 (W)"
+        );
         for row in &sweep.power {
             println!(
                 "  {:>6.0}  {:>16}  {:>16}",
@@ -145,7 +151,10 @@ fn fig5_fig6(p5: bool, p6: bool) {
     }
     if p6 {
         header("Fig. 6 — average server temperature vs utilization (hot/cold zones)");
-        println!("  {:>6}  {:>17}  {:>17}", "U (%)", "servers 1-14 (°C)", "servers 15-18 (°C)");
+        println!(
+            "  {:>6}  {:>17}  {:>17}",
+            "U (%)", "servers 1-14 (°C)", "servers 15-18 (°C)"
+        );
         for row in &sweep.temperature {
             println!(
                 "  {:>6.0}  {:>17}  {:>17}",
@@ -161,7 +170,10 @@ fn fig5_fig6(p5: bool, p6: bool) {
 fn fig7() {
     header("Fig. 7 — per-server power saved by consolidation (U = 40 %)");
     let res = sim_exp::fig7(SEED, TICKS, N_SEEDS);
-    println!("  {:>7}  {:>13}  {:>11}  {:>10}", "server", "baseline (W)", "willow (W)", "saved (W)");
+    println!(
+        "  {:>7}  {:>13}  {:>11}  {:>10}",
+        "server", "baseline (W)", "willow (W)", "saved (W)"
+    );
     for (i, ((b, w), s)) in res
         .baseline
         .iter()
@@ -169,7 +181,13 @@ fn fig7() {
         .zip(&res.saved)
         .enumerate()
     {
-        println!("  {:>7}  {:>13}  {:>11}  {:>10}", i + 1, r1(*b), r1(*w), r1(*s));
+        println!(
+            "  {:>7}  {:>13}  {:>11}  {:>10}",
+            i + 1,
+            r1(*b),
+            r1(*w),
+            r1(*s)
+        );
     }
     let hot: f64 = res.saved[14..18].iter().sum::<f64>() / 4.0;
     let cold: f64 = res.saved[..14].iter().sum::<f64>() / 14.0;
@@ -185,7 +203,10 @@ fn fig9_fig10(p9: bool, p10: bool) {
     let rows = sim_exp::fig9_fig10(SEED, TICKS, N_SEEDS);
     if p9 {
         header("Fig. 9 — demand-driven vs consolidation-driven migrations");
-        println!("  {:>6}  {:>14}  {:>21}", "U (%)", "demand-driven", "consolidation-driven");
+        println!(
+            "  {:>6}  {:>14}  {:>21}",
+            "U (%)", "demand-driven", "consolidation-driven"
+        );
         for r in &rows {
             println!(
                 "  {:>6.0}  {:>14.1}  {:>21.1}",
@@ -200,7 +221,11 @@ fn fig9_fig10(p9: bool, p10: bool) {
         header("Fig. 10 — migration traffic normalized to max switch capacity");
         println!("  {:>6}  {:>20}", "U (%)", "normalized traffic");
         for r in &rows {
-            println!("  {:>6.0}  {:>20}", r.utilization * 100.0, r3(r.normalized_traffic));
+            println!(
+                "  {:>6.0}  {:>20}",
+                r.utilization * 100.0,
+                r3(r.normalized_traffic)
+            );
         }
         println!("\n  paper shape: rises with U, peaks mid-range, collapses at high U");
     }
@@ -212,9 +237,18 @@ fn fig11_fig12(p11: bool, p12: bool) {
         header("Fig. 11 — average power demand of level-1 switches (W)");
         println!("  {:>6}  {:>44}  {:>6}", "U (%)", "switch 1..6", "CV");
         for r in &rows {
-            let cells: Vec<String> = r.switch_power.iter().map(|p| format!("{:>6}", r1(*p))).collect();
+            let cells: Vec<String> = r
+                .switch_power
+                .iter()
+                .map(|p| format!("{:>6}", r1(*p)))
+                .collect();
             let cv = sim_exp::coefficient_of_variation(&r.switch_power);
-            println!("  {:>6.0}  {}  {:>6}", r.utilization * 100.0, cells.join(" "), r3(cv));
+            println!(
+                "  {:>6.0}  {}  {:>6}",
+                r.utilization * 100.0,
+                cells.join(" "),
+                r3(cv)
+            );
         }
         println!("\n  paper shape: near-equal across switches (local-first spreads traffic)");
     }
@@ -236,7 +270,10 @@ fn fig11_fig12(p11: bool, p12: bool) {
 fn tab1() {
     header("Table I — testbed utilization vs power consumption");
     let (measured, fit) = tb_exp::measure_table1(SEED);
-    println!("  {:>14}  {:>12}  {:>22}", "Utilization %", "model (W)", "measured @ 2 Hz (W)");
+    println!(
+        "  {:>14}  {:>12}  {:>22}",
+        "Utilization %", "model (W)", "measured @ 2 Hz (W)"
+    );
     for ((u, p), (_, m)) in willow_testbed::table1().iter().zip(&measured) {
         println!("  {:>14}  {:>12}  {:>22}", u, r1(p.0), r1(m.0));
     }
@@ -277,9 +314,16 @@ fn deficit(p15_16: bool, p17_18: bool) {
     let run = tb_exp::deficit_experiment(SEED);
     if p15_16 {
         header("Figs. 15-16 — energy-deficient run: supply and migrations per time unit");
-        println!("  {:>6}  {:>12}  {:>12}", "unit", "supply (W)", "migrations");
+        println!(
+            "  {:>6}  {:>12}  {:>12}",
+            "unit", "supply (W)", "migrations"
+        );
         for (t, (s, m)) in run.supply.iter().zip(&run.migrations).enumerate() {
-            let marker = if tb_exp::PLUNGE_UNITS.contains(&t) { "  <- plunge" } else { "" };
+            let marker = if tb_exp::PLUNGE_UNITS.contains(&t) {
+                "  <- plunge"
+            } else {
+                ""
+            };
             println!("  {:>6}  {:>12}  {:>12}{}", t, r1(*s), m, marker);
         }
         println!(
@@ -294,24 +338,34 @@ fn deficit(p15_16: bool, p17_18: bool) {
     }
     if p17_18 {
         header("Figs. 17-18 — temperature time series (host A) and cluster average");
-        println!("  {:>6}  {:>18}  {:>18}", "unit", "host A temp (°C)", "avg temp (°C)");
+        println!(
+            "  {:>6}  {:>18}  {:>18}",
+            "unit", "host A temp (°C)", "avg temp (°C)"
+        );
         for (unit, avg) in run.avg_temp.iter().enumerate() {
             let a = run.temp_a[unit * 4 + 3]; // end-of-unit sample
             println!("  {:>6}  {:>18}  {:>18}", unit, r1(a), r1(*avg));
         }
-        println!("\n  peak temperature anywhere: {} °C (limit 70 °C)", r1(run.peak_temp));
+        println!(
+            "\n  peak temperature anywhere: {} °C (limit 70 °C)",
+            r1(run.peak_temp)
+        );
     }
 }
 
 fn consolidation() {
     header("Fig. 19 + Table III — energy-plenty consolidation run");
     let run = tb_exp::consolidation_experiment(SEED);
-    println!("  supply (W) per unit: min {} / mean {} / max {}",
+    println!(
+        "  supply (W) per unit: min {} / mean {} / max {}",
         r1(run.supply.iter().cloned().fold(f64::INFINITY, f64::min)),
         r1(run.supply.iter().sum::<f64>() / run.supply.len() as f64),
         r1(run.supply.iter().cloned().fold(0.0, f64::max)),
     );
-    println!("\n  {:>8}  {:>20}  {:>20}", "server", "initial util (%)", "final util (%)");
+    println!(
+        "\n  {:>8}  {:>20}  {:>20}",
+        "server", "initial util (%)", "final util (%)"
+    );
     for (i, name) in ["A", "B", "C"].iter().enumerate() {
         println!(
             "  {:>8}  {:>20}  {:>20}",
@@ -320,7 +374,10 @@ fn consolidation() {
             r1(run.final_util[i])
         );
     }
-    println!("\n  host C asleep for {} % of the run", r1(run.c_sleep_fraction * 100.0));
+    println!(
+        "\n  host C asleep for {} % of the run",
+        r1(run.c_sleep_fraction * 100.0)
+    );
     println!(
         "  average cluster power: baseline {} W -> willow {} W  ({} % savings; paper ≈27.5 %)",
         r1(run.baseline_power),

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn variable_bins() {
         // 7 + 3 fit the 10-bin; 6 needs its own; OPT = 2.
-        assert_eq!(optimal_bins_used(&[7.0, 6.0, 3.0], &[10.0, 6.0, 6.0]), Some(2));
+        assert_eq!(
+            optimal_bins_used(&[7.0, 6.0, 3.0], &[10.0, 6.0, 6.0]),
+            Some(2)
+        );
     }
 
     #[test]

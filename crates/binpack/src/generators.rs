@@ -49,7 +49,9 @@ pub fn uniform<R: Rng + ?Sized>(
     assert!(lo >= 0.0 && hi > lo, "need 0 ≤ lo < hi");
     Instance {
         items: (0..n_items).map(|_| rng.gen_range(lo..hi)).collect(),
-        bins: (0..n_bins).map(|_| rng.gen_range(2.0 * lo..2.0 * hi)).collect(),
+        bins: (0..n_bins)
+            .map(|_| rng.gen_range(2.0 * lo..2.0 * hi))
+            .collect(),
     }
 }
 
@@ -88,7 +90,9 @@ pub fn paper_mix<R: Rng + ?Sized>(
     let items = (0..n_items)
         .map(|_| WEIGHTS[rng.gen_range(0..WEIGHTS.len())] * unit)
         .collect();
-    let bins = (0..n_bins).map(|_| rng.gen_range(1.0..17.0) * unit).collect();
+    let bins = (0..n_bins)
+        .map(|_| rng.gen_range(1.0..17.0) * unit)
+        .collect();
     Instance { items, bins }
 }
 

@@ -58,12 +58,7 @@ impl Packing {
         if self.assignment.len() != items.len() {
             return false;
         }
-        if self
-            .assignment
-            .iter()
-            .flatten()
-            .any(|&b| b >= bins.len())
-        {
+        if self.assignment.iter().flatten().any(|&b| b >= bins.len()) {
             return false;
         }
         self.bin_loads(items, bins.len())

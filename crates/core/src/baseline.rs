@@ -98,8 +98,7 @@ impl GreedyGlobal {
                 let children = self.tree.children(node);
                 let demands: Vec<Watts> =
                     children.iter().map(|c| self.power.cp[c.index()]).collect();
-                let caps: Vec<Watts> =
-                    children.iter().map(|c| self.power.cap[c.index()]).collect();
+                let caps: Vec<Watts> = children.iter().map(|c| self.power.cap[c.index()]).collect();
                 let budgets = allocate_proportional(self.power.tp[node.index()], &demands, &caps)
                     .expect("validated inputs");
                 for (c, b) in children.iter().zip(budgets) {
@@ -120,7 +119,11 @@ impl GreedyGlobal {
         let bins: Vec<NodeId> = self.servers.iter().map(|s| s.node).collect();
         let caps: Vec<f64> = bins
             .iter()
-            .map(|l| (self.power.tp[l.index()] - self.servers[self.server_of(*l)].base_load).0.max(0.0))
+            .map(|l| {
+                (self.power.tp[l.index()] - self.servers[self.server_of(*l)].base_load)
+                    .0
+                    .max(0.0)
+            })
             .collect();
         let packing = Ffdlr.pack(&sizes, &caps);
 

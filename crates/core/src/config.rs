@@ -85,6 +85,66 @@ pub enum ThermalEstimate {
     NaiveThrottle,
 }
 
+/// Tunables of the degraded-mode defenses (stale-directive watchdog,
+/// sensor-plausibility filter, migration retry backoff). These only change
+/// behavior when faults actually occur; fault-free trajectories are
+/// identical for any valid setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessConfig {
+    /// Number of consecutive *missed* budget directives after which a
+    /// server's watchdog trips and falls back to the conservative local
+    /// cap. Must be ≥ 1.
+    pub watchdog_threshold: u32,
+    /// The fallback cap as a fraction of the server's rating, in (0, 1].
+    /// While tripped, the server's budget is the minimum of its stale
+    /// directive, its local thermal cap and this fraction of its rating —
+    /// never looser than anything it last heard (tightening-only).
+    pub watchdog_cap_fraction: f64,
+    /// Plausibility tolerance of the temperature filter in °C: a sensor
+    /// reading farther than this from the RC-model prediction (previous
+    /// accepted temperature advanced by the metered power draw) is rejected
+    /// and the prediction is used instead.
+    pub sensor_slack: f64,
+    /// Retry backoff base in demand periods: after `n` consecutive
+    /// failures an app may retry after `retry_base · 2^(n−1)` periods
+    /// (exponent capped by `retry_cap`). Must be ≥ 1.
+    pub retry_base: u64,
+    /// Cap on the backoff exponent (bounds the wait at
+    /// `retry_base · 2^retry_cap`).
+    pub retry_cap: u32,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            watchdog_threshold: 3,
+            watchdog_cap_fraction: 0.5,
+            sensor_slack: 2.0,
+            retry_base: 1,
+            retry_cap: 5,
+        }
+    }
+}
+
+impl RobustnessConfig {
+    /// Validate the invariants documented on each field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.watchdog_threshold == 0 {
+            return Err(ConfigError::Watchdog);
+        }
+        if !(self.watchdog_cap_fraction > 0.0 && self.watchdog_cap_fraction <= 1.0) {
+            return Err(ConfigError::Watchdog);
+        }
+        if !(self.sensor_slack.is_finite() && self.sensor_slack >= 0.0) {
+            return Err(ConfigError::SensorSlack(self.sensor_slack));
+        }
+        if self.retry_base == 0 || self.retry_cap > 32 {
+            return Err(ConfigError::Retry);
+        }
+        Ok(())
+    }
+}
+
 /// All Willow tunables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControllerConfig {
@@ -128,6 +188,9 @@ pub struct ControllerConfig {
     /// the *indirect* network impact: query traffic follows the VMs to
     /// wherever they run (§V-B5).
     pub query_traffic_per_watt: f64,
+    /// Degraded-mode defense tunables (watchdog, sensor filter, retry
+    /// backoff).
+    pub robustness: RobustnessConfig,
 }
 
 impl Default for ControllerConfig {
@@ -148,6 +211,7 @@ impl Default for ControllerConfig {
             wake_on_deficit: true,
             pingpong_window: 50,
             query_traffic_per_watt: 1.0,
+            robustness: RobustnessConfig::default(),
         }
     }
 }
@@ -179,7 +243,7 @@ impl ControllerConfig {
         if !(0.0..=1.0).contains(&self.consolidation_threshold) {
             return Err(ConfigError::Threshold(self.consolidation_threshold));
         }
-        Ok(())
+        self.robustness.validate()
     }
 
     /// The supply-side period `Δ_S` in seconds.
@@ -213,6 +277,12 @@ pub enum ConfigError {
     Margin,
     /// Consolidation threshold outside [0, 1].
     Threshold(f64),
+    /// Watchdog threshold or cap fraction out of range.
+    Watchdog,
+    /// Sensor-plausibility slack negative or non-finite.
+    SensorSlack(f64),
+    /// Retry backoff base zero or exponent cap too large.
+    Retry,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -226,6 +296,15 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Margin => write!(f, "margin must be finite and ≥ 0"),
             ConfigError::Threshold(t) => {
                 write!(f, "consolidation threshold must be in [0,1], got {t}")
+            }
+            ConfigError::Watchdog => {
+                write!(f, "watchdog needs threshold ≥ 1 and cap fraction in (0,1]")
+            }
+            ConfigError::SensorSlack(s) => {
+                write!(f, "sensor slack must be finite and ≥ 0, got {s}")
+            }
+            ConfigError::Retry => {
+                write!(f, "retry backoff needs base ≥ 1 and exponent cap ≤ 32")
             }
         }
     }
@@ -268,7 +347,10 @@ mod tests {
         let mut c = ControllerConfig::default();
         c.eta1 = 7;
         c.eta2 = 7;
-        assert!(matches!(c.validate(), Err(ConfigError::Granularities { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Granularities { .. })
+        ));
         c.eta1 = 0;
         c.eta2 = 3;
         assert!(c.validate().is_err());

@@ -22,6 +22,7 @@
 //!    thermal state advances by `Δ_D`.
 
 use crate::config::{AllocationPolicy, ControllerConfig, PackerChoice, ReducedTargetRule};
+use crate::disturbance::{Disturbances, MigrationOutcome};
 use crate::migration::{MigrationReason, MigrationRecord, TickReport};
 use crate::server::{ServerSpec, ServerState};
 use crate::state::PowerState;
@@ -29,7 +30,9 @@ use std::collections::HashMap;
 use willow_binpack::{BestFitDecreasing, Ffdlr, FirstFitDecreasing, NextFit, Packer};
 use willow_network::Fabric;
 use willow_power::allocation::allocate_proportional;
-use willow_thermal::units::Watts;
+use willow_thermal::limit::power_limit;
+use willow_thermal::model::step_temperature;
+use willow_thermal::units::{Celsius, Watts};
 use willow_topology::{NodeId, Tree};
 use willow_workload::app::AppId;
 
@@ -79,6 +82,38 @@ struct DeficitItem {
     reason: MigrationReason,
 }
 
+/// Per-server stale-directive watchdog state (paper-adjacent defense: a
+/// leaf that keeps missing its budget directive falls back to a
+/// conservative local cap rather than running open-loop forever).
+#[derive(Debug, Clone, Copy, Default)]
+struct Watchdog {
+    /// Consecutive supply ticks whose budget directive never arrived.
+    missed: u32,
+    /// Whether the conservative fallback cap is currently engaged.
+    tripped: bool,
+}
+
+/// Exponential retry backoff for an app whose migration failed.
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    /// Failed attempts so far.
+    failures: u32,
+    /// Earliest tick at which another attempt may be made.
+    retry_at: u64,
+}
+
+/// Fault and defense events observed during the current period.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultCounters {
+    reports_lost: usize,
+    directives_lost: usize,
+    migration_rejects: usize,
+    migration_aborts: usize,
+    migration_retries: usize,
+    watchdog_trips: usize,
+    sensor_rejections: usize,
+}
+
 /// Cumulative operation counters backing the paper's §V-A2 complexity
 /// analysis: the distributed scheme solves one pod-sized packing instance
 /// per PMU node per period, so instances scale with the node count and the
@@ -117,6 +152,26 @@ pub struct Willow {
     last_dropped: Watts,
     /// Cumulative operation counters.
     stats: ControlStats,
+    /// Each leaf's *own* view of its smoothed demand, indexed like
+    /// `power.cp`. Identical to `power.cp` in fault-free operation; under
+    /// report loss `power.cp` keeps the hierarchy's stale view while this
+    /// stays current — physics and local deficit detection use this.
+    local_cp: Vec<Watts>,
+    /// Stale-directive watchdog per server.
+    watchdog: Vec<Watchdog>,
+    /// Last temperature reading per server that passed the plausibility
+    /// filter; caps and predictions are computed from this, never from a
+    /// raw (possibly faulted) sensor.
+    accepted_temp: Vec<Celsius>,
+    /// Retry backoff for apps whose migrations recently failed.
+    backoff: HashMap<AppId, Backoff>,
+    /// Disturbances being applied to the period currently in progress.
+    disturb: Disturbances,
+    /// Migration attempts made so far this period (indexes into the
+    /// pre-rolled outcome list).
+    mig_attempts: usize,
+    /// Fault/defense events observed this period.
+    counters: FaultCounters,
 }
 
 impl Willow {
@@ -157,6 +212,9 @@ impl Willow {
         }
         let power = PowerState::new(&tree);
         let fabric = Fabric::new(&tree);
+        let accepted_temp = servers.iter().map(|s| s.thermal.temperature()).collect();
+        let watchdog = vec![Watchdog::default(); servers.len()];
+        let local_cp = vec![Watts::ZERO; tree.len()];
         Ok(Willow {
             tree,
             config,
@@ -168,6 +226,13 @@ impl Willow {
             last_move: HashMap::new(),
             last_dropped: Watts::ZERO,
             stats: ControlStats::default(),
+            local_cp,
+            watchdog,
+            accepted_temp,
+            backoff: HashMap::new(),
+            disturb: Disturbances::default(),
+            mig_attempts: 0,
+            counters: FaultCounters::default(),
         })
     }
 
@@ -262,6 +327,9 @@ impl Willow {
             leaf_server[server.node.index()] = Some(si);
         }
         let fabric = Fabric::new(&tree);
+        let accepted_temp = servers.iter().map(|s| s.thermal.temperature()).collect();
+        let watchdog = vec![Watchdog::default(); servers.len()];
+        let local_cp = power.cp.clone();
         Ok(Willow {
             tree,
             config,
@@ -276,6 +344,13 @@ impl Willow {
                 .collect(),
             last_dropped,
             stats: ControlStats::default(),
+            local_cp,
+            watchdog,
+            accepted_temp,
+            backoff: HashMap::new(),
+            disturb: Disturbances::default(),
+            mig_attempts: 0,
+            counters: FaultCounters::default(),
         })
     }
 
@@ -304,9 +379,30 @@ impl Willow {
     /// gives each application's raw power demand this period; `supply` is
     /// the data center's total power budget (used on supply ticks).
     ///
+    /// Equivalent to [`Willow::step_with`] with no disturbances.
+    ///
     /// # Panics
     /// Panics if `app_demand` does not cover every hosted application's id.
     pub fn step(&mut self, app_demand: &[Watts], supply: Watts) -> TickReport {
+        self.step_with(app_demand, supply, &Disturbances::default())
+    }
+
+    /// Drive one demand period under injected faults (see
+    /// [`crate::disturbance`]). With the default (empty) [`Disturbances`]
+    /// this is exactly [`Willow::step`] — the fault machinery changes
+    /// nothing about fault-free trajectories.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step_with(
+        &mut self,
+        app_demand: &[Watts],
+        supply: Watts,
+        disturb: &Disturbances,
+    ) -> TickReport {
+        self.disturb = disturb.clone();
+        self.mig_attempts = 0;
+        self.counters = FaultCounters::default();
         let tick = self.tick;
         let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
         let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
@@ -352,8 +448,10 @@ impl Willow {
         for (si, server) in self.servers.iter_mut().enumerate() {
             let leaf = server.node.index();
             let budget = self.power.tp[leaf];
+            // The server draws against its *own* demand view: report loss
+            // fools the hierarchy, not the machine itself.
             let demand = if server.active {
-                self.power.cp[leaf]
+                self.local_cp[leaf]
             } else {
                 Watts::ZERO
             };
@@ -363,23 +461,38 @@ impl Willow {
             if shortfall.0 > 0.0 {
                 // Degraded operation: attribute the shed demand to QoS
                 // classes, lowest priority first (§IV-E / §VI).
-                let plan = crate::shedding::shed_by_priority(
-                    &server.apps,
-                    &server.app_demand,
-                    shortfall,
-                );
+                let plan =
+                    crate::shedding::shed_by_priority(&server.apps, &server.app_demand, shortfall);
                 for (acc, class_shed) in report.shed_by_priority.iter_mut().zip(plan.by_class) {
                     *acc += class_shed;
                 }
             }
             server.thermal.advance(drawn, self.config.delta_d);
+            // Sensor plausibility filter: accept the (possibly faulted)
+            // reading only if it is within `sensor_slack` of what the RC
+            // model predicts from the last accepted temperature under the
+            // power actually drawn; otherwise keep running on the model.
+            let measured = self.disturb.measured_temp(si, server.thermal.temperature());
+            let predicted = step_temperature(
+                server.thermal.params(),
+                self.accepted_temp[si],
+                server.thermal.ambient(),
+                drawn,
+                self.config.delta_d,
+            );
+            self.accepted_temp[si] =
+                if (measured.0 - predicted.0).abs() <= self.config.robustness.sensor_slack {
+                    measured
+                } else {
+                    self.counters.sensor_rejections += 1;
+                    predicted
+                };
             // Indirect network impact: query traffic follows the workload.
             self.fabric.record_query(
                 &self.tree,
                 server.node,
                 drawn.0 * self.config.query_traffic_per_watt,
             );
-            let _ = si;
             report.server_power.push(drawn);
             report.server_budget.push(budget);
             report.server_temp.push(server.thermal.temperature());
@@ -393,13 +506,24 @@ impl Willow {
                 .push(self.power.level_imbalance(&self.tree, level));
         }
 
+        report.reports_lost = self.counters.reports_lost;
+        report.directives_lost = self.counters.directives_lost;
+        report.migration_rejects = self.counters.migration_rejects;
+        report.migration_aborts = self.counters.migration_aborts;
+        report.migration_retries = self.counters.migration_retries;
+        report.watchdog_trips = self.counters.watchdog_trips;
+        report.sensor_rejections = self.counters.sensor_rejections;
+        report.fallback_servers = self.watchdog.iter().filter(|w| w.tripped).count();
+
         self.tick += 1;
         report
     }
 
-    /// Smooth raw demands into leaf `CP` values and aggregate upward.
+    /// Smooth raw demands into leaf `CP` values and aggregate upward. A
+    /// server whose report is lost keeps running on its own fresh view
+    /// (`local_cp`) while the hierarchy keeps the stale `power.cp` entry.
     fn measure(&mut self, app_demand: &[Watts]) {
-        for server in &mut self.servers {
+        for (si, server) in self.servers.iter_mut().enumerate() {
             if server.active {
                 for (i, app) in server.apps.iter().enumerate() {
                     let idx = app.id.0 as usize;
@@ -412,8 +536,14 @@ impl Willow {
                 }
                 let raw = server.raw_demand();
                 let smoothed = server.smoother.observe(raw);
-                self.power.cp[server.node.index()] = smoothed;
+                self.local_cp[server.node.index()] = smoothed;
+                if self.disturb.report_lost(si) {
+                    self.counters.reports_lost += 1;
+                } else {
+                    self.power.cp[server.node.index()] = smoothed;
+                }
             } else {
+                self.local_cp[server.node.index()] = Watts::ZERO;
                 self.power.cp[server.node.index()] = Watts::ZERO;
             }
             // Migration costs are charged for exactly one period.
@@ -426,15 +556,23 @@ impl Willow {
     /// top-down proportional to demand (§IV-D).
     fn supply_adaptation(&mut self, supply: Watts) {
         let window = self.config.delta_s();
-        for server in &self.servers {
+        for (si, server) in self.servers.iter().enumerate() {
             // Sleeping servers present their wake-up headroom; they are at
             // (or cooling toward) ambient, so this is near their rating.
+            // Caps derive from the *accepted* temperature — the reading
+            // that passed the plausibility filter — never a raw sensor, so
+            // a stuck or noisy sensor cannot zero out a healthy server.
             let cap = match self.config.thermal_estimate {
-                crate::config::ThermalEstimate::WindowPrediction => {
-                    server.thermal.power_limit(window)
-                }
+                crate::config::ThermalEstimate::WindowPrediction => power_limit(
+                    server.thermal.params(),
+                    self.accepted_temp[si],
+                    server.thermal.ambient(),
+                    server.thermal.limit(),
+                    window,
+                )
+                .clamp(Watts::ZERO, server.thermal.rating()),
                 crate::config::ThermalEstimate::NaiveThrottle => {
-                    if server.thermal.over_limit() {
+                    if self.accepted_temp[si].0 > server.thermal.limit().0 + 1e-9 {
                         Watts::ZERO
                     } else {
                         server.thermal.rating()
@@ -451,8 +589,7 @@ impl Willow {
         for level in (1..=self.tree.height()).rev() {
             for &node in self.tree.nodes_at_level(level) {
                 let children = self.tree.children(node);
-                let caps: Vec<Watts> =
-                    children.iter().map(|c| self.power.cap[c.index()]).collect();
+                let caps: Vec<Watts> = children.iter().map(|c| self.power.cap[c.index()]).collect();
                 // The allocation "demand" weights depend on the policy.
                 let weights: Vec<Watts> = match self.config.allocation {
                     AllocationPolicy::ProportionalToDemand => {
@@ -469,7 +606,37 @@ impl Willow {
             }
         }
 
-        // Budget-reduction flags for the unidirectional target rule.
+        // Stale-directive watchdog. A leaf whose directive is lost never
+        // sees the freshly allocated budget: it keeps its previously
+        // applied one, clipped by its locally known thermal cap — i.e. the
+        // effective budget can only *tighten*, never loosen, without a
+        // fresh directive. After `watchdog_threshold` consecutive misses
+        // the leaf self-imposes a conservative fallback cap (a fraction of
+        // its rating) until a directive gets through again.
+        for (si, server) in self.servers.iter().enumerate() {
+            let leaf = server.node.index();
+            if self.disturb.directive_lost(si) {
+                self.counters.directives_lost += 1;
+                let wd = &mut self.watchdog[si];
+                wd.missed += 1;
+                if !wd.tripped && wd.missed >= self.config.robustness.watchdog_threshold {
+                    wd.tripped = true;
+                    self.counters.watchdog_trips += 1;
+                }
+                let mut fallback = self.power.tp_old[leaf].min(self.power.cap[leaf]);
+                if wd.tripped {
+                    let cap_w =
+                        server.thermal.rating().0 * self.config.robustness.watchdog_cap_fraction;
+                    fallback = fallback.min(Watts(cap_w));
+                }
+                self.power.tp[leaf] = fallback;
+            } else {
+                self.watchdog[si] = Watchdog::default();
+            }
+        }
+
+        // Budget-reduction flags for the unidirectional target rule (after
+        // the watchdog, so degraded leaves read as reduced targets).
         for id in self.tree.ids() {
             let i = id.index();
             let reduced = match self.config.reduced_rule {
@@ -497,13 +664,14 @@ impl Willow {
         }
     }
 
-    /// True if `leaf` may receive migrations: active, and neither it nor
-    /// any ancestor was flagged as budget-reduced (§IV-E final rule).
+    /// True if `leaf` may receive migrations: active, not crashed, and
+    /// neither it nor any ancestor was flagged as budget-reduced (§IV-E
+    /// final rule).
     fn target_eligible(&self, leaf: NodeId) -> bool {
         let Some(si) = self.leaf_server[leaf.index()] else {
             return false;
         };
-        if !self.servers[si].active {
+        if !self.servers[si].active || self.disturb.crashed(si) {
             return false;
         }
         if self.power.reduced[leaf.index()] {
@@ -586,7 +754,10 @@ impl Willow {
                 continue;
             }
             let leaf = server.node.index();
-            let cp = self.power.cp[leaf];
+            // Deficit detection is local: the server compares its own
+            // fresh demand view against its budget, regardless of what the
+            // hierarchy believes.
+            let cp = self.local_cp[leaf];
             let tp = self.power.tp[leaf];
             let excess = (cp - tp + self.config.margin).non_negative();
             if excess.0 <= 1e-9 {
@@ -608,9 +779,7 @@ impl Willow {
                 let recent = |i: usize| {
                     self.last_move
                         .get(&server.apps[i].id)
-                        .is_some_and(|&(_, t)| {
-                            tick.saturating_sub(t) < self.config.pingpong_window
-                        })
+                        .is_some_and(|&(_, t)| tick.saturating_sub(t) < self.config.pingpong_window)
                 };
                 recent(a)
                     .cmp(&recent(b)) // settled (false) before recent (true)
@@ -663,6 +832,11 @@ impl Willow {
         tick: u64,
         records: &mut Vec<MigrationRecord>,
     ) -> Vec<DeficitItem> {
+        // Apps in retry backoff after a failed migration sit this round
+        // out entirely (they go straight to the leftovers).
+        let (items, mut leftovers): (Vec<DeficitItem>, Vec<DeficitItem>) = items
+            .into_iter()
+            .partition(|item| !self.in_backoff(item.app, tick));
         let bins_nodes: Vec<NodeId> = scope
             .iter()
             .copied()
@@ -670,16 +844,19 @@ impl Willow {
             .filter(|&leaf| self.target_eligible(leaf))
             .collect();
         if bins_nodes.is_empty() {
-            return items;
+            leftovers.extend(items);
+            return leftovers;
         }
         let bin_caps: Vec<f64> = bins_nodes.iter().map(|&l| self.bin_capacity(l).0).collect();
-        let sizes: Vec<f64> = items.iter().map(|it| self.effective_size(it.demand)).collect();
+        let sizes: Vec<f64> = items
+            .iter()
+            .map(|it| self.effective_size(it.demand))
+            .collect();
         self.stats.packing_instances += 1;
         self.stats.items_offered += sizes.len() as u64;
         self.stats.bins_offered += bin_caps.len() as u64;
         let packing = self.packer().pack(&sizes, &bin_caps);
 
-        let mut leftovers = Vec::new();
         for (i, item) in items.into_iter().enumerate() {
             match packing.assignment[i] {
                 Some(b) => {
@@ -687,10 +864,10 @@ impl Willow {
                     // Property 4 / ping-pong avoidance: never bounce an app
                     // straight back to the host it recently left — defer it
                     // to the next level (other bins) or shed it instead.
-                    if self.would_pingpong(item.app, target_leaf, tick) {
+                    if self.would_pingpong(item.app, target_leaf, tick)
+                        || !self.attempt_migration(&item, target_leaf, tick, records)
+                    {
                         leftovers.push(item);
-                    } else {
-                        self.execute_migration(item, target_leaf, tick, records);
                     }
                 }
                 None => leftovers.push(item),
@@ -705,6 +882,76 @@ impl Willow {
         self.last_move.get(&app).is_some_and(|&(prev_from, t)| {
             target == prev_from && tick.saturating_sub(t) < self.config.pingpong_window
         })
+    }
+
+    /// Is `app` still waiting out its retry backoff at `tick`?
+    fn in_backoff(&self, app: AppId, tick: u64) -> bool {
+        self.backoff.get(&app).is_some_and(|b| tick < b.retry_at)
+    }
+
+    /// Record a failed migration attempt for `app` and schedule its next
+    /// eligible attempt with exponential backoff.
+    fn register_failure(&mut self, app: AppId, tick: u64) {
+        let rb = self.config.robustness;
+        let entry = self.backoff.entry(app).or_insert(Backoff {
+            failures: 0,
+            retry_at: 0,
+        });
+        entry.failures += 1;
+        let exp = (entry.failures - 1).min(rb.retry_cap);
+        let delay = rb.retry_base.saturating_mul(1u64 << exp);
+        entry.retry_at = tick.saturating_add(delay);
+    }
+
+    /// Try to migrate `item` to `target_leaf`, consuming the next
+    /// pre-rolled outcome. On `Success` the move happens (and a cleared
+    /// backoff counts as a successful retry); on `Reject` nothing is
+    /// charged; on `Abort` the copy work already happened — both end nodes
+    /// pay the temporary cost and the fabric carried the traffic — but the
+    /// app stays at the source with its accounting restored. Both failure
+    /// modes enter the app into retry backoff. Returns whether the app
+    /// moved.
+    fn attempt_migration(
+        &mut self,
+        item: &DeficitItem,
+        target_leaf: NodeId,
+        tick: u64,
+        records: &mut Vec<MigrationRecord>,
+    ) -> bool {
+        let attempt = self.mig_attempts;
+        self.mig_attempts += 1;
+        match self.disturb.migration_outcome(attempt) {
+            MigrationOutcome::Success => {
+                if self.backoff.remove(&item.app).is_some() {
+                    self.counters.migration_retries += 1;
+                }
+                self.execute_migration(item.clone(), target_leaf, tick, records);
+                true
+            }
+            MigrationOutcome::Reject => {
+                self.counters.migration_rejects += 1;
+                self.register_failure(item.app, tick);
+                false
+            }
+            MigrationOutcome::Abort => {
+                self.counters.migration_aborts += 1;
+                let src_leaf = self.servers[item.server].node;
+                let tgt_idx = self.leaf_server[target_leaf.index()].expect("target is a server");
+                let local = self.tree.are_siblings(src_leaf, target_leaf);
+                let cost = self.config.cost_model.end_node_cost(item.demand, local);
+                self.servers[item.server].pending_cost += cost;
+                self.servers[tgt_idx].pending_cost += cost;
+                self.power.cp[src_leaf.index()] += cost;
+                self.power.cp[target_leaf.index()] += cost;
+                self.local_cp[src_leaf.index()] += cost;
+                self.local_cp[target_leaf.index()] += cost;
+                let units = self.config.cost_model.traffic_units(item.demand);
+                self.fabric
+                    .record_migration(&self.tree, src_leaf, target_leaf, units);
+                self.register_failure(item.app, tick);
+                false
+            }
+        }
     }
 
     /// Physically move an app, charge costs, record traffic and stats.
@@ -737,6 +984,9 @@ impl Willow {
         self.power.cp[src_leaf.index()] =
             (self.power.cp[src_leaf.index()] - demand).non_negative() + cost;
         self.power.cp[target_leaf.index()] += demand + cost;
+        self.local_cp[src_leaf.index()] =
+            (self.local_cp[src_leaf.index()] - demand).non_negative() + cost;
+        self.local_cp[target_leaf.index()] += demand + cost;
 
         // Fabric accounting.
         let units = self.config.cost_model.traffic_units(demand);
@@ -744,10 +994,13 @@ impl Willow {
             .record_migration(&self.tree, src_leaf, target_leaf, units);
 
         let hops = self.tree.path_len(src_leaf, target_leaf) - 1; // switches on path
-        // Ping-pong: the app returns to the host it last left, within Δ_f.
-        let pingpong = self.last_move.get(&item.app).is_some_and(|&(prev_from, t)| {
-            target_leaf == prev_from && tick.saturating_sub(t) < self.config.pingpong_window
-        });
+                                                                  // Ping-pong: the app returns to the host it last left, within Δ_f.
+        let pingpong = self
+            .last_move
+            .get(&item.app)
+            .is_some_and(|&(prev_from, t)| {
+                target_leaf == prev_from && tick.saturating_sub(t) < self.config.pingpong_window
+            });
         self.last_move.insert(item.app, (src_leaf, tick));
 
         self.stats.migrations += 1;
@@ -810,15 +1063,25 @@ impl Willow {
                 continue;
             }
             if let Some(migs) = self.plan_full_evacuation(si, tick) {
+                // A failed attempt mid-plan (injected reject/abort) stops
+                // the evacuation: the server keeps its remaining apps and
+                // stays awake — never sleep a server that still hosts work.
+                let mut evacuated = true;
                 for (item, target) in migs {
                     let tgt_idx =
                         self.leaf_server[target.index()].expect("target is a server leaf");
-                    received[tgt_idx] = true;
-                    self.execute_migration(item, target, tick, &mut records);
+                    if self.attempt_migration(&item, target, tick, &mut records) {
+                        received[tgt_idx] = true;
+                    } else {
+                        evacuated = false;
+                        break;
+                    }
                 }
-                debug_assert!(self.servers[si].apps.is_empty());
-                self.sleep_server(si, tick);
-                slept.push(leaf);
+                if evacuated {
+                    debug_assert!(self.servers[si].apps.is_empty());
+                    self.sleep_server(si, tick);
+                    slept.push(leaf);
+                }
             }
         }
         // Consolidation migrations are re-labeled with their reason.
@@ -837,6 +1100,14 @@ impl Willow {
         _tick: u64,
     ) -> Option<Vec<(DeficitItem, NodeId)>> {
         let leaf = self.servers[si].node;
+        // All-or-nothing: an app still in retry backoff blocks evacuation.
+        if self.servers[si]
+            .apps
+            .iter()
+            .any(|a| self.in_backoff(a.id, self.tick))
+        {
+            return None;
+        }
         let items: Vec<DeficitItem> = self.servers[si]
             .apps
             .iter()
@@ -848,7 +1119,10 @@ impl Willow {
                 reason: MigrationReason::Consolidation,
             })
             .collect();
-        let sizes: Vec<f64> = items.iter().map(|it| self.effective_size(it.demand)).collect();
+        let sizes: Vec<f64> = items
+            .iter()
+            .map(|it| self.effective_size(it.demand))
+            .collect();
 
         // Eligible bins: siblings first, then the rest of the data center.
         // Within each class: coolest zone (largest hard cap) first so
@@ -915,6 +1189,7 @@ impl Willow {
         server.last_activity_change = tick;
         server.smoother.reset();
         self.power.cp[server.node.index()] = Watts::ZERO;
+        self.local_cp[server.node.index()] = Watts::ZERO;
     }
 
     // ------------------------------------------------------------------
@@ -952,7 +1227,11 @@ impl Willow {
         };
         let mut records = Vec::new();
         for (item, target) in plan {
-            self.execute_migration(item, target, tick, &mut records);
+            if !self.attempt_migration(&item, target, tick, &mut records) {
+                // Injected failure mid-drain: already-moved apps stay
+                // moved, but the server keeps the rest and stays awake.
+                return false;
+            }
         }
         debug_assert!(self.servers[server].apps.is_empty());
         self.sleep_server(server, tick);
@@ -1037,7 +1316,11 @@ mod tests {
         let (tree, specs, _) = small_setup(1);
         assert!(Willow::new(tree.clone(), specs.clone(), ControllerConfig::default()).is_ok());
         // Too few specs.
-        let err = Willow::new(tree.clone(), specs[..2].to_vec(), ControllerConfig::default());
+        let err = Willow::new(
+            tree.clone(),
+            specs[..2].to_vec(),
+            ControllerConfig::default(),
+        );
         assert!(matches!(err, Err(WillowError::LeafCoverage { .. })));
         // Duplicate leaf.
         let mut dup = specs.clone();
@@ -1281,10 +1564,7 @@ mod tests {
         for _ in 0..100 {
             let r = w.step(&d, Watts(1_200.0));
             for (i, t) in r.server_temp.iter().enumerate() {
-                assert!(
-                    t.0 <= 70.0 + 1e-6,
-                    "server {i} exceeded thermal limit: {t}"
-                );
+                assert!(t.0 <= 70.0 + 1e-6, "server {i} exceeded thermal limit: {t}");
             }
         }
     }
@@ -1375,9 +1655,13 @@ mod tests {
             .map(|leaf| {
                 let apps: Vec<_> = (0..2)
                     .map(|_| {
-                        let prio = if id.is_multiple_of(2) { Priority::Low } else { Priority::High };
-                        let a = Application::new(AppId(id), 0, &SIM_APP_CLASSES[0])
-                            .with_priority(prio);
+                        let prio = if id.is_multiple_of(2) {
+                            Priority::Low
+                        } else {
+                            Priority::High
+                        };
+                        let a =
+                            Application::new(AppId(id), 0, &SIM_APP_CLASSES[0]).with_priority(prio);
                         id += 1;
                         a
                     })
@@ -1438,5 +1722,248 @@ mod tests {
         assert_eq!(w.locate_app(AppId(0)), Some(0));
         assert_eq!(w.locate_app(AppId(3)), Some(3));
         assert_eq!(w.locate_app(AppId(99)), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection defenses
+    // ------------------------------------------------------------------
+
+    use crate::disturbance::{Disturbances, MigrationOutcome};
+
+    /// Zero-valued (but fully allocated) disturbance vectors must behave
+    /// exactly like the empty default — tick-for-tick.
+    #[test]
+    fn explicit_zero_disturbances_match_fault_free_run() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut a = Willow::new(tree.clone(), specs.clone(), ControllerConfig::default()).unwrap();
+        let mut b = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let zero = Disturbances {
+            crashed: vec![false; 4],
+            report_lost: vec![false; 4],
+            directive_lost: vec![false; 4],
+            sensor_override: vec![None; 4],
+            sensor_offset: vec![0.0; 4],
+            migration_outcomes: vec![MigrationOutcome::Success; 8],
+        };
+        for t in 0..60u64 {
+            let d: Vec<Watts> = (0..n_apps)
+                .map(|i| Watts(20.0 + 15.0 * (((t as usize + i) % 7) as f64)))
+                .collect();
+            let supply = Watts(300.0 + 200.0 * ((t % 9) as f64 / 8.0));
+            let ra = a.step(&d, supply);
+            let rb = b.step_with(&d, supply, &zero);
+            assert_eq!(ra, rb, "tick {t} diverged under zero disturbances");
+        }
+    }
+
+    /// A leaf that keeps missing its directive must never see its budget
+    /// loosen, and after `watchdog_threshold` misses it must fall back to
+    /// the conservative cap. A fresh directive releases the fallback.
+    #[test]
+    fn stale_directive_watchdog_tightens_only_then_recovers() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut cfg = ControllerConfig::default();
+        cfg.eta1 = 1; // every tick is a supply tick
+        cfg.consolidation_threshold = 0.0;
+        let threshold = cfg.robustness.watchdog_threshold;
+        let frac = cfg.robustness.watchdog_cap_fraction;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let d = demands(n_apps, 50.0);
+        // Settle fault-free first.
+        let mut last_budget = Watts::ZERO;
+        for _ in 0..5 {
+            last_budget = w.step(&d, Watts(10_000.0)).server_budget[0];
+        }
+        let lost = Disturbances {
+            directive_lost: vec![true, false, false, false],
+            ..Disturbances::default()
+        };
+        let rating = w.servers()[0].thermal.rating();
+        let mut tripped_at = None;
+        for k in 1..=(threshold + 2) {
+            let r = w.step_with(&d, Watts(10_000.0), &lost);
+            assert_eq!(r.directives_lost, 1);
+            assert!(
+                r.server_budget[0] <= last_budget + Watts(1e-9),
+                "budget loosened without a fresh directive at miss {k}"
+            );
+            last_budget = r.server_budget[0];
+            if r.watchdog_trips > 0 {
+                assert_eq!(tripped_at, None, "watchdog must trip exactly once");
+                tripped_at = Some(k);
+            }
+            if k >= threshold {
+                assert_eq!(r.fallback_servers, 1);
+                assert!(
+                    r.server_budget[0] <= Watts(rating.0 * frac + 1e-9),
+                    "fallback cap not applied at miss {k}"
+                );
+            }
+        }
+        assert_eq!(tripped_at, Some(threshold));
+        // A fresh directive resets the watchdog and may loosen again.
+        let r = w.step(&d, Watts(10_000.0));
+        assert_eq!(r.fallback_servers, 0);
+        assert!(r.server_budget[0] >= last_budget);
+    }
+
+    /// An aborted migration leaves the app at the source but charges the
+    /// copy cost to both end nodes and the traffic to the fabric.
+    #[test]
+    fn aborted_migration_restores_source_and_charges_both_ends() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 1000;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        let abort = Disturbances {
+            migration_outcomes: vec![MigrationOutcome::Abort; 8],
+            ..Disturbances::default()
+        };
+        let all_nodes: Vec<NodeId> = w.tree().ids().collect();
+        let r = w.step_with(&d, Watts(400.0), &abort);
+        assert!(r.migration_aborts > 0, "plunge must provoke an attempt");
+        assert!(r.migrations.is_empty(), "aborted moves must not complete");
+        // Both apps still on server 0; conservation holds.
+        let hosted: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(hosted, n_apps);
+        assert_eq!(w.servers()[0].apps.len(), 2);
+        // The copy work was real: both ends carry the temporary cost and
+        // the fabric carried the traffic despite zero completed moves.
+        let charged = w
+            .servers()
+            .iter()
+            .filter(|s| s.pending_cost.0 > 0.0)
+            .count();
+        assert!(charged >= 2, "both end nodes must be charged");
+        let carried = w
+            .fabric()
+            .sum_traffic(&all_nodes, willow_network::TrafficKind::Migration);
+        assert!(carried > 0.0, "the fabric must have carried the copy");
+    }
+
+    /// After a rejected attempt the app backs off; once the backoff
+    /// expires a clean retry succeeds and is counted.
+    #[test]
+    fn rejected_migration_retries_after_backoff() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 1000;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        let reject = Disturbances {
+            migration_outcomes: vec![MigrationOutcome::Reject; 8],
+            ..Disturbances::default()
+        };
+        let r = w.step_with(&d, Watts(400.0), &reject);
+        assert!(r.migration_rejects > 0);
+        assert!(r.migrations.is_empty());
+        // Fault-free from now on: the retry must eventually land.
+        let mut retried = 0;
+        for _ in 0..10 {
+            let r = w.step(&d, Watts(400.0));
+            retried += r.migration_retries;
+        }
+        assert!(retried > 0, "backoff must end in a successful retry");
+    }
+
+    /// A stuck-high sensor must be rejected by the plausibility filter:
+    /// the healthy server keeps a healthy budget and keeps its workload.
+    #[test]
+    fn stuck_high_sensor_does_not_evacuate_healthy_server() {
+        let (tree, specs, n_apps) = small_setup(1);
+        let mut cfg = ControllerConfig::default();
+        cfg.eta1 = 1;
+        cfg.consolidation_threshold = 0.0;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let d = demands(n_apps, 50.0);
+        for _ in 0..5 {
+            let _ = w.step(&d, Watts(10_000.0));
+        }
+        let stuck = Disturbances {
+            sensor_override: vec![Some(Celsius(95.0))],
+            ..Disturbances::default()
+        };
+        for _ in 0..30 {
+            let r = w.step_with(&d, Watts(10_000.0), &stuck);
+            assert!(r.sensor_rejections >= 1, "95 °C reading must be rejected");
+            assert!(
+                r.server_budget[0] >= Watts(50.0),
+                "healthy server must keep a working budget, got {}",
+                r.server_budget[0]
+            );
+        }
+        assert_eq!(
+            w.locate_app(AppId(0)),
+            Some(0),
+            "workload must not flee a healthy server on a stuck sensor"
+        );
+    }
+
+    /// A stuck-low sensor must not let a hot server overheat: caps keep
+    /// following the model prediction, not the flattering reading.
+    #[test]
+    fn stuck_low_sensor_does_not_cause_thermal_violation() {
+        let (tree, mut specs, n_apps) = small_setup(1);
+        specs[0].ambient = Celsius(45.0);
+        let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(400.0);
+        let stuck = Disturbances {
+            sensor_override: vec![Some(Celsius(25.0))],
+            ..Disturbances::default()
+        };
+        for _ in 0..60 {
+            let r = w.step_with(&d, Watts(10_000.0), &stuck);
+            assert!(
+                r.server_temp[0] <= Celsius(70.0 + 1e-6),
+                "stuck-low sensor let the server overheat: {}",
+                r.server_temp[0]
+            );
+        }
+    }
+
+    /// Crashed servers are not eligible migration targets.
+    #[test]
+    fn crashed_server_not_a_migration_target() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 1000;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        // Server 1 (the sibling that would normally absorb the load) is
+        // crashed; any migration must land elsewhere.
+        let crash = Disturbances {
+            crashed: vec![false, true, false, false],
+            ..Disturbances::default()
+        };
+        let r = w.step_with(&d, Watts(400.0), &crash);
+        let crashed_leaf = w.servers()[1].node;
+        assert!(
+            r.migrations.iter().all(|m| m.to != crashed_leaf),
+            "no migration may target a crashed server: {:?}",
+            r.migrations
+        );
     }
 }

@@ -87,10 +87,8 @@ mod tests {
 
     #[test]
     fn delta_grows_with_height() {
-        let shallow = ConvergenceAnalysis::for_tree(
-            &willow_topology::Tree::uniform(&[4]),
-            Seconds(0.01),
-        );
+        let shallow =
+            ConvergenceAnalysis::for_tree(&willow_topology::Tree::uniform(&[4]), Seconds(0.01));
         let deep = ConvergenceAnalysis::for_tree(
             &willow_topology::Tree::uniform(&[2, 2, 2, 2]),
             Seconds(0.01),
@@ -102,9 +100,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_alpha_rejected() {
-        let _ = ConvergenceAnalysis::for_tree(
-            &willow_topology::Tree::paper_fig3(),
-            Seconds(0.0),
-        );
+        let _ = ConvergenceAnalysis::for_tree(&willow_topology::Tree::paper_fig3(), Seconds(0.0));
     }
 }

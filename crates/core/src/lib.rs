@@ -73,6 +73,7 @@ pub mod baseline;
 pub mod config;
 pub mod controller;
 pub mod convergence;
+pub mod disturbance;
 pub mod migration;
 pub mod server;
 pub mod shedding;
@@ -81,5 +82,6 @@ pub mod state;
 
 pub use config::ControllerConfig;
 pub use controller::Willow;
+pub use disturbance::{Disturbances, MigrationOutcome};
 pub use migration::{MigrationReason, MigrationRecord, TickReport};
 pub use server::ServerSpec;

@@ -74,6 +74,23 @@ pub struct TickReport {
     /// Control messages exchanged on tree links this period (Property 3
     /// accounting: ≤ 2 per link per Δ_D).
     pub control_messages: usize,
+    /// Upward demand reports lost to injected faults this period.
+    pub reports_lost: usize,
+    /// Downward budget directives lost to injected faults this period.
+    pub directives_lost: usize,
+    /// Migration attempts refused admission by the destination this period.
+    pub migration_rejects: usize,
+    /// Migration attempts aborted mid-flight this period.
+    pub migration_aborts: usize,
+    /// Migrations that succeeded after at least one earlier failed attempt.
+    pub migration_retries: usize,
+    /// Stale-directive watchdogs that newly tripped this period.
+    pub watchdog_trips: usize,
+    /// Servers running under the conservative watchdog fallback cap at the
+    /// end of this period.
+    pub fallback_servers: usize,
+    /// Temperature readings rejected by the plausibility filter this period.
+    pub sensor_rejections: usize,
 }
 
 impl TickReport {
@@ -132,10 +149,12 @@ mod tests {
     #[test]
     fn report_counters() {
         let mut r = TickReport::default();
-        r.migrations.push(record(MigrationReason::Demand, true, false));
+        r.migrations
+            .push(record(MigrationReason::Demand, true, false));
         r.migrations
             .push(record(MigrationReason::Consolidation, false, false));
-        r.migrations.push(record(MigrationReason::Demand, false, true));
+        r.migrations
+            .push(record(MigrationReason::Demand, false, true));
         assert_eq!(r.migrations_by_reason(MigrationReason::Demand), 2);
         assert_eq!(r.migrations_by_reason(MigrationReason::Consolidation), 1);
         assert_eq!(r.local_migrations(), 1);

@@ -336,8 +336,7 @@ mod tests {
         assert!(!spec.active);
         // Sustained constants: steady state at rated power hits the limit.
         let tb = ServerSpec::testbed_default(NodeId(1));
-        let steady =
-            willow_thermal::limit::steady_state_power(tb.thermal, tb.ambient, tb.t_limit);
+        let steady = willow_thermal::limit::steady_state_power(tb.thermal, tb.ambient, tb.t_limit);
         assert!((steady.0 - tb.rating.0).abs() < 1e-9);
     }
 }

@@ -103,8 +103,7 @@ mod tests {
             let supply = Watts(if t % 13 < 6 { 1500.0 } else { 2600.0 });
             let r = w.step(&demands, supply);
             log.push(
-                (r.migrations.len() as u64) << 32
-                    | u64::from(r.total_power().0.to_bits() as u32),
+                (r.migrations.len() as u64) << 32 | u64::from(r.total_power().0.to_bits() as u32),
             );
         }
         log

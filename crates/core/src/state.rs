@@ -70,11 +70,7 @@ impl PowerState {
     pub fn aggregate_demands(&mut self, tree: &Tree) {
         for level in 1..=tree.height() {
             for &node in tree.nodes_at_level(level) {
-                let sum: Watts = tree
-                    .children(node)
-                    .iter()
-                    .map(|c| self.cp[c.index()])
-                    .sum();
+                let sum: Watts = tree.children(node).iter().map(|c| self.cp[c.index()]).sum();
                 self.cp[node.index()] = sum;
             }
         }

@@ -78,7 +78,10 @@ impl Fabric {
     /// Panics if any entry is zero.
     #[must_use]
     pub fn with_level_redundancy(tree: &Tree, levels: &[usize]) -> Self {
-        assert!(levels.iter().all(|&p| p > 0), "need at least one path per level");
+        assert!(
+            levels.iter().all(|&p| p > 0),
+            "need at least one path per level"
+        );
         let n = tree.len();
         let mut redundancy = vec![1.0; n];
         for id in tree.ids() {

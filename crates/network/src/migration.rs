@@ -125,7 +125,9 @@ mod tests {
         let c1 = m.node_cost(Watts(100.0));
         let c2 = m.node_cost(Watts(200.0));
         assert!((c2.0 - 2.0 * c1.0).abs() < 1e-12);
-        assert!((m.traffic_units(Watts(200.0)) - 2.0 * m.traffic_units(Watts(100.0))).abs() < 1e-12);
+        assert!(
+            (m.traffic_units(Watts(200.0)) - 2.0 * m.traffic_units(Watts(100.0))).abs() < 1e-12
+        );
     }
 
     #[test]

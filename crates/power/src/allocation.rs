@@ -200,8 +200,7 @@ mod tests {
         // Two identical demands; one child thermally capped — the paper's
         // hot-zone behaviour (Fig. 5): hot servers receive less budget.
         let budgets =
-            allocate_proportional(w(400.0), &[w(300.0), w(300.0)], &[w(450.0), w(120.0)])
-                .unwrap();
+            allocate_proportional(w(400.0), &[w(300.0), w(300.0)], &[w(450.0), w(120.0)]).unwrap();
         assert!(budgets[1].0 <= 120.0 + 1e-9);
         assert!(budgets[0].0 > budgets[1].0);
         assert!((total_of(&budgets) - 400.0).abs() < 1e-9);
@@ -217,12 +216,8 @@ mod tests {
 
     #[test]
     fn zero_demand_children_get_leftovers_only() {
-        let budgets = allocate_proportional(
-            w(100.0),
-            &[w(0.0), w(40.0)],
-            &[w(1e6), w(60.0)],
-        )
-        .unwrap();
+        let budgets =
+            allocate_proportional(w(100.0), &[w(0.0), w(40.0)], &[w(1e6), w(60.0)]).unwrap();
         // Positive-demand child saturates at its cap (60); the idle child
         // parks the remaining 40 (action 2).
         assert!((budgets[1].0 - 60.0).abs() < 1e-9);
@@ -278,7 +273,9 @@ mod tests {
         // Hand-rolled deterministic pseudo-random sweep (no rand dep here).
         let mut x = 123_456_789u64;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as f64) / (u32::MAX as f64 / 2.0) * 100.0
         };
         for _ in 0..200 {

@@ -184,7 +184,7 @@ mod tests {
     fn migration_margin_rejects_tight_target() {
         let src = NodePower::new(Watts(120.0), Watts(110.0));
         let tgt = NodePower::new(Watts(80.0), Watts(100.0)); // surplus 20
-        // Moving 15 W leaves the target with 100 − 95 − cost 2 = 3 < 10.
+                                                             // Moving 15 W leaves the target with 100 − 95 − cost 2 = 3 < 10.
         assert!(!migration_admissible(
             src,
             tgt,

@@ -53,7 +53,10 @@ impl Battery {
         max_discharge: Watts,
         efficiency: f64,
     ) -> Self {
-        assert!(capacity_j > 0.0 && capacity_j.is_finite(), "capacity must be positive");
+        assert!(
+            capacity_j > 0.0 && capacity_j.is_finite(),
+            "capacity must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&state_of_charge),
             "state of charge must be in [0, 1]"
@@ -183,7 +186,10 @@ mod tests {
         let mut b = battery();
         b.charge_j = 50.0;
         let d = b.settle(Watts(0.0), Watts(1000.0), Seconds(1.0));
-        assert!((d.0 - 50.0).abs() < 1e-9, "cannot discharge more than stored");
+        assert!(
+            (d.0 - 50.0).abs() < 1e-9,
+            "cannot discharge more than stored"
+        );
         assert_eq!(b.charge_j, 0.0);
     }
 
@@ -218,7 +224,11 @@ mod tests {
         ]);
         let mut b = Battery::new(40_000.0, 1.0, Watts(500.0), Watts(600.0), 0.95);
         let eff = buffer_trace(&mut b, &raw, Watts(500.0), Seconds(10.0));
-        assert!(eff.at(2).0 >= 500.0, "battery must bridge the plunge: {}", eff.at(2));
+        assert!(
+            eff.at(2).0 >= 500.0,
+            "battery must bridge the plunge: {}",
+            eff.at(2)
+        );
         assert!(eff.at(3).0 >= 500.0);
         // And the battery is depleted accordingly.
         assert!(b.state_of_charge() < 1.0);

@@ -205,7 +205,11 @@ mod tests {
         }
         // Outside the plunges supply stays near nominal (≥ 95 %).
         for unit in [0, 5, 11, 20, 29] {
-            assert!(t.at(unit).0 >= nominal.0 * 0.94, "unit {unit}: {}", t.at(unit));
+            assert!(
+                t.at(unit).0 >= nominal.0 * 0.94,
+                "unit {unit}: {}",
+                t.at(unit)
+            );
         }
         assert_eq!(t.min(), deep);
     }

@@ -7,6 +7,8 @@
 //! willow-sim run config.json
 //! # One-liner sweep at a fixed utilization:
 //! willow-sim quick 0.6
+//! # Fault-injection run: 0.6 utilization, 20% loss/failure rates:
+//! willow-sim faulted 0.6 0.2
 //! ```
 //!
 //! The configuration format is the serde form of
@@ -14,7 +16,7 @@
 //! [`willow_sim::RunMetrics`].
 
 use std::process::ExitCode;
-use willow_sim::{SimConfig, Simulation};
+use willow_sim::{FaultPlan, SimConfig, Simulation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,20 +51,35 @@ fn main() -> ExitCode {
             run(cfg)
         }
         Some("quick") => {
-            let u: f64 = args
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0.6);
+            let u: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.6);
             run(SimConfig::paper_hot_cold(2011, u))
         }
+        Some("faulted") => {
+            let u: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.6);
+            let loss: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+            let mut cfg = SimConfig::paper_hot_cold(2011, u);
+            cfg.faults = Some(FaultPlan {
+                seed: 2011,
+                report_loss: loss,
+                directive_loss: loss,
+                migration_failure: loss,
+                abort_fraction: 0.5,
+                ..FaultPlan::default()
+            });
+            run(cfg)
+        }
         _ => {
-            eprintln!("usage: willow-sim <template | run <config.json> | quick [utilization]>");
+            eprintln!(
+                "usage: willow-sim <template | run <config.json> | quick [utilization] \
+                 | faulted [utilization] [loss]>"
+            );
             ExitCode::FAILURE
         }
     }
 }
 
 fn run(cfg: SimConfig) -> ExitCode {
+    let faulted = cfg.faults.is_some();
     match Simulation::new(cfg) {
         Ok(mut sim) => {
             let metrics = sim.run();
@@ -70,6 +87,9 @@ fn run(cfg: SimConfig) -> ExitCode {
                 "{}",
                 serde_json::to_string_pretty(&metrics).expect("metrics serialize")
             );
+            if faulted {
+                eprintln!("faults: {}", metrics.fault_summary());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,5 +1,7 @@
 //! Simulation configuration (the paper's §V-B1 setup, made explicit).
 
+use crate::error::SimError;
+use crate::faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 use willow_core::config::ControllerConfig;
 use willow_network::SwitchPowerModel;
@@ -58,6 +60,11 @@ pub struct SimConfig {
     /// (§IV-C "varying intensity"). Values must lie in [0, 1].
     #[serde(default)]
     pub utilization_trace: Option<Vec<f64>>,
+    /// Optional fault plan: deterministic injection of control-message
+    /// loss, PMU crashes, sensor faults and migration failures. `None`
+    /// (the default, so old configs still parse) runs fault-free.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -80,6 +87,7 @@ impl SimConfig {
             supply_factor: 0.92,
             demand_drift: 0.35,
             utilization_trace: None,
+            faults: None,
         }
     }
 
@@ -109,37 +117,51 @@ impl SimConfig {
     }
 
     /// Validate basic invariants.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// Returns the first violated invariant as a typed [`SimError`].
+    pub fn validate(&self) -> Result<(), SimError> {
         if self.branching.is_empty() || self.branching.contains(&0) {
-            return Err("branching factors must be non-empty and positive".into());
+            return Err(SimError::Branching);
         }
         if !(0.0..=1.0).contains(&self.utilization) {
-            return Err(format!("utilization must be in [0,1], got {}", self.utilization));
+            return Err(SimError::Utilization(self.utilization));
         }
         if self.warmup >= self.ticks {
-            return Err("warmup must be shorter than the run".into());
+            return Err(SimError::Warmup {
+                warmup: self.warmup,
+                ticks: self.ticks,
+            });
         }
         if self.apps_per_server == 0 {
-            return Err("need at least one app per server".into());
+            return Err(SimError::AppsPerServer);
         }
         if !(0.0..=1.0).contains(&self.supply_factor) {
-            return Err(format!("supply factor must be in [0,1], got {}", self.supply_factor));
+            return Err(SimError::SupplyFactor(self.supply_factor));
         }
         if !(0.0..1.0).contains(&self.demand_drift) {
-            return Err(format!("demand drift must be in [0,1), got {}", self.demand_drift));
+            return Err(SimError::DemandDrift(self.demand_drift));
         }
         if let Some(trace) = &self.utilization_trace {
-            if trace.iter().any(|u| !(0.0..=1.0).contains(u)) {
-                return Err("utilization trace values must be in [0,1]".into());
+            if let Some(&u) = trace.iter().find(|u| !(0.0..=1.0).contains(*u)) {
+                return Err(SimError::UtilizationTrace(u));
             }
         }
         let n = self.n_servers();
         for z in &self.zones {
             if z.start >= z.end || z.end > n {
-                return Err(format!("zone {z:?} out of range for {n} servers"));
+                return Err(SimError::Zone {
+                    start: z.start,
+                    end: z.end,
+                    servers: n,
+                });
             }
         }
-        self.controller.validate().map_err(|e| e.to_string())
+        if let Some(plan) = &self.faults {
+            plan.validate(n)?;
+        }
+        self.controller.validate()?;
+        Ok(())
     }
 }
 
@@ -167,11 +189,11 @@ mod tests {
     fn validation_catches_errors() {
         let mut cfg = SimConfig::paper_default(1, 0.4);
         cfg.utilization = 1.5;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(SimError::Utilization(1.5)));
 
         let mut cfg = SimConfig::paper_default(1, 0.4);
         cfg.warmup = cfg.ticks;
-        assert!(cfg.validate().is_err());
+        assert!(matches!(cfg.validate(), Err(SimError::Warmup { .. })));
 
         let mut cfg = SimConfig::paper_default(1, 0.4);
         cfg.zones = vec![ThermalZone {
@@ -179,11 +201,39 @@ mod tests {
             end: 30,
             ambient: Celsius(40.0),
         }];
-        assert!(cfg.validate().is_err());
+        assert!(matches!(cfg.validate(), Err(SimError::Zone { .. })));
 
         let mut cfg = SimConfig::paper_default(1, 0.4);
         cfg.branching = vec![2, 0];
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(SimError::Branching));
+    }
+
+    #[test]
+    fn validation_covers_fault_plan() {
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.faults = Some(FaultPlan {
+            report_loss: 2.0,
+            ..FaultPlan::default()
+        });
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::FaultProbability { .. })
+        ));
+        cfg.faults = Some(FaultPlan::quiet(3));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn config_without_faults_field_still_parses() {
+        // Pre-fault-plan configs (no `faults` key) must keep loading.
+        let mut cfg = SimConfig::paper_default(5, 0.5);
+        cfg.faults = None;
+        let mut json = serde_json::to_string(&cfg).unwrap();
+        // Strip the serialized `"faults":null` to emulate an old file.
+        json = json.replace(",\"faults\":null", "");
+        assert!(!json.contains("faults"));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

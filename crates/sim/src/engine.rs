@@ -6,12 +6,15 @@
 //! FabricSnapshot)` pairs into the aggregate metrics.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::faults::FaultInjector;
 use crate::metrics::{FabricSnapshot, RunMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use willow_core::controller::Willow;
 use willow_core::migration::TickReport;
 use willow_core::server::ServerSpec;
+use willow_core::Disturbances;
 use willow_thermal::units::Watts;
 use willow_topology::{NodeId, Tree};
 use willow_workload::app::Application;
@@ -31,6 +34,10 @@ pub struct Simulation {
     tick: usize,
     /// AR(1) state per application driving slow load drift.
     drift: Vec<f64>,
+    /// Rolls the configured fault plan, if any. Uses its own RNG, so a
+    /// quiet plan leaves the workload stream — and thus the whole
+    /// trajectory — untouched.
+    injector: Option<FaultInjector>,
 }
 
 /// AR(1) persistence of the per-app load drift (per demand period).
@@ -40,8 +47,9 @@ impl Simulation {
     /// Build a simulation from a validated config.
     ///
     /// # Errors
-    /// Returns the validation error string if the config is inconsistent.
-    pub fn new(config: SimConfig) -> Result<Self, String> {
+    /// Returns a typed [`SimError`] if the config is inconsistent or the
+    /// controller cannot be built from it.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
         let tree = Tree::uniform(&config.branching);
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -61,8 +69,7 @@ impl Simulation {
             .iter()
             .enumerate()
             .map(|(i, &leaf)| {
-                let mut spec =
-                    ServerSpec::simulation_default(leaf).with_apps(placement[i].clone());
+                let mut spec = ServerSpec::simulation_default(leaf).with_apps(placement[i].clone());
                 for zone in &config.zones {
                     if i >= zone.start && i < zone.end {
                         spec.ambient = zone.ambient;
@@ -72,10 +79,13 @@ impl Simulation {
             })
             .collect();
 
-        let willow = Willow::new(tree.clone(), specs, config.controller.clone())
-            .map_err(|e| e.to_string())?;
+        let willow = Willow::new(tree.clone(), specs, config.controller.clone())?;
         let level1 = tree.nodes_at_level(1).to_vec();
         let n_apps = apps.len();
+        let injector = match &config.faults {
+            Some(plan) => Some(FaultInjector::new(plan.clone(), config.n_servers())?),
+            None => None,
+        };
         Ok(Simulation {
             config,
             willow,
@@ -85,6 +95,7 @@ impl Simulation {
             level1,
             tick: 0,
             drift: vec![0.0; n_apps],
+            injector,
         })
     }
 
@@ -140,7 +151,11 @@ impl Simulation {
             }
             None => self.config.ample_supply(),
         };
-        let report = self.willow.step(&demands, supply);
+        let disturb = match &mut self.injector {
+            Some(inj) => inj.disturbances_for(self.tick as u64),
+            None => Disturbances::none(),
+        };
+        let report = self.willow.step_with(&demands, supply, &disturb);
         let fabric = self.snapshot_fabric();
         self.tick += 1;
         (report, fabric)
@@ -264,7 +279,45 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut cfg = SimConfig::paper_default(1, 0.4);
         cfg.utilization = 2.0;
-        assert!(Simulation::new(cfg).is_err());
+        assert_eq!(Simulation::new(cfg).err(), Some(SimError::Utilization(2.0)));
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_fault_free_trajectory() {
+        // An injector with all rates zero must reproduce the fault-free
+        // run tick for tick — whatever its seed, since it rolls from its
+        // own RNG and injects nothing.
+        use crate::faults::FaultPlan;
+        let mut clean_cfg = SimConfig::paper_hot_cold(17, 0.6);
+        clean_cfg.ticks = 90;
+        clean_cfg.warmup = 0;
+        let mut faulted_cfg = clean_cfg.clone();
+        faulted_cfg.faults = Some(FaultPlan::quiet(0xDEAD_BEEF));
+        let mut clean = Simulation::new(clean_cfg).unwrap();
+        let mut faulted = Simulation::new(faulted_cfg).unwrap();
+        for t in 0..90 {
+            assert_eq!(clean.step(), faulted.step(), "diverged at tick {t}");
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::faults::FaultPlan;
+        let run = || {
+            let mut cfg = SimConfig::paper_hot_cold(9, 0.6);
+            cfg.ticks = 100;
+            cfg.warmup = 20;
+            cfg.faults = Some(FaultPlan {
+                seed: 4,
+                report_loss: 0.2,
+                directive_loss: 0.2,
+                migration_failure: 0.3,
+                abort_fraction: 0.5,
+                ..FaultPlan::default()
+            });
+            Simulation::new(cfg).unwrap().run()
+        };
+        assert_eq!(run(), run(), "same seed + same plan ⇒ identical metrics");
     }
 
     #[test]

@@ -148,10 +148,12 @@ fn sweep_runs(seed: u64, ticks: usize, n_seeds: usize) -> Vec<Vec<RunMetrics>> {
 pub fn fig5_fig6(seed: u64, ticks: usize, n_seeds: usize) -> HotColdSweep {
     let mut power = Vec::new();
     let mut temperature = Vec::new();
-    for (&u, runs) in UTILIZATION_GRID.iter().zip(sweep_runs(seed, ticks, n_seeds)) {
-        let mean = |f: &dyn Fn(&RunMetrics) -> f64| {
-            runs.iter().map(f).sum::<f64>() / runs.len() as f64
-        };
+    for (&u, runs) in UTILIZATION_GRID
+        .iter()
+        .zip(sweep_runs(seed, ticks, n_seeds))
+    {
+        let mean =
+            |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / runs.len() as f64;
         power.push(HotColdRow {
             utilization: u,
             cold: mean(&|m| m.mean_power(COLD_SERVERS)),
@@ -333,9 +335,8 @@ pub fn ext_imbalance(seed: u64, ticks: usize, n_seeds: usize) -> Vec<ImbalanceRo
     let jobs: Vec<(f64, u64, bool)> = UTILIZATION_GRID
         .iter()
         .flat_map(|&u| {
-            (0..n_seeds).flat_map(move |k| {
-                [(u, seed + k as u64, true), (u, seed + k as u64, false)]
-            })
+            (0..n_seeds)
+                .flat_map(move |k| [(u, seed + k as u64, true), (u, seed + k as u64, false)])
         })
         .collect();
     let runs = crate::parallel::parallel_map(jobs, |(u, s, migrate)| {
@@ -348,7 +349,10 @@ pub fn ext_imbalance(seed: u64, ticks: usize, n_seeds: usize) -> Vec<ImbalanceRo
             cfg.controller.consolidation_threshold = 0.0;
             cfg.controller.wake_on_deficit = false;
         }
-        (migrate, Simulation::new(cfg).expect("valid").run().avg_imbalance_l0)
+        (
+            migrate,
+            Simulation::new(cfg).expect("valid").run().avg_imbalance_l0,
+        )
     });
     UTILIZATION_GRID
         .iter()
@@ -422,8 +426,7 @@ pub fn ext_baseline(seed: u64, ticks: usize) -> Vec<BaselineRow> {
             .leaves()
             .enumerate()
             .map(|(i, leaf)| {
-                let mut spec =
-                    ServerSpec::simulation_default(leaf).with_apps(placement[i].clone());
+                let mut spec = ServerSpec::simulation_default(leaf).with_apps(placement[i].clone());
                 for zone in &cfg.zones {
                     if i >= zone.start && i < zone.end {
                         spec.ambient = zone.ambient;
@@ -605,10 +608,7 @@ mod tests {
             }
         }
         // Total cost across the sweep must be positive (migrations happen).
-        let total: f64 = rows
-            .iter()
-            .flat_map(|r| r.migration_cost.iter())
-            .sum();
+        let total: f64 = rows.iter().flat_map(|r| r.migration_cost.iter()).sum();
         assert!(total > 0.0);
     }
 

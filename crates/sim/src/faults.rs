@@ -1,0 +1,431 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — message loss rates, PMU
+//! crash windows, stuck or noisy temperature sensors, migration failures —
+//! and a [`FaultInjector`] turns the plan into a concrete
+//! [`Disturbances`] value per demand period, using its own seeded RNG.
+//!
+//! Two properties carry the whole robustness-testing story:
+//!
+//! 1. **Determinism.** Same plan (including `seed`) → the same disturbance
+//!    stream, tick for tick. Fault experiments are exactly reproducible.
+//! 2. **Isolation.** The injector's RNG is separate from the workload RNG,
+//!    and a plan with all rates zero and no scheduled windows produces
+//!    quiet disturbances every tick — so adding a zero plan to a run
+//!    reproduces the fault-free trajectory bit for bit.
+
+use crate::error::SimError;
+use crate::messaging::MessageFaults;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use willow_core::{Disturbances, MigrationOutcome};
+use willow_thermal::units::Celsius;
+
+/// Migration outcomes pre-rolled per period. The controller decides at
+/// most a handful of migrations per period; 32 is far beyond any real
+/// decision count, and attempts past the pre-rolled list succeed anyway.
+const MIGRATION_ROLLS: usize = 32;
+
+/// A PMU crash window: the server's controller is down for
+/// `from <= tick < until` — its report and directive are lost every period
+/// in the window and it cannot be a migration target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// Server index (order of `Willow::servers`).
+    pub server: usize,
+    /// First faulty demand period (inclusive).
+    pub from: u64,
+    /// First healthy demand period again (exclusive end).
+    pub until: u64,
+}
+
+impl CrashWindow {
+    /// Is `tick` inside the window?
+    #[must_use]
+    pub fn active(&self, tick: u64) -> bool {
+        self.from <= tick && tick < self.until
+    }
+}
+
+/// A faulty temperature sensor over a window of demand periods.
+///
+/// With `stuck_at` set the sensor reads that constant regardless of the
+/// true temperature (a stuck-at fault); otherwise `noise_sigma` adds
+/// zero-mean Gaussian error per period. Both together read stuck-at (the
+/// override wins, matching [`Disturbances::measured_temp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFault {
+    /// Server index (order of `Willow::servers`).
+    pub server: usize,
+    /// First faulty demand period (inclusive).
+    pub from: u64,
+    /// First healthy demand period again (exclusive end).
+    pub until: u64,
+    /// Stuck-at reading in °C, if the sensor is stuck.
+    pub stuck_at: Option<Celsius>,
+    /// Standard deviation of additive Gaussian reading noise in °C.
+    pub noise_sigma: f64,
+}
+
+impl SensorFault {
+    /// Is `tick` inside the window?
+    #[must_use]
+    pub fn active(&self, tick: u64) -> bool {
+        self.from <= tick && tick < self.until
+    }
+}
+
+/// A complete, self-contained description of the faults in one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Seed for the injector's own RNG (separate from the workload RNG).
+    pub seed: u64,
+    /// Per-server, per-period probability the upward demand report is lost.
+    pub report_loss: f64,
+    /// Per-server, per-period probability the downward budget directive is
+    /// lost (only bites on supply ticks, where directives are issued).
+    pub directive_loss: f64,
+    /// Per-attempt probability a migration fails.
+    pub migration_failure: f64,
+    /// Of the failed migrations, the fraction that abort mid-flight (the
+    /// rest are admission rejections at the destination).
+    pub abort_fraction: f64,
+    /// Scheduled PMU crash windows.
+    pub crashes: Vec<CrashWindow>,
+    /// Scheduled sensor faults.
+    pub sensor_faults: Vec<SensorFault>,
+    /// Control-plane message faults for `emulate_round_with_faults`
+    /// experiments (loss / duplication / delay per message).
+    #[serde(default)]
+    pub message_faults: MessageFaults,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — running with it reproduces the
+    /// fault-free trajectory exactly.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Check the plan against a topology with `n_servers` servers.
+    ///
+    /// # Errors
+    /// Returns the first inconsistency found: a probability outside its
+    /// legal range, a server index past the topology, an empty window, or
+    /// a non-finite sensor value.
+    pub fn validate(&self, n_servers: usize) -> Result<(), SimError> {
+        let probability = |field: &'static str, value: f64| {
+            if (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(SimError::FaultProbability { field, value })
+            }
+        };
+        probability("report_loss", self.report_loss)?;
+        probability("directive_loss", self.directive_loss)?;
+        probability("migration_failure", self.migration_failure)?;
+        probability("abort_fraction", self.abort_fraction)?;
+        // A message loss rate of 1 would retransmit forever.
+        if !(0.0..1.0).contains(&self.message_faults.loss) {
+            return Err(SimError::FaultProbability {
+                field: "message loss",
+                value: self.message_faults.loss,
+            });
+        }
+        probability("message duplication", self.message_faults.duplication)?;
+        probability("message delay", self.message_faults.delay)?;
+
+        for c in &self.crashes {
+            if c.server >= n_servers {
+                return Err(SimError::FaultServer {
+                    index: c.server,
+                    servers: n_servers,
+                });
+            }
+            if c.from >= c.until {
+                return Err(SimError::FaultWindow {
+                    from: c.from,
+                    until: c.until,
+                });
+            }
+        }
+        for s in &self.sensor_faults {
+            if s.server >= n_servers {
+                return Err(SimError::FaultServer {
+                    index: s.server,
+                    servers: n_servers,
+                });
+            }
+            if s.from >= s.until {
+                return Err(SimError::FaultWindow {
+                    from: s.from,
+                    until: s.until,
+                });
+            }
+            if let Some(t) = s.stuck_at {
+                if !t.0.is_finite() {
+                    return Err(SimError::FaultSensor(t.0));
+                }
+            }
+            if !s.noise_sigma.is_finite() || s.noise_sigma < 0.0 {
+                return Err(SimError::FaultSensor(s.noise_sigma));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rolls a [`FaultPlan`] into per-period [`Disturbances`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    n_servers: usize,
+}
+
+impl FaultInjector {
+    /// Build an injector for a topology with `n_servers` servers.
+    ///
+    /// # Errors
+    /// Rejects an invalid plan (see [`FaultPlan::validate`]).
+    pub fn new(plan: FaultPlan, n_servers: usize) -> Result<Self, SimError> {
+        plan.validate(n_servers)?;
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Ok(FaultInjector {
+            plan,
+            rng,
+            n_servers,
+        })
+    }
+
+    /// The plan this injector is rolling.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Roll the disturbances for demand period `tick`.
+    ///
+    /// Must be called once per period, in order: the RNG stream advances
+    /// with every call, and the roll order within a call is fixed (message
+    /// losses per server, sensor noise per scheduled fault, migration
+    /// outcomes last), so a given plan always produces the same stream.
+    pub fn disturbances_for(&mut self, tick: u64) -> Disturbances {
+        let n = self.n_servers;
+        let mut d = Disturbances {
+            crashed: vec![false; n],
+            report_lost: vec![false; n],
+            directive_lost: vec![false; n],
+            sensor_override: vec![None; n],
+            sensor_offset: vec![0.0; n],
+            migration_outcomes: Vec::new(),
+        };
+
+        for si in 0..n {
+            if self.plan.report_loss > 0.0 && self.rng.gen_bool(self.plan.report_loss) {
+                d.report_lost[si] = true;
+            }
+            if self.plan.directive_loss > 0.0 && self.rng.gen_bool(self.plan.directive_loss) {
+                d.directive_lost[si] = true;
+            }
+        }
+
+        for c in &self.plan.crashes {
+            if c.active(tick) {
+                d.crashed[c.server] = true;
+            }
+        }
+
+        for s in &self.plan.sensor_faults {
+            if !s.active(tick) {
+                continue;
+            }
+            if let Some(stuck) = s.stuck_at {
+                d.sensor_override[s.server] = Some(stuck);
+            } else if s.noise_sigma > 0.0 {
+                // Box–Muller: the rand stub has no Normal distribution.
+                let u1: f64 = self.rng.gen();
+                let u2: f64 = self.rng.gen();
+                // gen() is in [0,1); 1-u1 is in (0,1], so ln is finite.
+                let gauss = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                d.sensor_offset[s.server] += s.noise_sigma * gauss;
+            }
+        }
+
+        if self.plan.migration_failure > 0.0 {
+            d.migration_outcomes = (0..MIGRATION_ROLLS)
+                .map(|_| {
+                    if self.rng.gen_bool(self.plan.migration_failure) {
+                        if self.rng.gen_bool(self.plan.abort_fraction) {
+                            MigrationOutcome::Abort
+                        } else {
+                            MigrationOutcome::Reject
+                        }
+                    } else {
+                        MigrationOutcome::Success
+                    }
+                })
+                .collect();
+        }
+
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roll_run(plan: &FaultPlan, ticks: u64) -> Vec<Disturbances> {
+        let mut inj = FaultInjector::new(plan.clone(), 4).unwrap();
+        (0..ticks).map(|t| inj.disturbances_for(t)).collect()
+    }
+
+    #[test]
+    fn quiet_plan_rolls_quiet_disturbances() {
+        for d in roll_run(&FaultPlan::quiet(99), 50) {
+            assert!(d.is_quiet());
+        }
+    }
+
+    #[test]
+    fn same_plan_same_stream() {
+        let plan = FaultPlan {
+            seed: 7,
+            report_loss: 0.3,
+            directive_loss: 0.2,
+            migration_failure: 0.5,
+            abort_fraction: 0.5,
+            sensor_faults: vec![SensorFault {
+                server: 1,
+                from: 0,
+                until: 100,
+                stuck_at: None,
+                noise_sigma: 1.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(roll_run(&plan, 40), roll_run(&plan, 40));
+        // A different seed must (with these rates, over 40 ticks) differ.
+        let other = FaultPlan {
+            seed: 8,
+            ..plan.clone()
+        };
+        assert_ne!(roll_run(&plan, 40), roll_run(&other, 40));
+    }
+
+    #[test]
+    fn windows_schedule_crashes_and_sensors() {
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow {
+                server: 2,
+                from: 10,
+                until: 20,
+            }],
+            sensor_faults: vec![SensorFault {
+                server: 0,
+                from: 5,
+                until: 15,
+                stuck_at: Some(Celsius(95.0)),
+                noise_sigma: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let rolls = roll_run(&plan, 30);
+        for (t, d) in rolls.iter().enumerate() {
+            let t = t as u64;
+            assert_eq!(d.crashed(2), (10..20).contains(&t), "tick {t}");
+            assert!(!d.crashed(0));
+            let stuck = d.sensor_override[0];
+            assert_eq!(stuck.is_some(), (5..15).contains(&t), "tick {t}");
+            if let Some(c) = stuck {
+                assert_eq!(c, Celsius(95.0));
+            }
+        }
+    }
+
+    #[test]
+    fn migration_outcomes_mix_matches_plan() {
+        let plan = FaultPlan {
+            seed: 3,
+            migration_failure: 1.0,
+            abort_fraction: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 4).unwrap();
+        let d = inj.disturbances_for(0);
+        assert_eq!(d.migration_outcomes.len(), MIGRATION_ROLLS);
+        assert!(d
+            .migration_outcomes
+            .iter()
+            .all(|&o| o == MigrationOutcome::Abort));
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let n = 4;
+        let bad_prob = FaultPlan {
+            report_loss: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            bad_prob.validate(n),
+            Err(SimError::FaultProbability { .. })
+        ));
+        let bad_server = FaultPlan {
+            crashes: vec![CrashWindow {
+                server: 4,
+                from: 0,
+                until: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            bad_server.validate(n),
+            Err(SimError::FaultServer { index: 4, .. })
+        ));
+        let bad_window = FaultPlan {
+            sensor_faults: vec![SensorFault {
+                server: 0,
+                from: 5,
+                until: 5,
+                stuck_at: None,
+                noise_sigma: 1.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            bad_window.validate(n),
+            Err(SimError::FaultWindow { .. })
+        ));
+        let bad_sigma = FaultPlan {
+            sensor_faults: vec![SensorFault {
+                server: 0,
+                from: 0,
+                until: 1,
+                stuck_at: None,
+                noise_sigma: -1.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            bad_sigma.validate(n),
+            Err(SimError::FaultSensor(_))
+        ));
+        let certain_message_loss = FaultPlan {
+            message_faults: MessageFaults {
+                loss: 1.0,
+                duplication: 0.0,
+                delay: 0.0,
+            },
+            ..FaultPlan::default()
+        };
+        assert!(certain_message_loss.validate(n).is_err());
+        assert!(FaultPlan::quiet(0).validate(n).is_ok());
+    }
+}

@@ -9,6 +9,10 @@
 //!
 //! * [`config`] — serializable experiment configuration ([`SimConfig`]).
 //! * [`engine`] — the fixed-step simulation loop ([`Simulation`]).
+//! * [`error`] — typed configuration/construction errors ([`SimError`]).
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`],
+//!   [`FaultInjector`]): message loss, PMU crashes, sensor faults,
+//!   migration failures, all pre-rolled from a dedicated seed.
 //! * [`metrics`] — per-tick and aggregated run metrics.
 //! * [`experiments`] — one runner per paper figure, returning printable row
 //!   series (consumed by the `repro` binary in `willow-bench` and recorded
@@ -19,7 +23,9 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod experiments;
+pub mod faults;
 pub mod messaging;
 pub mod metrics;
 pub mod parallel;
@@ -27,4 +33,6 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
+pub use error::SimError;
+pub use faults::{FaultInjector, FaultPlan};
 pub use metrics::RunMetrics;

@@ -9,9 +9,17 @@
 //! directives descend likewise, and the emulation records exactly when
 //! every site converged on an update, so δ can be measured instead of
 //! assumed.
+//!
+//! [`emulate_round_with_faults`] additionally subjects every message to
+//! loss (timeout + retransmission, +2α per lost attempt), delay (+α) and
+//! duplication (a second copy one hop later; receivers deduplicate by
+//! sequence number) — the control-plane half of the fault-injection story.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use willow_thermal::units::{Seconds, Watts};
 use willow_topology::{NodeId, Tree};
 
@@ -24,26 +32,71 @@ enum Payload {
     Directive(Watts),
 }
 
-#[derive(Debug, Clone, PartialEq)]
+/// Rank used to order payload kinds deterministically (reports before
+/// directives at the same instant — matching the up-then-down flow).
+fn kind_rank(p: &Payload) -> u8 {
+    match p {
+        Payload::Report(_) => 0,
+        Payload::Directive(_) => 1,
+    }
+}
+
+#[derive(Debug, Clone)]
 struct InFlight {
     deliver_at: f64,
     from: NodeId,
     to: NodeId,
     payload: Payload,
+    /// Logical message number: unique per send, shared by duplicates.
+    seq: u64,
 }
 
-// BinaryHeap ordering by delivery time (earliest first via Reverse).
+// BinaryHeap ordering by delivery time, earliest first via `Reverse`. The
+// tie-break covers every discriminating field — `(deliver_at, to, from,
+// payload kind, seq)` — so delivery order is fully deterministic even when
+// many messages share a delivery instant (which they always do on a
+// uniform tree), instead of depending on heap insertion order.
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 impl Eq for InFlight {}
 impl Ord for InFlight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.deliver_at
             .total_cmp(&other.deliver_at)
             .then_with(|| self.to.cmp(&other.to))
+            .then_with(|| self.from.cmp(&other.from))
+            .then_with(|| kind_rank(&self.payload).cmp(&kind_rank(&other.payload)))
+            .then_with(|| self.seq.cmp(&other.seq))
     }
 }
 impl PartialOrd for InFlight {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Per-message fault probabilities for the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MessageFaults {
+    /// Probability a transmission attempt is lost. Lost attempts are
+    /// detected by timeout and retransmitted, costing 2α each (one α for
+    /// the timeout, one for the retry). Must be < 1.
+    pub loss: f64,
+    /// Probability a delivered message is duplicated; the copy arrives one
+    /// α later and is discarded by the receiver's sequence-number dedup.
+    pub duplication: f64,
+    /// Probability a message is delayed by one extra α in transit.
+    pub delay: f64,
+}
+
+impl MessageFaults {
+    /// True when every probability is zero.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.loss == 0.0 && self.duplication == 0.0 && self.delay == 0.0
     }
 }
 
@@ -54,10 +107,26 @@ pub struct RoundOutcome {
     pub root_converged_at: Seconds,
     /// When every leaf had received its budget directive (the downward δ).
     pub leaves_converged_at: Seconds,
-    /// Total messages delivered.
+    /// Logical messages processed (duplicates excluded).
     pub messages: usize,
     /// The root's aggregated view of total demand.
     pub root_view: Watts,
+}
+
+/// [`RoundOutcome`] plus the fault accounting of a faulty round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyRoundOutcome {
+    /// The round's timing and aggregation outcome.
+    pub outcome: RoundOutcome,
+    /// Transmission attempts lost (each cost 2α before the retransmission
+    /// got through).
+    pub lost: usize,
+    /// Messages duplicated in transit (the copies were deduplicated).
+    pub duplicated: usize,
+    /// Messages delayed by an extra α.
+    pub delayed: usize,
+    /// Total physical deliveries, duplicates included.
+    pub deliveries: usize,
 }
 
 /// Emulate one full demand-report + budget-directive round over `tree`
@@ -79,7 +148,33 @@ pub fn emulate_round(
     demands: &[Watts],
     supply: Watts,
 ) -> RoundOutcome {
+    // Zero-probability faults never fire, so this wrapper is behaviorally
+    // identical to a dedicated fault-free implementation.
+    emulate_round_with_faults(tree, alpha, demands, supply, &MessageFaults::default(), 0).outcome
+}
+
+/// [`emulate_round`] with per-message loss, duplication and delay drawn
+/// from a dedicated RNG seeded with `seed`. With all probabilities at zero
+/// the round is identical to the fault-free one, whatever the seed.
+///
+/// # Panics
+/// Panics if `alpha` is not positive, `demands` does not match the leaf
+/// count, or `faults.loss` is not in `[0, 1)` (a loss rate of 1 would
+/// retransmit forever).
+#[must_use]
+pub fn emulate_round_with_faults(
+    tree: &Tree,
+    alpha: Seconds,
+    demands: &[Watts],
+    supply: Watts,
+    faults: &MessageFaults,
+    seed: u64,
+) -> FaultyRoundOutcome {
     assert!(alpha.is_positive(), "per-hop latency must be positive");
+    assert!(
+        (0.0..1.0).contains(&faults.loss),
+        "loss probability must be in [0,1)"
+    );
     let leaves: Vec<NodeId> = tree.leaves().collect();
     assert_eq!(leaves.len(), demands.len(), "one demand per leaf");
 
@@ -89,18 +184,63 @@ pub fn emulate_round(
         .collect();
     let mut aggregate: Vec<Watts> = vec![Watts::ZERO; n];
     let mut queue: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_seq = 0u64;
+    let (mut lost, mut duplicated, mut delayed, mut deliveries) = (0usize, 0usize, 0usize, 0usize);
     let mut messages = 0usize;
+
+    let mut send = |queue: &mut BinaryHeap<Reverse<InFlight>>,
+                    rng: &mut StdRng,
+                    sent_at: f64,
+                    from: NodeId,
+                    to: NodeId,
+                    payload: Payload,
+                    lost: &mut usize,
+                    duplicated: &mut usize,
+                    delayed: &mut usize| {
+        let seq = next_seq;
+        next_seq += 1;
+        let mut at = sent_at + alpha.0;
+        // Each lost attempt is detected by timeout and retransmitted.
+        while rng.gen_bool(faults.loss) {
+            *lost += 1;
+            at += 2.0 * alpha.0;
+        }
+        if rng.gen_bool(faults.delay) {
+            *delayed += 1;
+            at += alpha.0;
+        }
+        let msg = InFlight {
+            deliver_at: at,
+            from,
+            to,
+            payload,
+            seq,
+        };
+        if rng.gen_bool(faults.duplication) {
+            *duplicated += 1;
+            let mut copy = msg.clone();
+            copy.deliver_at += alpha.0;
+            queue.push(Reverse(copy));
+        }
+        queue.push(Reverse(msg));
+    };
 
     // Leaves report at t = 0 (their own measurement is local).
     for (leaf, &d) in leaves.iter().zip(demands) {
         aggregate[leaf.index()] = d;
         if let Some(parent) = tree.parent(*leaf) {
-            queue.push(Reverse(InFlight {
-                deliver_at: alpha.0,
-                from: *leaf,
-                to: parent,
-                payload: Payload::Report(d),
-            }));
+            send(
+                &mut queue,
+                &mut rng,
+                0.0,
+                *leaf,
+                parent,
+                Payload::Report(d),
+                &mut lost,
+                &mut duplicated,
+                &mut delayed,
+            );
         }
     }
 
@@ -108,8 +248,13 @@ pub fn emulate_round(
     let mut root_converged_at = if tree.len() == 1 { 0.0 } else { f64::NAN };
     let mut leaves_pending = leaves.len();
     let mut leaves_converged_at = f64::NAN;
+    let mut seen: HashSet<u64> = HashSet::new();
 
     while let Some(Reverse(msg)) = queue.pop() {
+        deliveries += 1;
+        if !seen.insert(msg.seq) {
+            continue; // duplicate delivery, already processed
+        }
         messages += 1;
         let now = msg.deliver_at;
         match msg.payload {
@@ -124,24 +269,34 @@ pub fn emulate_round(
                         let total = aggregate[root.index()];
                         let scale = if total.0 > 0.0 { supply / total } else { 0.0 };
                         for &c in tree.children(root) {
-                            queue.push(Reverse(InFlight {
-                                deliver_at: now + alpha.0,
-                                from: root,
-                                to: c,
-                                payload: Payload::Directive(aggregate[c.index()] * scale),
-                            }));
+                            send(
+                                &mut queue,
+                                &mut rng,
+                                now,
+                                root,
+                                c,
+                                Payload::Directive(aggregate[c.index()] * scale),
+                                &mut lost,
+                                &mut duplicated,
+                                &mut delayed,
+                            );
                         }
                         if tree.children(root).is_empty() {
                             leaves_converged_at = now;
                         }
                     } else {
                         let parent = tree.parent(msg.to).expect("non-root has parent");
-                        queue.push(Reverse(InFlight {
-                            deliver_at: now + alpha.0,
-                            from: msg.to,
-                            to: parent,
-                            payload: Payload::Report(aggregate[i]),
-                        }));
+                        send(
+                            &mut queue,
+                            &mut rng,
+                            now,
+                            msg.to,
+                            parent,
+                            Payload::Report(aggregate[i]),
+                            &mut lost,
+                            &mut duplicated,
+                            &mut delayed,
+                        );
                     }
                 }
             }
@@ -162,23 +317,34 @@ pub fn emulate_round(
                         } else {
                             Watts::ZERO
                         };
-                        queue.push(Reverse(InFlight {
-                            deliver_at: now + alpha.0,
-                            from: msg.to,
-                            to: c,
-                            payload: Payload::Directive(share),
-                        }));
+                        send(
+                            &mut queue,
+                            &mut rng,
+                            now,
+                            msg.to,
+                            c,
+                            Payload::Directive(share),
+                            &mut lost,
+                            &mut duplicated,
+                            &mut delayed,
+                        );
                     }
                 }
             }
         }
     }
 
-    RoundOutcome {
-        root_converged_at: Seconds(root_converged_at),
-        leaves_converged_at: Seconds(leaves_converged_at),
-        messages,
-        root_view: aggregate[root.index()],
+    FaultyRoundOutcome {
+        outcome: RoundOutcome {
+            root_converged_at: Seconds(root_converged_at),
+            leaves_converged_at: Seconds(leaves_converged_at),
+            messages,
+            root_view: aggregate[root.index()],
+        },
+        lost,
+        duplicated,
+        delayed,
+        deliveries,
     }
 }
 
@@ -253,5 +419,108 @@ mod tests {
     fn demand_mismatch_rejected() {
         let tree = Tree::paper_fig3();
         let _ = emulate_round(&tree, Seconds(0.01), &[Watts(1.0)], Watts(10.0));
+    }
+
+    #[test]
+    fn zero_faults_identical_to_fault_free_for_any_seed() {
+        let tree = Tree::paper_fig3();
+        let demands = vec![Watts(10.0); 18];
+        let clean = emulate_round(&tree, Seconds(0.02), &demands, Watts(500.0));
+        for seed in [0, 1, 42, u64::MAX] {
+            let faulty = emulate_round_with_faults(
+                &tree,
+                Seconds(0.02),
+                &demands,
+                Watts(500.0),
+                &MessageFaults::default(),
+                seed,
+            );
+            assert_eq!(faulty.outcome, clean, "seed {seed}");
+            assert_eq!(faulty.lost + faulty.duplicated + faulty.delayed, 0);
+            assert_eq!(faulty.deliveries, clean.messages);
+        }
+    }
+
+    #[test]
+    fn faulty_rounds_are_deterministic_and_still_converge() {
+        let tree = Tree::paper_fig3();
+        let demands = vec![Watts(10.0); 18];
+        let faults = MessageFaults {
+            loss: 0.2,
+            duplication: 0.1,
+            delay: 0.15,
+        };
+        let a = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 7);
+        let b = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 7);
+        assert_eq!(a, b, "same seed must reproduce the same round");
+        // Retransmission guarantees eventual convergence with the same
+        // aggregate view, only later.
+        assert_eq!(a.outcome.root_view, Watts(180.0));
+        assert!(a.outcome.root_converged_at.0 >= 0.06);
+        assert!(a.outcome.leaves_converged_at.0.is_finite());
+        // All logical messages still got through exactly once.
+        assert_eq!(a.outcome.messages, 2 * (tree.len() - 1));
+    }
+
+    #[test]
+    fn loss_delays_convergence() {
+        let tree = Tree::uniform(&[2, 3, 3]);
+        let demands = vec![Watts(10.0); 18];
+        let clean = emulate_round(&tree, Seconds(0.02), &demands, Watts(500.0));
+        // With heavy loss some seed must show a strictly later convergence.
+        let faults = MessageFaults {
+            loss: 0.5,
+            duplication: 0.0,
+            delay: 0.0,
+        };
+        let mut any_later = false;
+        for seed in 0..10 {
+            let f = emulate_round_with_faults(
+                &tree,
+                Seconds(0.02),
+                &demands,
+                Watts(500.0),
+                &faults,
+                seed,
+            );
+            assert!(f.outcome.leaves_converged_at.0 >= clean.leaves_converged_at.0 - 1e-12);
+            any_later |= f.outcome.leaves_converged_at.0 > clean.leaves_converged_at.0 + 1e-12;
+        }
+        assert!(any_later, "50% loss must delay at least one of ten rounds");
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let tree = Tree::paper_fig3();
+        let demands = vec![Watts(10.0); 18];
+        let faults = MessageFaults {
+            loss: 0.0,
+            duplication: 1.0,
+            delay: 0.0,
+        };
+        let f = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 3);
+        // Every message duplicated, every duplicate discarded.
+        assert_eq!(f.duplicated, 2 * (tree.len() - 1));
+        assert_eq!(f.outcome.messages, 2 * (tree.len() - 1));
+        assert_eq!(f.deliveries, 2 * f.outcome.messages);
+        assert_eq!(f.outcome.root_view, Watts(180.0), "aggregation unskewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn certain_loss_rejected() {
+        let tree = Tree::uniform(&[2]);
+        let _ = emulate_round_with_faults(
+            &tree,
+            Seconds(0.01),
+            &[Watts(1.0), Watts(1.0)],
+            Watts(10.0),
+            &MessageFaults {
+                loss: 1.0,
+                duplication: 0.0,
+                delay: 0.0,
+            },
+            0,
+        );
     }
 }

@@ -60,6 +60,23 @@ pub struct RunMetrics {
     /// Peak combined per-period traffic seen at each level-1 switch —
     /// the fabric's capacity-planning signal.
     pub peak_l1_traffic: Vec<f64>,
+    /// Total upward demand reports lost to injected faults.
+    pub reports_lost: usize,
+    /// Total downward budget directives lost to injected faults.
+    pub directives_lost: usize,
+    /// Total migration attempts refused admission by the destination.
+    pub migration_rejects: usize,
+    /// Total migration attempts aborted mid-flight.
+    pub migration_aborts: usize,
+    /// Total migrations that succeeded after earlier failed attempts.
+    pub migration_retries: usize,
+    /// Total stale-directive watchdog trips.
+    pub watchdog_trips: usize,
+    /// Server·periods spent under the watchdog's conservative fallback
+    /// cap — the run's total degraded-mode time.
+    pub fallback_server_ticks: usize,
+    /// Total temperature readings rejected by the plausibility filter.
+    pub sensor_rejections: usize,
 }
 
 impl RunMetrics {
@@ -97,6 +114,14 @@ impl RunMetrics {
             m.local_migrations += report.local_migrations();
             m.pingpongs += report.pingpongs();
             m.migrated_demand += report.migrated_demand().0;
+            m.reports_lost += report.reports_lost;
+            m.directives_lost += report.directives_lost;
+            m.migration_rejects += report.migration_rejects;
+            m.migration_aborts += report.migration_aborts;
+            m.migration_retries += report.migration_retries;
+            m.watchdog_trips += report.watchdog_trips;
+            m.fallback_server_ticks += report.fallback_servers;
+            m.sensor_rejections += report.sensor_rejections;
             m.avg_dropped += report.dropped_demand.0;
             m.avg_imbalance_l0 += report.imbalance.first().copied().unwrap_or(Watts::ZERO).0;
             for (i, v) in fabric.l1_migration.iter().enumerate() {
@@ -155,12 +180,39 @@ impl RunMetrics {
         self.demand_migrations + self.consolidation_migrations
     }
 
+    /// Total injected fault events of all kinds (lost messages, failed
+    /// migrations, rejected sensor readings).
+    #[must_use]
+    pub fn total_fault_events(&self) -> usize {
+        self.reports_lost
+            + self.directives_lost
+            + self.migration_rejects
+            + self.migration_aborts
+            + self.sensor_rejections
+    }
+
+    /// One-line fault/degraded-mode summary for CLI output.
+    #[must_use]
+    pub fn fault_summary(&self) -> String {
+        format!(
+            "reports lost {}, directives lost {}, migrations rejected {} / aborted {} / retried {}, \
+             watchdog trips {}, fallback server-ticks {}, sensor readings rejected {}",
+            self.reports_lost,
+            self.directives_lost,
+            self.migration_rejects,
+            self.migration_aborts,
+            self.migration_retries,
+            self.watchdog_trips,
+            self.fallback_server_ticks,
+            self.sensor_rejections
+        )
+    }
+
     /// Render the per-server aggregates as CSV (header + one row per
     /// server) for external plotting.
     #[must_use]
     pub fn per_server_csv(&self) -> String {
-        let mut out =
-            String::from("server,avg_power_w,avg_temp_c,peak_temp_c,sleep_fraction\n");
+        let mut out = String::from("server,avg_power_w,avg_temp_c,peak_temp_c,sleep_fraction\n");
         for i in 0..self.avg_server_power.len() {
             out.push_str(&format!(
                 "{},{:.3},{:.3},{:.3},{:.4}\n",
@@ -223,16 +275,15 @@ mod tests {
         assert!((m.avg_dropped - 1.0).abs() < 1e-12);
         assert!((m.avg_imbalance_l0 - 2.0).abs() < 1e-12);
         assert!((m.avg_l1_migration_traffic[0] - 4.0).abs() < 1e-12);
-        assert!((m.peak_l1_traffic[0] - 14.0).abs() < 1e-12, "peak = max(query+migration)");
+        assert!(
+            (m.peak_l1_traffic[0] - 14.0).abs() < 1e-12,
+            "peak = max(query+migration)"
+        );
     }
 
     #[test]
     fn csv_export_shape() {
-        let m = RunMetrics::aggregate(
-            vec![fake_tick(100.0, 40.0, true)],
-            1,
-            1,
-        );
+        let m = RunMetrics::aggregate(vec![fake_tick(100.0, 40.0, true)], 1, 1);
         let csv = m.per_server_csv();
         let mut lines = csv.lines();
         assert_eq!(
@@ -265,6 +316,28 @@ mod tests {
         // total 40 over 2 switches × 1000 capacity = 0.02.
         assert!((m.normalized_l1_migration_traffic(1000.0) - 0.02).abs() < 1e-12);
         assert_eq!(m.normalized_l1_migration_traffic(0.0), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_fold() {
+        let mut a = fake_tick(100.0, 40.0, true);
+        a.0.reports_lost = 2;
+        a.0.watchdog_trips = 1;
+        a.0.fallback_servers = 3;
+        let mut b = fake_tick(100.0, 40.0, true);
+        b.0.directives_lost = 1;
+        b.0.migration_aborts = 1;
+        b.0.fallback_servers = 2;
+        b.0.sensor_rejections = 4;
+        let m = RunMetrics::aggregate(vec![a, b], 1, 1);
+        assert_eq!(m.reports_lost, 2);
+        assert_eq!(m.directives_lost, 1);
+        assert_eq!(m.migration_aborts, 1);
+        assert_eq!(m.watchdog_trips, 1);
+        assert_eq!(m.fallback_server_ticks, 5);
+        assert_eq!(m.sensor_rejections, 4);
+        assert_eq!(m.total_fault_events(), 8);
+        assert!(m.fault_summary().contains("watchdog trips 1"));
     }
 
     #[test]

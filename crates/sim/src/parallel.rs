@@ -88,8 +88,14 @@ mod tests {
             x
         });
         let threads = seen.lock().unwrap().len();
-        if std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false) {
-            assert!(threads > 1, "expected multiple worker threads, saw {threads}");
+        if std::thread::available_parallelism()
+            .map(|p| p.get() > 1)
+            .unwrap_or(false)
+        {
+            assert!(
+                threads > 1,
+                "expected multiple worker threads, saw {threads}"
+            );
         }
     }
 

@@ -1,0 +1,232 @@
+//! End-to-end fault-injection scenarios: the acceptance criteria of the
+//! robustness work, run through the full simulator.
+//!
+//! 1. Under sustained control-message loss the thermal-safety invariant
+//!    holds and budgets only tighten while directives are missing.
+//! 2. Stuck sensors (high or low) are caught by the plausibility filter:
+//!    a stuck-high sensor does not evacuate a healthy server, a stuck-low
+//!    sensor does not melt one.
+//! 3. Aborted migrations leave power accounting consistent: the fabric
+//!    carried the copy traffic but no app moved and no power is leaked.
+//! 4. Identical seeds and fault plans reproduce identical metrics.
+
+use willow_sim::faults::{CrashWindow, FaultPlan, SensorFault};
+use willow_sim::{SimConfig, Simulation};
+use willow_thermal::units::Celsius;
+
+const T_LIMIT: f64 = 70.0;
+
+fn faulted_hot_cold(seed: u64, utilization: f64, plan: FaultPlan) -> SimConfig {
+    let mut cfg = SimConfig::paper_hot_cold(seed, utilization);
+    cfg.ticks = 150;
+    cfg.warmup = 0;
+    cfg.faults = Some(plan);
+    cfg
+}
+
+#[test]
+fn thermal_safety_holds_under_20_percent_message_loss() {
+    let cfg = faulted_hot_cold(
+        7,
+        0.8,
+        FaultPlan {
+            seed: 1,
+            report_loss: 0.2,
+            directive_loss: 0.2,
+            ..FaultPlan::default()
+        },
+    );
+    let supply = cfg.ample_supply().0;
+    let m = Simulation::new(cfg).unwrap().run();
+    // The faults actually fired…
+    assert!(
+        m.reports_lost > 100,
+        "loss rate injected: {}",
+        m.reports_lost
+    );
+    assert!(m.directives_lost > 0);
+    // …and neither safety invariant broke: no server above its thermal
+    // limit, total draw within supply.
+    for (i, peak) in m.peak_server_temp.iter().enumerate() {
+        assert!(*peak <= T_LIMIT + 1e-6, "server {i} peaked at {peak} °C");
+    }
+    let total: f64 = m.avg_server_power.iter().sum();
+    assert!(total <= supply + 1e-6);
+}
+
+#[test]
+fn budgets_only_tighten_while_directives_are_lost() {
+    // Crash server 0's PMU for a long window: every directive in the
+    // window is lost, so its budget must be non-increasing throughout
+    // (watchdog fallback is tightening-only), and may loosen again only
+    // after the PMU comes back.
+    let mut cfg = SimConfig::paper_default(3, 0.6);
+    cfg.ticks = 120;
+    cfg.warmup = 0;
+    cfg.faults = Some(FaultPlan {
+        crashes: vec![CrashWindow {
+            server: 0,
+            from: 8,
+            until: 60,
+        }],
+        ..FaultPlan::default()
+    });
+    let mut sim = Simulation::new(cfg).unwrap();
+    let mut prev_budget = f64::INFINITY;
+    let mut recovered = false;
+    for t in 0..120u64 {
+        let (report, _) = sim.step();
+        let b = report.server_budget[0].0;
+        if (8..60).contains(&t) {
+            assert!(
+                b <= prev_budget + 1e-9,
+                "tick {t}: budget rose {prev_budget} → {b} without a directive"
+            );
+        } else if t >= 60 && b > prev_budget + 1e-9 {
+            recovered = true;
+        }
+        prev_budget = b;
+    }
+    assert!(
+        recovered,
+        "budget must loosen again once directives flow (fresh directive resets the watchdog)"
+    );
+}
+
+#[test]
+fn stuck_high_sensor_does_not_evacuate_a_healthy_server() {
+    // Server 2's sensor reads 95 °C for 70 periods while the server is
+    // fine. The plausibility filter rejects every reading (the RC model
+    // cannot jump like that), so the run is otherwise identical to the
+    // clean one — the server keeps its budget, its apps and its power.
+    let mut clean_cfg = SimConfig::paper_default(5, 0.5);
+    clean_cfg.ticks = 120;
+    clean_cfg.warmup = 0;
+    let mut faulted_cfg = clean_cfg.clone();
+    faulted_cfg.faults = Some(FaultPlan {
+        sensor_faults: vec![SensorFault {
+            server: 2,
+            from: 10,
+            until: 80,
+            stuck_at: Some(Celsius(95.0)),
+            noise_sigma: 0.0,
+        }],
+        ..FaultPlan::default()
+    });
+    let clean = Simulation::new(clean_cfg).unwrap().run();
+    let faulted = Simulation::new(faulted_cfg).unwrap().run();
+    assert_eq!(
+        faulted.sensor_rejections, 70,
+        "every in-window reading is implausible and rejected"
+    );
+    // The filter substitutes the model prediction, which tracks the true
+    // temperature exactly here — so nothing else changes at all.
+    assert_eq!(faulted.avg_server_power, clean.avg_server_power);
+    assert_eq!(faulted.sleep_fraction, clean.sleep_fraction);
+    assert_eq!(faulted.demand_migrations, clean.demand_migrations);
+    assert_eq!(
+        faulted.consolidation_migrations,
+        clean.consolidation_migrations
+    );
+}
+
+#[test]
+fn stuck_low_sensor_does_not_cause_thermal_violation() {
+    // A hot-zone server's sensor reads a calm 25 °C while it actually
+    // runs hot under heavy load. Trusting it would let the budget loosen
+    // into a thermal violation; the filter keeps the model temperature.
+    let cfg = faulted_hot_cold(
+        7,
+        0.9,
+        FaultPlan {
+            sensor_faults: vec![SensorFault {
+                server: 16,
+                from: 0,
+                until: 150,
+                stuck_at: Some(Celsius(25.0)),
+                noise_sigma: 0.0,
+            }],
+            ..FaultPlan::default()
+        },
+    );
+    let m = Simulation::new(cfg).unwrap().run();
+    assert!(m.sensor_rejections > 0, "stuck-low readings were rejected");
+    for (i, peak) in m.peak_server_temp.iter().enumerate() {
+        assert!(*peak <= T_LIMIT + 1e-6, "server {i} peaked at {peak} °C");
+    }
+}
+
+#[test]
+fn aborted_migrations_leave_accounting_consistent() {
+    // Every migration attempt aborts mid-flight: no app ever moves, yet
+    // the fabric carried the (wasted) copy traffic and both end nodes paid
+    // the temporary cost — and the safety invariants still hold.
+    let cfg = faulted_hot_cold(
+        11,
+        0.85,
+        FaultPlan {
+            seed: 2,
+            migration_failure: 1.0,
+            abort_fraction: 1.0,
+            ..FaultPlan::default()
+        },
+    );
+    let supply = cfg.ample_supply().0;
+    let m = Simulation::new(cfg).unwrap().run();
+    assert!(m.migration_aborts > 0, "aborts were attempted and injected");
+    assert_eq!(
+        m.total_migrations(),
+        0,
+        "no migration may complete when every attempt aborts"
+    );
+    assert_eq!(m.migration_rejects, 0, "all failures were aborts");
+    // Conservation: the fabric saw the aborted copies' traffic even though
+    // nothing moved…
+    let aborted_traffic: f64 = m.avg_l1_migration_traffic.iter().sum();
+    assert!(
+        aborted_traffic > 0.0,
+        "aborted copies must appear as fabric migration traffic"
+    );
+    // …and no power appeared from nowhere: total draw within supply,
+    // temperatures within limits.
+    let total: f64 = m.avg_server_power.iter().sum();
+    assert!(total <= supply + 1e-6);
+    for peak in &m.peak_server_temp {
+        assert!(*peak <= T_LIMIT + 1e-6);
+    }
+}
+
+#[test]
+fn identical_seeds_and_plans_reproduce_identical_metrics() {
+    let plan = FaultPlan {
+        seed: 13,
+        report_loss: 0.15,
+        directive_loss: 0.15,
+        migration_failure: 0.25,
+        abort_fraction: 0.5,
+        crashes: vec![CrashWindow {
+            server: 4,
+            from: 30,
+            until: 55,
+        }],
+        sensor_faults: vec![SensorFault {
+            server: 9,
+            from: 20,
+            until: 90,
+            stuck_at: None,
+            noise_sigma: 1.0,
+        }],
+        ..FaultPlan::default()
+    };
+    let run = |fault_seed: u64| {
+        let mut p = plan.clone();
+        p.seed = fault_seed;
+        Simulation::new(faulted_hot_cold(21, 0.7, p)).unwrap().run()
+    };
+    assert_eq!(run(13), run(13), "same seeds ⇒ bit-identical metrics");
+    assert_ne!(
+        run(13),
+        run(14),
+        "a different fault seed must perturb the run"
+    );
+}

@@ -142,7 +142,8 @@ impl TestbedCluster {
                 // Slow deterministic swing with per-app phase: user load
                 // shifts between applications over time.
                 let phase = f64::from(app.id.0) * 2.39996; // golden-angle spread
-                let swing = 1.0 + self.swing * (2.0 * std::f64::consts::PI * t / period + phase).sin();
+                let swing =
+                    1.0 + self.swing * (2.0 * std::f64::consts::PI * t / period + phase).sin();
                 let jitter = 1.0 + self.noise * (self.rng.gen::<f64>() * 2.0 - 1.0);
                 (app.mean_power * swing * jitter).non_negative()
             })

@@ -176,7 +176,12 @@ pub fn consolidation_experiment(seed: u64) -> ConsolidationRun {
 /// and average — the measured table. A least-squares fit through the
 /// measurements recovers the underlying linear curve.
 #[must_use]
-pub fn measure_table1(seed: u64) -> (Vec<(u32, Watts)>, willow_workload::power_model::LinearPowerModel) {
+pub fn measure_table1(
+    seed: u64,
+) -> (
+    Vec<(u32, Watts)>,
+    willow_workload::power_model::LinearPowerModel,
+) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let host = crate::host::HostModel::default();
@@ -295,9 +300,21 @@ mod tests {
     #[test]
     fn initial_utils_match_table3_levels() {
         let run = consolidation_experiment(4);
-        assert!((run.initial_util[0] - 80.0).abs() < 10.0, "{:?}", run.initial_util);
-        assert!((run.initial_util[1] - 40.0).abs() < 8.0, "{:?}", run.initial_util);
-        assert!((run.initial_util[2] - 20.0).abs() < 8.0, "{:?}", run.initial_util);
+        assert!(
+            (run.initial_util[0] - 80.0).abs() < 10.0,
+            "{:?}",
+            run.initial_util
+        );
+        assert!(
+            (run.initial_util[1] - 40.0).abs() < 8.0,
+            "{:?}",
+            run.initial_util
+        );
+        assert!(
+            (run.initial_util[2] - 20.0).abs() < 8.0,
+            "{:?}",
+            run.initial_util
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub fn power_limit(
     }
     let decay = (-params.c2 * window.0).exp();
     let gain = 1.0 - decay; // fraction of steady-state heating reached
-    // T_limit = Ta + (c1/c2)·P·gain + (T0 − Ta)·decay
+                            // T_limit = Ta + (c1/c2)·P·gain + (T0 − Ta)·decay
     let allowed_rise = (t_limit - ta).0 - (t0 - ta).0 * decay;
     Watts(allowed_rise * params.c2 / (params.c1 * gain))
 }
@@ -109,7 +109,12 @@ mod tests {
         let w = Seconds(1.2908);
         let p = power_limit(SIM, Celsius(70.0), Celsius(45.0), Celsius(70.0), w);
         let cold = power_limit(SIM, Celsius(25.0), Celsius(25.0), Celsius(70.0), w);
-        assert!(p.0 < cold.0 * 0.06, "hot-zone limit {} should be ≪ {}", p.0, cold.0);
+        assert!(
+            p.0 < cold.0 * 0.06,
+            "hot-zone limit {} should be ≪ {}",
+            p.0,
+            cold.0
+        );
     }
 
     #[test]
@@ -162,7 +167,13 @@ mod tests {
 
     #[test]
     fn zero_window_is_unconstrained() {
-        let p = power_limit(SIM, Celsius(69.0), Celsius(25.0), Celsius(70.0), Seconds::ZERO);
+        let p = power_limit(
+            SIM,
+            Celsius(69.0),
+            Celsius(25.0),
+            Celsius(70.0),
+            Seconds::ZERO,
+        );
         assert!(p.0.is_infinite());
     }
 
@@ -170,7 +181,13 @@ mod tests {
     fn device_already_over_limit_gets_negative_budget() {
         // Over a short window an over-limit device cannot cool back under its
         // limit even at zero power, so the solved budget is negative.
-        let p = power_limit(SIM, Celsius(80.0), Celsius(25.0), Celsius(70.0), Seconds(1.0));
+        let p = power_limit(
+            SIM,
+            Celsius(80.0),
+            Celsius(25.0),
+            Celsius(70.0),
+            Seconds(1.0),
+        );
         assert!(p.0 < 0.0, "over-limit device must be told to shed all load");
         assert_eq!(p.non_negative(), Watts::ZERO);
     }
@@ -190,9 +207,18 @@ mod tests {
         // CPU the testbed drew ≈320 W, which must be sustainable when the
         // device is well below its limit.
         let p = steady_state_power(EXP, Celsius(25.0), Celsius(70.0));
-        assert!((p.0 - 22.5).abs() < 1e-9, "steady state bound is tight by design");
+        assert!(
+            (p.0 - 22.5).abs() < 1e-9,
+            "steady state bound is tight by design"
+        );
         // Over a short window from cold, much more is allowed:
-        let burst = power_limit(EXP, Celsius(25.0), Celsius(25.0), Celsius(70.0), Seconds(0.7));
+        let burst = power_limit(
+            EXP,
+            Celsius(25.0),
+            Celsius(25.0),
+            Celsius(70.0),
+            Seconds(0.7),
+        );
         assert!(burst.0 > 320.0);
     }
 }

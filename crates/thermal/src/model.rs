@@ -111,10 +111,16 @@ impl std::fmt::Display for ThermalParamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ThermalParamError::InvalidC1(v) => {
-                write!(f, "thermal constant c1 must be finite and positive, got {v}")
+                write!(
+                    f,
+                    "thermal constant c1 must be finite and positive, got {v}"
+                )
             }
             ThermalParamError::InvalidC2(v) => {
-                write!(f, "thermal constant c2 must be finite and positive, got {v}")
+                write!(
+                    f,
+                    "thermal constant c2 must be finite and positive, got {v}"
+                )
             }
         }
     }
@@ -348,13 +354,7 @@ mod tests {
         let dt = Seconds(30.0);
         let mut last = f64::NEG_INFINITY;
         for p in [0.0, 50.0, 100.0, 200.0, 400.0] {
-            let t = step_temperature(
-                dev.params(),
-                dev.temperature(),
-                dev.ambient(),
-                Watts(p),
-                dt,
-            );
+            let t = step_temperature(dev.params(), dev.temperature(), dev.ambient(), Watts(p), dt);
             assert!(t.0 > last, "temperature must rise with power");
             last = t.0;
         }
@@ -454,6 +454,9 @@ mod tests {
             Watts(200.0),
             Seconds(60.0),
         );
-        assert!((hot.0 - cold.0 - 15.0).abs() < 1e-9, "pure offset for equal start-vs-ambient gap");
+        assert!(
+            (hot.0 - cold.0 - 15.0).abs() < 1e-9,
+            "pure offset for equal start-vs-ambient gap"
+        );
     }
 }

@@ -81,7 +81,11 @@ impl TopologySpec {
         fn build(tree: &Tree, node: crate::NodeId) -> TopologySpec {
             TopologySpec {
                 name: tree.node(node).name.clone(),
-                children: tree.children(node).iter().map(|&c| build(tree, c)).collect(),
+                children: tree
+                    .children(node)
+                    .iter()
+                    .map(|&c| build(tree, c))
+                    .collect(),
             }
         }
         build(tree, tree.root())

@@ -315,8 +315,12 @@ impl Tree {
             y = self.parent(y).expect("levels bounded by root");
         }
         while x != y {
-            x = self.parent(x).expect("distinct nodes at root level impossible");
-            y = self.parent(y).expect("distinct nodes at root level impossible");
+            x = self
+                .parent(x)
+                .expect("distinct nodes at root level impossible");
+            y = self
+                .parent(y)
+                .expect("distinct nodes at root level impossible");
         }
         x
     }

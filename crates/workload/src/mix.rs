@@ -42,7 +42,10 @@ pub fn place_random_mix<R: Rng + ?Sized>(
     n_servers: usize,
 ) -> Vec<Vec<Application>> {
     assert!(!config.classes.is_empty(), "need at least one app class");
-    assert!(config.apps_per_server > 0, "need at least one app per server");
+    assert!(
+        config.apps_per_server > 0,
+        "need at least one app per server"
+    );
     let mut next_id = 0u32;
     (0..n_servers)
         .map(|_| {

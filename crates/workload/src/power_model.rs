@@ -131,11 +131,7 @@ mod tests {
         // After: A @90 %, B @73 %, C in standby (≈0 W) ⇒ ≈27.5 % savings.
         let after = m.power_at(0.9) + m.power_at(0.73);
         let savings = 1.0 - after.0 / before.0;
-        assert!(
-            (savings - 0.275).abs() < 0.005,
-            "savings = {:.3}",
-            savings
-        );
+        assert!((savings - 0.275).abs() < 0.005, "savings = {:.3}", savings);
     }
 
     #[test]

@@ -230,7 +230,10 @@ mod tests {
         let exp_lag = (truth - last_exp).0;
         let holt_lag = (truth - last_holt).0.abs();
         assert!(exp_lag > 3.0, "exponential must lag a ramp: {exp_lag}");
-        assert!(holt_lag < exp_lag / 4.0, "holt lag {holt_lag} vs exp {exp_lag}");
+        assert!(
+            holt_lag < exp_lag / 4.0,
+            "holt lag {holt_lag} vs exp {exp_lag}"
+        );
     }
 
     #[test]

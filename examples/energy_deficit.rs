@@ -21,7 +21,11 @@ fn main() {
         .zip(&run.avg_temp)
         .enumerate()
     {
-        let marker = if PLUNGE_UNITS.contains(&unit) { " <- plunge" } else { "" };
+        let marker = if PLUNGE_UNITS.contains(&unit) {
+            " <- plunge"
+        } else {
+            ""
+        };
         println!("{unit:4} | {supply:10.1} | {migs:10} | {temp:13.1}{marker}");
     }
 

@@ -23,8 +23,8 @@ fn main() {
             let apps: Vec<Application> = Priority::ALL
                 .into_iter()
                 .map(|priority| {
-                    let a = Application::new(AppId(id), 1, &SIM_APP_CLASSES[1])
-                        .with_priority(priority);
+                    let a =
+                        Application::new(AppId(id), 1, &SIM_APP_CLASSES[1]).with_priority(priority);
                     id += 1;
                     a
                 })

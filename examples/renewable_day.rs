@@ -24,7 +24,13 @@ fn main() {
     let raw = compose_with_grid(Watts(3300.0), &solar.generate(&mut rng, periods));
 
     // Battery UPS: 2 kWh, smoothing the clouds out of the envelope.
-    let mut battery = Battery::new(2.0 * 3600.0 * 1000.0, 0.6, Watts(2000.0), Watts(2500.0), 0.92);
+    let mut battery = Battery::new(
+        2.0 * 3600.0 * 1000.0,
+        0.6,
+        Watts(2000.0),
+        Watts(2500.0),
+        0.92,
+    );
     let effective = willow::power::storage::buffer_trace(
         &mut battery,
         &raw,

@@ -140,7 +140,10 @@ fn full_stack_determinism() {
             log.push((
                 r.migrations.len(),
                 r.total_power().0.to_bits(),
-                f.l1_migration.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                f.l1_migration
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
             ));
         }
         log

@@ -58,7 +58,10 @@ fn exhaustive_invariant_sweep() {
 
                     // Invariant 1: app conservation.
                     let hosted: usize = w.servers().iter().map(|sv| sv.apps.len()).sum();
-                    assert_eq!(hosted, 4, "margin {margin} d{demand_pattern} s{supply_pattern} t{t}");
+                    assert_eq!(
+                        hosted, 4,
+                        "margin {margin} d{demand_pattern} s{supply_pattern} t{t}"
+                    );
 
                     // Invariant 2: thermal safety.
                     for temp in &r.server_temp {

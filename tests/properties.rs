@@ -43,7 +43,16 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         5usize..25,
     )
         .prop_map(
-            |(branching, apps_per_server, demand_scale, supply, hot_fraction, packer, allocation, steps)| {
+            |(
+                branching,
+                apps_per_server,
+                demand_scale,
+                supply,
+                hot_fraction,
+                packer,
+                allocation,
+                steps,
+            )| {
                 Scenario {
                     branching,
                     apps_per_server,

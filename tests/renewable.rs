@@ -78,7 +78,13 @@ fn battery_extends_the_night() {
     let consumption = Watts(5000.0);
     let dt = Seconds(900.0);
 
-    let mut big = Battery::new(60.0 * 3600.0 * 1000.0, 1.0, Watts(5000.0), Watts(5000.0), 0.95);
+    let mut big = Battery::new(
+        60.0 * 3600.0 * 1000.0,
+        1.0,
+        Watts(5000.0),
+        Watts(5000.0),
+        0.95,
+    );
     let with_battery = buffer_trace(&mut big, &raw, consumption, dt);
 
     let mut tiny = Battery::new(1_000.0, 0.0, Watts(10.0), Watts(10.0), 0.95);

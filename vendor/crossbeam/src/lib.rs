@@ -1,0 +1,92 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, backed by
+//! `std::thread::scope` (stable since Rust 1.63). The API mirrors
+//! crossbeam's: the closure receives a scope handle whose `spawn` passes
+//! the scope into the worker closure, and `scope` returns a `Result` that
+//! is `Err` when any worker panicked.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API compatible with `crossbeam::thread`.
+pub mod thread {
+    /// Handle passed to the [`scope`] closure, used to spawn workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the worker and return its result, or `Err` with the
+        /// panic payload if it panicked.
+        ///
+        /// # Errors
+        /// Returns the worker's panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope handle (so it can
+        /// itself spawn), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; joins all workers before returning.
+    ///
+    /// # Errors
+    /// Returns `Err` with the first panic payload if any *detached* worker
+    /// panicked (workers whose handles were joined explicitly report their
+    /// panics through `join` instead, as crossbeam does). `std::thread::scope`
+    /// itself propagates such panics, so this wrapper catches them to keep
+    /// crossbeam's `Result` contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; data.len()];
+        crate::thread::scope(|s| {
+            for (slot, &x) in results.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

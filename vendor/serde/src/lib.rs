@@ -1,0 +1,461 @@
+//! Offline, API-compatible subset of the `serde` crate.
+//!
+//! Instead of serde's visitor architecture this stub uses a miniserde-style
+//! self-describing [`Value`] tree: `Serialize` renders a type into a
+//! `Value`, `Deserialize` rebuilds it from one. The companion
+//! `serde_derive` stub generates impls of these traits, and the
+//! `serde_json` stub converts `Value` to and from JSON text. The public
+//! surface (trait names, derive attribute grammar) matches what this
+//! workspace uses so code written against real serde compiles unchanged.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model plus a lossless
+/// `u64` variant so 64-bit seeds survive round-trips).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit `i64` losslessly-signed use.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object fields, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `I64`, `U64` and `F64` all read as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view, accepting any non-negative integral number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::U64(n) => Some(n),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed view, accepting any in-range integral number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    /// Short human label for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Standard "missing field" error.
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` for {ty}"))
+    }
+
+    /// Standard type-mismatch error.
+    #[must_use]
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Render `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the value tree.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when `value`'s shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", v))?;
+        usize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+        isize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// `&'static str` deserializes by interning: repeated strings share one
+/// leaked allocation (snapshot restores and config loads hit the same small
+/// label set, so the leak is bounded by the number of distinct labels).
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        use std::collections::HashSet;
+        use std::sync::{Mutex, OnceLock};
+        static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+        match v {
+            Value::Str(s) => {
+                let mut set = INTERNED
+                    .get_or_init(|| Mutex::new(HashSet::new()))
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(&existing) = set.get(s.as_str()) {
+                    return Ok(existing);
+                }
+                let leaked: &'static str = Box::leak(s.clone().into_boxed_str());
+                set.insert(leaked);
+                Ok(leaked)
+            }
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_value).collect();
+                parsed.map(|xs| {
+                    xs.try_into()
+                        .expect("length checked against N immediately above")
+                })
+            }
+            Value::Array(items) => Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            ))),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::custom(format!(
+                        "expected tuple of length {LEN}, got {}", items.len()))),
+                    _ => Err(DeError::expected("array", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views_are_lenient() {
+        assert_eq!(u32::from_value(&Value::I64(7)).unwrap(), 7);
+        assert_eq!(i64::from_value(&Value::U64(7)).unwrap(), 7);
+        assert_eq!(f64::from_value(&Value::I64(-3)).unwrap(), -3.0);
+        assert_eq!(u64::from_value(&Value::F64(5.0)).unwrap(), 5);
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+        assert_eq!(Some(2.0f64).to_value(), Value::F64(2.0));
+    }
+
+    #[test]
+    fn tuple_and_array_shapes() {
+        let v = (1u32, 2.5f64, true).to_value();
+        let back: (u32, f64, bool) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, 2.5, true));
+        let arr: [f64; 3] = Deserialize::from_value(&[1.0, 2.0, 3.0].to_value()).unwrap();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+        assert!(<[f64; 3]>::from_value(&[1.0, 2.0].to_value()).is_err());
+    }
+}

@@ -1,0 +1,648 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Generates impls of the stub's value-tree traits
+//! (`serde::Serialize::to_value` / `serde::Deserialize::from_value`)
+//! without depending on `syn`/`quote`: the item is parsed directly from
+//! the `proc_macro` token stream and the generated impl is assembled as
+//! source text and re-parsed.
+//!
+//! Supported shapes: named-field structs, newtype/tuple structs, enums
+//! with unit / newtype / struct variants. Supported attributes (the ones
+//! this workspace uses): `#[serde(default)]`, `#[serde(flatten)]`,
+//! `#[serde(transparent)]`, `#[serde(tag = "...")]`,
+//! `#[serde(rename_all = "snake_case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_serialize(&item))
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_deserialize(&item))
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub generated invalid Rust: {e}\n{code}"))
+}
+
+// ------------------------------------------------------------------- model
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    flatten: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+// ------------------------------------------------------------------ parser
+
+/// `(name, value)` pairs from `#[serde(...)]`: `default` → `("default",
+/// None)`, `tag = "kind"` → `("tag", Some("kind"))`.
+type Attrs = Vec<(String, Option<String>)>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container_attrs: Attrs = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                collect_serde_attrs(&tokens, &mut i, &mut container_attrs);
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                return parse_struct(&tokens, i + 1, container_attrs);
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return parse_enum(&tokens, i + 1, container_attrs);
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde_derive stub: no struct or enum found in derive input");
+}
+
+/// Advance past a `#[...]` attribute at `tokens[*i]`, appending any
+/// `serde(...)` arguments to `out`.
+fn collect_serde_attrs(tokens: &[TokenTree], i: &mut usize, out: &mut Attrs) {
+    *i += 1; // past '#'
+    let TokenTree::Group(g) = &tokens[*i] else {
+        panic!("serde_derive stub: `#` not followed by a bracket group");
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if let Some(TokenTree::Ident(id)) = inner.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                out.extend(parse_attr_args(args.stream()));
+            }
+        }
+    }
+    *i += 1; // past the bracket group
+}
+
+fn parse_attr_args(stream: TokenStream) -> Attrs {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive stub: unsupported serde attribute syntax");
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut value = None;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let TokenTree::Literal(lit) = &tokens[i] else {
+                panic!("serde_derive stub: expected string literal in #[serde({name} = ...)]");
+            };
+            let text = lit.to_string();
+            value = Some(text.trim_matches('"').to_string());
+            i += 1;
+        }
+        out.push((name, value));
+        // Skip a separating comma.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_struct(tokens: &[TokenTree], mut i: usize, container: Attrs) -> Item {
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive stub: expected struct name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` not supported");
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("serde_derive stub: unsupported struct body for `{name}`: {other:?}"),
+    };
+    finish_item(name, shape, container)
+}
+
+fn parse_enum(tokens: &[TokenTree], mut i: usize, container: Attrs) -> Item {
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive stub: expected enum name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` not supported");
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        panic!("serde_derive stub: expected enum body for `{name}`");
+    };
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        match &body[j] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let mut ignored = Vec::new();
+                collect_serde_attrs(&body, &mut j, &mut ignored);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            TokenTree::Ident(vname) => {
+                let vname = vname.to_string();
+                j += 1;
+                let kind = match body.get(j) {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        VariantKind::Struct(parse_named_fields(vg.stream()))
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        let arity = count_tuple_fields(vg.stream());
+                        assert!(
+                            arity == 1,
+                            "serde_derive stub: only newtype tuple variants supported \
+                             ({name}::{vname} has {arity} fields)"
+                        );
+                        VariantKind::Newtype
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: vname, kind });
+            }
+            other => panic!("serde_derive stub: unexpected token in enum `{name}`: {other:?}"),
+        }
+    }
+    finish_item(name, Shape::Enum(variants), container)
+}
+
+fn finish_item(name: String, shape: Shape, container: Attrs) -> Item {
+    let mut tag = None;
+    let mut rename_all = None;
+    for (key, value) in container {
+        match key.as_str() {
+            "tag" => tag = value,
+            "rename_all" => rename_all = value,
+            // `transparent` is a no-op: newtype structs already serialize
+            // as their inner value. `deny_unknown_fields` etc. are ignored.
+            _ => {}
+        }
+    }
+    Item {
+        name,
+        shape,
+        tag,
+        rename_all,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs: Attrs = Vec::new();
+        // Attributes and visibility before the field name.
+        loop {
+            match &tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    collect_serde_attrs(&tokens, &mut i, &mut attrs);
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = fname.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or off the end)
+        fields.push(Field {
+            name,
+            default: attrs.iter().any(|(k, _)| k == "default"),
+            flatten: attrs.iter().any(|(k, _)| k == "flatten"),
+        });
+    }
+    fields
+}
+
+/// Count comma-separated fields of a tuple struct/variant body, ignoring
+/// commas nested in groups or angle brackets.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token_since_comma {
+                    count += 1;
+                }
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+// ----------------------------------------------------------------- casing
+
+fn apply_rename(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        Some(other) => panic!("serde_derive stub: rename_all = \"{other}\" not supported"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Push `__fields.push(...)` / flatten-merge statements serializing `expr`
+/// (an expression yielding `&FieldType`) under `field`'s key.
+fn ser_field_stmt(out: &mut String, field: &Field, expr: &str) {
+    if field.flatten {
+        out.push_str(&format!(
+            "match ::serde::Serialize::to_value({expr}) {{\n\
+             ::serde::Value::Object(__inner) => __fields.extend(__inner),\n\
+             __other => __fields.push((\"{name}\".to_string(), __other)),\n\
+             }}\n",
+            name = field.name
+        ));
+    } else {
+        out.push_str(&format!(
+            "__fields.push((\"{name}\".to_string(), ::serde::Serialize::to_value({expr})));\n",
+            name = field.name
+        ));
+    }
+}
+
+/// Expression deserializing `field` out of the object expression `src`
+/// (an expression of type `&::serde::Value`), for use in struct literals.
+fn de_field_expr(field: &Field, src: &str, ty_name: &str) -> String {
+    if field.flatten {
+        return format!("::serde::Deserialize::from_value({src})?");
+    }
+    let missing = if field.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        // `Option` fields parse Null to None; everything else reports the
+        // missing field.
+        format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::DeError::missing_field(\"{name}\", \"{ty_name}\"))?",
+            name = field.name
+        )
+    };
+    format!(
+        "match {src}.get(\"{name}\") {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        name = field.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Named(fields) => {
+            body.push_str(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                ser_field_stmt(&mut body, f, &format!("&self.{}", f.name));
+            }
+            body.push_str("::serde::Value::Object(__fields)\n");
+        }
+        Shape::Tuple(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::Tuple(n) => {
+            body.push_str("::serde::Value::Array(vec![\n");
+            for i in 0..*n {
+                body.push_str(&format!("::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            body.push_str("])\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let wire = apply_rename(&v.name, item.rename_all.as_deref());
+                let vname = &v.name;
+                match (&v.kind, &item.tag) {
+                    (VariantKind::Unit, None) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{wire}\".to_string()),\n"
+                        ));
+                    }
+                    (VariantKind::Unit, Some(tag)) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                             ::serde::Value::Str(\"{wire}\".to_string()))]),\n"
+                        ));
+                    }
+                    (VariantKind::Newtype, None) => {
+                        body.push_str(&format!(
+                            "{name}::{vname}(__x) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                             ::serde::Serialize::to_value(__x))]),\n"
+                        ));
+                    }
+                    (VariantKind::Newtype, Some(_)) => {
+                        panic!(
+                            "serde_derive stub: internally tagged newtype variant \
+                             {name}::{vname} not supported"
+                        );
+                    }
+                    (VariantKind::Struct(fields), tag) => {
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n",
+                            bindings.join(", ")
+                        ));
+                        body.push_str(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            body.push_str(&format!(
+                                "__fields.push((\"{tag}\".to_string(), \
+                                 ::serde::Value::Str(\"{wire}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            ser_field_stmt(&mut body, f, &f.name);
+                        }
+                        if tag.is_some() {
+                            body.push_str("::serde::Value::Object(__fields)\n}\n");
+                        } else {
+                            body.push_str(&format!(
+                                "::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                                 ::serde::Value::Object(__fields))])\n}}\n"
+                            ));
+                        }
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Named(fields) => {
+            body.push_str(&format!(
+                "if __value.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"object for {name}\", __value));\n\
+                 }}\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!(
+                    "{}: {},\n",
+                    f.name,
+                    de_field_expr(f, "__value", name)
+                ));
+            }
+            body.push_str("})\n");
+        }
+        Shape::Tuple(1) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))\n"
+            ));
+        }
+        Shape::Tuple(n) => {
+            body.push_str(&format!(
+                "let __items = match __value {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => __items,\n\
+                 __other => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array of length {n} for {name}\", __other)),\n\
+                 }};\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "::serde::Deserialize::from_value(&__items[{i}])?,\n"
+                ));
+            }
+            body.push_str("))\n");
+        }
+        Shape::Enum(variants) => match &item.tag {
+            Some(tag) => {
+                body.push_str(&format!(
+                    "let __tag = match __value.get(\"{tag}\") {{\n\
+                     ::std::option::Option::Some(::serde::Value::Str(__s)) => __s.as_str(),\n\
+                     ::std::option::Option::Some(__other) => return ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"string tag `{tag}`\", __other)),\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::DeError::missing_field(\"{tag}\", \"{name}\")),\n\
+                     }};\n\
+                     match __tag {{\n"
+                ));
+                for v in variants {
+                    let wire = apply_rename(&v.name, item.rename_all.as_deref());
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            body.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                        }
+                        VariantKind::Newtype => panic!(
+                            "serde_derive stub: internally tagged newtype variant \
+                             {name}::{vname} not supported"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            body.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{\n"
+                            ));
+                            for f in fields {
+                                body.push_str(&format!(
+                                    "{}: {},\n",
+                                    f.name,
+                                    de_field_expr(f, "__value", name)
+                                ));
+                            }
+                            body.push_str("}),\n");
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n"
+                ));
+            }
+            None => {
+                // Externally tagged: unit variants are strings, data
+                // variants are single-key objects.
+                body.push_str("match __value {\n");
+                body.push_str("::serde::Value::Str(__s) => match __s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        let wire = apply_rename(&v.name, item.rename_all.as_deref());
+                        body.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n",
+                            vname = v.name
+                        ));
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n"
+                ));
+                body.push_str(
+                    "::serde::Value::Object(__fields) if __fields.len() == 1 => {\n\
+                     let (__key, __inner) = &__fields[0];\n\
+                     match __key.as_str() {\n",
+                );
+                for v in variants {
+                    let wire = apply_rename(&v.name, item.rename_all.as_deref());
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {}
+                        VariantKind::Newtype => {
+                            body.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),\n"
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            body.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{\n"
+                            ));
+                            for f in fields {
+                                body.push_str(&format!(
+                                    "{}: {},\n",
+                                    f.name,
+                                    de_field_expr(f, "__inner", name)
+                                ));
+                            }
+                            body.push_str("}),\n");
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n"
+                ));
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"{name} variant\", __other)),\n}}\n"
+                ));
+            }
+        },
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}}}\n\
+         }}\n"
+    )
+}
