@@ -59,6 +59,39 @@ fn bench_step_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_steady_tick(c: &mut Criterion) {
+    // The recorded BENCH_controller.json sweep, as a criterion benchmark:
+    // steady-state (no-migration) tick cost over the allocation-free
+    // `step_into` path, 3 levels × {27, 243, 2187} servers.
+    use willow_core::migration::TickReport;
+    use willow_core::Disturbances;
+    let mut group = c.benchmark_group("controller_steady_tick");
+    for (label, branching) in [
+        ("27-servers", &[3usize, 3, 3][..]),
+        ("243-servers", &[3, 9, 9][..]),
+        ("2187-servers", &[3, 27, 27][..]),
+    ] {
+        let (mut willow, demands) = build(branching);
+        let n = willow.servers().len() as u64;
+        // Steady 40 % utilization under ample supply — the workload the
+        // zero-allocation invariant is defined over.
+        let demands: Vec<Watts> = (0..demands.len())
+            .map(|i| SIM_APP_CLASSES[i % SIM_APP_CLASSES.len()].mean_power * 0.4)
+            .collect();
+        let supply = Watts(n as f64 * 450.0);
+        let quiet = Disturbances::none();
+        let mut report = TickReport::default();
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                willow.step_into(black_box(&demands), supply, &quiet, &mut report);
+                black_box(&report);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_message_emulation(c: &mut Criterion) {
     // δ-convergence emulation cost across topology depths (§V-A1).
     let mut group = c.benchmark_group("message_round");
@@ -85,5 +118,10 @@ fn bench_message_emulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_step_scaling, bench_message_emulation);
+criterion_group!(
+    benches,
+    bench_step_scaling,
+    bench_steady_tick,
+    bench_message_emulation
+);
 criterion_main!(benches);

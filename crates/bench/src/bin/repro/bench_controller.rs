@@ -1,0 +1,248 @@
+//! `repro -- bench`: the recorded controller-tick benchmark.
+//!
+//! Measures the steady-state (no-migration) cost of one `Willow` control
+//! tick across three 3-level tree sizes and writes `BENCH_controller.json`
+//! so the perf trajectory is tracked across PRs. Two numbers per size:
+//!
+//! * **ns/tick** — wall time of one demand period after warm-up, taken as
+//!   the fastest 8-tick batch (robust against scheduler noise on shared
+//!   machines);
+//! * **allocs/tick** — heap allocations per tick counted by the
+//!   [`CountingAllocator`] installed as the global allocator (the
+//!   steady-state invariant is 0).
+//!
+//! `--quick` shrinks the measurement window for CI smoke runs.
+
+use serde::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use willow_core::config::ControllerConfig;
+use willow_core::controller::Willow;
+use willow_core::migration::TickReport;
+use willow_core::server::ServerSpec;
+use willow_core::Disturbances;
+use willow_thermal::units::Watts;
+use willow_topology::Tree;
+use willow_workload::app::{AppId, Application, SIM_APP_CLASSES};
+
+/// Forwards to the system allocator while counting calls and bytes.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// The three 3-level sweep shapes: 27, 243 and 2187 servers.
+const SHAPES: [(&str, &[usize]); 3] = [
+    ("27", &[3, 3, 3]),
+    ("243", &[3, 9, 9]),
+    ("2187", &[3, 27, 27]),
+];
+
+/// Pre-optimization numbers, recorded on this machine by running this
+/// exact harness (same fastest-8-tick-batch estimator, best of three
+/// process runs) against the pre-scratch-workspace controller — the
+/// commit before this optimization landed, with only `step_with`
+/// substituted for `step_into`. They are the "before" column of
+/// BENCH_controller.json; re-running `repro -- bench` refreshes only the
+/// "after" column.
+const BASELINE_NS_PER_TICK: [f64; 3] = [BASELINE_27.0, BASELINE_243.0, BASELINE_2187.0];
+const BASELINE_ALLOCS_PER_TICK: [f64; 3] = [BASELINE_27.1, BASELINE_243.1, BASELINE_2187.1];
+const BASELINE_27: (f64, f64) = (2301.0, 32.4);
+const BASELINE_243: (f64, f64) = (13747.0, 96.9);
+const BASELINE_2187: (f64, f64) = (116038.0, 276.4);
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+struct SizeResult {
+    servers: usize,
+    ns_per_tick: f64,
+    allocs_per_tick: f64,
+    bytes_per_tick: f64,
+    migrations_observed: usize,
+}
+
+fn build(branching: &[usize]) -> (Willow, Vec<Watts>) {
+    let tree = Tree::uniform(branching);
+    let mut id = 0u32;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            // One app of each class per server: full-utilization power sums
+            // to the 450 W rating, so demand at u is u·450 W per server.
+            let apps: Vec<Application> = (0..4)
+                .map(|_| {
+                    let class = id as usize % SIM_APP_CLASSES.len();
+                    let a = Application::new(AppId(id), class, &SIM_APP_CLASSES[class]);
+                    id += 1;
+                    a
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+    let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    // Steady 40 % utilization: above the consolidation threshold (20 %),
+    // far below any thermal or supply constraint — the no-migration
+    // steady state the zero-allocation invariant is defined over.
+    let demands: Vec<Watts> = (0..id)
+        .map(|i| SIM_APP_CLASSES[i as usize % SIM_APP_CLASSES.len()].mean_power * 0.4)
+        .collect();
+    (w, demands)
+}
+
+fn measure(branching: &[usize], warmup: usize, ticks: usize) -> SizeResult {
+    let (mut willow, demands) = build(branching);
+    let servers = willow.servers().len();
+    let supply = Watts(servers as f64 * 450.0);
+    let quiet = Disturbances::none();
+    let mut report = TickReport::default();
+    for _ in 0..warmup {
+        willow.step_into(&demands, supply, &quiet, &mut report);
+    }
+    // Allocation counts are deterministic, so they are averaged over the
+    // whole window; wall time is taken as the fastest batch of 8 ticks —
+    // on shared (CI) machines the minimum estimates the uninterfered
+    // cost, where a mean smears scheduler preemptions into the result.
+    // Batches are kept under ~1 ms so at least some fit inside a
+    // scheduling quantum.
+    let per_batch = 8usize.min(ticks.max(1));
+    let batches = (ticks / per_batch).max(1);
+    let mut migrations_observed = 0;
+    let mut best_ns = f64::INFINITY;
+    let allocs0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes0 = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        for _ in 0..per_batch {
+            willow.step_into(&demands, supply, &quiet, &mut report);
+            migrations_observed += report.migrations.len();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / per_batch as f64;
+        best_ns = best_ns.min(ns);
+    }
+    let measured = (batches * per_batch) as f64;
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs0;
+    let bytes = ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes0;
+    SizeResult {
+        servers,
+        ns_per_tick: best_ns,
+        allocs_per_tick: allocs as f64 / measured,
+        bytes_per_tick: bytes as f64 / measured,
+        migrations_observed,
+    }
+}
+
+/// Run the sweep and write `BENCH_controller.json` into the current
+/// directory.
+pub fn run(quick: bool) {
+    let (warmup, ticks) = if quick { (32, 64) } else { (128, 1024) };
+    println!(
+        "controller steady-state tick benchmark ({} ticks/size after {} warm-up)",
+        ticks, warmup
+    );
+    let mut rows = Vec::new();
+    for (i, (label, branching)) in SHAPES.iter().enumerate() {
+        let r = measure(branching, warmup, ticks);
+        let speedup = BASELINE_NS_PER_TICK[i] / r.ns_per_tick;
+        println!(
+            "  {:>5} servers: {:>12.0} ns/tick  {:>8.1} allocs/tick  {:>10.0} B/tick  \
+             ({:.2}x vs recorded baseline, {} migrations seen)",
+            label,
+            r.ns_per_tick,
+            r.allocs_per_tick,
+            r.bytes_per_tick,
+            speedup,
+            r.migrations_observed
+        );
+        rows.push(obj(vec![
+            ("servers", Value::U64(r.servers as u64)),
+            (
+                "branching",
+                Value::Array(branching.iter().map(|&b| Value::U64(b as u64)).collect()),
+            ),
+            (
+                "before",
+                obj(vec![
+                    ("ns_per_tick", Value::F64(BASELINE_NS_PER_TICK[i])),
+                    ("allocs_per_tick", Value::F64(BASELINE_ALLOCS_PER_TICK[i])),
+                ]),
+            ),
+            (
+                "after",
+                obj(vec![
+                    (
+                        "ns_per_tick",
+                        Value::F64((r.ns_per_tick * 10.0).round() / 10.0),
+                    ),
+                    (
+                        "allocs_per_tick",
+                        Value::F64((r.allocs_per_tick * 100.0).round() / 100.0),
+                    ),
+                    (
+                        "bytes_per_tick",
+                        Value::F64((r.bytes_per_tick * 10.0).round() / 10.0),
+                    ),
+                ]),
+            ),
+            ("speedup", Value::F64((speedup * 100.0).round() / 100.0)),
+            (
+                "migrations_observed",
+                Value::U64(r.migrations_observed as u64),
+            ),
+        ]));
+    }
+    let doc = obj(vec![
+        (
+            "_comment",
+            Value::Str(
+                "Steady-state (no-migration) Willow control tick cost. 'before' is the \
+                 recorded pre-scratch-workspace baseline; 'after' is refreshed by \
+                 `cargo run --release -p willow-bench --bin repro -- bench`. \
+                 See EXPERIMENTS.md § Performance."
+                    .to_owned(),
+            ),
+        ),
+        (
+            "scenario",
+            obj(vec![
+                ("apps_per_server", Value::U64(4)),
+                ("utilization", Value::F64(0.4)),
+                ("supply", Value::Str("ample (450 W x servers)".to_owned())),
+                ("warmup_ticks", Value::U64(warmup as u64)),
+                ("measured_ticks", Value::U64(ticks as u64)),
+                ("quick", Value::Bool(quick)),
+            ]),
+        ),
+        ("sizes", Value::Array(rows)),
+    ]);
+    let path = "BENCH_controller.json";
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
+}

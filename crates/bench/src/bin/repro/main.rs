@@ -14,12 +14,24 @@ use willow_bench::{r1, r3};
 use willow_sim::experiments as sim_exp;
 use willow_testbed::experiments as tb_exp;
 
+mod bench_controller;
+
+/// Counting global allocator: lets the `bench` subcommand report
+/// allocations per control tick (the steady-state invariant is zero).
+#[global_allocator]
+static GLOBAL: bench_controller::CountingAllocator = bench_controller::CountingAllocator;
+
 const SEED: u64 = 2011; // the paper's year; any fixed seed works
 const TICKS: usize = 300;
 const N_SEEDS: usize = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "bench") {
+        let quick = args.iter().any(|a| a == "--quick");
+        bench_controller::run(quick);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
 

@@ -29,9 +29,9 @@ use crate::state::PowerState;
 use std::collections::HashMap;
 use willow_binpack::{BestFitDecreasing, Ffdlr, FirstFitDecreasing, NextFit, Packer};
 use willow_network::Fabric;
-use willow_power::allocation::allocate_proportional;
-use willow_thermal::limit::power_limit;
-use willow_thermal::model::step_temperature;
+use willow_power::allocation::allocate_proportional_into;
+use willow_thermal::limit::power_limit_with_decay;
+use willow_thermal::model::{decay_factor, step_temperature_with_decay};
 use willow_thermal::units::{Celsius, Watts};
 use willow_topology::{NodeId, Tree};
 use willow_workload::app::AppId;
@@ -74,12 +74,95 @@ impl std::error::Error for WillowError {}
 
 /// A deficit parcel traveling up the hierarchy: one application that must
 /// leave its server.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct DeficitItem {
     server: usize,
     app: AppId,
     demand: Watts,
     reason: MigrationReason,
+}
+
+/// Reusable working memory for one control tick.
+///
+/// Every transient collection the hot path needs — child caps and budgets
+/// for the top-down division, deficit parcels and their per-level grouping
+/// keys, candidate bins, consolidation and evacuation plans — lives here
+/// and is cleared (capacity retained) instead of reallocated, so a
+/// steady-state `Willow::step_into` performs **zero** heap allocations
+/// once the buffers have warmed up. Taken out of the controller with
+/// `std::mem::take` for the duration of a tick and put back afterwards.
+#[derive(Debug, Default)]
+struct ScratchWorkspace {
+    /// Child hard caps for one interior node (supply adaptation).
+    caps: Vec<Watts>,
+    /// Child allocation weights for one interior node.
+    weights: Vec<Watts>,
+    /// Child budgets written by the proportional division.
+    budgets: Vec<Watts>,
+    /// Water-filling working set.
+    alloc: willow_power::AllocationScratch,
+    /// Deficit items still looking for a target (current level).
+    pending: Vec<DeficitItem>,
+    /// Deficit items deferred to the next level up.
+    next_pending: Vec<DeficitItem>,
+    /// Per-item grouping keys: (pmu arena idx, child arena idx, item idx).
+    keys: Vec<(u32, u32, u32)>,
+    /// Items of the group currently being packed (backoff items filtered
+    /// straight to the leftovers).
+    group: Vec<DeficitItem>,
+    /// App ordering for per-server deficit selection.
+    order: Vec<usize>,
+    /// Candidate target leaves for one packing instance.
+    bins: Vec<NodeId>,
+    /// Remaining capacity per candidate bin.
+    bin_caps: Vec<f64>,
+    /// Effective item sizes for one packing instance.
+    sizes: Vec<f64>,
+    /// Below-threshold server indices (consolidation).
+    candidates: Vec<usize>,
+    /// Servers that received consolidated load this round.
+    received: Vec<bool>,
+    /// Apps to move in a full-evacuation plan.
+    evac_items: Vec<DeficitItem>,
+    /// Effective sizes of the evacuation items.
+    evac_sizes: Vec<f64>,
+    /// Ordered target bins (siblings first) for an evacuation.
+    evac_bins: Vec<NodeId>,
+    /// Free capacity per evacuation bin during first-fit placement.
+    evac_free: Vec<f64>,
+    /// Item placement order (largest first) for an evacuation.
+    evac_order: Vec<usize>,
+    /// The all-or-nothing evacuation plan.
+    evac_plan: Vec<(DeficitItem, NodeId)>,
+    /// Sleeping-server indices for wake-on-deficit.
+    sleeping: Vec<usize>,
+}
+
+impl ScratchWorkspace {
+    /// Pre-size the buffers for `tree` so even the first tick allocates as
+    /// little as possible: per-node buffers to the maximum branching
+    /// factor, per-leaf buffers to the leaf count, per-server buffers to
+    /// the server count.
+    fn for_tree(tree: &Tree, servers: usize) -> Self {
+        let max_branching: usize = (0..=tree.height())
+            .map(|l| tree.max_branching_at(l))
+            .max()
+            .unwrap_or(0);
+        let leaves = tree.leaves().count();
+        ScratchWorkspace {
+            caps: Vec::with_capacity(max_branching),
+            weights: Vec::with_capacity(max_branching),
+            budgets: Vec::with_capacity(max_branching),
+            bins: Vec::with_capacity(leaves),
+            bin_caps: Vec::with_capacity(leaves),
+            candidates: Vec::with_capacity(servers),
+            received: Vec::with_capacity(servers),
+            evac_bins: Vec::with_capacity(leaves),
+            evac_free: Vec::with_capacity(leaves),
+            sleeping: Vec::with_capacity(servers),
+            ..ScratchWorkspace::default()
+        }
+    }
 }
 
 /// Per-server stale-directive watchdog state (paper-adjacent defense: a
@@ -163,6 +246,14 @@ pub struct Willow {
     /// filter; caps and predictions are computed from this, never from a
     /// raw (possibly faulted) sensor.
     accepted_temp: Vec<Celsius>,
+    /// Per-server decay factor `e^(−c2·Δ_D)` for the physics update —
+    /// `c2` and the demand period never change within a run, so the
+    /// exponential is evaluated once at construction instead of twice per
+    /// server per tick.
+    decay_dd: Vec<f64>,
+    /// Per-server decay factor `e^(−c2·Δ_S)` for the thermal-cap
+    /// prediction on supply ticks.
+    decay_ds: Vec<f64>,
     /// Retry backoff for apps whose migrations recently failed.
     backoff: HashMap<AppId, Backoff>,
     /// Disturbances being applied to the period currently in progress.
@@ -172,6 +263,21 @@ pub struct Willow {
     mig_attempts: usize,
     /// Fault/defense events observed this period.
     counters: FaultCounters,
+    /// Reusable per-tick working memory (see [`ScratchWorkspace`]).
+    scratch: ScratchWorkspace,
+    /// The configured packing heuristic, boxed once at construction.
+    packer: Box<dyn Packer>,
+}
+
+/// The packing heuristic for `choice`, boxed once at construction time so
+/// the hot path never re-boxes it.
+fn make_packer(choice: PackerChoice) -> Box<dyn Packer> {
+    match choice {
+        PackerChoice::Ffdlr => Box::new(Ffdlr),
+        PackerChoice::FirstFitDecreasing => Box::new(FirstFitDecreasing),
+        PackerChoice::BestFitDecreasing => Box::new(BestFitDecreasing),
+        PackerChoice::NextFit => Box::new(NextFit),
+    }
 }
 
 impl Willow {
@@ -213,8 +319,18 @@ impl Willow {
         let power = PowerState::new(&tree);
         let fabric = Fabric::new(&tree);
         let accepted_temp = servers.iter().map(|s| s.thermal.temperature()).collect();
+        let decay_dd = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_d))
+            .collect();
+        let decay_ds = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_s()))
+            .collect();
         let watchdog = vec![Watchdog::default(); servers.len()];
         let local_cp = vec![Watts::ZERO; tree.len()];
+        let scratch = ScratchWorkspace::for_tree(&tree, servers.len());
+        let packer = make_packer(config.packer);
         Ok(Willow {
             tree,
             config,
@@ -229,10 +345,14 @@ impl Willow {
             local_cp,
             watchdog,
             accepted_temp,
+            decay_dd,
+            decay_ds,
             backoff: HashMap::new(),
             disturb: Disturbances::default(),
             mig_attempts: 0,
             counters: FaultCounters::default(),
+            scratch,
+            packer,
         })
     }
 
@@ -281,13 +401,22 @@ impl Willow {
     /// Ping-pong bookkeeping as a serializable list, sorted by app id.
     #[must_use]
     pub fn last_moves(&self) -> Vec<(AppId, NodeId, u64)> {
-        let mut out: Vec<(AppId, NodeId, u64)> = self
-            .last_move
-            .iter()
-            .map(|(&app, &(from, t))| (app, from, t))
-            .collect();
-        out.sort_by_key(|(app, _, _)| *app);
+        let mut out = Vec::new();
+        self.last_moves_into(&mut out);
         out
+    }
+
+    /// [`Willow::last_moves`] into a caller-provided buffer (cleared
+    /// first), so periodic checkpointing can reuse one allocation.
+    pub fn last_moves_into(&self, out: &mut Vec<(AppId, NodeId, u64)>) {
+        out.clear();
+        out.extend(
+            self.last_move
+                .iter()
+                .map(|(&app, &(from, t))| (app, from, t)),
+        );
+        // App ids are unique map keys, so the unstable sort is total.
+        out.sort_unstable_by_key(|(app, _, _)| *app);
     }
 
     /// Demand shed in the last completed period.
@@ -328,8 +457,18 @@ impl Willow {
         }
         let fabric = Fabric::new(&tree);
         let accepted_temp = servers.iter().map(|s| s.thermal.temperature()).collect();
+        let decay_dd = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_d))
+            .collect();
+        let decay_ds = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_s()))
+            .collect();
         let watchdog = vec![Watchdog::default(); servers.len()];
         let local_cp = power.cp.clone();
+        let scratch = ScratchWorkspace::for_tree(&tree, servers.len());
+        let packer = make_packer(config.packer);
         Ok(Willow {
             tree,
             config,
@@ -347,10 +486,14 @@ impl Willow {
             local_cp,
             watchdog,
             accepted_temp,
+            decay_dd,
+            decay_ds,
             backoff: HashMap::new(),
             disturb: Disturbances::default(),
             mig_attempts: 0,
             counters: FaultCounters::default(),
+            scratch,
+            packer,
         })
     }
 
@@ -358,15 +501,6 @@ impl Willow {
     #[must_use]
     pub fn locate_app(&self, app: AppId) -> Option<usize> {
         self.servers.iter().position(|s| s.find_app(app).is_some())
-    }
-
-    fn packer(&self) -> Box<dyn Packer> {
-        match self.config.packer {
-            PackerChoice::Ffdlr => Box::new(Ffdlr),
-            PackerChoice::FirstFitDecreasing => Box::new(FirstFitDecreasing),
-            PackerChoice::BestFitDecreasing => Box::new(BestFitDecreasing),
-            PackerChoice::NextFit => Box::new(NextFit),
-        }
     }
 
     /// Effective packing size of a demand parcel: the moved demand plus the
@@ -392,6 +526,9 @@ impl Willow {
     /// this is exactly [`Willow::step`] — the fault machinery changes
     /// nothing about fault-free trajectories.
     ///
+    /// Allocates a fresh [`TickReport`]; steady-state drivers should prefer
+    /// [`Willow::step_into`], which reuses a caller-provided one.
+    ///
     /// # Panics
     /// Panics if `app_demand` does not cover every hosted application's id.
     pub fn step_with(
@@ -400,19 +537,36 @@ impl Willow {
         supply: Watts,
         disturb: &Disturbances,
     ) -> TickReport {
-        self.disturb = disturb.clone();
+        let mut report = TickReport::default();
+        self.step_into(app_demand, supply, disturb, &mut report);
+        report
+    }
+
+    /// [`Willow::step_with`], writing into a caller-provided report instead
+    /// of returning a fresh one. `report` is fully overwritten (its buffer
+    /// capacity is reused), so one report driven across a run makes the
+    /// steady-state no-migration tick free of heap allocation entirely.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step_into(
+        &mut self,
+        app_demand: &[Watts],
+        supply: Watts,
+        disturb: &Disturbances,
+        report: &mut TickReport,
+    ) {
+        self.disturb.assign_from(disturb);
         self.mig_attempts = 0;
         self.counters = FaultCounters::default();
         let tick = self.tick;
         let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
         let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
-        let mut report = TickReport {
-            tick,
-            supply_tick,
-            consolidation_tick,
-            ..TickReport::default()
-        };
+        report.reset(tick, supply_tick, consolidation_tick);
         self.fabric.reset_epoch();
+        // The workspace moves out of `self` for the duration of the tick so
+        // phase methods can borrow it alongside `&mut self` field access.
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         // ------------------------------------------------ 1. measurement
         self.measure(app_demand);
@@ -422,28 +576,46 @@ impl Willow {
 
         // ------------------------------------------- 2. supply adaptation
         if supply_tick {
-            self.supply_adaptation(supply);
+            self.supply_adaptation(supply, &mut scratch);
             // Downward budget directives: one message per tree link.
             report.control_messages += self.tree.len() - 1;
             self.stats.messages += (self.tree.len() - 1) as u64;
         }
 
         // ------------------------------------------- 3. demand adaptation
-        let migrations = self.demand_adaptation(tick);
-        report.migrations.extend(migrations);
+        self.demand_adaptation(tick, &mut scratch, &mut report.migrations);
 
         // --------------------------------------------- 4. consolidation
         if consolidation_tick {
-            let (migs, slept) = self.consolidate(tick);
-            report.migrations.extend(migs);
-            report.slept = slept;
+            self.consolidate(
+                tick,
+                &mut scratch,
+                &mut report.migrations,
+                &mut report.slept,
+            );
             if self.config.wake_on_deficit && self.last_dropped.0 > 0.0 {
-                report.woken = self.wake_servers(self.last_dropped, tick);
+                self.wake_servers(
+                    self.last_dropped,
+                    tick,
+                    &mut scratch.sleeping,
+                    &mut report.woken,
+                );
             }
         }
+        self.scratch = scratch;
 
         // ------------------------------------------------- 5. physics
-        self.power.aggregate_demands(&self.tree);
+        // Re-aggregate interior demands only if a leaf CP changed since
+        // the measurement phase aggregated them: executed migrations and
+        // aborts charge costs, sleeping zeroes the leaf. On a clean tick
+        // the interior sums are already exactly what recomputation would
+        // write, so skipping it is bit-neutral.
+        let cp_dirty = !report.migrations.is_empty()
+            || self.counters.migration_aborts > 0
+            || !report.slept.is_empty();
+        if cp_dirty {
+            self.power.aggregate_demands(&self.tree);
+        }
         let mut dropped = Watts::ZERO;
         for (si, server) in self.servers.iter_mut().enumerate() {
             let leaf = server.node.index();
@@ -467,18 +639,18 @@ impl Willow {
                     *acc += class_shed;
                 }
             }
-            server.thermal.advance(drawn, self.config.delta_d);
+            server.thermal.advance_with_decay(drawn, self.decay_dd[si]);
             // Sensor plausibility filter: accept the (possibly faulted)
             // reading only if it is within `sensor_slack` of what the RC
             // model predicts from the last accepted temperature under the
             // power actually drawn; otherwise keep running on the model.
             let measured = self.disturb.measured_temp(si, server.thermal.temperature());
-            let predicted = step_temperature(
+            let predicted = step_temperature_with_decay(
                 server.thermal.params(),
                 self.accepted_temp[si],
                 server.thermal.ambient(),
                 drawn,
-                self.config.delta_d,
+                self.decay_dd[si],
             );
             self.accepted_temp[si] =
                 if (measured.0 - predicted.0).abs() <= self.config.robustness.sensor_slack {
@@ -516,7 +688,6 @@ impl Willow {
         report.fallback_servers = self.watchdog.iter().filter(|w| w.tripped).count();
 
         self.tick += 1;
-        report
     }
 
     /// Smooth raw demands into leaf `CP` values and aggregate upward. A
@@ -554,7 +725,7 @@ impl Willow {
 
     /// Refresh hard caps from the thermal model and divide the supply
     /// top-down proportional to demand (§IV-D).
-    fn supply_adaptation(&mut self, supply: Watts) {
+    fn supply_adaptation(&mut self, supply: Watts, scratch: &mut ScratchWorkspace) {
         let window = self.config.delta_s();
         for (si, server) in self.servers.iter().enumerate() {
             // Sleeping servers present their wake-up headroom; they are at
@@ -563,14 +734,22 @@ impl Willow {
             // that passed the plausibility filter — never a raw sensor, so
             // a stuck or noisy sensor cannot zero out a healthy server.
             let cap = match self.config.thermal_estimate {
-                crate::config::ThermalEstimate::WindowPrediction => power_limit(
-                    server.thermal.params(),
-                    self.accepted_temp[si],
-                    server.thermal.ambient(),
-                    server.thermal.limit(),
-                    window,
-                )
-                .clamp(Watts::ZERO, server.thermal.rating()),
+                crate::config::ThermalEstimate::WindowPrediction => {
+                    // `power_limit` with the decay factor cached at
+                    // construction (the window is a run constant).
+                    let limit = if window.is_positive() {
+                        power_limit_with_decay(
+                            server.thermal.params(),
+                            self.accepted_temp[si],
+                            server.thermal.ambient(),
+                            server.thermal.limit(),
+                            self.decay_ds[si],
+                        )
+                    } else {
+                        Watts(f64::INFINITY)
+                    };
+                    limit.clamp(Watts::ZERO, server.thermal.rating())
+                }
                 crate::config::ThermalEstimate::NaiveThrottle => {
                     if self.accepted_temp[si].0 > server.thermal.limit().0 + 1e-9 {
                         Watts::ZERO
@@ -589,18 +768,38 @@ impl Willow {
         for level in (1..=self.tree.height()).rev() {
             for &node in self.tree.nodes_at_level(level) {
                 let children = self.tree.children(node);
-                let caps: Vec<Watts> = children.iter().map(|c| self.power.cap[c.index()]).collect();
+                scratch.caps.clear();
+                scratch
+                    .caps
+                    .extend(children.iter().map(|c| self.power.cap[c.index()]));
                 // The allocation "demand" weights depend on the policy.
-                let weights: Vec<Watts> = match self.config.allocation {
-                    AllocationPolicy::ProportionalToDemand => {
-                        children.iter().map(|c| self.power.cp[c.index()]).collect()
+                // `ProportionalToCapacity` weights *are* the caps, so that
+                // arm borrows `scratch.caps` directly instead of copying it.
+                scratch.weights.clear();
+                match self.config.allocation {
+                    AllocationPolicy::ProportionalToDemand => scratch
+                        .weights
+                        .extend(children.iter().map(|c| self.power.cp[c.index()])),
+                    AllocationPolicy::EqualShare => {
+                        scratch.weights.extend(children.iter().map(|_| Watts(1.0)));
                     }
-                    AllocationPolicy::EqualShare => children.iter().map(|_| Watts(1.0)).collect(),
-                    AllocationPolicy::ProportionalToCapacity => caps.clone(),
-                };
-                let budgets = allocate_proportional(self.power.tp[node.index()], &weights, &caps)
-                    .expect("validated inputs");
-                for (c, b) in children.iter().zip(budgets) {
+                    AllocationPolicy::ProportionalToCapacity => {}
+                }
+                let weights: &[Watts] =
+                    if self.config.allocation == AllocationPolicy::ProportionalToCapacity {
+                        &scratch.caps
+                    } else {
+                        &scratch.weights
+                    };
+                allocate_proportional_into(
+                    self.power.tp[node.index()],
+                    weights,
+                    &scratch.caps,
+                    &mut scratch.budgets,
+                    &mut scratch.alloc,
+                )
+                .expect("validated inputs");
+                for (c, &b) in children.iter().zip(&scratch.budgets) {
                     self.power.tp[c.index()] = b;
                 }
             }
@@ -691,63 +890,88 @@ impl Willow {
     }
 
     /// Bottom-up demand-side adaptation: local packing first, leftovers up.
-    fn demand_adaptation(&mut self, tick: u64) -> Vec<MigrationRecord> {
-        let mut records = Vec::new();
-
+    fn demand_adaptation(
+        &mut self,
+        tick: u64,
+        scratch: &mut ScratchWorkspace,
+        records: &mut Vec<MigrationRecord>,
+    ) {
         // Collect deficit items at the leaves.
-        let mut pending = self.collect_deficit_items();
-        if pending.is_empty() {
-            return records;
-        }
+        self.collect_deficit_items(&mut scratch.pending, &mut scratch.order);
 
         // Process levels bottom-up; at each level, each PMU node packs the
         // pending items originating in its subtree into surpluses in its
         // subtree (excluding the origin's child-subtree, already tried).
         for level in 1..=self.tree.height() {
-            if pending.is_empty() {
+            if scratch.pending.is_empty() {
                 break;
             }
-            let nodes: Vec<NodeId> = self.tree.nodes_at_level(level).to_vec();
-            let mut still_pending = Vec::new();
-            for pmu in nodes {
-                let scope = self.tree.subtree_leaves(pmu);
-                // Items whose origin server lies under this PMU.
-                let (mine, other): (Vec<DeficitItem>, Vec<DeficitItem>) =
-                    std::mem::take(&mut pending).into_iter().partition(|item| {
-                        scope.binary_search(&self.servers[item.server].node).is_ok()
-                    });
-                pending = other;
-                if mine.is_empty() {
-                    continue;
+            // Group items by their PMU node at this level and, within a
+            // PMU, by the child subtree containing their origin (already
+            // tried one level down). Sorting keys of
+            // `(pmu arena idx, child arena idx, item idx)` reproduces the
+            // nested-map iteration order exactly: `nodes_at_level` is
+            // ascending in arena index, group keys were visited in sorted
+            // order, and items within a group in arrival order.
+            scratch.keys.clear();
+            for (idx, item) in scratch.pending.iter().enumerate() {
+                let mut pmu = self.servers[item.server].node;
+                let mut child = pmu;
+                while self.tree.level(pmu) < level {
+                    child = pmu;
+                    pmu = self.tree.parent(pmu).expect("levels reach the root");
                 }
-                // Group items by the child of `pmu` containing their origin
-                // (that child's subtree was already tried at level-1).
-                let mut groups: HashMap<NodeId, Vec<DeficitItem>> = HashMap::new();
-                for item in mine {
-                    let child = self.child_containing(pmu, self.servers[item.server].node);
-                    groups.entry(child).or_default().push(item);
-                }
-                let mut group_keys: Vec<NodeId> = groups.keys().copied().collect();
-                group_keys.sort_unstable();
-                for child in group_keys {
-                    let items = groups.remove(&child).expect("key exists");
-                    let excluded = self.tree.subtree_leaves(child);
-                    let leftovers =
-                        self.pack_and_execute(&scope, &excluded, items, tick, &mut records);
-                    still_pending.extend(leftovers);
-                }
+                scratch
+                    .keys
+                    .push((pmu.index() as u32, child.index() as u32, idx as u32));
             }
-            pending = still_pending;
+            scratch.keys.sort_unstable();
+            scratch.next_pending.clear();
+            let mut i = 0;
+            while i < scratch.keys.len() {
+                let (pmu_idx, child_idx, _) = scratch.keys[i];
+                let mut j = i + 1;
+                while j < scratch.keys.len()
+                    && scratch.keys[j].0 == pmu_idx
+                    && scratch.keys[j].1 == child_idx
+                {
+                    j += 1;
+                }
+                // Backoff items sit this round out: straight to leftovers,
+                // ahead of this group's unplaced items.
+                scratch.group.clear();
+                for k in i..j {
+                    let item = scratch.pending[scratch.keys[k].2 as usize];
+                    if self.in_backoff(item.app, tick) {
+                        scratch.next_pending.push(item);
+                    } else {
+                        scratch.group.push(item);
+                    }
+                }
+                self.pack_and_execute(
+                    NodeId(pmu_idx),
+                    NodeId(child_idx),
+                    &scratch.group,
+                    &mut scratch.next_pending,
+                    &mut scratch.bins,
+                    &mut scratch.bin_caps,
+                    &mut scratch.sizes,
+                    tick,
+                    records,
+                );
+                i = j;
+            }
+            std::mem::swap(&mut scratch.pending, &mut scratch.next_pending);
         }
         // Items left after the root instance stay on their servers; their
         // demand above budget is shed in the physics phase.
-        records
     }
 
     /// Deficit items: for every active server over budget, pick the largest
     /// apps until the remainder fits under `TP − margin` (cost-adjusted).
-    fn collect_deficit_items(&self) -> Vec<DeficitItem> {
-        let mut items = Vec::new();
+    /// Fills `items`; `order` is per-server sorting scratch.
+    fn collect_deficit_items(&self, items: &mut Vec<DeficitItem>, order: &mut Vec<usize>) {
+        items.clear();
         let overhead = self.config.cost_model.node_overhead;
         for (si, server) in self.servers.iter().enumerate() {
             if !server.active {
@@ -773,9 +997,10 @@ impl Willow {
             // Settled apps first (Property 4: a demand that migrated stays
             // put for ≥ Δ_f whenever possible), then largest-first to
             // minimize the number of migrations.
-            let mut order: Vec<usize> = (0..server.apps.len()).collect();
+            order.clear();
+            order.extend(0..server.apps.len());
             let tick = self.tick;
-            order.sort_by(|&a, &b| {
+            order.sort_unstable_by(|&a, &b| {
                 let recent = |i: usize| {
                     self.last_move
                         .get(&server.apps[i].id)
@@ -787,7 +1012,7 @@ impl Willow {
                     .then(a.cmp(&b))
             });
             let mut shed = 0.0;
-            for idx in order {
+            for &idx in order.iter() {
                 if shed >= target_shed {
                     break;
                 }
@@ -804,76 +1029,63 @@ impl Willow {
                 });
             }
         }
-        items
     }
 
-    /// The child of `pmu` whose subtree contains `leaf`.
-    fn child_containing(&self, pmu: NodeId, leaf: NodeId) -> NodeId {
-        if pmu == leaf {
-            return leaf;
-        }
-        let mut n = leaf;
-        loop {
-            match self.tree.parent(n) {
-                Some(p) if p == pmu => return n,
-                Some(p) => n = p,
-                None => unreachable!("leaf must lie under pmu"),
-            }
-        }
-    }
-
-    /// Pack `items` into eligible surpluses among `scope` leaves minus
-    /// `excluded` leaves; execute the migrations that fit; return leftovers.
+    /// Pack `items` (already backoff-filtered) into eligible surpluses
+    /// among `pmu`'s leaves minus those under `child`; execute the
+    /// migrations that fit; push leftovers for the next level up.
+    #[allow(clippy::too_many_arguments)]
     fn pack_and_execute(
         &mut self,
-        scope: &[NodeId],
-        excluded: &[NodeId],
-        items: Vec<DeficitItem>,
+        pmu: NodeId,
+        child: NodeId,
+        items: &[DeficitItem],
+        leftovers: &mut Vec<DeficitItem>,
+        bins: &mut Vec<NodeId>,
+        bin_caps: &mut Vec<f64>,
+        sizes: &mut Vec<f64>,
         tick: u64,
         records: &mut Vec<MigrationRecord>,
-    ) -> Vec<DeficitItem> {
-        // Apps in retry backoff after a failed migration sit this round
-        // out entirely (they go straight to the leftovers).
-        let (items, mut leftovers): (Vec<DeficitItem>, Vec<DeficitItem>) = items
-            .into_iter()
-            .partition(|item| !self.in_backoff(item.app, tick));
-        let bins_nodes: Vec<NodeId> = scope
-            .iter()
-            .copied()
-            .filter(|leaf| excluded.binary_search(leaf).is_err())
-            .filter(|&leaf| self.target_eligible(leaf))
-            .collect();
-        if bins_nodes.is_empty() {
-            leftovers.extend(items);
-            return leftovers;
+    ) {
+        // Candidate bins come off the cached Euler-tour range in DFS order;
+        // sorting restores the ascending-id order the packing has always
+        // seen (`subtree_leaves` returns sorted ids).
+        bins.clear();
+        for &leaf in self.tree.leaf_range(pmu) {
+            if !self.tree.subtree_contains(child, leaf) && self.target_eligible(leaf) {
+                bins.push(leaf);
+            }
         }
-        let bin_caps: Vec<f64> = bins_nodes.iter().map(|&l| self.bin_capacity(l).0).collect();
-        let sizes: Vec<f64> = items
-            .iter()
-            .map(|it| self.effective_size(it.demand))
-            .collect();
+        bins.sort_unstable();
+        if bins.is_empty() {
+            leftovers.extend_from_slice(items);
+            return;
+        }
+        bin_caps.clear();
+        bin_caps.extend(bins.iter().map(|&l| self.bin_capacity(l).0));
+        sizes.clear();
+        sizes.extend(items.iter().map(|it| self.effective_size(it.demand)));
         self.stats.packing_instances += 1;
         self.stats.items_offered += sizes.len() as u64;
         self.stats.bins_offered += bin_caps.len() as u64;
-        let packing = self.packer().pack(&sizes, &bin_caps);
+        let packing = self.packer.pack(sizes, bin_caps);
 
-        for (i, item) in items.into_iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
             match packing.assignment[i] {
                 Some(b) => {
-                    let target_leaf = bins_nodes[b];
+                    let target_leaf = bins[b];
                     // Property 4 / ping-pong avoidance: never bounce an app
                     // straight back to the host it recently left — defer it
                     // to the next level (other bins) or shed it instead.
                     if self.would_pingpong(item.app, target_leaf, tick)
-                        || !self.attempt_migration(&item, target_leaf, tick, records)
+                        || !self.attempt_migration(item, target_leaf, tick, records)
                     {
-                        leftovers.push(item);
+                        leftovers.push(*item);
                     }
                 }
-                None => leftovers.push(item),
+                None => leftovers.push(*item),
             }
         }
-        leftovers
     }
 
     /// True if placing `app` on `target` now would return it to the host it
@@ -925,7 +1137,7 @@ impl Willow {
                 if self.backoff.remove(&item.app).is_some() {
                     self.counters.migration_retries += 1;
                 }
-                self.execute_migration(item.clone(), target_leaf, tick, records);
+                self.execute_migration(*item, target_leaf, tick, records);
                 true
             }
             MigrationOutcome::Reject => {
@@ -1019,20 +1231,26 @@ impl Willow {
 
     /// Consolidation (§IV-E end, §V-C5): below-threshold servers try to
     /// empty themselves — local targets first — and sleep if they succeed.
-    fn consolidate(&mut self, tick: u64) -> (Vec<MigrationRecord>, Vec<NodeId>) {
-        let mut records = Vec::new();
-        let mut slept = Vec::new();
+    fn consolidate(
+        &mut self,
+        tick: u64,
+        scratch: &mut ScratchWorkspace,
+        records: &mut Vec<MigrationRecord>,
+        slept: &mut Vec<NodeId>,
+    ) {
+        let first_record = records.len();
         // Candidates ordered thermally constrained (lowest hard cap, i.e.
         // hot zones) first, then emptiest first: the paper's Fig. 7 notes
         // that Willow "tries to move as much work away from these [hot]
         // servers as possible … hence they remain shut down for more time".
-        let mut candidates: Vec<usize> = (0..self.servers.len())
-            .filter(|&i| {
+        scratch.candidates.clear();
+        scratch
+            .candidates
+            .extend((0..self.servers.len()).filter(|&i| {
                 self.servers[i].active
                     && self.servers[i].utilization() < self.config.consolidation_threshold
-            })
-            .collect();
-        candidates.sort_by(|&a, &b| {
+            }));
+        scratch.candidates.sort_unstable_by(|&a, &b| {
             let cap = |i: usize| self.power.cap[self.servers[i].node.index()].0;
             cap(a)
                 .total_cmp(&cap(b))
@@ -1047,10 +1265,12 @@ impl Willow {
         // Servers that receive consolidated load this round must not be
         // evacuated in the same round — that would cascade apps through
         // multiple hops in a single period.
-        let mut received: Vec<bool> = vec![false; self.servers.len()];
-        for si in candidates {
+        scratch.received.clear();
+        scratch.received.resize(self.servers.len(), false);
+        for ci in 0..scratch.candidates.len() {
+            let si = scratch.candidates[ci];
             // Re-check: a candidate may have received load meanwhile.
-            if received[si]
+            if scratch.received[si]
                 || !self.servers[si].active
                 || self.servers[si].utilization() >= self.config.consolidation_threshold
             {
@@ -1062,16 +1282,25 @@ impl Willow {
                 slept.push(leaf);
                 continue;
             }
-            if let Some(migs) = self.plan_full_evacuation(si, tick) {
+            if self.plan_full_evacuation(
+                si,
+                &mut scratch.evac_items,
+                &mut scratch.evac_sizes,
+                &mut scratch.evac_bins,
+                &mut scratch.evac_free,
+                &mut scratch.evac_order,
+                &mut scratch.evac_plan,
+            ) {
                 // A failed attempt mid-plan (injected reject/abort) stops
                 // the evacuation: the server keeps its remaining apps and
                 // stays awake — never sleep a server that still hosts work.
                 let mut evacuated = true;
-                for (item, target) in migs {
+                for pi in 0..scratch.evac_plan.len() {
+                    let (item, target) = scratch.evac_plan[pi];
                     let tgt_idx =
                         self.leaf_server[target.index()].expect("target is a server leaf");
-                    if self.attempt_migration(&item, target, tick, &mut records) {
-                        received[tgt_idx] = true;
+                    if self.attempt_migration(&item, target, tick, records) {
+                        scratch.received[tgt_idx] = true;
                     } else {
                         evacuated = false;
                         break;
@@ -1084,21 +1313,28 @@ impl Willow {
                 }
             }
         }
-        // Consolidation migrations are re-labeled with their reason.
-        for r in &mut records {
+        // Consolidation migrations are re-labeled with their reason; demand
+        // records recorded earlier this tick sit before `first_record`.
+        for r in &mut records[first_record..] {
             r.reason = MigrationReason::Consolidation;
         }
-        (records, slept)
     }
 
     /// Try to place *all* apps of server `si` elsewhere (local bins first,
-    /// then anywhere eligible). Returns the migration plan or `None` if the
-    /// server cannot be fully evacuated.
+    /// then anywhere eligible). Fills `plan` and returns `true`, or returns
+    /// `false` if the server cannot be fully evacuated.
+    #[allow(clippy::too_many_arguments)]
     fn plan_full_evacuation(
-        &mut self,
+        &self,
         si: usize,
-        _tick: u64,
-    ) -> Option<Vec<(DeficitItem, NodeId)>> {
+        items: &mut Vec<DeficitItem>,
+        sizes: &mut Vec<f64>,
+        bins: &mut Vec<NodeId>,
+        free: &mut Vec<f64>,
+        order: &mut Vec<usize>,
+        plan: &mut Vec<(DeficitItem, NodeId)>,
+    ) -> bool {
+        plan.clear();
         let leaf = self.servers[si].node;
         // All-or-nothing: an app still in retry backoff blocks evacuation.
         if self.servers[si]
@@ -1106,23 +1342,23 @@ impl Willow {
             .iter()
             .any(|a| self.in_backoff(a.id, self.tick))
         {
-            return None;
+            return false;
         }
-        let items: Vec<DeficitItem> = self.servers[si]
-            .apps
-            .iter()
-            .enumerate()
-            .map(|(i, app)| DeficitItem {
-                server: si,
-                app: app.id,
-                demand: self.servers[si].app_demand[i],
-                reason: MigrationReason::Consolidation,
-            })
-            .collect();
-        let sizes: Vec<f64> = items
-            .iter()
-            .map(|it| self.effective_size(it.demand))
-            .collect();
+        items.clear();
+        items.extend(
+            self.servers[si]
+                .apps
+                .iter()
+                .enumerate()
+                .map(|(i, app)| DeficitItem {
+                    server: si,
+                    app: app.id,
+                    demand: self.servers[si].app_demand[i],
+                    reason: MigrationReason::Consolidation,
+                }),
+        );
+        sizes.clear();
+        sizes.extend(items.iter().map(|it| self.effective_size(it.demand)));
 
         // Eligible bins: siblings first, then the rest of the data center.
         // Within each class: coolest zone (largest hard cap) first so
@@ -1130,57 +1366,54 @@ impl Willow {
         // most-utilized first so consolidation fills the fullest servers
         // (the FFDLR "run every server at full utilization" rationale)
         // instead of cascading load through near-idle ones.
-        let by_fill_desc = |nodes: &mut Vec<NodeId>| {
-            nodes.sort_by(|&a, &b| {
-                let cap = |n: NodeId| self.power.cap[n.index()].0;
-                let util = |n: NodeId| {
-                    self.leaf_server[n.index()].map_or(0.0, |i| self.servers[i].utilization())
-                };
-                cap(b)
-                    .total_cmp(&cap(a))
-                    .then(util(b).total_cmp(&util(a)))
-                    .then(a.cmp(&b))
-            });
+        let mut by_fill_desc = |a: &NodeId, b: &NodeId| {
+            let cap = |n: NodeId| self.power.cap[n.index()].0;
+            let util = |n: NodeId| {
+                self.leaf_server[n.index()].map_or(0.0, |i| self.servers[i].utilization())
+            };
+            cap(*b)
+                .total_cmp(&cap(*a))
+                .then(util(*b).total_cmp(&util(*a)))
+                .then(a.cmp(b))
         };
-        let mut siblings: Vec<NodeId> = self
-            .tree
-            .siblings(leaf)
-            .filter(|&l| self.target_eligible(l))
-            .collect();
-        by_fill_desc(&mut siblings);
-        let mut rest: Vec<NodeId> = self
-            .tree
-            .leaves()
-            .filter(|&l| l != leaf && self.target_eligible(l))
-            .filter(|l| !siblings.contains(l))
-            .collect();
-        by_fill_desc(&mut rest);
-        let mut bins_nodes = siblings;
-        bins_nodes.extend(rest);
-        if bins_nodes.is_empty() {
-            return None;
+        bins.clear();
+        bins.extend(
+            self.tree
+                .siblings(leaf)
+                .filter(|&l| self.target_eligible(l)),
+        );
+        let n_siblings = bins.len();
+        bins[..n_siblings].sort_unstable_by(&mut by_fill_desc);
+        for l in self.tree.leaves() {
+            if l != leaf && self.target_eligible(l) && !bins[..n_siblings].contains(&l) {
+                bins.push(l);
+            }
+        }
+        bins[n_siblings..].sort_unstable_by(&mut by_fill_desc);
+        if bins.is_empty() {
+            return false;
         }
         // First-fit over the ordered bins keeps the locality preference;
         // a full FFDLR over the union would not honor sibling priority.
-        let caps: Vec<f64> = bins_nodes.iter().map(|&l| self.bin_capacity(l).0).collect();
-        let mut free = caps;
-        let mut plan = Vec::with_capacity(items.len());
-        let mut order: Vec<usize> = (0..items.len()).collect();
-        order.sort_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
+        free.clear();
+        free.extend(bins.iter().map(|&l| self.bin_capacity(l).0));
+        order.clear();
+        order.extend(0..items.len());
+        order.sort_unstable_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
         let tick = self.tick;
-        for i in order {
+        for &i in order.iter() {
             let placed = free.iter().enumerate().position(|(b, &f)| {
-                sizes[i] <= f + 1e-12 && !self.would_pingpong(items[i].app, bins_nodes[b], tick)
+                sizes[i] <= f + 1e-12 && !self.would_pingpong(items[i].app, bins[b], tick)
             });
             match placed {
                 Some(b) => {
                     free[b] -= sizes[i];
-                    plan.push((items[i].clone(), bins_nodes[b]));
+                    plan.push((items[i], bins[b]));
                 }
-                None => return None, // all-or-nothing evacuation
+                None => return false, // all-or-nothing evacuation
             }
         }
-        Some(plan)
+        true
     }
 
     fn sleep_server(&mut self, si: usize, tick: u64) {
@@ -1222,20 +1455,35 @@ impl Willow {
             self.sleep_server(server, tick);
             return true;
         }
-        let Some(plan) = self.plan_full_evacuation(server, tick) else {
-            return false;
-        };
-        let mut records = Vec::new();
-        for (item, target) in plan {
-            if !self.attempt_migration(&item, target, tick, &mut records) {
-                // Injected failure mid-drain: already-moved apps stay
-                // moved, but the server keeps the rest and stays awake.
-                return false;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let planned = self.plan_full_evacuation(
+            server,
+            &mut scratch.evac_items,
+            &mut scratch.evac_sizes,
+            &mut scratch.evac_bins,
+            &mut scratch.evac_free,
+            &mut scratch.evac_order,
+            &mut scratch.evac_plan,
+        );
+        let mut drained = planned;
+        if planned {
+            let mut records = Vec::new();
+            for pi in 0..scratch.evac_plan.len() {
+                let (item, target) = scratch.evac_plan[pi];
+                if !self.attempt_migration(&item, target, tick, &mut records) {
+                    // Injected failure mid-drain: already-moved apps stay
+                    // moved, but the server keeps the rest and stays awake.
+                    drained = false;
+                    break;
+                }
+            }
+            if drained {
+                debug_assert!(self.servers[server].apps.is_empty());
+                self.sleep_server(server, tick);
             }
         }
-        debug_assert!(self.servers[server].apps.is_empty());
-        self.sleep_server(server, tick);
-        true
+        self.scratch = scratch;
+        drained
     }
 
     /// Wake a sleeping server (after maintenance). No-op if already awake.
@@ -1251,12 +1499,18 @@ impl Willow {
     }
 
     /// Wake sleeping servers (largest thermal headroom first) until their
-    /// combined ratings cover `needed`. Returns the woken leaves.
-    fn wake_servers(&mut self, needed: Watts, tick: u64) -> Vec<NodeId> {
-        let mut sleeping: Vec<usize> = (0..self.servers.len())
-            .filter(|&i| !self.servers[i].active)
-            .collect();
-        sleeping.sort_by(|&a, &b| {
+    /// combined ratings cover `needed`, appending the woken leaves to
+    /// `woken`. `sleeping` is sorting scratch.
+    fn wake_servers(
+        &mut self,
+        needed: Watts,
+        tick: u64,
+        sleeping: &mut Vec<usize>,
+        woken: &mut Vec<NodeId>,
+    ) {
+        sleeping.clear();
+        sleeping.extend((0..self.servers.len()).filter(|&i| !self.servers[i].active));
+        sleeping.sort_unstable_by(|&a, &b| {
             self.servers[b]
                 .thermal
                 .rating()
@@ -1264,9 +1518,8 @@ impl Willow {
                 .total_cmp(&self.servers[a].thermal.rating().0)
                 .then(a.cmp(&b))
         });
-        let mut woken = Vec::new();
         let mut covered = Watts::ZERO;
-        for si in sleeping {
+        for &si in sleeping.iter() {
             if covered >= needed {
                 break;
             }
@@ -1276,7 +1529,6 @@ impl Willow {
             covered += server.thermal.rating();
             woken.push(server.node);
         }
-        woken
     }
 }
 

@@ -59,6 +59,20 @@ impl Disturbances {
         Disturbances::default()
     }
 
+    /// Overwrite `self` with `other`, reusing the existing buffers. The
+    /// controller takes its per-tick copy of the caller's disturbances
+    /// through this instead of `Clone`, so driving quiet (or same-sized)
+    /// disturbance sets every period costs no heap allocation.
+    pub fn assign_from(&mut self, other: &Disturbances) {
+        self.crashed.clone_from(&other.crashed);
+        self.report_lost.clone_from(&other.report_lost);
+        self.directive_lost.clone_from(&other.directive_lost);
+        self.sensor_override.clone_from(&other.sensor_override);
+        self.sensor_offset.clone_from(&other.sensor_offset);
+        self.migration_outcomes
+            .clone_from(&other.migration_outcomes);
+    }
+
     /// Is server `si`'s PMU crashed this period?
     #[must_use]
     pub fn crashed(&self, si: usize) -> bool {

@@ -73,8 +73,13 @@ pub mod baseline;
 pub mod config;
 pub mod controller;
 pub mod convergence;
+#[cfg(test)]
+mod differential;
 pub mod disturbance;
 pub mod migration;
+#[cfg(test)]
+#[allow(dead_code)]
+pub(crate) mod reference;
 pub mod server;
 pub mod shedding;
 pub mod snapshot;

@@ -94,6 +94,35 @@ pub struct TickReport {
 }
 
 impl TickReport {
+    /// Reset for reuse by [`crate::controller::Willow::step_into`]: every
+    /// list is cleared (capacity retained) and every scalar zeroed, leaving
+    /// the report equal to `TickReport::default()` with the given tick
+    /// flags applied.
+    pub fn reset(&mut self, tick: u64, supply_tick: bool, consolidation_tick: bool) {
+        self.tick = tick;
+        self.supply_tick = supply_tick;
+        self.consolidation_tick = consolidation_tick;
+        self.migrations.clear();
+        self.dropped_demand = Watts::ZERO;
+        self.shed_by_priority = [Watts::ZERO; 3];
+        self.server_power.clear();
+        self.server_budget.clear();
+        self.server_temp.clear();
+        self.server_active.clear();
+        self.imbalance.clear();
+        self.woken.clear();
+        self.slept.clear();
+        self.control_messages = 0;
+        self.reports_lost = 0;
+        self.directives_lost = 0;
+        self.migration_rejects = 0;
+        self.migration_aborts = 0;
+        self.migration_retries = 0;
+        self.watchdog_trips = 0;
+        self.fallback_servers = 0;
+        self.sensor_rejections = 0;
+    }
+
     /// Count of migrations with the given reason.
     #[must_use]
     pub fn migrations_by_reason(&self, reason: MigrationReason) -> usize {

@@ -49,6 +49,20 @@ impl Willow {
         }
     }
 
+    /// [`Willow::snapshot`] into a caller-provided image, reusing its
+    /// buffers (`clone_from` keeps existing capacity), so periodic
+    /// checkpointing does not reallocate the whole state every time.
+    pub fn snapshot_into(&self, snap: &mut WillowSnapshot) {
+        snap.tree.clone_from(self.tree());
+        snap.config.clone_from(self.config());
+        snap.servers.clear();
+        snap.servers.extend_from_slice(self.servers());
+        snap.power.clone_from(self.power());
+        snap.tick = self.tick_count();
+        self.last_moves_into(&mut snap.last_moves);
+        snap.last_dropped = self.last_dropped();
+    }
+
     /// Reconstruct a controller from a snapshot. The result continues the
     /// run exactly where the snapshot was taken.
     pub fn restore(snapshot: WillowSnapshot) -> Result<Willow, WillowError> {
@@ -136,6 +150,19 @@ mod tests {
         let a = drive(&mut w, n_apps, 20);
         let b = drive(&mut restored, n_apps, 20);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let (mut w, n_apps) = setup();
+        let _ = drive(&mut w, n_apps, 25);
+        // Pre-populate a reusable image, advance, then overwrite it.
+        let mut reused = w.snapshot();
+        let stale = reused.clone();
+        let _ = drive(&mut w, n_apps, 13);
+        w.snapshot_into(&mut reused);
+        assert_eq!(reused, w.snapshot(), "reused image must match a fresh one");
+        assert_ne!(reused, stale, "the image must actually be overwritten");
     }
 
     #[test]

@@ -122,7 +122,12 @@ impl Fabric {
     pub fn record_query(&mut self, tree: &Tree, server: NodeId, units: f64) {
         debug_assert!(units >= 0.0);
         for anc in tree.ancestors(server) {
-            self.query[anc.index()] += units / self.redundancy[anc.index()];
+            let i = anc.index();
+            let r = self.redundancy[i];
+            // `x / 1.0 == x` bit-exactly, and division dominates this hot
+            // per-server-per-tick loop in the common no-redundancy fabric,
+            // so skip it when it cannot change the value.
+            self.query[i] += if r == 1.0 { units } else { units / r };
         }
     }
 

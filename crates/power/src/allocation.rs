@@ -77,6 +77,36 @@ pub fn allocate_proportional(
     demands: &[Watts],
     caps: &[Watts],
 ) -> Result<Vec<Watts>, AllocationError> {
+    let mut budgets = Vec::new();
+    let mut scratch = AllocationScratch::default();
+    allocate_proportional_into(total, demands, caps, &mut budgets, &mut scratch)?;
+    Ok(budgets)
+}
+
+/// Reusable working memory for [`allocate_proportional_into`]: holds the
+/// active-child index list across calls so repeated allocations (one per
+/// interior PMU node per supply tick) perform no heap allocation once the
+/// buffers have grown to the tree's maximum branching factor.
+#[derive(Debug, Default)]
+pub struct AllocationScratch {
+    active: Vec<usize>,
+}
+
+/// Allocation-free variant of [`allocate_proportional`]: writes the budgets
+/// into `budgets` (cleared and refilled, capacity reused) and keeps its
+/// working set in `scratch`. Produces bit-identical results to
+/// [`allocate_proportional`] — same float operations in the same order.
+///
+/// # Errors
+/// Same as [`allocate_proportional`]; on error `budgets` is left cleared.
+pub fn allocate_proportional_into(
+    total: Watts,
+    demands: &[Watts],
+    caps: &[Watts],
+    budgets: &mut Vec<Watts>,
+    scratch: &mut AllocationScratch,
+) -> Result<(), AllocationError> {
+    budgets.clear();
     if demands.len() != caps.len() {
         return Err(AllocationError::LengthMismatch {
             demands: demands.len(),
@@ -90,14 +120,16 @@ pub fn allocate_proportional(
         return Err(AllocationError::InvalidInput);
     }
     let n = demands.len();
-    let mut budgets = vec![Watts::ZERO; n];
+    budgets.resize(n, Watts::ZERO);
     if n == 0 {
-        return Ok(budgets);
+        return Ok(());
     }
 
     // Phase A: proportional water-filling over positive-demand children.
     let mut remaining = total;
-    let mut active: Vec<usize> = (0..n).filter(|&i| demands[i].0 > 0.0).collect();
+    let active = &mut scratch.active;
+    active.clear();
+    active.extend((0..n).filter(|&i| demands[i].0 > 0.0));
     // Each round distributes the remaining budget proportionally; children
     // that hit their cap drop out and free the excess for the next round.
     // Terminates in ≤ n rounds because every round saturates ≥1 child or
@@ -105,24 +137,26 @@ pub fn allocate_proportional(
     while remaining.0 > 1e-12 && !active.is_empty() {
         let demand_sum: f64 = active.iter().map(|&i| demands[i].0).sum();
         debug_assert!(demand_sum > 0.0);
-        let mut saturated = Vec::new();
+        let mut saturated = 0usize;
         let mut next_remaining = remaining;
-        for &i in &active {
+        for &i in active.iter() {
             let share = remaining * (demands[i].0 / demand_sum);
             let room = caps[i] - budgets[i];
             let grant = share.min(room);
             budgets[i] += grant;
             next_remaining -= grant;
             if (caps[i] - budgets[i]).0 <= 1e-12 {
-                saturated.push(i);
+                saturated += 1;
             }
         }
         // No child saturated and shares were fully granted ⇒ done.
-        if saturated.is_empty() {
+        if saturated == 0 {
             remaining = next_remaining;
             break;
         }
-        active.retain(|i| !saturated.contains(i));
+        // Budgets are unchanged since the saturation checks above, so
+        // re-evaluating the same predicate selects the same children.
+        active.retain(|&i| (caps[i] - budgets[i]).0 > 1e-12);
         remaining = next_remaining;
     }
 
@@ -141,7 +175,7 @@ pub fn allocate_proportional(
         }
     }
 
-    Ok(budgets)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -31,7 +31,9 @@ pub mod renewable;
 pub mod storage;
 pub mod supply;
 
-pub use allocation::{allocate_proportional, AllocationError};
+pub use allocation::{
+    allocate_proportional, allocate_proportional_into, AllocationError, AllocationScratch,
+};
 pub use metrics::{deficit, imbalance, level_deficit, level_surplus, surplus, NodePower};
 pub use renewable::SolarModel;
 pub use storage::Battery;

@@ -120,6 +120,15 @@ impl Simulation {
     /// Advance one demand period; returns the controller report and the
     /// period's fabric snapshot.
     pub fn step(&mut self) -> (TickReport, FabricSnapshot) {
+        let mut report = TickReport::default();
+        let fabric = self.step_into(&mut report);
+        (report, fabric)
+    }
+
+    /// [`Simulation::step`] writing the controller report into a
+    /// caller-provided buffer, so driving loops can reuse one allocation
+    /// across ticks (see [`Willow::step_into`]).
+    pub fn step_into(&mut self, report: &mut TickReport) -> FabricSnapshot {
         use rand::Rng;
         let u = match &self.config.utilization_trace {
             Some(trace) => trace
@@ -155,10 +164,10 @@ impl Simulation {
             Some(inj) => inj.disturbances_for(self.tick as u64),
             None => Disturbances::none(),
         };
-        let report = self.willow.step_with(&demands, supply, &disturb);
+        self.willow.step_into(&demands, supply, &disturb, report);
         let fabric = self.snapshot_fabric();
         self.tick += 1;
-        (report, fabric)
+        fabric
     }
 
     fn snapshot_fabric(&self) -> FabricSnapshot {
@@ -180,10 +189,13 @@ impl Simulation {
         let warmup = self.config.warmup;
         let ticks = self.config.ticks;
         let mut collected = Vec::with_capacity(ticks - warmup);
+        // One report buffer for the whole run: warm-up ticks reuse it
+        // without allocating; kept ticks clone it into the collection.
+        let mut report = TickReport::default();
         for t in 0..ticks {
-            let pair = self.step();
+            let fabric = self.step_into(&mut report);
             if t >= warmup {
-                collected.push(pair);
+                collected.push((report.clone(), fabric));
             }
         }
         RunMetrics::aggregate(collected, n_servers, n_l1)

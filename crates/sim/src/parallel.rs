@@ -2,16 +2,16 @@
 //!
 //! Each simulation is deterministic and single-threaded; a sweep (9
 //! utilizations × several seeds) is embarrassingly parallel. This module
-//! fans work out across scoped crossbeam threads with an atomic work
-//! queue, preserving input order in the output.
-
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! fans contiguous input stripes out across scoped crossbeam threads —
+//! each worker exclusively owns its input and output stripe (via
+//! `chunks_mut`), so no locks or atomics are needed — preserving input
+//! order in the output.
 
 /// Map `f` over `inputs` in parallel, preserving order.
 ///
-/// Spawns up to `min(inputs.len(), available_parallelism)` worker threads;
-/// falls back to sequential execution for empty or single-element inputs.
+/// Spawns up to `min(inputs.len(), available_parallelism)` worker threads,
+/// each owning one contiguous stripe of the input and output; falls back
+/// to sequential execution for empty or single-element inputs.
 ///
 /// # Panics
 /// Propagates panics from `f` (the scope join panics).
@@ -33,21 +33,21 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    // Work items behind Options so threads can take ownership by index.
-    let work: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    // Inputs move into `Option` slots so each worker can take ownership
+    // out of its own stripe; the disjoint `chunks_mut` borrows make the
+    // stripes race-free by construction.
+    let mut work: Vec<Option<T>> = inputs.into_iter().map(Some).collect();
+    let mut results: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
+    let stripe = n.div_ceil(workers);
+    let f = &f;
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for (ins, outs) in work.chunks_mut(stripe).zip(results.chunks_mut(stripe)) {
+            scope.spawn(move |_| {
+                for (slot, out) in ins.iter_mut().zip(outs.iter_mut()) {
+                    let input = slot.take().expect("stripe visited once");
+                    *out = Some(f(input));
                 }
-                let input = work[i].lock().take().expect("each index taken once");
-                let output = f(input);
-                *results[i].lock() = Some(output);
             });
         }
     })
@@ -55,7 +55,7 @@ where
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all work completed"))
+        .map(|o| o.expect("all work completed"))
         .collect()
 }
 

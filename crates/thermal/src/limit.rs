@@ -12,7 +12,7 @@
 //! exceeding its thermal limit. Willow feeds this value into budget
 //! allocation as the node's *hard constraint* (§IV-D).
 
-use crate::model::ThermalParams;
+use crate::model::{decay_factor, ThermalParams};
 use crate::units::{Celsius, Seconds, Watts};
 
 /// Maximum constant power sustainable over `window` from starting
@@ -36,7 +36,20 @@ pub fn power_limit(
     if !window.is_positive() {
         return Watts(f64::INFINITY);
     }
-    let decay = (-params.c2 * window.0).exp();
+    power_limit_with_decay(params, t0, ta, t_limit, decay_factor(params, window))
+}
+
+/// [`power_limit`] with the decay factor `e^(−c2·window)` supplied by the
+/// caller (see [`decay_factor`]); the caller must also have handled the
+/// non-positive-window case.
+#[must_use]
+pub fn power_limit_with_decay(
+    params: ThermalParams,
+    t0: Celsius,
+    ta: Celsius,
+    t_limit: Celsius,
+    decay: f64,
+) -> Watts {
     let gain = 1.0 - decay; // fraction of steady-state heating reached
                             // T_limit = Ta + (c1/c2)·P·gain + (T0 − Ta)·decay
     let allowed_rise = (t_limit - ta).0 - (t0 - ta).0 * decay;

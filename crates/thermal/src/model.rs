@@ -128,6 +128,32 @@ impl std::fmt::Display for ThermalParamError {
 
 impl std::error::Error for ThermalParamError {}
 
+/// The exponential decay factor `e^(−c2·dt)` appearing in every use of the
+/// closed-form solution. `c2` and the control period are constants of a
+/// run, so hot paths compute this once per device and use
+/// [`step_temperature_with_decay`] (or
+/// [`crate::limit::power_limit_with_decay`]) thereafter — bit-identical to
+/// the uncached functions, which are defined in terms of this one.
+#[must_use]
+pub fn decay_factor(params: ThermalParams, dt: Seconds) -> f64 {
+    (-params.c2 * dt.0).exp()
+}
+
+/// [`step_temperature`] with the decay factor `e^(−c2·dt)` supplied by the
+/// caller (see [`decay_factor`]).
+#[must_use]
+pub fn step_temperature_with_decay(
+    params: ThermalParams,
+    t0: Celsius,
+    ta: Celsius,
+    p: Watts,
+    decay: f64,
+) -> Celsius {
+    let cooling = ta + (t0 - ta) * decay;
+    let heating = (params.c1 / params.c2) * p.0 * (1.0 - decay);
+    Celsius(cooling.0 + heating)
+}
+
 /// Closed-form temperature after holding power `p` for `dt`, starting from
 /// `t0` with ambient `ta` (paper Eq. 2 specialized to constant power).
 #[must_use]
@@ -139,10 +165,7 @@ pub fn step_temperature(
     dt: Seconds,
 ) -> Celsius {
     debug_assert!(dt.0 >= 0.0, "time must not run backwards");
-    let decay = (-params.c2 * dt.0).exp();
-    let cooling = ta + (t0 - ta) * decay;
-    let heating = (params.c1 / params.c2) * p.0 * (1.0 - decay);
-    Celsius(cooling.0 + heating)
+    step_temperature_with_decay(params, t0, ta, p, decay_factor(params, dt))
 }
 
 /// The full thermal state of one device: constants, environment, limit,
@@ -237,6 +260,15 @@ impl DeviceThermal {
     /// closed-form solution. Returns the new temperature.
     pub fn advance(&mut self, p: Watts, dt: Seconds) -> Celsius {
         self.temperature = step_temperature(self.params, self.temperature, self.ambient, p, dt);
+        self.temperature
+    }
+
+    /// [`DeviceThermal::advance`] with a pre-computed decay factor
+    /// `e^(−c2·dt)` (see [`decay_factor`]) — the per-tick physics path
+    /// caches it since the control period never changes within a run.
+    pub fn advance_with_decay(&mut self, p: Watts, decay: f64) -> Celsius {
+        self.temperature =
+            step_temperature_with_decay(self.params, self.temperature, self.ambient, p, decay);
         self.temperature
     }
 

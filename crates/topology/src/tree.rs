@@ -87,12 +87,50 @@ impl std::error::Error for TreeError {}
 /// Construction goes through [`crate::TreeBuilder`] (arbitrary shapes),
 /// [`Tree::uniform`] (per-level branching factors) or [`Tree::paper_fig3`]
 /// (the paper's simulated configuration).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Besides the arena itself the tree carries derived indices — per-level
+/// node lists and an Euler-tour leaf order in which every subtree's leaves
+/// form one contiguous range — so hot-path queries ([`Tree::leaf_range`],
+/// [`Tree::subtree_contains`]) are slice lookups rather than tree walks.
+/// The derived indices are rebuilt on deserialization, not serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     nodes: Vec<Node>,
     root: NodeId,
     /// Node ids grouped by level; `by_level[l]` are all nodes at level `l`.
     by_level: Vec<Vec<NodeId>>,
+    /// All leaves in depth-first (Euler-tour) order: the leaves under any
+    /// node occupy the contiguous range `leaf_span[node]` of this list.
+    leaf_order: Vec<NodeId>,
+    /// `leaf_span[i] = (start, end)`: half-open range of `leaf_order`
+    /// holding the leaves of the subtree rooted at arena index `i`.
+    leaf_span: Vec<(u32, u32)>,
+}
+
+impl Serialize for Tree {
+    fn to_value(&self) -> serde::Value {
+        // Only the arena is authoritative; derived indices (by_level,
+        // leaf_order, leaf_span) are rebuilt on load.
+        serde::Value::Object(vec![
+            ("nodes".to_owned(), self.nodes.to_value()),
+            ("root".to_owned(), self.root.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Tree {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let nodes_v = value
+            .get("nodes")
+            .ok_or_else(|| serde::DeError::missing_field("nodes", "Tree"))?;
+        let root_v = value
+            .get("root")
+            .ok_or_else(|| serde::DeError::missing_field("root", "Tree"))?;
+        let nodes = Vec::<Node>::from_value(nodes_v)?;
+        let root = NodeId::from_value(root_v)?;
+        Tree::from_arena(nodes, root)
+            .map_err(|e| serde::DeError::custom(format!("invalid tree: {e}")))
+    }
 }
 
 impl Tree {
@@ -144,10 +182,41 @@ impl Tree {
             node.level = lvl;
             by_level[lvl as usize].push(NodeId(i as u32));
         }
+
+        // Euler-tour leaf order: a post-order walk visiting children
+        // left-to-right assigns every subtree a contiguous [start, end)
+        // range of the global leaf list.
+        let mut leaf_order = Vec::with_capacity(by_level[0].len());
+        let mut leaf_span = vec![(0u32, 0u32); nodes.len()];
+        // Explicit stack of (node, entered): on first visit record the
+        // range start and push children in reverse; on re-visit (after the
+        // whole subtree is done) record the range end.
+        let mut walk: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((id, entered)) = walk.pop() {
+            if entered {
+                leaf_span[id.index()].1 = leaf_order.len() as u32;
+                continue;
+            }
+            leaf_span[id.index()].0 = leaf_order.len() as u32;
+            let node = &nodes[id.index()];
+            if node.is_leaf() {
+                leaf_order.push(id);
+                leaf_span[id.index()].1 = leaf_order.len() as u32;
+            } else {
+                walk.push((id, true));
+                for &c in node.children.iter().rev() {
+                    walk.push((c, false));
+                }
+            }
+        }
+        debug_assert_eq!(leaf_order.len(), by_level[0].len());
+
         Ok(Tree {
             nodes,
             root,
             by_level,
+            leaf_order,
+            leaf_span,
         })
     }
 
@@ -342,20 +411,53 @@ impl Tree {
     }
 
     /// All leaves in the subtree rooted at `id` (including `id` itself if it
-    /// is a leaf).
+    /// is a leaf), sorted ascending by id.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should prefer [`Tree::leaf_range`],
+    /// which borrows the cached Euler-tour order instead.
     #[must_use]
     pub fn subtree_leaves(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![id];
-        while let Some(n) = stack.pop() {
-            if self.node(n).is_leaf() {
-                out.push(n);
-            } else {
-                stack.extend(self.children(n).iter().copied());
-            }
-        }
+        let mut out = self.leaf_range(id).to_vec();
         out.sort_unstable();
         out
+    }
+
+    /// The leaves of the subtree rooted at `id` as a borrowed slice of the
+    /// global Euler-tour leaf order (depth-first, children left-to-right).
+    ///
+    /// Unlike [`Tree::subtree_leaves`] this performs no allocation and no
+    /// walk; the slice is in *tour* order, which coincides with ascending
+    /// id order for level-by-level constructions ([`Tree::uniform`] and
+    /// friends) but is not guaranteed sorted for arbitrary builder input.
+    #[must_use]
+    pub fn leaf_range(&self, id: NodeId) -> &[NodeId] {
+        let (start, end) = self.leaf_span[id.index()];
+        &self.leaf_order[start as usize..end as usize]
+    }
+
+    /// All leaves in Euler-tour order; `leaf_order()[i]` is the leaf with
+    /// [`Tree::leaf_position`] `i`.
+    #[must_use]
+    pub fn leaf_order(&self) -> &[NodeId] {
+        &self.leaf_order
+    }
+
+    /// Position of `leaf` in the Euler-tour leaf order, or `None` if the
+    /// node is not a leaf.
+    #[must_use]
+    pub fn leaf_position(&self, leaf: NodeId) -> Option<usize> {
+        let (start, end) = self.leaf_span[leaf.index()];
+        (end == start + 1 && self.node(leaf).is_leaf()).then_some(start as usize)
+    }
+
+    /// True if `leaf` lies in the subtree rooted at `node` — an O(1) range
+    /// check on the Euler-tour positions (both arguments may also be equal,
+    /// or `node` may itself be the leaf).
+    #[must_use]
+    pub fn subtree_contains(&self, node: NodeId, leaf: NodeId) -> bool {
+        let (ns, ne) = self.leaf_span[node.index()];
+        let (ls, le) = self.leaf_span[leaf.index()];
+        ns <= ls && le <= ne && ls < le
     }
 
     /// Maximum branching factor among nodes at `level` (the `b_l` of the
@@ -527,6 +629,46 @@ mod tests {
         assert_eq!(t.subtree_leaves(l1).len(), 3);
         let leaf = t.leaves().next().unwrap();
         assert_eq!(t.subtree_leaves(leaf), vec![leaf]);
+    }
+
+    #[test]
+    fn leaf_ranges_match_subtree_leaves() {
+        let t = Tree::paper_fig3();
+        for id in t.ids() {
+            let mut from_range = t.leaf_range(id).to_vec();
+            from_range.sort_unstable();
+            assert_eq!(from_range, t.subtree_leaves(id));
+        }
+    }
+
+    #[test]
+    fn leaf_order_covers_leaves_once() {
+        for t in [
+            Tree::paper_fig3(),
+            Tree::paper_testbed(),
+            Tree::uniform(&[4]),
+        ] {
+            let mut order = t.leaf_order().to_vec();
+            order.sort_unstable();
+            let mut leaves: Vec<_> = t.leaves().collect();
+            leaves.sort_unstable();
+            assert_eq!(order, leaves);
+            for (pos, &leaf) in t.leaf_order().iter().enumerate() {
+                assert_eq!(t.leaf_position(leaf), Some(pos));
+            }
+            assert_eq!(t.leaf_position(t.root()), None);
+        }
+    }
+
+    #[test]
+    fn subtree_contains_is_ancestry() {
+        let t = Tree::paper_fig3();
+        for id in t.ids() {
+            for leaf in t.leaves() {
+                let expected = leaf == id || t.ancestors(leaf).any(|a| a == id);
+                assert_eq!(t.subtree_contains(id, leaf), expected, "{id} {leaf}");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,24 @@ prop_compose! {
     }
 }
 
+/// A random *non-uniform* spec with uniform leaf depth: every node at depth
+/// `d` gets `1 + hash(seed, path) % widths[d]` children, so sibling subtrees
+/// differ in width while all leaves stay at the same level (a requirement of
+/// `TopologySpec::build`).
+fn ragged_spec(widths: &[usize], seed: u64, path: u64) -> TopologySpec {
+    if widths.is_empty() {
+        return TopologySpec::leaf(format!("s{path}"));
+    }
+    let h = (seed ^ path).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+    let k = 1 + (h as usize) % widths[0];
+    TopologySpec::branch(
+        format!("n{path}"),
+        (0..k)
+            .map(|i| ragged_spec(&widths[1..], seed, path * 8 + i as u64 + 1))
+            .collect(),
+    )
+}
+
 proptest! {
     /// Structural invariants hold for every uniform tree.
     #[test]
@@ -75,6 +93,32 @@ proptest! {
                 .collect();
             union.sort_unstable();
             prop_assert_eq!(union, tree.subtree_leaves(id));
+        }
+    }
+
+    /// The cached Euler-tour leaf ranges agree with the walk-based
+    /// `subtree_leaves` for every node of a random `TopologySpec` tree, and
+    /// the O(1) containment/position queries match ancestry ground truth.
+    #[test]
+    fn leaf_ranges_agree_with_subtree_leaves(
+        widths in prop::collection::vec(1usize..5, 1..4),
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = ragged_spec(&widths, seed, 0);
+        let tree = spec.build().expect("specs generated with uniform leaf depth");
+        for id in tree.ids() {
+            let mut from_range = tree.leaf_range(id).to_vec();
+            from_range.sort_unstable();
+            prop_assert_eq!(from_range, tree.subtree_leaves(id));
+        }
+        for (pos, &leaf) in tree.leaf_order().iter().enumerate() {
+            prop_assert_eq!(tree.leaf_position(leaf), Some(pos));
+        }
+        for id in tree.ids() {
+            for leaf in tree.leaves() {
+                let expected = leaf == id || tree.ancestors(leaf).any(|a| a == id);
+                prop_assert_eq!(tree.subtree_contains(id, leaf), expected);
+            }
         }
     }
 
