@@ -92,6 +92,43 @@ fn bench_steady_tick(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tick_telemetry_overhead(c: &mut Criterion) {
+    // Instrumented vs disabled registry on the steady-state tick: the
+    // telemetry subsystem's acceptance budget is < 3 % overhead. The
+    // "disabled" side carries a default (no-op) registry, so the two
+    // benches run identical code paths apart from live handles.
+    use willow_core::migration::TickReport;
+    use willow_core::Disturbances;
+    let mut group = c.benchmark_group("tick_telemetry_overhead");
+    for (label, branching) in [
+        ("27-servers", &[3usize, 3, 3][..]),
+        ("243-servers", &[3, 9, 9][..]),
+    ] {
+        for mode in ["disabled", "instrumented"] {
+            let (mut willow, demands) = build(branching);
+            let registry = willow_telemetry::TelemetryRegistry::new();
+            if mode == "instrumented" {
+                willow.attach_telemetry(&registry);
+            }
+            let n = willow.servers().len() as u64;
+            let demands: Vec<Watts> = (0..demands.len())
+                .map(|i| SIM_APP_CLASSES[i % SIM_APP_CLASSES.len()].mean_power * 0.4)
+                .collect();
+            let supply = Watts(n as f64 * 450.0);
+            let quiet = Disturbances::none();
+            let mut report = TickReport::default();
+            group.throughput(Throughput::Elements(n));
+            group.bench_function(BenchmarkId::new(mode, label), |b| {
+                b.iter(|| {
+                    willow.step_into(black_box(&demands), supply, &quiet, &mut report);
+                    black_box(&report);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_message_emulation(c: &mut Criterion) {
     // δ-convergence emulation cost across topology depths (§V-A1).
     let mut group = c.benchmark_group("message_round");
@@ -122,6 +159,7 @@ criterion_group!(
     benches,
     bench_step_scaling,
     bench_steady_tick,
+    bench_tick_telemetry_overhead,
     bench_message_emulation
 );
 criterion_main!(benches);

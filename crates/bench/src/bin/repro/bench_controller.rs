@@ -117,8 +117,15 @@ fn build(branching: &[usize]) -> (Willow, Vec<Watts>) {
     (w, demands)
 }
 
-fn measure(branching: &[usize], warmup: usize, ticks: usize) -> SizeResult {
+fn measure(branching: &[usize], warmup: usize, ticks: usize, instrument: bool) -> SizeResult {
     let (mut willow, demands) = build(branching);
+    // The registry is attached *before* the measurement window: handle
+    // registration allocates once, the record path never does — which is
+    // exactly the invariant the instrumented sweep asserts.
+    let registry = willow_telemetry::TelemetryRegistry::new();
+    if instrument {
+        willow.attach_telemetry(&registry);
+    }
     let servers = willow.servers().len();
     let supply = Watts(servers as f64 * 450.0);
     let quiet = Disturbances::none();
@@ -169,7 +176,8 @@ pub fn run(quick: bool) {
     );
     let mut rows = Vec::new();
     for (i, (label, branching)) in SHAPES.iter().enumerate() {
-        let r = measure(branching, warmup, ticks);
+        let r = measure(branching, warmup, ticks, false);
+        let t = measure(branching, warmup, ticks, true);
         let speedup = BASELINE_NS_PER_TICK[i] / r.ns_per_tick;
         println!(
             "  {:>5} servers: {:>12.0} ns/tick  {:>8.1} allocs/tick  {:>10.0} B/tick  \
@@ -180,6 +188,24 @@ pub fn run(quick: bool) {
             r.bytes_per_tick,
             speedup,
             r.migrations_observed
+        );
+        println!(
+            "  {:>5} servers: {:>12.0} ns/tick  {:>8.1} allocs/tick  with telemetry attached",
+            label, t.ns_per_tick, t.allocs_per_tick
+        );
+        // The steady-state invariant: zero heap allocations per control
+        // tick, with or without a live telemetry registry recording.
+        assert!(
+            r.allocs_per_tick == 0.0,
+            "steady-state tick allocated ({} allocs/tick at {} servers)",
+            r.allocs_per_tick,
+            label
+        );
+        assert!(
+            t.allocs_per_tick == 0.0,
+            "telemetry recording allocated ({} allocs/tick at {} servers)",
+            t.allocs_per_tick,
+            label
         );
         rows.push(obj(vec![
             ("servers", Value::U64(r.servers as u64)),
@@ -208,6 +234,19 @@ pub fn run(quick: bool) {
                     (
                         "bytes_per_tick",
                         Value::F64((r.bytes_per_tick * 10.0).round() / 10.0),
+                    ),
+                ]),
+            ),
+            (
+                "with_telemetry",
+                obj(vec![
+                    (
+                        "ns_per_tick",
+                        Value::F64((t.ns_per_tick * 10.0).round() / 10.0),
+                    ),
+                    (
+                        "allocs_per_tick",
+                        Value::F64((t.allocs_per_tick * 100.0).round() / 100.0),
                     ),
                 ]),
             ),

@@ -15,6 +15,7 @@ use willow_sim::experiments as sim_exp;
 use willow_testbed::experiments as tb_exp;
 
 mod bench_controller;
+mod telemetry_cmd;
 
 /// Counting global allocator: lets the `bench` subcommand report
 /// allocations per control tick (the steady-state invariant is zero).
@@ -30,6 +31,10 @@ fn main() {
     if args.iter().any(|a| a == "bench") {
         let quick = args.iter().any(|a| a == "--quick");
         bench_controller::run(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "telemetry") {
+        telemetry_cmd::run(SEED);
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");

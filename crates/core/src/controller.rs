@@ -185,6 +185,119 @@ struct Backoff {
     retry_at: u64,
 }
 
+/// Telemetry spans and gauges are *sampled*: each phase's wall time (and
+/// the per-level deficit / fabric gauges) is recorded at most once per
+/// this many ticks. Clock reads cost ~20 ns each; timing five phases
+/// every tick would burn ~40 % of a small-topology tick, where sampling
+/// keeps the instrumented overhead under the 3 % budget while the
+/// histograms still accumulate one representative sample per phase per
+/// window. Counters are exact — they are plain atomic adds.
+pub const SPAN_SAMPLE_PERIOD: u64 = 16;
+
+/// Sampling slots: five phase spans plus the gauge refresh.
+const SLOT_AGGREGATE: usize = 0;
+const SLOT_ALLOCATE: usize = 1;
+const SLOT_PLAN_MIGRATIONS: usize = 2;
+const SLOT_CONSOLIDATE: usize = 3;
+const SLOT_THERMAL_UPDATE: usize = 4;
+const SLOT_GAUGES: usize = 5;
+
+/// Telemetry handles for the controller's hot path. All handles come from
+/// one registry via [`Willow::attach_telemetry`]; the `Default` value is
+/// fully disabled, so an unattached controller pays one branch per record.
+/// Handles are plain atomics — recording allocates nothing, preserving the
+/// zero-allocation steady-state tick invariant with telemetry enabled.
+#[derive(Debug, Default)]
+struct ControllerTelemetry {
+    /// Kept for span start tokens ([`TelemetryRegistry::now`]).
+    registry: willow_telemetry::TelemetryRegistry,
+    span_aggregate: willow_telemetry::Histogram,
+    span_allocate: willow_telemetry::Histogram,
+    span_plan_migrations: willow_telemetry::Histogram,
+    span_consolidate: willow_telemetry::Histogram,
+    span_thermal_update: willow_telemetry::Histogram,
+    migrations: willow_telemetry::Counter,
+    migration_aborts: willow_telemetry::Counter,
+    migration_rejects: willow_telemetry::Counter,
+    watchdog_trips: willow_telemetry::Counter,
+    /// One budget-deficit gauge per tree level (index = level).
+    level_deficit: Vec<willow_telemetry::Gauge>,
+    fabric: willow_network::FabricTelemetry,
+    /// Last window each slot was sampled in (`0` = never); see
+    /// [`SPAN_SAMPLE_PERIOD`].
+    sampled_window: [u64; 6],
+}
+
+impl ControllerTelemetry {
+    fn register(registry: &willow_telemetry::TelemetryRegistry, height: u8) -> Self {
+        let span = |phase: &str| {
+            registry.duration_histogram(
+                &format!("willow_controller_phase_{phase}_seconds"),
+                "Wall time of this controller phase (sampled once per window)",
+            )
+        };
+        ControllerTelemetry {
+            span_aggregate: span("aggregate"),
+            span_allocate: span("allocate"),
+            span_plan_migrations: span("plan_migrations"),
+            span_consolidate: span("consolidate"),
+            span_thermal_update: span("thermal_update"),
+            migrations: registry.counter(
+                "willow_controller_migrations_total",
+                "Migrations executed (both reasons)",
+            ),
+            migration_aborts: registry.counter(
+                "willow_controller_migration_aborts_total",
+                "Migration attempts aborted mid-flight",
+            ),
+            migration_rejects: registry.counter(
+                "willow_controller_migration_rejects_total",
+                "Migration attempts refused admission by the destination",
+            ),
+            watchdog_trips: registry.counter(
+                "willow_controller_watchdog_trips_total",
+                "Stale-directive watchdog trips",
+            ),
+            level_deficit: (0..=height)
+                .map(|level| {
+                    registry.gauge(
+                        &format!("willow_controller_level_deficit_watts_l{level}"),
+                        "Summed budget deficit [CP - TP]+ across this tree level",
+                    )
+                })
+                .collect(),
+            fabric: willow_network::FabricTelemetry::register(registry),
+            registry: registry.clone(),
+            sampled_window: [0; 6],
+        }
+    }
+
+    /// True when `slot` has not been sampled yet in `tick`'s window; marks
+    /// it sampled. Always false when the registry is disabled.
+    fn due(&mut self, slot: usize, tick: u64) -> bool {
+        if !self.registry.is_enabled() {
+            return false;
+        }
+        // +1 so the very first window differs from the never-sampled 0.
+        let window = tick / SPAN_SAMPLE_PERIOD + 1;
+        if self.sampled_window[slot] == window {
+            return false;
+        }
+        self.sampled_window[slot] = window;
+        true
+    }
+
+    /// Span start token for `slot`: a clock read on the window's first
+    /// opportunity, `None` (making `record_since` a no-op) otherwise.
+    fn span_start(&mut self, slot: usize, tick: u64) -> Option<std::time::Instant> {
+        if self.due(slot, tick) {
+            self.registry.now()
+        } else {
+            None
+        }
+    }
+}
+
 /// Fault and defense events observed during the current period.
 #[derive(Debug, Clone, Copy, Default)]
 struct FaultCounters {
@@ -267,6 +380,8 @@ pub struct Willow {
     scratch: ScratchWorkspace,
     /// The configured packing heuristic, boxed once at construction.
     packer: Box<dyn Packer>,
+    /// Telemetry handles (disabled until [`Willow::attach_telemetry`]).
+    tel: ControllerTelemetry,
 }
 
 /// The packing heuristic for `choice`, boxed once at construction time so
@@ -353,7 +468,18 @@ impl Willow {
             counters: FaultCounters::default(),
             scratch,
             packer,
+            tel: ControllerTelemetry::default(),
         })
+    }
+
+    /// Register this controller's metrics — per-phase span histograms,
+    /// migration/abort/watchdog counters, per-level budget-deficit gauges
+    /// and fabric traffic gauges — on `registry` and start recording into
+    /// it. Attaching to a disabled registry (or never attaching) leaves
+    /// every record a no-op; recording itself never allocates or locks, so
+    /// the steady-state zero-allocation tick invariant holds either way.
+    pub fn attach_telemetry(&mut self, registry: &willow_telemetry::TelemetryRegistry) {
+        self.tel = ControllerTelemetry::register(registry, self.tree.height());
     }
 
     /// The PMU tree.
@@ -494,6 +620,7 @@ impl Willow {
             counters: FaultCounters::default(),
             scratch,
             packer,
+            tel: ControllerTelemetry::default(),
         })
     }
 
@@ -569,24 +696,31 @@ impl Willow {
         let mut scratch = std::mem::take(&mut self.scratch);
 
         // ------------------------------------------------ 1. measurement
+        let t0 = self.tel.span_start(SLOT_AGGREGATE, tick);
         self.measure(app_demand);
+        self.tel.span_aggregate.record_since(t0);
         // Upward demand reports: one message per tree link.
         report.control_messages += self.tree.len() - 1;
         self.stats.messages += (self.tree.len() - 1) as u64;
 
         // ------------------------------------------- 2. supply adaptation
         if supply_tick {
+            let t0 = self.tel.span_start(SLOT_ALLOCATE, tick);
             self.supply_adaptation(supply, &mut scratch);
+            self.tel.span_allocate.record_since(t0);
             // Downward budget directives: one message per tree link.
             report.control_messages += self.tree.len() - 1;
             self.stats.messages += (self.tree.len() - 1) as u64;
         }
 
         // ------------------------------------------- 3. demand adaptation
+        let t0 = self.tel.span_start(SLOT_PLAN_MIGRATIONS, tick);
         self.demand_adaptation(tick, &mut scratch, &mut report.migrations);
+        self.tel.span_plan_migrations.record_since(t0);
 
         // --------------------------------------------- 4. consolidation
         if consolidation_tick {
+            let t0 = self.tel.span_start(SLOT_CONSOLIDATE, tick);
             self.consolidate(
                 tick,
                 &mut scratch,
@@ -601,10 +735,12 @@ impl Willow {
                     &mut report.woken,
                 );
             }
+            self.tel.span_consolidate.record_since(t0);
         }
         self.scratch = scratch;
 
         // ------------------------------------------------- 5. physics
+        let t0 = self.tel.span_start(SLOT_THERMAL_UPDATE, tick);
         // Re-aggregate interior demands only if a leaf CP changed since
         // the measurement phase aggregated them: executed migrations and
         // aborts charge costs, sleeping zeroes the leaf. On a clean tick
@@ -676,6 +812,30 @@ impl Willow {
             report
                 .imbalance
                 .push(self.power.level_imbalance(&self.tree, level));
+        }
+        self.tel.span_thermal_update.record_since(t0);
+
+        self.tel.migrations.add(report.migrations.len() as u64);
+        self.tel
+            .migration_aborts
+            .add(self.counters.migration_aborts as u64);
+        self.tel
+            .migration_rejects
+            .add(self.counters.migration_rejects as u64);
+        self.tel
+            .watchdog_trips
+            .add(self.counters.watchdog_trips as u64);
+        if self.tel.due(SLOT_GAUGES, tick) {
+            for (level, gauge) in self.tel.level_deficit.iter().enumerate() {
+                let deficit = self
+                    .tree
+                    .nodes_at_level(level as u8)
+                    .iter()
+                    .map(|&n| self.power.deficit(n))
+                    .fold(Watts::ZERO, |a, b| a + b);
+                gauge.set(deficit.0);
+            }
+            self.tel.fabric.observe(&self.fabric);
         }
 
         report.reports_lost = self.counters.reports_lost;

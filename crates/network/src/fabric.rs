@@ -182,6 +182,27 @@ impl Fabric {
         nodes.iter().map(|n| source[n.index()]).sum()
     }
 
+    /// Total query traffic across every switch this epoch.
+    #[must_use]
+    pub fn total_query(&self) -> f64 {
+        self.query.iter().sum()
+    }
+
+    /// Total migration traffic across every switch this epoch.
+    #[must_use]
+    pub fn total_migration(&self) -> f64 {
+        self.migration.iter().sum()
+    }
+
+    /// The busiest switch's all-time peak combined per-epoch traffic
+    /// (including the current, unfinished epoch).
+    #[must_use]
+    pub fn max_peak(&self) -> f64 {
+        (0..self.n_nodes)
+            .map(|i| self.peak[i].max(self.query[i] + self.migration[i]))
+            .fold(0.0, f64::max)
+    }
+
     /// Number of nodes this fabric was built for.
     #[must_use]
     pub fn len(&self) -> usize {

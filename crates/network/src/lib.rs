@@ -21,7 +21,9 @@
 pub mod fabric;
 pub mod migration;
 pub mod switch;
+pub mod telemetry;
 
 pub use fabric::{Fabric, TrafficKind};
 pub use migration::MigrationCostModel;
 pub use switch::SwitchPowerModel;
+pub use telemetry::FabricTelemetry;

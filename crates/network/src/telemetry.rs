@@ -1,0 +1,46 @@
+//! Fabric traffic gauges.
+//!
+//! The [`Fabric`] itself serializes into traces and derives equality for
+//! differential tests, so telemetry handles live in this companion struct
+//! rather than inside it: the controller observes the fabric once per tick
+//! and publishes the totals through the registry.
+
+use crate::fabric::Fabric;
+use willow_telemetry::{Gauge, TelemetryRegistry};
+
+/// Gauges exposing a [`Fabric`]'s per-epoch traffic totals. The `Default`
+/// value is disabled (every observe is a no-op).
+#[derive(Debug, Clone, Default)]
+pub struct FabricTelemetry {
+    query: Gauge,
+    migration: Gauge,
+    peak: Gauge,
+}
+
+impl FabricTelemetry {
+    /// Register the fabric gauges on `registry`.
+    #[must_use]
+    pub fn register(registry: &TelemetryRegistry) -> Self {
+        FabricTelemetry {
+            query: registry.gauge(
+                "willow_fabric_query_traffic_units",
+                "Query traffic across all switches this epoch",
+            ),
+            migration: registry.gauge(
+                "willow_fabric_migration_traffic_units",
+                "Migration traffic across all switches this epoch",
+            ),
+            peak: registry.gauge(
+                "willow_fabric_peak_traffic_units",
+                "Busiest switch's all-time peak combined per-epoch traffic",
+            ),
+        }
+    }
+
+    /// Publish the fabric's current totals.
+    pub fn observe(&self, fabric: &Fabric) {
+        self.query.set(fabric.total_query());
+        self.migration.set(fabric.total_migration());
+        self.peak.set(fabric.max_peak());
+    }
+}

@@ -8,7 +8,7 @@
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::faults::FaultInjector;
-use crate::metrics::{FabricSnapshot, RunMetrics};
+use crate::metrics::{FabricSnapshot, MetricsAccumulator, RunMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use willow_core::controller::Willow;
@@ -38,6 +38,11 @@ pub struct Simulation {
     /// quiet plan leaves the workload stream — and thus the whole
     /// trajectory — untouched.
     injector: Option<FaultInjector>,
+    /// Registry handle for span start tokens (disabled until
+    /// [`Simulation::attach_telemetry`]).
+    registry: willow_telemetry::TelemetryRegistry,
+    /// Engine-level tick-duration histogram.
+    tick_hist: willow_telemetry::Histogram,
 }
 
 /// AR(1) persistence of the per-app load drift (per demand period).
@@ -96,7 +101,21 @@ impl Simulation {
             tick: 0,
             drift: vec![0.0; n_apps],
             injector,
+            registry: willow_telemetry::TelemetryRegistry::disabled(),
+            tick_hist: willow_telemetry::Histogram::default(),
         })
+    }
+
+    /// Register engine- and controller-level metrics on `registry` and
+    /// start recording: a whole-tick duration histogram here, plus
+    /// everything [`Willow::attach_telemetry`] wires up.
+    pub fn attach_telemetry(&mut self, registry: &willow_telemetry::TelemetryRegistry) {
+        self.registry = registry.clone();
+        self.tick_hist = registry.duration_histogram(
+            "willow_sim_tick_seconds",
+            "Wall time of one full simulation tick (sampling + control + physics)",
+        );
+        self.willow.attach_telemetry(registry);
     }
 
     /// The configuration this simulation runs.
@@ -129,7 +148,17 @@ impl Simulation {
     /// caller-provided buffer, so driving loops can reuse one allocation
     /// across ticks (see [`Willow::step_into`]).
     pub fn step_into(&mut self, report: &mut TickReport) -> FabricSnapshot {
+        let mut fabric = FabricSnapshot::default();
+        self.step_into_buffers(report, &mut fabric);
+        fabric
+    }
+
+    /// [`Simulation::step_into`] also reusing a caller-provided fabric
+    /// snapshot buffer, so a full run needs no per-tick snapshot
+    /// allocation either.
+    pub fn step_into_buffers(&mut self, report: &mut TickReport, fabric: &mut FabricSnapshot) {
         use rand::Rng;
+        let t0 = self.registry.now();
         let u = match &self.config.utilization_trace {
             Some(trace) => trace
                 .get(self.tick)
@@ -165,21 +194,19 @@ impl Simulation {
             None => Disturbances::none(),
         };
         self.willow.step_into(&demands, supply, &disturb, report);
-        let fabric = self.snapshot_fabric();
+        self.snapshot_fabric_into(fabric);
         self.tick += 1;
-        fabric
+        self.tick_hist.record_since(t0);
     }
 
-    fn snapshot_fabric(&self) -> FabricSnapshot {
+    fn snapshot_fabric_into(&self, out: &mut FabricSnapshot) {
         let f = self.willow.fabric();
-        FabricSnapshot {
-            l1_migration: self
-                .level1
-                .iter()
-                .map(|&n| f.migration_traffic(n))
-                .collect(),
-            l1_query: self.level1.iter().map(|&n| f.query_traffic(n)).collect(),
-        }
+        out.l1_migration.clear();
+        out.l1_migration
+            .extend(self.level1.iter().map(|&n| f.migration_traffic(n)));
+        out.l1_query.clear();
+        out.l1_query
+            .extend(self.level1.iter().map(|&n| f.query_traffic(n)));
     }
 
     /// Run to completion, aggregating post-warm-up metrics.
@@ -188,17 +215,18 @@ impl Simulation {
         let n_l1 = self.level1.len();
         let warmup = self.config.warmup;
         let ticks = self.config.ticks;
-        let mut collected = Vec::with_capacity(ticks - warmup);
-        // One report buffer for the whole run: warm-up ticks reuse it
-        // without allocating; kept ticks clone it into the collection.
+        // One report and one snapshot buffer for the whole run, streamed
+        // straight into the accumulator: no per-tick clones or collection.
+        let mut acc = MetricsAccumulator::new(n_servers, n_l1);
         let mut report = TickReport::default();
+        let mut fabric = FabricSnapshot::default();
         for t in 0..ticks {
-            let fabric = self.step_into(&mut report);
+            self.step_into_buffers(&mut report, &mut fabric);
             if t >= warmup {
-                collected.push((report.clone(), fabric));
+                acc.record(&report, &fabric);
             }
         }
-        RunMetrics::aggregate(collected, n_servers, n_l1)
+        acc.finish()
     }
 }
 

@@ -420,8 +420,7 @@ mod tests {
         let certain_message_loss = FaultPlan {
             message_faults: MessageFaults {
                 loss: 1.0,
-                duplication: 0.0,
-                delay: 0.0,
+                ..MessageFaults::default()
             },
             ..FaultPlan::default()
         };

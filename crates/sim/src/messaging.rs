@@ -90,27 +90,52 @@ pub struct MessageFaults {
     pub duplication: f64,
     /// Probability a message is delayed by one extra α in transit.
     pub delay: f64,
+    /// A severed link: every message between this node pair (either
+    /// direction) is dropped outright — no timeout/retransmission can save
+    /// it, so the round genuinely fails to converge. This is the 100%-loss
+    /// case that probabilistic `loss` (capped below 1) cannot express.
+    #[serde(default)]
+    pub dead_link: Option<(NodeId, NodeId)>,
 }
 
 impl MessageFaults {
-    /// True when every probability is zero.
+    /// True when every probability is zero and no link is severed.
     #[must_use]
     pub fn is_quiet(&self) -> bool {
-        self.loss == 0.0 && self.duplication == 0.0 && self.delay == 0.0
+        self.loss == 0.0 && self.duplication == 0.0 && self.delay == 0.0 && self.dead_link.is_none()
+    }
+
+    fn kills(&self, from: NodeId, to: NodeId) -> bool {
+        self.dead_link == Some((from, to)) || self.dead_link == Some((to, from))
     }
 }
 
 /// Result of emulating one reporting round.
+///
+/// Convergence instants are `None` when the round never converged (e.g. a
+/// severed link partitioned the tree) — there is deliberately no sentinel
+/// value, so unconverged rounds cannot masquerade as timing samples in
+/// downstream statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundOutcome {
-    /// When the root had received every leaf's report (the upward δ).
-    pub root_converged_at: Seconds,
-    /// When every leaf had received its budget directive (the downward δ).
-    pub leaves_converged_at: Seconds,
+    /// When the root had received every leaf's report (the upward δ), or
+    /// `None` if it never did.
+    pub root_converged_at: Option<Seconds>,
+    /// When every leaf had received its budget directive (the downward δ),
+    /// or `None` if some leaf never did.
+    pub leaves_converged_at: Option<Seconds>,
     /// Logical messages processed (duplicates excluded).
     pub messages: usize,
     /// The root's aggregated view of total demand.
     pub root_view: Watts,
+}
+
+impl RoundOutcome {
+    /// True when both the upward and downward waves completed.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.root_converged_at.is_some() && self.leaves_converged_at.is_some()
+    }
 }
 
 /// [`RoundOutcome`] plus the fault accounting of a faulty round.
@@ -127,6 +152,68 @@ pub struct FaultyRoundOutcome {
     pub delayed: usize,
     /// Total physical deliveries, duplicates included.
     pub deliveries: usize,
+}
+
+/// Message-plane counters and the convergence-latency histogram. The
+/// `Default` value is disabled; [`MessagingTelemetry::register`] wires the
+/// handles to a registry, and [`observe_round`](Self::observe_round) folds
+/// one emulated round's outcome in — allocation-free, so sweeping many
+/// rounds stays cheap.
+#[derive(Debug, Clone, Default)]
+pub struct MessagingTelemetry {
+    sent: willow_telemetry::Counter,
+    lost: willow_telemetry::Counter,
+    duplicated: willow_telemetry::Counter,
+    delayed: willow_telemetry::Counter,
+    unconverged_rounds: willow_telemetry::Counter,
+    convergence: willow_telemetry::Histogram,
+}
+
+impl MessagingTelemetry {
+    /// Register the message-plane metrics on `registry`.
+    #[must_use]
+    pub fn register(registry: &willow_telemetry::TelemetryRegistry) -> Self {
+        MessagingTelemetry {
+            sent: registry.counter(
+                "willow_messages_sent_total",
+                "Logical control messages delivered (duplicates excluded)",
+            ),
+            lost: registry.counter(
+                "willow_messages_lost_total",
+                "Transmission attempts lost in transit",
+            ),
+            duplicated: registry.counter(
+                "willow_messages_duplicated_total",
+                "Messages duplicated in transit (copies deduplicated)",
+            ),
+            delayed: registry.counter(
+                "willow_messages_delayed_total",
+                "Messages delayed by an extra hop latency",
+            ),
+            unconverged_rounds: registry.counter(
+                "willow_rounds_unconverged_total",
+                "Emulated rounds that never converged (e.g. severed link)",
+            ),
+            convergence: registry.duration_histogram(
+                "willow_round_convergence_seconds",
+                "Full-round convergence latency (leaves' directive receipt)",
+            ),
+        }
+    }
+
+    /// Fold one emulated round into the counters. Rounds that never
+    /// converged count into `willow_rounds_unconverged_total` instead of
+    /// contributing a (meaningless) latency sample.
+    pub fn observe_round(&self, round: &FaultyRoundOutcome) {
+        self.sent.add(round.outcome.messages as u64);
+        self.lost.add(round.lost as u64);
+        self.duplicated.add(round.duplicated as u64);
+        self.delayed.add(round.delayed as u64);
+        match round.outcome.leaves_converged_at {
+            Some(at) => self.convergence.record(at.0),
+            None => self.unconverged_rounds.inc(),
+        }
+    }
 }
 
 /// Emulate one full demand-report + budget-directive round over `tree`
@@ -153,6 +240,19 @@ pub fn emulate_round(
     emulate_round_with_faults(tree, alpha, demands, supply, &MessageFaults::default(), 0).outcome
 }
 
+/// Reusable working storage for [`emulate_round_with_faults_into`]: the
+/// delivery queue, the duplicate-dedup set and the per-node aggregation
+/// buffers, kept across rounds so repeated emulation (fault sweeps, the
+/// message-plane benchmark) does not reallocate them every call.
+#[derive(Debug, Default)]
+pub struct RoundScratch {
+    queue: BinaryHeap<Reverse<InFlight>>,
+    seen: HashSet<u64>,
+    pending_children: Vec<usize>,
+    aggregate: Vec<Watts>,
+    leaves: Vec<NodeId>,
+}
+
 /// [`emulate_round`] with per-message loss, duplication and delay drawn
 /// from a dedicated RNG seeded with `seed`. With all probabilities at zero
 /// the round is identical to the fault-free one, whatever the seed.
@@ -170,20 +270,57 @@ pub fn emulate_round_with_faults(
     faults: &MessageFaults,
     seed: u64,
 ) -> FaultyRoundOutcome {
+    emulate_round_with_faults_into(
+        tree,
+        alpha,
+        demands,
+        supply,
+        faults,
+        seed,
+        &mut RoundScratch::default(),
+    )
+}
+
+/// [`emulate_round_with_faults`] emitting into caller-owned
+/// [`RoundScratch`], so repeated rounds reuse the queue, dedup set and
+/// per-node buffers. Behaviorally identical to the allocating variant for
+/// any inputs (see the `scratch_reuse_is_bit_for_bit_identical` test).
+///
+/// # Panics
+/// Same conditions as [`emulate_round_with_faults`].
+#[must_use]
+pub fn emulate_round_with_faults_into(
+    tree: &Tree,
+    alpha: Seconds,
+    demands: &[Watts],
+    supply: Watts,
+    faults: &MessageFaults,
+    seed: u64,
+    scratch: &mut RoundScratch,
+) -> FaultyRoundOutcome {
     assert!(alpha.is_positive(), "per-hop latency must be positive");
     assert!(
         (0.0..1.0).contains(&faults.loss),
         "loss probability must be in [0,1)"
     );
-    let leaves: Vec<NodeId> = tree.leaves().collect();
+    scratch.leaves.clear();
+    scratch.leaves.extend(tree.leaves());
+    let leaves = &scratch.leaves;
     assert_eq!(leaves.len(), demands.len(), "one demand per leaf");
 
     let n = tree.len();
-    let mut pending_children: Vec<usize> = (0..n)
-        .map(|i| tree.children(NodeId(i as u32)).len())
-        .collect();
-    let mut aggregate: Vec<Watts> = vec![Watts::ZERO; n];
-    let mut queue: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    scratch.pending_children.clear();
+    scratch
+        .pending_children
+        .extend((0..n).map(|i| tree.children(NodeId(i as u32)).len()));
+    let pending_children = &mut scratch.pending_children;
+    scratch.aggregate.clear();
+    scratch.aggregate.resize(n, Watts::ZERO);
+    let aggregate = &mut scratch.aggregate;
+    scratch.queue.clear();
+    let queue = &mut scratch.queue;
+    scratch.seen.clear();
+    let seen = &mut scratch.seen;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut next_seq = 0u64;
     let (mut lost, mut duplicated, mut delayed, mut deliveries) = (0usize, 0usize, 0usize, 0usize);
@@ -198,6 +335,13 @@ pub fn emulate_round_with_faults(
                     lost: &mut usize,
                     duplicated: &mut usize,
                     delayed: &mut usize| {
+        if faults.kills(from, to) {
+            // The link is severed: the message and every retransmission of
+            // it die on the wire. One lost attempt is recorded; nothing is
+            // queued, so the receiver simply never hears it.
+            *lost += 1;
+            return;
+        }
         let seq = next_seq;
         next_seq += 1;
         let mut at = sent_at + alpha.0;
@@ -231,7 +375,7 @@ pub fn emulate_round_with_faults(
         aggregate[leaf.index()] = d;
         if let Some(parent) = tree.parent(*leaf) {
             send(
-                &mut queue,
+                queue,
                 &mut rng,
                 0.0,
                 *leaf,
@@ -245,10 +389,9 @@ pub fn emulate_round_with_faults(
     }
 
     let root = tree.root();
-    let mut root_converged_at = if tree.len() == 1 { 0.0 } else { f64::NAN };
+    let mut root_converged_at = if tree.len() == 1 { Some(0.0) } else { None };
     let mut leaves_pending = leaves.len();
-    let mut leaves_converged_at = f64::NAN;
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut leaves_converged_at = None;
 
     while let Some(Reverse(msg)) = queue.pop() {
         deliveries += 1;
@@ -264,13 +407,13 @@ pub fn emulate_round_with_faults(
                 pending_children[i] -= 1;
                 if pending_children[i] == 0 {
                     if msg.to == root {
-                        root_converged_at = now;
+                        root_converged_at = Some(now);
                         // Root issues budget directives downward.
                         let total = aggregate[root.index()];
                         let scale = if total.0 > 0.0 { supply / total } else { 0.0 };
                         for &c in tree.children(root) {
                             send(
-                                &mut queue,
+                                queue,
                                 &mut rng,
                                 now,
                                 root,
@@ -282,12 +425,12 @@ pub fn emulate_round_with_faults(
                             );
                         }
                         if tree.children(root).is_empty() {
-                            leaves_converged_at = now;
+                            leaves_converged_at = Some(now);
                         }
                     } else {
                         let parent = tree.parent(msg.to).expect("non-root has parent");
                         send(
-                            &mut queue,
+                            queue,
                             &mut rng,
                             now,
                             msg.to,
@@ -305,7 +448,7 @@ pub fn emulate_round_with_faults(
                 if tree.node(msg.to).is_leaf() {
                     leaves_pending -= 1;
                     if leaves_pending == 0 {
-                        leaves_converged_at = now;
+                        leaves_converged_at = Some(now);
                     }
                 } else {
                     // Split proportionally to the aggregates seen on the
@@ -318,7 +461,7 @@ pub fn emulate_round_with_faults(
                             Watts::ZERO
                         };
                         send(
-                            &mut queue,
+                            queue,
                             &mut rng,
                             now,
                             msg.to,
@@ -336,8 +479,8 @@ pub fn emulate_round_with_faults(
 
     FaultyRoundOutcome {
         outcome: RoundOutcome {
-            root_converged_at: Seconds(root_converged_at),
-            leaves_converged_at: Seconds(leaves_converged_at),
+            root_converged_at: root_converged_at.map(Seconds),
+            leaves_converged_at: leaves_converged_at.map(Seconds),
             messages,
             root_view: aggregate[root.index()],
         },
@@ -359,9 +502,9 @@ mod tests {
         let demands = vec![Watts(10.0); 18];
         let out = emulate_round(&tree, Seconds(0.02), &demands, Watts(500.0));
         // Reports cross 3 hops: leaf→L1→L2→root.
-        assert!((out.root_converged_at.0 - 0.06).abs() < 1e-12);
+        assert!((out.root_converged_at.unwrap().0 - 0.06).abs() < 1e-12);
         // Directives cross 3 more hops back down.
-        assert!((out.leaves_converged_at.0 - 0.12).abs() < 1e-12);
+        assert!((out.leaves_converged_at.unwrap().0 - 0.12).abs() < 1e-12);
         assert_eq!(out.root_view, Watts(180.0));
     }
 
@@ -376,13 +519,15 @@ mod tests {
             let demands = vec![Watts(5.0); tree.leaves().count()];
             let out = emulate_round(&tree, alpha, &demands, Watts(100.0));
             assert!(
-                (out.root_converged_at.0 - analysis.delta.0).abs() < 1e-12,
+                (out.root_converged_at.unwrap().0 - analysis.delta.0).abs() < 1e-12,
                 "{branching:?}: measured {} vs bound {}",
-                out.root_converged_at.0,
+                out.root_converged_at.unwrap().0,
                 analysis.delta.0
             );
             // Full round trip is 2δ — still far below the recommended Δ_D.
-            assert!(out.leaves_converged_at.0 * 5.0 <= analysis.recommended_delta_d.0 + 1e-12);
+            assert!(
+                out.leaves_converged_at.unwrap().0 * 5.0 <= analysis.recommended_delta_d.0 + 1e-12
+            );
         }
     }
 
@@ -410,7 +555,7 @@ mod tests {
         let tree = Tree::uniform(&[1]);
         // One leaf under the root.
         let out = emulate_round(&tree, Seconds(0.01), &[Watts(9.0)], Watts(10.0));
-        assert!((out.root_converged_at.0 - 0.01).abs() < 1e-12);
+        assert!((out.root_converged_at.unwrap().0 - 0.01).abs() < 1e-12);
         assert_eq!(out.root_view, Watts(9.0));
     }
 
@@ -449,6 +594,7 @@ mod tests {
             loss: 0.2,
             duplication: 0.1,
             delay: 0.15,
+            dead_link: None,
         };
         let a = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 7);
         let b = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 7);
@@ -456,8 +602,8 @@ mod tests {
         // Retransmission guarantees eventual convergence with the same
         // aggregate view, only later.
         assert_eq!(a.outcome.root_view, Watts(180.0));
-        assert!(a.outcome.root_converged_at.0 >= 0.06);
-        assert!(a.outcome.leaves_converged_at.0.is_finite());
+        assert!(a.outcome.root_converged_at.unwrap().0 >= 0.06);
+        assert!(a.outcome.leaves_converged_at.is_some());
         // All logical messages still got through exactly once.
         assert_eq!(a.outcome.messages, 2 * (tree.len() - 1));
     }
@@ -472,6 +618,7 @@ mod tests {
             loss: 0.5,
             duplication: 0.0,
             delay: 0.0,
+            dead_link: None,
         };
         let mut any_later = false;
         for seed in 0..10 {
@@ -483,8 +630,12 @@ mod tests {
                 &faults,
                 seed,
             );
-            assert!(f.outcome.leaves_converged_at.0 >= clean.leaves_converged_at.0 - 1e-12);
-            any_later |= f.outcome.leaves_converged_at.0 > clean.leaves_converged_at.0 + 1e-12;
+            assert!(
+                f.outcome.leaves_converged_at.unwrap().0
+                    >= clean.leaves_converged_at.unwrap().0 - 1e-12
+            );
+            any_later |= f.outcome.leaves_converged_at.unwrap().0
+                > clean.leaves_converged_at.unwrap().0 + 1e-12;
         }
         assert!(any_later, "50% loss must delay at least one of ten rounds");
     }
@@ -497,6 +648,7 @@ mod tests {
             loss: 0.0,
             duplication: 1.0,
             delay: 0.0,
+            dead_link: None,
         };
         let f = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 3);
         // Every message duplicated, every duplicate discarded.
@@ -504,6 +656,104 @@ mod tests {
         assert_eq!(f.outcome.messages, 2 * (tree.len() - 1));
         assert_eq!(f.deliveries, 2 * f.outcome.messages);
         assert_eq!(f.outcome.root_view, Watts(180.0), "aggregation unskewed");
+    }
+
+    #[test]
+    fn dead_link_round_reports_no_convergence() {
+        // Regression for the NaN sentinel: 100% loss on one link used to
+        // yield `root_converged_at == NaN`, which leaked into downstream
+        // stats. With `Option`, the unconverged round is explicit.
+        let tree = Tree::paper_fig3();
+        let demands = vec![Watts(10.0); 18];
+        let leaf = tree.leaves().next().unwrap();
+        let parent = tree.parent(leaf).unwrap();
+        let faults = MessageFaults {
+            dead_link: Some((leaf, parent)),
+            ..MessageFaults::default()
+        };
+        assert!(!faults.is_quiet());
+        let f = emulate_round_with_faults(&tree, Seconds(0.02), &demands, Watts(500.0), &faults, 5);
+        assert_eq!(f.outcome.root_converged_at, None);
+        assert_eq!(f.outcome.leaves_converged_at, None);
+        assert!(!f.outcome.converged());
+        assert_eq!(f.lost, 1, "the severed report is counted as lost");
+        // The rest of the tree still exchanged its reports, but the root
+        // never completed aggregation, so no directives were issued.
+        assert!(f.outcome.messages < 2 * (tree.len() - 1));
+        assert!(f.outcome.root_view.0 < 180.0);
+    }
+
+    #[test]
+    fn dead_link_kills_both_directions() {
+        // Severing a root→child link on the way down: the upward wave
+        // completes (reports flow through other links... here choose a
+        // root child so reports over this link die too).
+        let tree = Tree::uniform(&[2, 2]);
+        let root = tree.root();
+        let child = tree.children(root)[0];
+        let faults = MessageFaults {
+            dead_link: Some((child, root)),
+            ..MessageFaults::default()
+        };
+        let demands = vec![Watts(10.0); 4];
+        let f = emulate_round_with_faults(&tree, Seconds(0.01), &demands, Watts(100.0), &faults, 0);
+        // The child's aggregate never reaches the root (and any directive
+        // back would die too): no convergence either way.
+        assert!(!f.outcome.converged());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_for_bit_identical() {
+        // One scratch reused across heterogeneous rounds (different trees,
+        // fault mixes and seeds) must reproduce the allocating variant
+        // exactly — including `u64`-exact convergence times and counters.
+        let mut scratch = RoundScratch::default();
+        let cases: Vec<(Tree, MessageFaults, u64)> = vec![
+            (Tree::paper_fig3(), MessageFaults::default(), 0),
+            (
+                Tree::uniform(&[3, 9, 9]),
+                MessageFaults {
+                    loss: 0.3,
+                    duplication: 0.2,
+                    delay: 0.25,
+                    dead_link: None,
+                },
+                7,
+            ),
+            (
+                Tree::uniform(&[2, 2]),
+                MessageFaults {
+                    dead_link: Some((NodeId(1), NodeId(0))),
+                    ..MessageFaults::default()
+                },
+                3,
+            ),
+            (Tree::uniform(&[4]), MessageFaults::default(), 11),
+        ];
+        for (tree, faults, seed) in &cases {
+            let demands = vec![Watts(12.5); tree.leaves().count()];
+            let fresh = emulate_round_with_faults(
+                tree,
+                Seconds(0.02),
+                &demands,
+                Watts(400.0),
+                faults,
+                *seed,
+            );
+            let reused = emulate_round_with_faults_into(
+                tree,
+                Seconds(0.02),
+                &demands,
+                Watts(400.0),
+                faults,
+                *seed,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused);
+            let t0 = fresh.outcome.root_converged_at.map(|s| s.0.to_bits());
+            let t1 = reused.outcome.root_converged_at.map(|s| s.0.to_bits());
+            assert_eq!(t0, t1, "convergence times must match bit-for-bit");
+        }
     }
 
     #[test]
@@ -519,6 +769,7 @@ mod tests {
                 loss: 1.0,
                 duplication: 0.0,
                 delay: 0.0,
+                dead_link: None,
             },
             0,
         );

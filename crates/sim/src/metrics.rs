@@ -18,11 +18,22 @@ impl FabricSnapshot {
     /// Combined traffic per level-1 switch this period.
     #[must_use]
     pub fn l1_total(&self) -> Vec<f64> {
-        self.l1_query
-            .iter()
-            .zip(&self.l1_migration)
-            .map(|(q, m)| q + m)
-            .collect()
+        let mut out = Vec::new();
+        self.l1_total_into(&mut out);
+        out
+    }
+
+    /// [`FabricSnapshot::l1_total`] writing into a caller-provided buffer —
+    /// the per-tick aggregation path uses this so folding a run's metrics
+    /// stays allocation-free after the buffer's first growth.
+    pub fn l1_total_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.l1_query
+                .iter()
+                .zip(&self.l1_migration)
+                .map(|(q, m)| q + m),
+        );
     }
 }
 
@@ -79,63 +90,85 @@ pub struct RunMetrics {
     pub sensor_rejections: usize,
 }
 
-impl RunMetrics {
-    /// Fold a stream of `(report, fabric)` pairs into aggregates.
-    /// `n_servers`/`n_l1` size the per-entity vectors.
+/// Streaming fold of `(report, fabric)` ticks into [`RunMetrics`]:
+/// [`record`](MetricsAccumulator::record) borrows its inputs, so driving
+/// loops can reuse one report/snapshot buffer across the whole run instead
+/// of cloning per tick, and the fold itself is allocation-free after
+/// construction (the level-1 total uses a preallocated scratch buffer).
+#[derive(Debug, Clone)]
+pub struct MetricsAccumulator {
+    m: RunMetrics,
+    n_servers: usize,
+    /// Scratch for [`FabricSnapshot::l1_total_into`] on the per-tick path.
+    scratch_total: Vec<f64>,
+}
+
+impl MetricsAccumulator {
+    /// An empty accumulator; `n_servers`/`n_l1` size the per-entity
+    /// vectors.
     #[must_use]
-    pub fn aggregate(
-        stream: impl IntoIterator<Item = (TickReport, FabricSnapshot)>,
-        n_servers: usize,
-        n_l1: usize,
-    ) -> RunMetrics {
-        let mut m = RunMetrics {
-            avg_server_power: vec![0.0; n_servers],
-            avg_server_temp: vec![0.0; n_servers],
-            peak_server_temp: vec![f64::NEG_INFINITY; n_servers],
-            sleep_fraction: vec![0.0; n_servers],
-            avg_l1_migration_traffic: vec![0.0; n_l1],
-            avg_l1_query_traffic: vec![0.0; n_l1],
-            peak_l1_traffic: vec![0.0; n_l1],
-            ..RunMetrics::default()
-        };
-        for (report, fabric) in stream {
-            m.ticks += 1;
-            for i in 0..n_servers {
-                m.avg_server_power[i] += report.server_power[i].0;
-                m.avg_server_temp[i] += report.server_temp[i].0;
-                m.peak_server_temp[i] = m.peak_server_temp[i].max(report.server_temp[i].0);
-                if !report.server_active[i] {
-                    m.sleep_fraction[i] += 1.0;
-                }
-            }
-            m.demand_migrations += report.migrations_by_reason(MigrationReason::Demand);
-            m.consolidation_migrations +=
-                report.migrations_by_reason(MigrationReason::Consolidation);
-            m.local_migrations += report.local_migrations();
-            m.pingpongs += report.pingpongs();
-            m.migrated_demand += report.migrated_demand().0;
-            m.reports_lost += report.reports_lost;
-            m.directives_lost += report.directives_lost;
-            m.migration_rejects += report.migration_rejects;
-            m.migration_aborts += report.migration_aborts;
-            m.migration_retries += report.migration_retries;
-            m.watchdog_trips += report.watchdog_trips;
-            m.fallback_server_ticks += report.fallback_servers;
-            m.sensor_rejections += report.sensor_rejections;
-            m.avg_dropped += report.dropped_demand.0;
-            m.avg_imbalance_l0 += report.imbalance.first().copied().unwrap_or(Watts::ZERO).0;
-            for (i, v) in fabric.l1_migration.iter().enumerate() {
-                m.avg_l1_migration_traffic[i] += v;
-            }
-            for (i, v) in fabric.l1_query.iter().enumerate() {
-                m.avg_l1_query_traffic[i] += v;
-            }
-            for (i, total) in fabric.l1_total().iter().enumerate() {
-                if *total > m.peak_l1_traffic[i] {
-                    m.peak_l1_traffic[i] = *total;
-                }
+    pub fn new(n_servers: usize, n_l1: usize) -> Self {
+        MetricsAccumulator {
+            m: RunMetrics {
+                avg_server_power: vec![0.0; n_servers],
+                avg_server_temp: vec![0.0; n_servers],
+                peak_server_temp: vec![f64::NEG_INFINITY; n_servers],
+                sleep_fraction: vec![0.0; n_servers],
+                avg_l1_migration_traffic: vec![0.0; n_l1],
+                avg_l1_query_traffic: vec![0.0; n_l1],
+                peak_l1_traffic: vec![0.0; n_l1],
+                ..RunMetrics::default()
+            },
+            n_servers,
+            scratch_total: Vec::with_capacity(n_l1),
+        }
+    }
+
+    /// Fold one tick into the running aggregates.
+    pub fn record(&mut self, report: &TickReport, fabric: &FabricSnapshot) {
+        let m = &mut self.m;
+        m.ticks += 1;
+        for i in 0..self.n_servers {
+            m.avg_server_power[i] += report.server_power[i].0;
+            m.avg_server_temp[i] += report.server_temp[i].0;
+            m.peak_server_temp[i] = m.peak_server_temp[i].max(report.server_temp[i].0);
+            if !report.server_active[i] {
+                m.sleep_fraction[i] += 1.0;
             }
         }
+        m.demand_migrations += report.migrations_by_reason(MigrationReason::Demand);
+        m.consolidation_migrations += report.migrations_by_reason(MigrationReason::Consolidation);
+        m.local_migrations += report.local_migrations();
+        m.pingpongs += report.pingpongs();
+        m.migrated_demand += report.migrated_demand().0;
+        m.reports_lost += report.reports_lost;
+        m.directives_lost += report.directives_lost;
+        m.migration_rejects += report.migration_rejects;
+        m.migration_aborts += report.migration_aborts;
+        m.migration_retries += report.migration_retries;
+        m.watchdog_trips += report.watchdog_trips;
+        m.fallback_server_ticks += report.fallback_servers;
+        m.sensor_rejections += report.sensor_rejections;
+        m.avg_dropped += report.dropped_demand.0;
+        m.avg_imbalance_l0 += report.imbalance.first().copied().unwrap_or(Watts::ZERO).0;
+        for (i, v) in fabric.l1_migration.iter().enumerate() {
+            m.avg_l1_migration_traffic[i] += v;
+        }
+        for (i, v) in fabric.l1_query.iter().enumerate() {
+            m.avg_l1_query_traffic[i] += v;
+        }
+        fabric.l1_total_into(&mut self.scratch_total);
+        for (i, total) in self.scratch_total.iter().enumerate() {
+            if *total > m.peak_l1_traffic[i] {
+                m.peak_l1_traffic[i] = *total;
+            }
+        }
+    }
+
+    /// Normalize the averages and hand back the finished metrics.
+    #[must_use]
+    pub fn finish(self) -> RunMetrics {
+        let mut m = self.m;
         if m.ticks > 0 {
             let n = m.ticks as f64;
             for v in m
@@ -152,6 +185,25 @@ impl RunMetrics {
             m.avg_imbalance_l0 /= n;
         }
         m
+    }
+}
+
+impl RunMetrics {
+    /// Fold a stream of `(report, fabric)` pairs into aggregates.
+    /// `n_servers`/`n_l1` size the per-entity vectors. Implemented on top
+    /// of [`MetricsAccumulator`], which streaming callers can use directly
+    /// to avoid the per-tick clones this owning signature implies.
+    #[must_use]
+    pub fn aggregate(
+        stream: impl IntoIterator<Item = (TickReport, FabricSnapshot)>,
+        n_servers: usize,
+        n_l1: usize,
+    ) -> RunMetrics {
+        let mut acc = MetricsAccumulator::new(n_servers, n_l1);
+        for (report, fabric) in stream {
+            acc.record(&report, &fabric);
+        }
+        acc.finish()
     }
 
     /// Mean power across a set of servers.

@@ -45,6 +45,12 @@ pub enum Event {
         /// Shed per QoS class (Low, Normal, High), W.
         by_class: [f64; 3],
     },
+    /// A point-in-time telemetry snapshot merged into the event stream
+    /// (see [`willow_telemetry::TelemetryRegistry::snapshot`]).
+    Telemetry {
+        /// Every registered metric's current value.
+        snapshot: willow_telemetry::TelemetrySnapshot,
+    },
 }
 
 /// An event with its demand-period timestamp.
@@ -111,6 +117,14 @@ impl EventLog {
                 },
             });
         }
+    }
+
+    /// Append a telemetry snapshot to the stream, stamped with `tick`.
+    pub fn record_telemetry(&mut self, tick: u64, snapshot: willow_telemetry::TelemetrySnapshot) {
+        self.events.push(TimedEvent {
+            tick,
+            event: Event::Telemetry { snapshot },
+        });
     }
 
     /// All events in order.
@@ -212,5 +226,45 @@ mod tests {
         }
         assert!(text.contains("\"kind\":\"migration\""));
         assert!(text.contains("\"kind\":\"shed\""));
+    }
+
+    #[test]
+    fn every_event_variant_round_trips() {
+        // One of each variant, with non-default field values so a swapped
+        // or dropped field cannot survive the equality check.
+        let registry = willow_telemetry::TelemetryRegistry::new();
+        registry.counter("trace_rt_total", "help").add(7);
+        registry.gauge("trace_rt_units", "help").set(2.5);
+        registry
+            .histogram("trace_rt_hist", "help", -4, 8)
+            .record(0.3);
+        let events = vec![
+            Event::Migration {
+                app: AppId(11),
+                from: NodeId(2),
+                to: NodeId(6),
+                watts: 41.5,
+                reason: MigrationReason::Consolidation,
+                local: false,
+            },
+            Event::Sleep { node: NodeId(13) },
+            Event::Wake { node: NodeId(14) },
+            Event::Shed {
+                watts: 9.75,
+                by_class: [1.25, 3.5, 5.0],
+            },
+            Event::Telemetry {
+                snapshot: registry.snapshot(),
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            let timed = TimedEvent {
+                tick: 17 + i as u64,
+                event,
+            };
+            let json = serde_json::to_string(&timed).unwrap();
+            let back: TimedEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, timed, "variant {i} did not round-trip: {json}");
+        }
     }
 }

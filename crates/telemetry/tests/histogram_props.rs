@@ -1,0 +1,50 @@
+//! Property tests for the log2 histogram: for any recorded values —
+//! including zeros, negatives, infinities and NaN — the per-bucket counts
+//! always sum to the histogram's total count, and the sum stays finite.
+
+use proptest::prelude::*;
+use willow_telemetry::{MetricValue, TelemetryRegistry};
+
+prop_compose! {
+    fn values()(
+        raw in prop::collection::vec((0.0f64..1.0, 0u64..6), 0..64),
+    ) -> Vec<f64> {
+        raw.into_iter()
+            .map(|(u, class)| match class {
+                // Spread magnitudes across the bucket range plus the
+                // degenerate inputs the sanitizer must absorb.
+                0 => u * 1e-12,
+                1 => u * 1e3,
+                2 => u * 1e12,
+                3 => -u * 10.0,
+                4 => {
+                    if u < 0.5 {
+                        f64::NAN
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+                _ => u,
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_sum_to_total(vals in values(), min_exp in -40i32..10, extra in 2usize..60) {
+        let reg = TelemetryRegistry::new();
+        let h = reg.histogram("h", "", min_exp, extra);
+        for v in &vals {
+            h.record(*v);
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        let snap = reg.snapshot();
+        let MetricValue::Histogram { count, sum, buckets, .. } = &snap.metrics[0].value else {
+            return Err(TestCaseError::fail("expected histogram snapshot"));
+        };
+        prop_assert_eq!(buckets.iter().sum::<u64>(), *count);
+        prop_assert_eq!(*count, vals.len() as u64);
+        prop_assert!(sum.is_finite());
+    }
+}
