@@ -54,6 +54,16 @@ pub enum WillowError {
     DuplicateLeaf(NodeId),
     /// Two applications share an id.
     DuplicateApp(AppId),
+    /// A snapshot's auxiliary state vectors do not match its topology
+    /// (wrong length for the tree / server count it carries).
+    SnapshotShape {
+        /// Which snapshot field is malformed.
+        field: &'static str,
+        /// Entries found.
+        found: usize,
+        /// Entries required by the snapshot's own topology.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for WillowError {
@@ -66,6 +76,16 @@ impl std::fmt::Display for WillowError {
             WillowError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),
             WillowError::DuplicateLeaf(n) => write!(f, "leaf {n} specified twice"),
             WillowError::DuplicateApp(a) => write!(f, "application {a} hosted twice"),
+            WillowError::SnapshotShape {
+                field,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "snapshot field `{field}` has {found} entries, topology requires {expected}"
+                )
+            }
         }
     }
 }
@@ -168,21 +188,26 @@ impl ScratchWorkspace {
 /// Per-server stale-directive watchdog state (paper-adjacent defense: a
 /// leaf that keeps missing its budget directive falls back to a
 /// conservative local cap rather than running open-loop forever).
-#[derive(Debug, Clone, Copy, Default)]
-struct Watchdog {
+///
+/// Public and serializable because it is part of the controller's complete
+/// mutable state: a checkpoint that dropped it would silently reset the
+/// degraded-mode defenses on restore (see `crate::snapshot`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Watchdog {
     /// Consecutive supply ticks whose budget directive never arrived.
-    missed: u32,
+    pub missed: u32,
     /// Whether the conservative fallback cap is currently engaged.
-    tripped: bool,
+    pub tripped: bool,
 }
 
-/// Exponential retry backoff for an app whose migration failed.
-#[derive(Debug, Clone, Copy)]
-struct Backoff {
+/// Exponential retry backoff for an app whose migration failed. Part of
+/// the checkpointed state, like [`Watchdog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Backoff {
     /// Failed attempts so far.
-    failures: u32,
+    pub failures: u32,
     /// Earliest tick at which another attempt may be made.
-    retry_at: u64,
+    pub retry_at: u64,
 }
 
 /// Telemetry spans and gauges are *sampled*: each phase's wall time (and
@@ -551,18 +576,64 @@ impl Willow {
         self.last_dropped
     }
 
-    /// Rebuild a controller from previously captured parts (the
+    /// Per-server stale-directive watchdog state (indexed by server order).
+    #[must_use]
+    pub fn watchdogs(&self) -> &[Watchdog] {
+        &self.watchdog
+    }
+
+    /// Last temperature per server that passed the plausibility filter
+    /// (indexed by server order). Caps and predictions derive from these,
+    /// never from raw sensor readings.
+    #[must_use]
+    pub fn accepted_temps(&self) -> &[Celsius] {
+        &self.accepted_temp
+    }
+
+    /// Each leaf's own view of its smoothed demand, indexed by arena node
+    /// id (interior entries are unused and stay zero). Identical to
+    /// `power().cp` in fault-free operation; diverges under report loss.
+    #[must_use]
+    pub fn local_demands(&self) -> &[Watts] {
+        &self.local_cp
+    }
+
+    /// Migration retry backoff as a serializable list, sorted by app id.
+    #[must_use]
+    pub fn backoffs(&self) -> Vec<(AppId, Backoff)> {
+        let mut out = Vec::new();
+        self.backoffs_into(&mut out);
+        out
+    }
+
+    /// [`Willow::backoffs`] into a caller-provided buffer (cleared first),
+    /// so periodic checkpointing can reuse one allocation.
+    pub fn backoffs_into(&self, out: &mut Vec<(AppId, Backoff)>) {
+        out.clear();
+        out.extend(self.backoff.iter().map(|(&app, &b)| (app, b)));
+        // App ids are unique map keys, so the unstable sort is total.
+        out.sort_unstable_by_key(|(app, _)| *app);
+    }
+
+    /// Rebuild a controller from a previously captured snapshot (the
     /// checkpoint/restore path — see `crate::snapshot`). Validates the
-    /// config and the leaf coverage of the server states.
-    pub(crate) fn from_parts(
-        tree: Tree,
-        config: ControllerConfig,
-        servers: Vec<ServerState>,
-        power: PowerState,
-        tick: u64,
-        last_moves: Vec<(AppId, NodeId, u64)>,
-        last_dropped: Watts,
-    ) -> Result<Willow, WillowError> {
+    /// config, the leaf coverage of the server states, and the shape of
+    /// every auxiliary state vector against the snapshot's own topology.
+    pub(crate) fn from_parts(snapshot: crate::snapshot::WillowSnapshot) -> Result<Willow, WillowError> {
+        let crate::snapshot::WillowSnapshot {
+            tree,
+            config,
+            servers,
+            power,
+            tick,
+            last_moves,
+            last_dropped,
+            local_cp,
+            watchdog,
+            accepted_temp,
+            backoff,
+            stats,
+        } = snapshot;
         config.validate().map_err(WillowError::Config)?;
         let leaves = tree.leaves().count();
         if servers.len() != leaves {
@@ -571,6 +642,20 @@ impl Willow {
                 specs: servers.len(),
             });
         }
+        let shape = |field: &'static str, found: usize, expected: usize| {
+            if found == expected {
+                Ok(())
+            } else {
+                Err(WillowError::SnapshotShape {
+                    field,
+                    found,
+                    expected,
+                })
+            }
+        };
+        shape("local_cp", local_cp.len(), tree.len())?;
+        shape("watchdog", watchdog.len(), servers.len())?;
+        shape("accepted_temp", accepted_temp.len(), servers.len())?;
         let mut leaf_server = vec![None; tree.len()];
         for (si, server) in servers.iter().enumerate() {
             if !tree.node(server.node).is_leaf() {
@@ -582,7 +667,6 @@ impl Willow {
             leaf_server[server.node.index()] = Some(si);
         }
         let fabric = Fabric::new(&tree);
-        let accepted_temp = servers.iter().map(|s| s.thermal.temperature()).collect();
         let decay_dd = servers
             .iter()
             .map(|s| decay_factor(s.thermal.params(), config.delta_d))
@@ -591,8 +675,6 @@ impl Willow {
             .iter()
             .map(|s| decay_factor(s.thermal.params(), config.delta_s()))
             .collect();
-        let watchdog = vec![Watchdog::default(); servers.len()];
-        let local_cp = power.cp.clone();
         let scratch = ScratchWorkspace::for_tree(&tree, servers.len());
         let packer = make_packer(config.packer);
         Ok(Willow {
@@ -608,13 +690,13 @@ impl Willow {
                 .map(|(app, from, t)| (app, (from, t)))
                 .collect(),
             last_dropped,
-            stats: ControlStats::default(),
+            stats,
             local_cp,
             watchdog,
             accepted_temp,
             decay_dd,
             decay_ds,
-            backoff: HashMap::new(),
+            backoff: backoff.into_iter().collect(),
             disturb: Disturbances::default(),
             mig_attempts: 0,
             counters: FaultCounters::default(),

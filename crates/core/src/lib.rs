@@ -86,7 +86,7 @@ pub mod snapshot;
 pub mod state;
 
 pub use config::ControllerConfig;
-pub use controller::Willow;
+pub use controller::{Backoff, Watchdog, Willow};
 pub use disturbance::{Disturbances, MigrationOutcome};
 pub use migration::{MigrationReason, MigrationRecord, TickReport};
 pub use server::ServerSpec;

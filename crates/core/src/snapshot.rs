@@ -3,15 +3,19 @@
 //! A control plane that migrates other people's workloads must itself be
 //! restartable: [`Willow::snapshot`] captures the complete mutable state
 //! (server states incl. thermal and smoother history, node power state,
-//! tick counter, ping-pong bookkeeping) into a serializable value, and
+//! tick counter, ping-pong bookkeeping, and every degraded-mode defense:
+//! watchdogs, retry backoff, the accepted-temperature filter state and the
+//! leaf-local demand views) into a serializable value, and
 //! [`Willow::restore`] reconstructs a controller that continues the run
-//! bit-for-bit identically.
+//! bit-for-bit identically — including under active faults, where the
+//! defense state is load-bearing.
 
 use crate::config::ControllerConfig;
-use crate::controller::{Willow, WillowError};
+use crate::controller::{Backoff, ControlStats, Watchdog, Willow, WillowError};
 use crate::server::ServerState;
 use crate::state::PowerState;
 use serde::{Deserialize, Serialize};
+use willow_thermal::units::{Celsius, Watts};
 use willow_topology::{NodeId, Tree};
 use willow_workload::app::AppId;
 
@@ -31,7 +35,21 @@ pub struct WillowSnapshot {
     /// Ping-pong bookkeeping: (app, last source, tick).
     pub last_moves: Vec<(AppId, NodeId, u64)>,
     /// Demand shed in the last period (drives wake-on-deficit).
-    pub last_dropped: willow_thermal::units::Watts,
+    pub last_dropped: Watts,
+    /// Each leaf's own smoothed-demand view, indexed by arena node id.
+    /// Diverges from `power.cp` under report loss; physics and local
+    /// deficit detection run on this, so dropping it from a checkpoint
+    /// would teleport the hierarchy's stale view into every server.
+    pub local_cp: Vec<Watts>,
+    /// Stale-directive watchdog per server (missed count + tripped flag).
+    pub watchdog: Vec<Watchdog>,
+    /// Last plausibility-accepted temperature per server — the sensor
+    /// filter's reference point.
+    pub accepted_temp: Vec<Celsius>,
+    /// Migration retry backoff per app, sorted by app id.
+    pub backoff: Vec<(AppId, Backoff)>,
+    /// Cumulative operation counters (§V-A2 complexity accounting).
+    pub stats: ControlStats,
 }
 
 impl Willow {
@@ -46,6 +64,11 @@ impl Willow {
             tick: self.tick_count(),
             last_moves: self.last_moves(),
             last_dropped: self.last_dropped(),
+            local_cp: self.local_demands().to_vec(),
+            watchdog: self.watchdogs().to_vec(),
+            accepted_temp: self.accepted_temps().to_vec(),
+            backoff: self.backoffs(),
+            stats: self.stats(),
         }
     }
 
@@ -61,20 +84,22 @@ impl Willow {
         snap.tick = self.tick_count();
         self.last_moves_into(&mut snap.last_moves);
         snap.last_dropped = self.last_dropped();
+        snap.local_cp.clear();
+        snap.local_cp.extend_from_slice(self.local_demands());
+        snap.watchdog.clear();
+        snap.watchdog.extend_from_slice(self.watchdogs());
+        snap.accepted_temp.clear();
+        snap.accepted_temp.extend_from_slice(self.accepted_temps());
+        self.backoffs_into(&mut snap.backoff);
+        snap.stats = self.stats();
     }
 
     /// Reconstruct a controller from a snapshot. The result continues the
-    /// run exactly where the snapshot was taken.
+    /// run exactly where the snapshot was taken — including mid-fault:
+    /// tripped watchdogs stay tripped, backoff timers keep ticking, the
+    /// sensor filter keeps its last accepted reading.
     pub fn restore(snapshot: WillowSnapshot) -> Result<Willow, WillowError> {
-        Willow::from_parts(
-            snapshot.tree,
-            snapshot.config,
-            snapshot.servers,
-            snapshot.power,
-            snapshot.tick,
-            snapshot.last_moves,
-            snapshot.last_dropped,
-        )
+        Willow::from_parts(snapshot)
     }
 }
 
@@ -171,5 +196,114 @@ mod tests {
         let mut snap = w.snapshot();
         snap.config.alpha = 2.0;
         assert!(Willow::restore(snap).is_err());
+    }
+
+    #[test]
+    fn restore_validates_state_vector_shapes() {
+        let (w, _) = setup();
+        for mutate in [
+            (|s: &mut WillowSnapshot| {
+                s.local_cp.pop();
+            }) as fn(&mut WillowSnapshot),
+            |s| {
+                s.watchdog.pop();
+            },
+            |s| s.accepted_temp.push(willow_thermal::units::Celsius(25.0)),
+        ] {
+            let mut snap = w.snapshot();
+            mutate(&mut snap);
+            assert!(matches!(
+                Willow::restore(snap),
+                Err(WillowError::SnapshotShape { .. })
+            ));
+        }
+    }
+
+    /// Deterministic fault schedule that exercises every defense: constant
+    /// directive loss on two servers (trips their watchdogs), report loss
+    /// on another (diverges `local_cp` from the hierarchy's `cp` view), a
+    /// stuck sensor (diverges `accepted_temp` from the raw reading) and
+    /// alternating reject/abort migration outcomes (populates backoff).
+    fn faulted_disturb(t: u64, n: usize) -> crate::Disturbances {
+        use crate::{Disturbances, MigrationOutcome};
+        let mut d = Disturbances {
+            crashed: vec![false; n],
+            report_lost: vec![false; n],
+            directive_lost: vec![false; n],
+            sensor_override: vec![None; n],
+            sensor_offset: vec![0.0; n],
+            migration_outcomes: Vec::new(),
+        };
+        d.directive_lost[0] = true;
+        d.directive_lost[1] = true;
+        d.report_lost[2] = t % 2 == 1;
+        d.sensor_override[3] = Some(willow_thermal::units::Celsius(95.0));
+        let outcome = match t % 3 {
+            0 => MigrationOutcome::Reject,
+            1 => MigrationOutcome::Abort,
+            _ => MigrationOutcome::Success,
+        };
+        d.migration_outcomes = vec![outcome; 8];
+        d
+    }
+
+    fn drive_faulted(w: &mut Willow, n_apps: usize, from: u64, ticks: u64) -> Vec<String> {
+        let n = w.servers().len();
+        (from..from + ticks)
+            .map(|t| {
+                let demands: Vec<Watts> = (0..n_apps)
+                    .map(|i| Watts(30.0 + ((i as u64 + t) % 7) as f64 * 40.0))
+                    .collect();
+                // Tight supply keeps deficits (and thus migration attempts,
+                // feeding the backoff map) flowing.
+                let supply = Watts(if t % 9 < 5 { 900.0 } else { 2200.0 });
+                let r = w.step_with(&demands, supply, &faulted_disturb(t, n));
+                format!("{r:?}")
+            })
+            .collect()
+    }
+
+    /// The regression pinned here: a snapshot taken *mid-fault* — tripped
+    /// watchdogs, live backoff timers, a diverged sensor filter and a
+    /// stale hierarchy demand view — must restore to a controller that
+    /// continues the faulted run bit-for-bit. The original snapshot omitted
+    /// all of that state, so the restored controller silently re-armed
+    /// every degraded-mode defense.
+    #[test]
+    fn restore_preserves_degraded_mode_state_mid_fault() {
+        let (mut original, n_apps) = setup();
+        let _ = drive_faulted(&mut original, n_apps, 0, 41);
+
+        // The schedule must actually have engaged the defenses, or this
+        // test pins nothing.
+        assert!(
+            original.watchdogs().iter().any(|wd| wd.tripped),
+            "fault schedule failed to trip a watchdog"
+        );
+        assert!(
+            !original.backoffs().is_empty(),
+            "fault schedule failed to populate the backoff map"
+        );
+        assert!(original.stats().migrations > 0 || original.stats().packing_instances > 0);
+
+        let snap = original.snapshot();
+        let mut restored = Willow::restore(snap.clone()).expect("restore");
+
+        // The captured defense state matches the live controller exactly.
+        assert_eq!(snap.watchdog, original.watchdogs());
+        assert_eq!(snap.backoff, original.backoffs());
+        assert_eq!(snap.accepted_temp, original.accepted_temps());
+        assert_eq!(snap.local_cp, original.local_demands());
+        assert_eq!(snap.stats, original.stats());
+
+        // And the restored controller continues the faulted run identically.
+        let a = drive_faulted(&mut original, n_apps, 41, 60);
+        let b = drive_faulted(&mut restored, n_apps, 41, 60);
+        assert_eq!(a, b, "restored controller diverged under active faults");
+        assert_eq!(original.watchdogs(), restored.watchdogs());
+        assert_eq!(original.backoffs(), restored.backoffs());
+        assert_eq!(original.accepted_temps(), restored.accepted_temps());
+        assert_eq!(original.local_demands(), restored.local_demands());
+        assert_eq!(original.stats(), restored.stats());
     }
 }
