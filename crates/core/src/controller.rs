@@ -2375,6 +2375,72 @@ mod tests {
         assert!(retried > 0, "backoff must end in a successful retry");
     }
 
+    /// Pins the failure-accounting semantics documented on [`TickReport`]:
+    /// every attempt outcome is counted exactly once, in the period it
+    /// happens — a reject is only a reject, an abort is only an abort, and
+    /// the eventual successful retry counts as one retry plus one
+    /// migration without re-counting (or retroactively un-counting) the
+    /// earlier failures.
+    #[test]
+    fn failure_accounting_counts_each_outcome_once() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 1000;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        let reject = Disturbances {
+            migration_outcomes: vec![MigrationOutcome::Reject; 8],
+            ..Disturbances::default()
+        };
+        let abort = Disturbances {
+            migration_outcomes: vec![MigrationOutcome::Abort; 8],
+            ..Disturbances::default()
+        };
+
+        // Attempt 1: admission rejected — one reject, nothing else.
+        let r = w.step_with(&d, Watts(400.0), &reject);
+        assert_eq!(
+            (r.migration_rejects, r.migration_aborts, r.migration_retries),
+            (1, 0, 0)
+        );
+        assert!(r.migrations.is_empty());
+
+        // Attempt 2 (the one-tick backoff has expired): aborted mid-flight
+        // — one abort, and the earlier reject is not re-counted.
+        let r = w.step_with(&d, Watts(400.0), &abort);
+        assert_eq!(
+            (r.migration_rejects, r.migration_aborts, r.migration_retries),
+            (0, 1, 0)
+        );
+        assert!(r.migrations.is_empty());
+
+        // Fault-free from here: the eventual success is one retry and one
+        // migration, never an additional failure of either kind.
+        let (mut rejects, mut aborts, mut retries, mut moves) = (0, 0, 0, 0);
+        for _ in 0..10 {
+            let r = w.step(&d, Watts(400.0));
+            rejects += r.migration_rejects;
+            aborts += r.migration_aborts;
+            retries += r.migration_retries;
+            moves += r.migrations.len();
+        }
+        assert_eq!(retries, 1, "exactly one successful retry");
+        assert_eq!(moves, 1, "the app migrates exactly once");
+        assert_eq!(
+            (rejects, aborts),
+            (0, 0),
+            "a landed retry must not re-count as a failure"
+        );
+        assert_eq!(w.stats().migrations, 1);
+    }
+
     /// A stuck-high sensor must be rejected by the plausibility filter:
     /// the healthy server keeps a healthy budget and keeps its workload.
     #[test]

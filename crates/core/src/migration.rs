@@ -78,11 +78,24 @@ pub struct TickReport {
     pub reports_lost: usize,
     /// Downward budget directives lost to injected faults this period.
     pub directives_lost: usize,
-    /// Migration attempts refused admission by the destination this period.
+    /// Migration attempts refused admission by the destination this
+    /// period, *before* any copy work — nothing is charged to either end.
+    /// Each rejected attempt counts here exactly once (and enters the app
+    /// into retry backoff); rejects and aborts are disjoint, and a later
+    /// successful retry never retroactively adds to this count.
     pub migration_rejects: usize,
-    /// Migration attempts aborted mid-flight this period.
+    /// Migration attempts aborted *mid-flight* this period: the copy work
+    /// already happened, so both end nodes pay the temporary cost and the
+    /// fabric carried the traffic, but the app stays at the source. Each
+    /// aborted attempt counts here exactly once; disjoint from
+    /// `migration_rejects`.
     pub migration_aborts: usize,
-    /// Migrations that succeeded after at least one earlier failed attempt.
+    /// Migrations that *succeeded* this period after at least one earlier
+    /// failed attempt (the success cleared a live backoff entry). A
+    /// retried migration that eventually lands counts once here and once
+    /// in `migrations`; its earlier failures stay counted in the periods
+    /// they occurred and the success adds nothing to
+    /// `migration_rejects` / `migration_aborts`.
     pub migration_retries: usize,
     /// Stale-directive watchdogs that newly tripped this period.
     pub watchdog_trips: usize,
