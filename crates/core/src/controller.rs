@@ -26,6 +26,7 @@ use crate::disturbance::{Disturbances, MigrationOutcome};
 use crate::migration::{MigrationReason, MigrationRecord, TickReport};
 use crate::server::{ServerSpec, ServerState};
 use crate::state::PowerState;
+use crate::txn::{MigrationJournal, TxnId};
 use std::collections::HashMap;
 use willow_binpack::{BestFitDecreasing, Ffdlr, FirstFitDecreasing, NextFit, Packer};
 use willow_network::Fabric;
@@ -394,6 +395,10 @@ pub struct Willow {
     decay_ds: Vec<f64>,
     /// Retry backoff for apps whose migrations recently failed.
     backoff: HashMap<AppId, Backoff>,
+    /// Write-ahead journal of migration transactions (see `crate::txn`):
+    /// every migration runs prepare → transfer → commit through it, so a
+    /// crash or dead link mid-flight can never orphan or duplicate an app.
+    journal: MigrationJournal,
     /// Disturbances being applied to the period currently in progress.
     disturb: Disturbances,
     /// Migration attempts made so far this period (indexes into the
@@ -488,6 +493,7 @@ impl Willow {
             decay_dd,
             decay_ds,
             backoff: HashMap::new(),
+            journal: MigrationJournal::default(),
             disturb: Disturbances::default(),
             mig_attempts: 0,
             counters: FaultCounters::default(),
@@ -615,6 +621,14 @@ impl Willow {
         out.sort_unstable_by_key(|(app, _)| *app);
     }
 
+    /// The migration-transaction journal: open transactions plus recently
+    /// closed ones (retained for duplicate-commit detection).
+    #[must_use]
+    pub fn journal(&self) -> &MigrationJournal {
+        &self.journal
+    }
+
+
     /// Rebuild a controller from a previously captured snapshot (the
     /// checkpoint/restore path — see `crate::snapshot`). Validates the
     /// config, the leaf coverage of the server states, and the shape of
@@ -633,6 +647,7 @@ impl Willow {
             accepted_temp,
             backoff,
             stats,
+            journal,
         } = snapshot;
         config.validate().map_err(WillowError::Config)?;
         let leaves = tree.leaves().count();
@@ -697,6 +712,7 @@ impl Willow {
             decay_dd,
             decay_ds,
             backoff: backoff.into_iter().collect(),
+            journal,
             disturb: Disturbances::default(),
             mig_attempts: 0,
             counters: FaultCounters::default(),
@@ -769,6 +785,9 @@ impl Willow {
         self.mig_attempts = 0;
         self.counters = FaultCounters::default();
         let tick = self.tick;
+        // Age out closed migration transactions; open entries are kept
+        // (and an empty journal makes this free on steady-state ticks).
+        self.journal.prune(tick);
         let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
         let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
         report.reset(tick, supply_tick, consolidation_tick);
@@ -1357,14 +1376,16 @@ impl Willow {
         entry.retry_at = tick.saturating_add(delay);
     }
 
-    /// Try to migrate `item` to `target_leaf`, consuming the next
-    /// pre-rolled outcome. On `Success` the move happens (and a cleared
-    /// backoff counts as a successful retry); on `Reject` nothing is
-    /// charged; on `Abort` the copy work already happened — both end nodes
-    /// pay the temporary cost and the fabric carried the traffic — but the
-    /// app stays at the source with its accounting restored. Both failure
-    /// modes enter the app into retry backoff. Returns whether the app
-    /// moved.
+    /// Try to migrate `item` to `target_leaf` as a transaction (see
+    /// `crate::txn`), consuming the next pre-rolled outcome. On `Success`
+    /// the transaction runs prepare → transfer → commit and the move
+    /// happens (a cleared backoff counts as a successful retry); on
+    /// `Reject` the transaction aborts straight from `Prepared` — nothing
+    /// is charged; on `Abort` it aborts from `Transferred` — the copy work
+    /// already happened, so both end nodes pay the temporary cost and the
+    /// fabric carried the traffic, but the app stays at the source. Both
+    /// failure modes enter the app into retry backoff. Returns whether the
+    /// app moved.
     fn attempt_migration(
         &mut self,
         item: &DeficitItem,
@@ -1374,101 +1395,142 @@ impl Willow {
     ) -> bool {
         let attempt = self.mig_attempts;
         self.mig_attempts += 1;
+        let txn = self.prepare_migration(item, target_leaf, tick);
         match self.disturb.migration_outcome(attempt) {
             MigrationOutcome::Success => {
                 if self.backoff.remove(&item.app).is_some() {
                     self.counters.migration_retries += 1;
                 }
-                self.execute_migration(*item, target_leaf, tick, records);
+                self.transfer_migration(txn);
+                let committed = self.commit_migration(txn, records);
+                debug_assert!(committed, "a fresh transaction must commit");
                 true
             }
             MigrationOutcome::Reject => {
+                // Admission refused before any copy work: abort from
+                // `Prepared`, charging nothing.
+                self.abort_migration(txn);
                 self.counters.migration_rejects += 1;
                 self.register_failure(item.app, tick);
                 false
             }
             MigrationOutcome::Abort => {
+                // Dead link / crash mid-copy: the transfer's work was real,
+                // the placement flip never happened.
                 self.counters.migration_aborts += 1;
-                let src_leaf = self.servers[item.server].node;
-                let tgt_idx = self.leaf_server[target_leaf.index()].expect("target is a server");
-                let local = self.tree.are_siblings(src_leaf, target_leaf);
-                let cost = self.config.cost_model.end_node_cost(item.demand, local);
-                self.servers[item.server].pending_cost += cost;
-                self.servers[tgt_idx].pending_cost += cost;
-                self.power.cp[src_leaf.index()] += cost;
-                self.power.cp[target_leaf.index()] += cost;
-                self.local_cp[src_leaf.index()] += cost;
-                self.local_cp[target_leaf.index()] += cost;
-                let units = self.config.cost_model.traffic_units(item.demand);
-                self.fabric
-                    .record_migration(&self.tree, src_leaf, target_leaf, units);
+                self.transfer_migration(txn);
+                self.abort_migration(txn);
                 self.register_failure(item.app, tick);
                 false
             }
         }
     }
 
-    /// Physically move an app, charge costs, record traffic and stats.
-    fn execute_migration(
-        &mut self,
-        item: DeficitItem,
-        target_leaf: NodeId,
-        tick: u64,
-        records: &mut Vec<MigrationRecord>,
-    ) {
-        let src_idx = item.server;
-        let tgt_idx = self.leaf_server[target_leaf.index()].expect("target is a server leaf");
+    /// Transaction phase 1 — **prepare**: validate the attempt and open a
+    /// journal entry. Nothing is charged; the app keeps running at the
+    /// source.
+    fn prepare_migration(&mut self, item: &DeficitItem, target_leaf: NodeId, tick: u64) -> TxnId {
+        let src_leaf = self.servers[item.server].node;
+        debug_assert!(
+            self.servers[item.server].find_app(item.app).is_some(),
+            "preparing a migration for an app not hosted at its source"
+        );
+        debug_assert!(
+            self.leaf_server[target_leaf.index()].is_some(),
+            "preparing a migration to a non-server target"
+        );
+        self.journal
+            .begin(item.app, src_leaf, target_leaf, item.demand, item.reason, tick)
+    }
+
+    /// Transaction phase 2 — **transfer**: the copy work. Both end nodes
+    /// pay the temporary cost for one period (§IV-E) and the fabric
+    /// carries the traffic. This happens whether the transaction later
+    /// commits or aborts — aborting cannot refund work already done.
+    fn transfer_migration(&mut self, txn: TxnId) {
+        let e = *self.journal.entry(txn).expect("transferring a live transaction");
+        let src_idx = self.leaf_server[e.from.index()].expect("source is a server leaf");
+        let tgt_idx = self.leaf_server[e.to.index()].expect("target is a server leaf");
+        let local = self.tree.are_siblings(e.from, e.to);
+        let cost = self.config.cost_model.end_node_cost(e.demand, local);
+        self.servers[src_idx].pending_cost += cost;
+        self.servers[tgt_idx].pending_cost += cost;
+        let units = self.config.cost_model.traffic_units(e.demand);
+        self.fabric.record_migration(&self.tree, e.from, e.to, units);
+        self.journal.mark_transferred(txn);
+    }
+
+    /// Transaction phase 3 — **commit**: flip the placement at the target
+    /// and update every demand view. Idempotent: committing an
+    /// already-committed (or aborted) transaction returns `false` and
+    /// changes nothing, so duplicated commit messages can never
+    /// double-move an app. Returns whether *this* call performed the move.
+    fn commit_migration(&mut self, txn: TxnId, records: &mut Vec<MigrationRecord>) -> bool {
+        let e = match self.journal.entry(txn) {
+            Some(e) => *e,
+            None => return false,
+        };
+        if !self.journal.commit(txn) {
+            return false;
+        }
+        let src_idx = self.leaf_server[e.from.index()].expect("source is a server leaf");
+        let tgt_idx = self.leaf_server[e.to.index()].expect("target is a server leaf");
         debug_assert_ne!(src_idx, tgt_idx, "cannot migrate to self");
-        let src_leaf = self.servers[src_idx].node;
 
         let app_pos = self.servers[src_idx]
-            .find_app(item.app)
-            .expect("item's app still hosted at source");
+            .find_app(e.app)
+            .expect("committed app still hosted at source");
         let (app, demand) = self.servers[src_idx].take_app(app_pos);
         self.servers[tgt_idx].host_app(app, demand);
 
-        // Temporary cost demand on both ends (§IV-E), charged next period;
-        // non-local moves additionally pay the IP-reconfiguration charge.
-        let local = self.tree.are_siblings(src_leaf, target_leaf);
+        let local = self.tree.are_siblings(e.from, e.to);
         let cost = self.config.cost_model.end_node_cost(demand, local);
-        self.servers[src_idx].pending_cost += cost;
-        self.servers[tgt_idx].pending_cost += cost;
 
         // Keep leaf CPs current so later packing sees updated surpluses.
-        self.power.cp[src_leaf.index()] =
-            (self.power.cp[src_leaf.index()] - demand).non_negative() + cost;
-        self.power.cp[target_leaf.index()] += demand + cost;
-        self.local_cp[src_leaf.index()] =
-            (self.local_cp[src_leaf.index()] - demand).non_negative() + cost;
-        self.local_cp[target_leaf.index()] += demand + cost;
+        self.power.cp[e.from.index()] =
+            (self.power.cp[e.from.index()] - demand).non_negative() + cost;
+        self.power.cp[e.to.index()] += demand + cost;
+        self.local_cp[e.from.index()] =
+            (self.local_cp[e.from.index()] - demand).non_negative() + cost;
+        self.local_cp[e.to.index()] += demand + cost;
 
-        // Fabric accounting.
-        let units = self.config.cost_model.traffic_units(demand);
-        self.fabric
-            .record_migration(&self.tree, src_leaf, target_leaf, units);
-
-        let hops = self.tree.path_len(src_leaf, target_leaf) - 1; // switches on path
-                                                                  // Ping-pong: the app returns to the host it last left, within Δ_f.
-        let pingpong = self
-            .last_move
-            .get(&item.app)
-            .is_some_and(|&(prev_from, t)| {
-                target_leaf == prev_from && tick.saturating_sub(t) < self.config.pingpong_window
-            });
-        self.last_move.insert(item.app, (src_leaf, tick));
+        let hops = self.tree.path_len(e.from, e.to) - 1; // switches on path
+        // Ping-pong: the app returns to the host it last left, within Δ_f.
+        let pingpong = self.last_move.get(&e.app).is_some_and(|&(prev_from, t)| {
+            e.to == prev_from && e.tick.saturating_sub(t) < self.config.pingpong_window
+        });
+        self.last_move.insert(e.app, (e.from, e.tick));
 
         self.stats.migrations += 1;
         records.push(MigrationRecord {
-            tick,
-            app: item.app,
-            from: src_leaf,
-            to: target_leaf,
+            tick: e.tick,
+            app: e.app,
+            from: e.from,
+            to: e.to,
             moved: demand,
-            reason: item.reason,
+            reason: e.reason,
             local,
             hops,
             pingpong,
         });
+        true
+    }
+
+    /// Explicit **abort**, legal from either open phase: the app stays at
+    /// the source. An abort after transfer charges the copy cost into both
+    /// ends' demand views (the work was real); an abort from `Prepared`
+    /// charges nothing.
+    fn abort_migration(&mut self, txn: TxnId) {
+        let e = *self.journal.entry(txn).expect("aborting a live transaction");
+        if e.phase == crate::txn::TxnPhase::Transferred {
+            let local = self.tree.are_siblings(e.from, e.to);
+            let cost = self.config.cost_model.end_node_cost(e.demand, local);
+            self.power.cp[e.from.index()] += cost;
+            self.power.cp[e.to.index()] += cost;
+            self.local_cp[e.from.index()] += cost;
+            self.local_cp[e.to.index()] += cost;
+        }
+        self.journal.abort(txn);
     }
 
     /// Consolidation (§IV-E end, §V-C5): below-threshold servers try to
@@ -2373,6 +2435,49 @@ mod tests {
             retried += r.migration_retries;
         }
         assert!(retried > 0, "backoff must end in a successful retry");
+    }
+
+    /// A duplicated commit message must be a no-op at the controller
+    /// level: the app is not moved twice, no second record is emitted and
+    /// the stats stay put — conservation survives message duplication.
+    #[test]
+    fn duplicate_commit_does_not_double_move() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 1000;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        let r = w.step(&d, Watts(400.0));
+        assert_eq!(r.migrations.len(), 1, "the plunge must trigger one move");
+        let moved = r.migrations[0].app;
+        let committed = w
+            .journal()
+            .entry(crate::txn::TxnId(0))
+            .copied()
+            .expect("the transaction is still journaled");
+        assert_eq!(committed.phase, crate::txn::TxnPhase::Committed);
+        assert_eq!(committed.app, moved);
+        let host = w.locate_app(moved).unwrap();
+        let stats = w.stats();
+
+        // Replay the commit, as a duplicated message would.
+        let mut records = Vec::new();
+        assert!(
+            !w.commit_migration(committed.id, &mut records),
+            "replayed commit must report it did nothing"
+        );
+        assert!(records.is_empty());
+        assert_eq!(w.locate_app(moved), Some(host), "app must not move again");
+        assert_eq!(w.stats(), stats);
+        let hosted: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(hosted, n_apps, "no app may be duplicated or lost");
     }
 
     /// Pins the failure-accounting semantics documented on [`TickReport`]:

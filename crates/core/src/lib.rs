@@ -84,6 +84,7 @@ pub mod server;
 pub mod shedding;
 pub mod snapshot;
 pub mod state;
+pub mod txn;
 
 pub use config::ControllerConfig;
 pub use controller::{Backoff, Watchdog, Willow};

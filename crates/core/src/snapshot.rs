@@ -12,6 +12,7 @@
 
 use crate::config::ControllerConfig;
 use crate::controller::{Backoff, ControlStats, Watchdog, Willow, WillowError};
+use crate::txn::MigrationJournal;
 use crate::server::ServerState;
 use crate::state::PowerState;
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,10 @@ pub struct WillowSnapshot {
     pub backoff: Vec<(AppId, Backoff)>,
     /// Cumulative operation counters (§V-A2 complexity accounting).
     pub stats: ControlStats,
+    /// Migration-transaction journal: open transactions plus recently
+    /// closed ones. Restore resolves any entry still open (see
+    /// `crate::txn`).
+    pub journal: MigrationJournal,
 }
 
 impl Willow {
@@ -69,6 +74,7 @@ impl Willow {
             accepted_temp: self.accepted_temps().to_vec(),
             backoff: self.backoffs(),
             stats: self.stats(),
+            journal: self.journal().clone(),
         }
     }
 
@@ -92,6 +98,7 @@ impl Willow {
         snap.accepted_temp.extend_from_slice(self.accepted_temps());
         self.backoffs_into(&mut snap.backoff);
         snap.stats = self.stats();
+        snap.journal.clone_from(self.journal());
     }
 
     /// Reconstruct a controller from a snapshot. The result continues the
