@@ -628,12 +628,13 @@ impl Willow {
         &self.journal
     }
 
-
     /// Rebuild a controller from a previously captured snapshot (the
     /// checkpoint/restore path — see `crate::snapshot`). Validates the
     /// config, the leaf coverage of the server states, and the shape of
     /// every auxiliary state vector against the snapshot's own topology.
-    pub(crate) fn from_parts(snapshot: crate::snapshot::WillowSnapshot) -> Result<Willow, WillowError> {
+    pub(crate) fn from_parts(
+        snapshot: crate::snapshot::WillowSnapshot,
+    ) -> Result<Willow, WillowError> {
         let crate::snapshot::WillowSnapshot {
             tree,
             config,
@@ -720,6 +721,92 @@ impl Willow {
             packer,
             tel: ControllerTelemetry::default(),
         })
+    }
+
+    /// Restart a crashed controller from its last periodic `checkpoint`
+    /// and reconcile it against `field` — the live leaf-local state that
+    /// kept running open-loop while the controller was down (see
+    /// [`Willow::step_open_loop`]).
+    ///
+    /// The checkpoint supplies the controller's *memory* (config, counters,
+    /// ping-pong history, retry backoff, the migration journal); the field
+    /// supplies *physical truth*, which always wins where the two disagree:
+    ///
+    /// * **Placement and server state** — migrations committed between the
+    ///   checkpoint and the crash are in the field but not the checkpoint,
+    ///   so the field's servers (and their smoother/thermal state) are
+    ///   adopted wholesale. Nothing moves during an outage (only the
+    ///   controller migrates), so this is exact, not approximate.
+    /// * **Budgets, caps, watchdogs, accepted temperatures, clock** — the
+    ///   leaves' applied budgets (tightened by open-loop watchdogs) and
+    ///   filtered sensor state carry over; the restored controller resumes
+    ///   at the field's tick, not the checkpoint's.
+    /// * **Demand view** — re-learned: each leaf's `CP` is seeded from its
+    ///   fresh `local_cp` and re-aggregated up the tree, replacing the
+    ///   checkpoint's stale hierarchy view.
+    /// * **Ping-pong / backoff memory** — entries whose window already
+    ///   elapsed during the outage are expired rather than replayed.
+    /// * **In-flight migrations** — journal entries still open in the
+    ///   checkpoint never flipped a placement, so they are aborted
+    ///   ([`MigrationJournal::resolve_in_flight`]).
+    ///
+    /// # Errors
+    /// Whatever [`WillowSnapshot`](crate::snapshot::WillowSnapshot)
+    /// restoration reports, plus [`WillowError::SnapshotShape`] when the
+    /// checkpoint's topology does not match the field's.
+    pub fn recover(
+        checkpoint: crate::snapshot::WillowSnapshot,
+        field: &Willow,
+    ) -> Result<Willow, WillowError> {
+        let mut w = Willow::from_parts(checkpoint)?;
+        let shape = |field_name: &'static str, found: usize, expected: usize| {
+            if found == expected {
+                Ok(())
+            } else {
+                Err(WillowError::SnapshotShape {
+                    field: field_name,
+                    found,
+                    expected,
+                })
+            }
+        };
+        shape("recover.tree", w.tree.len(), field.tree.len())?;
+        shape("recover.servers", w.servers.len(), field.servers.len())?;
+        for (ours, theirs) in w.servers.iter().zip(&field.servers) {
+            shape("recover.leaf", ours.node.index(), theirs.node.index())?;
+        }
+
+        // Physical truth from the field.
+        w.servers.clone_from(&field.servers);
+        w.leaf_server.clone_from(&field.leaf_server);
+        w.power.clone_from(&field.power);
+        w.local_cp.clone_from(&field.local_cp);
+        w.watchdog.clone_from(&field.watchdog);
+        w.accepted_temp.clone_from(&field.accepted_temp);
+        w.tick = field.tick;
+        w.last_dropped = field.last_dropped;
+
+        // Re-learn the demand hierarchy from the leaves' fresh local view,
+        // and re-sum the caps the leaves computed for themselves open-loop.
+        for server in &w.servers {
+            let leaf = server.node.index();
+            w.power.cp[leaf] = if server.active {
+                w.local_cp[leaf]
+            } else {
+                Watts::ZERO
+            };
+        }
+        w.power.aggregate_demands(&w.tree);
+        w.power.aggregate_caps(&w.tree);
+
+        // Expire memory whose window elapsed during the outage.
+        let horizon = w.config.pingpong_window;
+        let now = w.tick;
+        w.last_move
+            .retain(|_, &mut (_, t)| now.saturating_sub(t) < horizon);
+        w.backoff.retain(|_, b| b.retry_at > now);
+        w.journal.resolve_in_flight();
+        Ok(w)
     }
 
     /// Server index hosting `app`, if any.
@@ -853,6 +940,171 @@ impl Willow {
         if cp_dirty {
             self.power.aggregate_demands(&self.tree);
         }
+        self.physics_phase(report);
+        self.tel.span_thermal_update.record_since(t0);
+
+        self.tel.migrations.add(report.migrations.len() as u64);
+        self.tel
+            .migration_aborts
+            .add(self.counters.migration_aborts as u64);
+        self.tel
+            .migration_rejects
+            .add(self.counters.migration_rejects as u64);
+        self.tel
+            .watchdog_trips
+            .add(self.counters.watchdog_trips as u64);
+        if self.tel.due(SLOT_GAUGES, tick) {
+            for (level, gauge) in self.tel.level_deficit.iter().enumerate() {
+                let deficit = self
+                    .tree
+                    .nodes_at_level(level as u8)
+                    .iter()
+                    .map(|&n| self.power.deficit(n))
+                    .fold(Watts::ZERO, |a, b| a + b);
+                gauge.set(deficit.0);
+            }
+            self.tel.fabric.observe(&self.fabric);
+        }
+
+        self.publish_counters(report);
+
+        self.tick += 1;
+    }
+
+    /// Drive one demand period with the central controller *down*: only
+    /// the leaf-local control surface runs. Servers keep measuring and
+    /// smoothing their own demand, draw against their last applied budget,
+    /// advance thermally, and run the sensor plausibility filter — but no
+    /// reports flow up, no budgets flow down, and no migrations or
+    /// consolidations happen (only the controller initiates them). On
+    /// supply ticks every leaf misses its directive, so the stale-directive
+    /// watchdogs count, trip at the configured threshold, and budgets can
+    /// only *tighten* (clipped by the locally recomputed thermal cap, and
+    /// by the fallback fraction once tripped) — exactly the per-leaf
+    /// degraded mode of [`Willow::step_into`] under directive loss, applied
+    /// fleet-wide.
+    ///
+    /// Sensor faults in `disturb` still apply (they are physical); message
+    /// and migration faults are moot since no messages are sent.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step_open_loop(
+        &mut self,
+        app_demand: &[Watts],
+        disturb: &Disturbances,
+        report: &mut TickReport,
+    ) {
+        self.disturb.assign_from(disturb);
+        self.mig_attempts = 0;
+        self.counters = FaultCounters::default();
+        let tick = self.tick;
+        let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
+        let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
+        report.reset(tick, supply_tick, consolidation_tick);
+        self.fabric.reset_epoch();
+
+        // Leaf-local measurement: smoothing still happens (the machine
+        // observes its own load) and `local_cp` stays fresh, but nothing
+        // reaches the hierarchy — `power.cp` keeps the controller's last
+        // view and no control messages are exchanged.
+        for server in self.servers.iter_mut() {
+            if server.active {
+                for (i, app) in server.apps.iter().enumerate() {
+                    let idx = app.id.0 as usize;
+                    assert!(
+                        idx < app_demand.len(),
+                        "demand vector too short for {}",
+                        app.id
+                    );
+                    server.app_demand[i] = app_demand[idx];
+                }
+                let raw = server.raw_demand();
+                let smoothed = server.smoother.observe(raw);
+                self.local_cp[server.node.index()] = smoothed;
+            } else {
+                self.local_cp[server.node.index()] = Watts::ZERO;
+            }
+            server.pending_cost = Watts::ZERO;
+        }
+
+        // On supply ticks every leaf's directive is missing. Each leaf
+        // refreshes its *own* thermal cap from its accepted temperature
+        // (that computation is local) and applies the same tighten-only
+        // fallback it uses for an individually lost directive.
+        if supply_tick {
+            let window = self.config.delta_s();
+            for (si, server) in self.servers.iter().enumerate() {
+                let leaf = server.node.index();
+                let cap = match self.config.thermal_estimate {
+                    crate::config::ThermalEstimate::WindowPrediction => {
+                        let limit = if window.is_positive() {
+                            power_limit_with_decay(
+                                server.thermal.params(),
+                                self.accepted_temp[si],
+                                server.thermal.ambient(),
+                                server.thermal.limit(),
+                                self.decay_ds[si],
+                            )
+                        } else {
+                            Watts(f64::INFINITY)
+                        };
+                        limit.clamp(Watts::ZERO, server.thermal.rating())
+                    }
+                    crate::config::ThermalEstimate::NaiveThrottle => {
+                        if self.accepted_temp[si].0 > server.thermal.limit().0 + 1e-9 {
+                            Watts::ZERO
+                        } else {
+                            server.thermal.rating()
+                        }
+                    }
+                };
+                self.power.cap[leaf] = cap;
+                self.counters.directives_lost += 1;
+                let wd = &mut self.watchdog[si];
+                wd.missed += 1;
+                if !wd.tripped && wd.missed >= self.config.robustness.watchdog_threshold {
+                    wd.tripped = true;
+                    self.counters.watchdog_trips += 1;
+                }
+                let mut fallback = self.power.tp[leaf].min(cap);
+                if wd.tripped {
+                    let cap_w =
+                        server.thermal.rating().0 * self.config.robustness.watchdog_cap_fraction;
+                    fallback = fallback.min(Watts(cap_w));
+                }
+                self.power.tp[leaf] = fallback;
+            }
+        }
+
+        self.physics_phase(report);
+        self.tel
+            .watchdog_trips
+            .add(self.counters.watchdog_trips as u64);
+        self.publish_counters(report);
+
+        self.tick += 1;
+    }
+
+    /// Copy the period's fault/defense counters into the report tail —
+    /// shared by [`Willow::step_into`] and [`Willow::step_open_loop`].
+    fn publish_counters(&mut self, report: &mut TickReport) {
+        report.reports_lost = self.counters.reports_lost;
+        report.directives_lost = self.counters.directives_lost;
+        report.migration_rejects = self.counters.migration_rejects;
+        report.migration_aborts = self.counters.migration_aborts;
+        report.migration_retries = self.counters.migration_retries;
+        report.watchdog_trips = self.counters.watchdog_trips;
+        report.sensor_rejections = self.counters.sensor_rejections;
+        report.fallback_servers = self.watchdog.iter().filter(|w| w.tripped).count();
+    }
+
+    /// The per-server physical update shared by closed- and open-loop
+    /// ticks: draw `min(local demand, budget)`, account shed demand by QoS
+    /// class, advance the RC thermal model, run the sensor plausibility
+    /// filter, record query traffic, and fill the report's per-server and
+    /// imbalance vectors.
+    fn physics_phase(&mut self, report: &mut TickReport) {
         let mut dropped = Watts::ZERO;
         for (si, server) in self.servers.iter_mut().enumerate() {
             let leaf = server.node.index();
@@ -914,41 +1166,6 @@ impl Willow {
                 .imbalance
                 .push(self.power.level_imbalance(&self.tree, level));
         }
-        self.tel.span_thermal_update.record_since(t0);
-
-        self.tel.migrations.add(report.migrations.len() as u64);
-        self.tel
-            .migration_aborts
-            .add(self.counters.migration_aborts as u64);
-        self.tel
-            .migration_rejects
-            .add(self.counters.migration_rejects as u64);
-        self.tel
-            .watchdog_trips
-            .add(self.counters.watchdog_trips as u64);
-        if self.tel.due(SLOT_GAUGES, tick) {
-            for (level, gauge) in self.tel.level_deficit.iter().enumerate() {
-                let deficit = self
-                    .tree
-                    .nodes_at_level(level as u8)
-                    .iter()
-                    .map(|&n| self.power.deficit(n))
-                    .fold(Watts::ZERO, |a, b| a + b);
-                gauge.set(deficit.0);
-            }
-            self.tel.fabric.observe(&self.fabric);
-        }
-
-        report.reports_lost = self.counters.reports_lost;
-        report.directives_lost = self.counters.directives_lost;
-        report.migration_rejects = self.counters.migration_rejects;
-        report.migration_aborts = self.counters.migration_aborts;
-        report.migration_retries = self.counters.migration_retries;
-        report.watchdog_trips = self.counters.watchdog_trips;
-        report.sensor_rejections = self.counters.sensor_rejections;
-        report.fallback_servers = self.watchdog.iter().filter(|w| w.tripped).count();
-
-        self.tick += 1;
     }
 
     /// Smooth raw demands into leaf `CP` values and aggregate upward. A
@@ -1439,8 +1656,14 @@ impl Willow {
             self.leaf_server[target_leaf.index()].is_some(),
             "preparing a migration to a non-server target"
         );
-        self.journal
-            .begin(item.app, src_leaf, target_leaf, item.demand, item.reason, tick)
+        self.journal.begin(
+            item.app,
+            src_leaf,
+            target_leaf,
+            item.demand,
+            item.reason,
+            tick,
+        )
     }
 
     /// Transaction phase 2 — **transfer**: the copy work. Both end nodes
@@ -1448,7 +1671,10 @@ impl Willow {
     /// carries the traffic. This happens whether the transaction later
     /// commits or aborts — aborting cannot refund work already done.
     fn transfer_migration(&mut self, txn: TxnId) {
-        let e = *self.journal.entry(txn).expect("transferring a live transaction");
+        let e = *self
+            .journal
+            .entry(txn)
+            .expect("transferring a live transaction");
         let src_idx = self.leaf_server[e.from.index()].expect("source is a server leaf");
         let tgt_idx = self.leaf_server[e.to.index()].expect("target is a server leaf");
         let local = self.tree.are_siblings(e.from, e.to);
@@ -1456,7 +1682,8 @@ impl Willow {
         self.servers[src_idx].pending_cost += cost;
         self.servers[tgt_idx].pending_cost += cost;
         let units = self.config.cost_model.traffic_units(e.demand);
-        self.fabric.record_migration(&self.tree, e.from, e.to, units);
+        self.fabric
+            .record_migration(&self.tree, e.from, e.to, units);
         self.journal.mark_transferred(txn);
     }
 
@@ -1495,7 +1722,7 @@ impl Willow {
         self.local_cp[e.to.index()] += demand + cost;
 
         let hops = self.tree.path_len(e.from, e.to) - 1; // switches on path
-        // Ping-pong: the app returns to the host it last left, within Δ_f.
+                                                         // Ping-pong: the app returns to the host it last left, within Δ_f.
         let pingpong = self.last_move.get(&e.app).is_some_and(|&(prev_from, t)| {
             e.to == prev_from && e.tick.saturating_sub(t) < self.config.pingpong_window
         });
@@ -1521,7 +1748,10 @@ impl Willow {
     /// ends' demand views (the work was real); an abort from `Prepared`
     /// charges nothing.
     fn abort_migration(&mut self, txn: TxnId) {
-        let e = *self.journal.entry(txn).expect("aborting a live transaction");
+        let e = *self
+            .journal
+            .entry(txn)
+            .expect("aborting a live transaction");
         if e.phase == crate::txn::TxnPhase::Transferred {
             let local = self.tree.are_siblings(e.from, e.to);
             let cost = self.config.cost_model.end_node_cost(e.demand, local);
@@ -2630,5 +2860,181 @@ mod tests {
             "no migration may target a crashed server: {:?}",
             r.migrations
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Controller crash: open-loop operation and checkpoint recovery
+    // ------------------------------------------------------------------
+
+    fn placement(w: &Willow) -> Vec<Vec<AppId>> {
+        w.servers()
+            .iter()
+            .map(|s| s.apps.iter().map(|a| a.id).collect())
+            .collect()
+    }
+
+    #[test]
+    fn open_loop_freezes_placement_and_trips_watchdogs() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.eta1 = 1; // every tick issues directives ⇒ every open-loop tick misses one
+        cfg.eta2 = 1000;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let d = demands(n_apps, 30.0);
+        for _ in 0..5 {
+            w.step(&d, Watts(2000.0));
+        }
+        let before = placement(&w);
+        let budgets: Vec<Watts> = w
+            .servers()
+            .iter()
+            .map(|s| w.power().tp[s.node.index()])
+            .collect();
+        let threshold = w.config().robustness.watchdog_threshold;
+        let frac = w.config().robustness.watchdog_cap_fraction;
+        let mut r = TickReport::default();
+        for k in 1..=6u32 {
+            w.step_open_loop(&d, &Disturbances::default(), &mut r);
+            assert!(r.migrations.is_empty(), "open loop can never migrate");
+            assert_eq!(r.control_messages, 0, "a dead controller sends nothing");
+            assert_eq!(r.directives_lost, 4, "every leaf misses its directive");
+            for (s, &b0) in w.servers().iter().zip(&budgets) {
+                assert!(
+                    w.power().tp[s.node.index()] <= b0 + Watts(1e-9),
+                    "open-loop budgets may only tighten"
+                );
+            }
+            if k >= threshold {
+                assert!(
+                    w.watchdogs().iter().all(|wd| wd.tripped),
+                    "all watchdogs tripped after {threshold} missed directives"
+                );
+                assert_eq!(r.fallback_servers, 4);
+                for s in w.servers() {
+                    assert!(
+                        w.power().tp[s.node.index()].0 <= s.thermal.rating().0 * frac + 1e-9,
+                        "tripped fallback cap must bind"
+                    );
+                }
+            }
+        }
+        assert_eq!(placement(&w), before, "placement is frozen while down");
+    }
+
+    #[test]
+    fn recover_adopts_field_state_and_resolves_in_flight() {
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 1;
+        cfg.eta2 = 1000;
+        cfg.consolidation_threshold = 0.0;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 10.0);
+        d[0] = Watts(60.0);
+        d[1] = Watts(60.0);
+        let _ = w.step(&d, Watts(800.0));
+        // Checkpoint *before* the plunge migrates an app away.
+        let mut ckpt = w.snapshot();
+        // Forge an in-flight entry in the checkpoint, as if the controller
+        // crashed mid-transfer right after checkpointing.
+        let stale = ckpt.journal.begin(
+            AppId(0),
+            w.servers()[0].node,
+            w.servers()[1].node,
+            Watts(60.0),
+            MigrationReason::Demand,
+            1,
+        );
+        ckpt.journal.mark_transferred(stale);
+        // The field keeps going: a migration commits post-checkpoint...
+        let r = w.step(&d, Watts(400.0));
+        assert!(!r.migrations.is_empty(), "setup needs a real migration");
+        // ...then the controller dies and the leaves run open-loop.
+        let mut report = TickReport::default();
+        for _ in 0..10 {
+            w.step_open_loop(&d, &Disturbances::default(), &mut report);
+        }
+
+        let recovered = Willow::recover(ckpt, &w).unwrap();
+        assert_eq!(recovered.tick_count(), w.tick_count(), "clock from field");
+        assert_eq!(
+            placement(&recovered),
+            placement(&w),
+            "post-checkpoint migrations must survive recovery (field wins)"
+        );
+        assert_eq!(recovered.watchdogs(), w.watchdogs());
+        assert_eq!(recovered.accepted_temps(), w.accepted_temps());
+        assert_eq!(
+            recovered.journal().in_flight().count(),
+            0,
+            "entries left open across the crash are aborted"
+        );
+        // The recovered controller must be able to keep controlling.
+        let mut r2 = recovered;
+        let apps_before: usize = r2.servers().iter().map(|s| s.apps.len()).sum();
+        let mut rep = TickReport::default();
+        for _ in 0..20 {
+            r2.step_into(&d, Watts(800.0), &Disturbances::default(), &mut rep);
+        }
+        let apps_after: usize = r2.servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(apps_before, apps_after, "apps conserved after recovery");
+    }
+
+    #[test]
+    fn recover_from_fresh_checkpoint_continues_identically() {
+        // When the field has not diverged from the checkpoint (crash of
+        // zero length), recovery must be behaviorally invisible: the
+        // recovered controller and the uninterrupted one produce identical
+        // reports from then on.
+        let (tree, specs, n_apps) = small_setup(2);
+        let mut cfg = ControllerConfig::default();
+        cfg.margin = Watts(5.0);
+        cfg.eta1 = 2;
+        cfg.eta2 = 7;
+        cfg.allocation = AllocationPolicy::EqualShare;
+        let mut w = Willow::new(tree, specs, cfg).unwrap();
+        let mut d = demands(n_apps, 25.0);
+        d[0] = Watts(70.0);
+        for t in 0..20 {
+            let supply = if t % 6 < 3 { 900.0 } else { 380.0 };
+            let _ = w.step(&d, Watts(supply));
+        }
+        let ckpt = w.snapshot();
+        let mut recovered = Willow::recover(ckpt, &w).unwrap();
+        let mut ra = TickReport::default();
+        let mut rb = TickReport::default();
+        for t in 20..60 {
+            let supply = if t % 6 < 3 { 900.0 } else { 380.0 };
+            w.step_into(&d, Watts(supply), &Disturbances::default(), &mut ra);
+            recovered.step_into(&d, Watts(supply), &Disturbances::default(), &mut rb);
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "diverged at tick {t}");
+        }
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_field() {
+        let (tree, specs, _) = small_setup(1);
+        let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        let ckpt = w.snapshot();
+        let other_tree = Tree::paper_fig3();
+        let other_specs: Vec<ServerSpec> = other_tree
+            .leaves()
+            .enumerate()
+            .map(|(i, leaf)| {
+                let app = Application::new(
+                    AppId(i as u32),
+                    0,
+                    &willow_workload::app::SIM_APP_CLASSES[0],
+                );
+                ServerSpec::simulation_default(leaf).with_apps(vec![app])
+            })
+            .collect();
+        let other = Willow::new(other_tree, other_specs, ControllerConfig::default()).unwrap();
+        assert!(matches!(
+            Willow::recover(ckpt, &other),
+            Err(WillowError::SnapshotShape { .. })
+        ));
     }
 }

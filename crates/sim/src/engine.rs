@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use willow_core::controller::Willow;
 use willow_core::migration::TickReport;
 use willow_core::server::ServerSpec;
+use willow_core::snapshot::WillowSnapshot;
 use willow_core::Disturbances;
 use willow_thermal::units::Watts;
 use willow_topology::{NodeId, Tree};
@@ -43,6 +44,15 @@ pub struct Simulation {
     registry: willow_telemetry::TelemetryRegistry,
     /// Engine-level tick-duration histogram.
     tick_hist: willow_telemetry::Histogram,
+    /// Last periodic controller checkpoint. Only maintained when the fault
+    /// plan schedules controller crashes — a run without them pays nothing.
+    checkpoint: Option<WillowSnapshot>,
+    /// Whether the previous tick ran with the controller down.
+    was_down: bool,
+    /// Ticks spent with the controller down (leaves open-loop).
+    open_loop_ticks: usize,
+    /// Controller restarts performed (checkpoint restore + reconcile).
+    controller_recoveries: usize,
 }
 
 /// AR(1) persistence of the per-app load drift (per demand period).
@@ -103,6 +113,10 @@ impl Simulation {
             injector,
             registry: willow_telemetry::TelemetryRegistry::disabled(),
             tick_hist: willow_telemetry::Histogram::default(),
+            checkpoint: None,
+            was_down: false,
+            open_loop_ticks: 0,
+            controller_recoveries: 0,
         })
     }
 
@@ -193,7 +207,45 @@ impl Simulation {
             Some(inj) => inj.disturbances_for(self.tick as u64),
             None => Disturbances::none(),
         };
-        self.willow.step_into(&demands, supply, &disturb, report);
+        let tick = self.tick as u64;
+        let (down, checkpoint_due) = match self
+            .injector
+            .as_ref()
+            .and_then(|i| i.plan().controller_crash.as_ref())
+        {
+            Some(plan) => (plan.down(tick), tick.is_multiple_of(plan.checkpoint_period)),
+            None => (false, false),
+        };
+        if down {
+            // Controller dead: the leaves run open-loop on their last
+            // applied budgets; watchdogs count the missing directives.
+            self.open_loop_ticks += 1;
+            self.was_down = true;
+            self.willow.step_open_loop(&demands, &disturb, report);
+        } else {
+            if self.was_down {
+                // First healthy tick after an outage: restart from the
+                // last periodic checkpoint and reconcile against the field
+                // (validation guarantees tick 0 checkpointed before any
+                // window could open).
+                let ckpt = self
+                    .checkpoint
+                    .clone()
+                    .expect("a crash window opened before the first checkpoint");
+                self.willow = Willow::recover(ckpt, &self.willow)
+                    .expect("checkpoint and field share one topology");
+                self.willow.attach_telemetry(&self.registry);
+                self.controller_recoveries += 1;
+                self.was_down = false;
+            }
+            if checkpoint_due {
+                match &mut self.checkpoint {
+                    Some(snap) => self.willow.snapshot_into(snap),
+                    None => self.checkpoint = Some(self.willow.snapshot()),
+                }
+            }
+            self.willow.step_into(&demands, supply, &disturb, report);
+        }
         self.snapshot_fabric_into(fabric);
         self.tick += 1;
         self.tick_hist.record_since(t0);
@@ -226,7 +278,22 @@ impl Simulation {
                 acc.record(&report, &fabric);
             }
         }
-        acc.finish()
+        let mut m = acc.finish();
+        m.open_loop_ticks = self.open_loop_ticks;
+        m.controller_recoveries = self.controller_recoveries;
+        m
+    }
+
+    /// Ticks spent so far with the central controller down.
+    #[must_use]
+    pub fn open_loop_ticks(&self) -> usize {
+        self.open_loop_ticks
+    }
+
+    /// Controller restarts (checkpoint restore + reconcile) so far.
+    #[must_use]
+    pub fn controller_recoveries(&self) -> usize {
+        self.controller_recoveries
     }
 }
 
@@ -386,6 +453,111 @@ mod tests {
             late > early * 3.0,
             "heavy phase ({late:.0}) must dwarf idle phase ({early:.0})"
         );
+    }
+
+    #[test]
+    fn controller_crash_runs_open_loop_then_recovers() {
+        use crate::faults::{ControllerCrashPlan, ControllerOutage, FaultPlan};
+        let mut cfg = SimConfig::paper_hot_cold(13, 0.6);
+        cfg.ticks = 100;
+        cfg.warmup = 0;
+        cfg.faults = Some(FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 20,
+                windows: vec![ControllerOutage {
+                    from: 35,
+                    until: 50,
+                }],
+            }),
+            ..FaultPlan::default()
+        });
+        let mut sim = Simulation::new(cfg).unwrap();
+        let n_apps: usize = sim.willow().servers().iter().map(|s| s.apps.len()).sum();
+        let mut report = TickReport::default();
+        let mut fabric = FabricSnapshot::default();
+        for t in 0..100u64 {
+            sim.step_into_buffers(&mut report, &mut fabric);
+            if (35..50).contains(&t) {
+                assert_eq!(report.control_messages, 0, "tick {t}: controller is down");
+                assert!(report.migrations.is_empty(), "tick {t}: no one can migrate");
+            } else if t >= 50 {
+                assert!(report.control_messages > 0, "tick {t}: controller is back");
+            }
+        }
+        assert_eq!(sim.controller_recoveries(), 1);
+        assert_eq!(sim.open_loop_ticks(), 15);
+        let after: usize = sim.willow().servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(n_apps, after, "apps conserved across crash and recovery");
+        assert_eq!(
+            sim.willow().journal().in_flight().count(),
+            0,
+            "no transaction may stay open across a recovery"
+        );
+    }
+
+    #[test]
+    fn crash_plan_without_windows_is_bit_for_bit_neutral() {
+        // Checkpointing alone (no outage ever scheduled) must not perturb
+        // the trajectory: the snapshot path is read-only.
+        use crate::faults::{ControllerCrashPlan, FaultPlan};
+        let mut clean_cfg = SimConfig::paper_hot_cold(21, 0.6);
+        clean_cfg.ticks = 90;
+        clean_cfg.warmup = 0;
+        let mut ckpt_cfg = clean_cfg.clone();
+        ckpt_cfg.faults = Some(FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 10,
+                windows: Vec::new(),
+            }),
+            ..FaultPlan::default()
+        });
+        let mut clean = Simulation::new(clean_cfg).unwrap();
+        let mut ckpt = Simulation::new(ckpt_cfg).unwrap();
+        for t in 0..90 {
+            assert_eq!(clean.step(), ckpt.step(), "diverged at tick {t}");
+        }
+        assert_eq!(ckpt.controller_recoveries(), 0);
+    }
+
+    #[test]
+    fn crashed_controller_runs_are_deterministic() {
+        use crate::faults::{ControllerCrashPlan, ControllerOutage, FaultPlan};
+        let run = || {
+            let mut cfg = SimConfig::paper_hot_cold(9, 0.6);
+            cfg.ticks = 120;
+            cfg.warmup = 0;
+            cfg.faults = Some(FaultPlan {
+                seed: 5,
+                report_loss: 0.1,
+                directive_loss: 0.1,
+                sensor_faults: vec![crate::faults::SensorFault {
+                    server: 2,
+                    from: 30,
+                    until: 70,
+                    stuck_at: None,
+                    noise_sigma: 2.0,
+                }],
+                controller_crash: Some(ControllerCrashPlan {
+                    checkpoint_period: 16,
+                    windows: vec![
+                        ControllerOutage {
+                            from: 40,
+                            until: 55,
+                        },
+                        ControllerOutage {
+                            from: 80,
+                            until: 90,
+                        },
+                    ],
+                }),
+                ..FaultPlan::default()
+            });
+            Simulation::new(cfg).unwrap().run()
+        };
+        let m = run();
+        assert_eq!(m, run(), "same seed + same crash plan ⇒ identical metrics");
+        assert_eq!(m.controller_recoveries, 2);
+        assert_eq!(m.open_loop_ticks, 25);
     }
 
     #[test]

@@ -67,6 +67,13 @@ pub enum SimError {
     /// A sensor fault with a non-finite stuck-at value or negative /
     /// non-finite noise sigma.
     FaultSensor(f64),
+    /// A controller crash/restart schedule violating its structural rules
+    /// (zero checkpoint period, window at tick 0, unsorted/overlapping
+    /// windows).
+    ControllerCrashPlan {
+        /// Which rule was violated.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -117,6 +124,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::FaultSensor(v) => {
                 write!(f, "fault plan: invalid sensor fault value {v}")
+            }
+            SimError::ControllerCrashPlan { reason } => {
+                write!(f, "fault plan: invalid controller-crash schedule: {reason}")
             }
         }
     }

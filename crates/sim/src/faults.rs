@@ -48,6 +48,81 @@ impl CrashWindow {
     }
 }
 
+/// A *controller* outage window: the central control plane is down for
+/// `from <= tick < until`. While down, the leaves run open-loop on their
+/// last applied budgets (stale-directive watchdogs trip fleet-wide as
+/// designed); at `until` the controller restarts from its last periodic
+/// checkpoint and reconciles against the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerOutage {
+    /// First down demand period (inclusive).
+    pub from: u64,
+    /// First healthy demand period again (exclusive end).
+    pub until: u64,
+}
+
+impl ControllerOutage {
+    /// Is `tick` inside the window?
+    #[must_use]
+    pub fn active(&self, tick: u64) -> bool {
+        self.from <= tick && tick < self.until
+    }
+}
+
+/// Controller crash/restart schedule plus the checkpoint cadence backing
+/// recovery. Windows must be sorted, non-overlapping, and start at tick 1
+/// or later (tick 0 always checkpoints, so a restart always has a
+/// checkpoint to restore from).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerCrashPlan {
+    /// Demand periods between controller checkpoints (tick 0 included).
+    pub checkpoint_period: u64,
+    /// Outage windows, sorted and non-overlapping.
+    pub windows: Vec<ControllerOutage>,
+}
+
+impl ControllerCrashPlan {
+    /// Validate the schedule (see [`ControllerCrashPlan`] field rules).
+    ///
+    /// # Errors
+    /// Returns [`SimError::ControllerCrashPlan`] naming the first rule
+    /// violated, or [`SimError::FaultWindow`] for an empty window.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.checkpoint_period == 0 {
+            return Err(SimError::ControllerCrashPlan {
+                reason: "checkpoint_period must be at least 1",
+            });
+        }
+        let mut prev_until = 0;
+        for w in &self.windows {
+            if w.from >= w.until {
+                return Err(SimError::FaultWindow {
+                    from: w.from,
+                    until: w.until,
+                });
+            }
+            if w.from == 0 {
+                return Err(SimError::ControllerCrashPlan {
+                    reason: "a window may not start at tick 0 (no checkpoint exists yet)",
+                });
+            }
+            if w.from < prev_until {
+                return Err(SimError::ControllerCrashPlan {
+                    reason: "windows must be sorted and non-overlapping",
+                });
+            }
+            prev_until = w.until;
+        }
+        Ok(())
+    }
+
+    /// Is the controller down at `tick`?
+    #[must_use]
+    pub fn down(&self, tick: u64) -> bool {
+        self.windows.iter().any(|w| w.active(tick))
+    }
+}
+
 /// A faulty temperature sensor over a window of demand periods.
 ///
 /// With `stuck_at` set the sensor reads that constant regardless of the
@@ -99,6 +174,10 @@ pub struct FaultPlan {
     /// experiments (loss / duplication / delay per message).
     #[serde(default)]
     pub message_faults: MessageFaults,
+    /// Central-controller crash/restart schedule, if any. `None` keeps the
+    /// controller up for the whole run (and skips checkpointing).
+    #[serde(default)]
+    pub controller_crash: Option<ControllerCrashPlan>,
 }
 
 impl FaultPlan {
@@ -175,6 +254,9 @@ impl FaultPlan {
             if !s.noise_sigma.is_finite() || s.noise_sigma < 0.0 {
                 return Err(SimError::FaultSensor(s.noise_sigma));
             }
+        }
+        if let Some(cc) = &self.controller_crash {
+            cc.validate()?;
         }
         Ok(())
     }
@@ -417,6 +499,59 @@ mod tests {
             bad_sigma.validate(n),
             Err(SimError::FaultSensor(_))
         ));
+        let zero_period = FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 0,
+                windows: Vec::new(),
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            zero_period.validate(n),
+            Err(SimError::ControllerCrashPlan { .. })
+        ));
+        let window_at_zero = FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 10,
+                windows: vec![ControllerOutage { from: 0, until: 5 }],
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            window_at_zero.validate(n),
+            Err(SimError::ControllerCrashPlan { .. })
+        ));
+        let overlapping = FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 10,
+                windows: vec![
+                    ControllerOutage { from: 5, until: 15 },
+                    ControllerOutage {
+                        from: 10,
+                        until: 20,
+                    },
+                ],
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            overlapping.validate(n),
+            Err(SimError::ControllerCrashPlan { .. })
+        ));
+        let sound = FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 10,
+                windows: vec![
+                    ControllerOutage { from: 5, until: 15 },
+                    ControllerOutage {
+                        from: 15,
+                        until: 20,
+                    },
+                ],
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(sound.validate(n).is_ok());
         let certain_message_loss = FaultPlan {
             message_faults: MessageFaults {
                 loss: 1.0,

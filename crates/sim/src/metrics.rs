@@ -88,6 +88,13 @@ pub struct RunMetrics {
     pub fallback_server_ticks: usize,
     /// Total temperature readings rejected by the plausibility filter.
     pub sensor_rejections: usize,
+    /// Ticks the whole run spent with the central controller down (the
+    /// leaves running open-loop on their last applied budgets).
+    #[serde(default)]
+    pub open_loop_ticks: usize,
+    /// Controller restarts performed (checkpoint restore + reconcile).
+    #[serde(default)]
+    pub controller_recoveries: usize,
 }
 
 /// Streaming fold of `(report, fabric)` ticks into [`RunMetrics`]:
@@ -248,7 +255,8 @@ impl RunMetrics {
     pub fn fault_summary(&self) -> String {
         format!(
             "reports lost {}, directives lost {}, migrations rejected {} / aborted {} / retried {}, \
-             watchdog trips {}, fallback server-ticks {}, sensor readings rejected {}",
+             watchdog trips {}, fallback server-ticks {}, sensor readings rejected {}, \
+             controller recoveries {}, open-loop ticks {}",
             self.reports_lost,
             self.directives_lost,
             self.migration_rejects,
@@ -256,7 +264,9 @@ impl RunMetrics {
             self.migration_retries,
             self.watchdog_trips,
             self.fallback_server_ticks,
-            self.sensor_rejections
+            self.sensor_rejections,
+            self.controller_recoveries,
+            self.open_loop_ticks
         )
     }
 
