@@ -1,0 +1,506 @@
+//! Always-on runtime invariant auditor.
+//!
+//! The controller's safety case rests on a handful of structural
+//! invariants that must hold after *every* demand period, no matter what
+//! faults were injected or how degraded the control plane is:
+//!
+//! 1. **App conservation** — every application lives on exactly one
+//!    server, and only powered (active) servers host applications.
+//! 2. **Budget hierarchy** — at every PMU node, the children's budgets
+//!    sum to at most the node's own budget (power can be stranded, never
+//!    invented). A leaf with a *stale* directive (its watchdog counts at
+//!    least one miss) intentionally holds its previously applied budget,
+//!    which may exceed the share the hierarchy just allocated it — such
+//!    leaves are excluded from the sum and governed by invariant 3
+//!    instead.
+//! 3. **Tightening-only while stale** — a server that has not received a
+//!    fresh directive since the previous audit (watchdog misses > 0 then
+//!    and not reset since) must never see its applied budget increase.
+//!    This subsumes the tripped-watchdog case: a degraded leaf must not
+//!    loosen itself.
+//! 4. **Physical sanity** — no NaN, infinite, or negative watts anywhere
+//!    in the budget/demand/cap state, and finite accepted temperatures.
+//!
+//! [`Auditor::check`] verifies all four against a [`Willow`] in `O(apps +
+//! nodes)` with no steady-state allocation, returning typed
+//! [`InvariantViolation`]s. The chaos harness and the simulation engine
+//! run it after every tick; [`Auditor::panic_on_violation`] turns any
+//! violation into a panic for CI.
+
+use crate::controller::Willow;
+use willow_thermal::units::Watts;
+use willow_topology::NodeId;
+use willow_workload::app::AppId;
+
+/// One violated runtime invariant, with enough context to debug it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InvariantViolation {
+    /// An application from the audited universe is hosted nowhere.
+    AppLost {
+        /// The missing application.
+        app: AppId,
+    },
+    /// An application is hosted on more than one server.
+    AppDuplicated {
+        /// The duplicated application.
+        app: AppId,
+        /// How many servers host it.
+        copies: u32,
+    },
+    /// A hosted application was never part of the audited universe.
+    AppUnknown {
+        /// The unexpected application.
+        app: AppId,
+        /// The server hosting it.
+        server: usize,
+    },
+    /// A server in deep sleep still hosts applications.
+    SleepingServerHostsApps {
+        /// The sleeping server.
+        server: usize,
+        /// How many applications it holds.
+        apps: usize,
+    },
+    /// A PMU node's children were granted more budget than the node has.
+    BudgetOverflow {
+        /// The over-committed node.
+        node: NodeId,
+        /// Sum of the children's budgets.
+        children: Watts,
+        /// The node's own budget.
+        budget: Watts,
+    },
+    /// A server's budget increased while its directive was stale.
+    LoosenedWhileStale {
+        /// The degraded server.
+        server: usize,
+        /// Budget at the previous audit.
+        was: Watts,
+        /// Budget now.
+        now: Watts,
+    },
+    /// A power/temperature state entry is NaN or infinite.
+    NonFinite {
+        /// Which state vector (`"tp"`, `"cp"`, …).
+        what: &'static str,
+        /// Arena or server index into that vector.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A power state entry is negative.
+    NegativeWatts {
+        /// Which state vector.
+        what: &'static str,
+        /// Arena or server index into that vector.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::AppLost { app } => {
+                write!(f, "{app} is hosted on no server")
+            }
+            InvariantViolation::AppDuplicated { app, copies } => {
+                write!(f, "{app} is hosted on {copies} servers")
+            }
+            InvariantViolation::AppUnknown { app, server } => {
+                write!(f, "server {server} hosts unknown {app}")
+            }
+            InvariantViolation::SleepingServerHostsApps { server, apps } => {
+                write!(f, "sleeping server {server} still hosts {apps} apps")
+            }
+            InvariantViolation::BudgetOverflow {
+                node,
+                children,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "children of {node} granted {children} out of a {budget} budget"
+                )
+            }
+            InvariantViolation::LoosenedWhileStale { server, was, now } => {
+                write!(
+                    f,
+                    "server {server} loosened {was} -> {now} without a fresh directive"
+                )
+            }
+            InvariantViolation::NonFinite { what, index, value } => {
+                write!(f, "{what}[{index}] is not finite: {value}")
+            }
+            InvariantViolation::NegativeWatts { what, index, value } => {
+                write!(f, "{what}[{index}] is negative: {value}")
+            }
+        }
+    }
+}
+
+/// Relative slack for the budget-hierarchy sum: floating-point
+/// re-aggregation noise, not real over-commitment.
+const BUDGET_EPS: f64 = 1e-9;
+
+/// Tolerance below zero for "non-negative" watts.
+const NEG_EPS: f64 = -1e-9;
+
+/// Per-tick invariant checker over a [`Willow`] controller.
+///
+/// The audited application universe is fixed at construction (apps are
+/// migrated, never created or destroyed). All working storage is reused
+/// across [`Auditor::check`] calls, so a clean audit allocates nothing.
+#[derive(Debug)]
+pub struct Auditor {
+    /// The application universe, sorted by id.
+    expected: Vec<AppId>,
+    /// Scratch: hosted copies seen per `expected` entry.
+    counts: Vec<u32>,
+    /// Server index hosted at each arena node, if the node is a leaf.
+    server_of_node: Vec<Option<usize>>,
+    /// Budget applied to each server at the previous audit.
+    prev_tp: Vec<Watts>,
+    /// Each server's watchdog miss count at the previous audit.
+    prev_missed: Vec<u32>,
+    /// Violations found by the most recent `check`.
+    violations: Vec<InvariantViolation>,
+    /// Panic on any violation (CI mode).
+    panic_mode: bool,
+    /// Violations across all checks so far.
+    total: u64,
+    /// Checks performed.
+    checks: u64,
+    tel: willow_telemetry::Counter,
+}
+
+impl Auditor {
+    /// Build an auditor for `w`, fixing the app universe and seeding the
+    /// tightening-only tracker from the current budgets.
+    #[must_use]
+    pub fn new(w: &Willow) -> Self {
+        let mut expected: Vec<AppId> = w
+            .servers()
+            .iter()
+            .flat_map(|s| s.apps.iter().map(|a| a.id))
+            .collect();
+        expected.sort_unstable();
+        let counts = vec![0; expected.len()];
+        let mut server_of_node = vec![None; w.tree().len()];
+        for (si, s) in w.servers().iter().enumerate() {
+            server_of_node[s.node.index()] = Some(si);
+        }
+        let prev_tp = w
+            .servers()
+            .iter()
+            .map(|s| w.power().tp[s.node.index()])
+            .collect();
+        let prev_missed = w.watchdogs().iter().map(|wd| wd.missed).collect();
+        Auditor {
+            expected,
+            counts,
+            server_of_node,
+            prev_tp,
+            prev_missed,
+            violations: Vec::new(),
+            panic_mode: false,
+            total: 0,
+            checks: 0,
+            tel: willow_telemetry::Counter::default(),
+        }
+    }
+
+    /// Enable or disable panic-on-violation (CI mode): any violation found
+    /// by a subsequent [`Auditor::check`] panics with the full list.
+    #[must_use]
+    pub fn panic_on_violation(mut self, on: bool) -> Self {
+        self.panic_mode = on;
+        self
+    }
+
+    /// Count violations on `registry` as
+    /// `willow_audit_violations_total`.
+    pub fn attach_telemetry(&mut self, registry: &willow_telemetry::TelemetryRegistry) {
+        self.tel = registry.counter(
+            "willow_audit_violations_total",
+            "Runtime invariant violations detected by the auditor",
+        );
+    }
+
+    /// Violations found across all checks so far.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.total
+    }
+
+    /// Checks performed so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Audit `w` against all four invariant families. Returns the
+    /// violations found this check (empty on a healthy controller).
+    ///
+    /// # Panics
+    /// Panics on any violation when [`Auditor::panic_on_violation`] is
+    /// enabled.
+    pub fn check(&mut self, w: &Willow) -> &[InvariantViolation] {
+        self.violations.clear();
+        self.checks += 1;
+
+        // 1. App conservation.
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        for (si, server) in w.servers().iter().enumerate() {
+            if !server.active && !server.apps.is_empty() {
+                self.violations
+                    .push(InvariantViolation::SleepingServerHostsApps {
+                        server: si,
+                        apps: server.apps.len(),
+                    });
+            }
+            for app in &server.apps {
+                match self.expected.binary_search(&app.id) {
+                    Ok(pos) => self.counts[pos] += 1,
+                    Err(_) => self.violations.push(InvariantViolation::AppUnknown {
+                        app: app.id,
+                        server: si,
+                    }),
+                }
+            }
+        }
+        for (pos, &count) in self.counts.iter().enumerate() {
+            match count {
+                1 => {}
+                0 => self.violations.push(InvariantViolation::AppLost {
+                    app: self.expected[pos],
+                }),
+                copies => self.violations.push(InvariantViolation::AppDuplicated {
+                    app: self.expected[pos],
+                    copies,
+                }),
+            }
+        }
+
+        // 2. Budget hierarchy: Σ child TP ≤ node TP at every interior
+        // node. Leaves holding a stale directive (missed > 0) keep their
+        // previously applied budget by design, which may legitimately
+        // exceed their freshly allocated share — those are excluded here
+        // and policed by the tightening-only rule below instead.
+        let tree = w.tree();
+        let power = w.power();
+        let watchdogs = w.watchdogs();
+        for node in tree.ids() {
+            let children = tree.children(node);
+            if children.is_empty() {
+                continue;
+            }
+            let sum: f64 = children
+                .iter()
+                .filter(|c| {
+                    self.server_of_node[c.index()].is_none_or(|si| watchdogs[si].missed == 0)
+                })
+                .map(|c| power.tp[c.index()].0)
+                .sum();
+            let budget = power.tp[node.index()].0;
+            if sum > budget + BUDGET_EPS * budget.abs().max(1.0) {
+                self.violations.push(InvariantViolation::BudgetOverflow {
+                    node,
+                    children: Watts(sum),
+                    budget: Watts(budget),
+                });
+            }
+        }
+
+        // 3. Tightening-only while stale: no fresh directive since the
+        // previous audit (misses were > 0 and have not been reset) means
+        // the applied budget must not have grown.
+        for (si, (server, wd)) in w.servers().iter().zip(watchdogs).enumerate() {
+            let tp = power.tp[server.node.index()];
+            let still_stale = self.prev_missed[si] > 0 && wd.missed >= self.prev_missed[si];
+            if still_stale && tp.0 > self.prev_tp[si].0 + 1e-9 {
+                self.violations
+                    .push(InvariantViolation::LoosenedWhileStale {
+                        server: si,
+                        was: self.prev_tp[si],
+                        now: tp,
+                    });
+            }
+            self.prev_tp[si] = tp;
+            self.prev_missed[si] = wd.missed;
+        }
+
+        // 4. Physical sanity of every power/temperature state vector.
+        let mut scan = |what: &'static str, values: &mut dyn Iterator<Item = f64>| {
+            for (i, v) in values.enumerate() {
+                if !v.is_finite() {
+                    self.violations.push(InvariantViolation::NonFinite {
+                        what,
+                        index: i,
+                        value: v,
+                    });
+                } else if v < NEG_EPS {
+                    self.violations.push(InvariantViolation::NegativeWatts {
+                        what,
+                        index: i,
+                        value: v,
+                    });
+                }
+            }
+        };
+        scan("tp", &mut power.tp.iter().map(|v| v.0));
+        scan("cp", &mut power.cp.iter().map(|v| v.0));
+        scan("cap", &mut power.cap.iter().map(|v| v.0));
+        scan("local_cp", &mut w.local_demands().iter().map(|v| v.0));
+        for (si, t) in w.accepted_temps().iter().enumerate() {
+            if !t.0.is_finite() {
+                self.violations.push(InvariantViolation::NonFinite {
+                    what: "accepted_temp",
+                    index: si,
+                    value: t.0,
+                });
+            }
+        }
+
+        self.total += self.violations.len() as u64;
+        self.tel.add(self.violations.len() as u64);
+        assert!(
+            !self.panic_mode || self.violations.is_empty(),
+            "invariant violations at tick {}: {:?}",
+            w.tick_count(),
+            self.violations
+        );
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerConfig;
+    use crate::server::ServerSpec;
+    use crate::Disturbances;
+    use willow_thermal::units::Celsius;
+    use willow_topology::Tree;
+    use willow_workload::app::{Application, SIM_APP_CLASSES};
+
+    fn build(apps_per_server: usize) -> (Willow, usize) {
+        let tree = Tree::paper_fig3();
+        let leaves: Vec<_> = tree.leaves().collect();
+        let n_apps = leaves.len() * apps_per_server;
+        let specs: Vec<ServerSpec> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &leaf)| {
+                let apps: Vec<Application> = (0..apps_per_server)
+                    .map(|k| {
+                        let class = (i + k) % SIM_APP_CLASSES.len();
+                        Application::new(
+                            AppId((i * apps_per_server + k) as u32),
+                            class,
+                            &SIM_APP_CLASSES[class],
+                        )
+                    })
+                    .collect();
+                ServerSpec::simulation_default(leaf).with_apps(apps)
+            })
+            .collect();
+        let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+        (w, n_apps)
+    }
+
+    /// Faulted disturbances exercising loss, sensor overrides, and failed
+    /// migrations — the auditor must stay quiet through all of it.
+    fn disturb(t: u64, n: usize) -> Disturbances {
+        use crate::disturbance::MigrationOutcome;
+        let mut d = Disturbances {
+            crashed: vec![false; n],
+            report_lost: vec![false; n],
+            directive_lost: vec![false; n],
+            sensor_override: vec![None; n],
+            sensor_offset: vec![0.0; n],
+            migration_outcomes: Vec::new(),
+        };
+        d.report_lost[(t as usize) % n] = true;
+        d.directive_lost[(t as usize * 7) % n] = true;
+        d.directive_lost[(t as usize * 7 + 1) % n] = true;
+        if t.is_multiple_of(4) {
+            d.sensor_override[3] = Some(Celsius(95.0));
+        }
+        d.migration_outcomes = (0..8)
+            .map(|i| match (t + i) % 3 {
+                0 => MigrationOutcome::Reject,
+                1 => MigrationOutcome::Abort,
+                _ => MigrationOutcome::Success,
+            })
+            .collect();
+        d
+    }
+
+    #[test]
+    fn faulted_run_stays_clean() {
+        let (mut w, n_apps) = build(2);
+        let n = w.servers().len();
+        let mut auditor = Auditor::new(&w).panic_on_violation(true);
+        let mut report = crate::migration::TickReport::default();
+        for t in 0..240u64 {
+            let demands: Vec<Watts> = (0..n_apps)
+                .map(|i| Watts(15.0 + ((i as u64 + t) % 9) as f64 * 25.0))
+                .collect();
+            let supply = if t % 11 < 6 {
+                Watts(9000.0)
+            } else {
+                Watts(3500.0)
+            };
+            let d = disturb(t, n);
+            if (80..100).contains(&t) {
+                // Controller outage mid-run: the auditor must hold
+                // open-loop too.
+                w.step_open_loop(&demands, &d, &mut report);
+            } else {
+                w.step_into(&demands, supply, &d, &mut report);
+            }
+            assert!(auditor.check(&w).is_empty(), "tick {t}");
+        }
+        assert_eq!(auditor.total_violations(), 0);
+        assert_eq!(auditor.checks(), 240);
+    }
+
+    #[test]
+    fn recovery_stays_clean() {
+        let (mut w, n_apps) = build(2);
+        let n = w.servers().len();
+        let mut auditor = Auditor::new(&w);
+        let mut report = crate::migration::TickReport::default();
+        let demands: Vec<Watts> = (0..n_apps)
+            .map(|i| Watts(20.0 + (i % 5) as f64 * 20.0))
+            .collect();
+        for _ in 0..20 {
+            w.step_into(
+                &demands,
+                Watts(4000.0),
+                &Disturbances::default(),
+                &mut report,
+            );
+            assert!(auditor.check(&w).is_empty());
+        }
+        let ckpt = w.snapshot();
+        for t in 20..40 {
+            let d = disturb(t, n);
+            w.step_open_loop(&demands, &d, &mut report);
+            assert!(auditor.check(&w).is_empty());
+        }
+        let mut w = Willow::recover(ckpt, &w).unwrap();
+        for _ in 0..40 {
+            w.step_into(
+                &demands,
+                Watts(4000.0),
+                &Disturbances::default(),
+                &mut report,
+            );
+            assert!(auditor.check(&w).is_empty(), "post-recovery");
+        }
+        assert_eq!(auditor.total_violations(), 0);
+    }
+}

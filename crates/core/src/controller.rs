@@ -3037,4 +3037,160 @@ mod tests {
             Err(WillowError::SnapshotShape { .. })
         ));
     }
+
+    /// The auditor's violation arms need a corrupted controller, and only
+    /// this module can reach the private state to corrupt it — so the
+    /// positive (violation-firing) auditor tests live here, while the
+    /// clean-run tests live in `crate::audit`.
+    mod audit_detection {
+        use super::*;
+        use crate::audit::{Auditor, InvariantViolation};
+
+        /// Settled 4-server fixture. The tick-0 consolidation packs the
+        /// lightly loaded fleet onto servers 1 and 3 (four apps each) and
+        /// puts 0 and 2 to sleep; `eta2 = 1000` keeps that placement
+        /// frozen afterwards.
+        fn settled() -> Willow {
+            let (tree, specs, n_apps) = small_setup(2);
+            let config = ControllerConfig {
+                eta2: 1000,
+                ..ControllerConfig::default()
+            };
+            let mut w = Willow::new(tree, specs, config).unwrap();
+            for _ in 0..8 {
+                let _ = w.step(&demands(n_apps, 30.0), Watts(2000.0));
+            }
+            assert_eq!(w.servers[1].apps.len(), 4);
+            assert_eq!(w.servers[3].apps.len(), 4);
+            w
+        }
+
+        fn has(
+            violations: &[InvariantViolation],
+            pred: impl Fn(&InvariantViolation) -> bool,
+        ) -> bool {
+            violations.iter().any(pred)
+        }
+
+        #[test]
+        fn clean_controller_audits_clean() {
+            let w = settled();
+            let mut a = Auditor::new(&w);
+            assert!(a.check(&w).is_empty());
+            assert_eq!(a.total_violations(), 0);
+        }
+
+        #[test]
+        fn detects_lost_and_duplicated_apps() {
+            let mut w = settled();
+            let mut a = Auditor::new(&w);
+            // Clone server 1's first app onto server 3: one duplicate.
+            let app = w.servers[1].apps[0].clone();
+            let dup = app.id;
+            w.servers[3].apps.push(app);
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::AppDuplicated { app, copies: 2 } if *app == dup
+            )));
+            // Remove both copies: the app is now lost.
+            w.servers[3].apps.pop();
+            let lost = w.servers[1].apps.remove(0).id;
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::AppLost { app } if *app == lost
+            )));
+            assert_eq!(a.total_violations(), 2);
+        }
+
+        #[test]
+        fn detects_unknown_app_and_populated_sleeper() {
+            let mut w = settled();
+            let mut a = Auditor::new(&w);
+            w.servers[1]
+                .apps
+                .push(Application::new(AppId(999), 0, &SIM_APP_CLASSES[0]));
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::AppUnknown {
+                    app: AppId(999),
+                    server: 1
+                }
+            )));
+            w.servers[1].apps.pop();
+            w.servers[3].active = false;
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::SleepingServerHostsApps { server: 3, apps: 4 }
+            )));
+        }
+
+        #[test]
+        fn detects_budget_overflow_and_stale_loosening() {
+            let mut w = settled();
+            let mut a = Auditor::new(&w);
+            // Grant a leaf more than its parent has: hierarchy overflow.
+            let leaf = w.servers[1].node.index();
+            let parent = w.tree.parent(w.servers[1].node).unwrap();
+            let before = w.power.tp[leaf];
+            w.power.tp[leaf] = w.power.tp[parent.index()] + Watts(50.0);
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::BudgetOverflow { node, .. } if *node == parent
+            )));
+            w.power.tp[leaf] = before;
+            // A stale leaf must only tighten: mark it stale across two
+            // audits and loosen its budget in between.
+            w.watchdog[1].missed = 2;
+            assert!(a.check(&w).is_empty());
+            w.watchdog[1].missed = 3;
+            w.power.tp[leaf] = before + Watts(10.0);
+            let violations = a.check(&w);
+            assert!(has(violations, |v| matches!(
+                v,
+                InvariantViolation::LoosenedWhileStale { server: 1, .. }
+            )));
+            // The stale leaf is excluded from the hierarchy sum, so the
+            // loosening does not double-report as an overflow.
+            assert!(!has(violations, |v| matches!(
+                v,
+                InvariantViolation::BudgetOverflow { .. }
+            )));
+        }
+
+        #[test]
+        fn detects_nan_and_negative_watts() {
+            let mut w = settled();
+            let mut a = Auditor::new(&w);
+            let leaf = w.servers[3].node.index();
+            w.power.cp[leaf] = Watts(f64::NAN);
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::NonFinite { what: "cp", .. }
+            )));
+            w.power.cp[leaf] = Watts(-1.0);
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::NegativeWatts { what: "cp", .. }
+            )));
+            w.power.cp[leaf] = Watts(1.0);
+            w.accepted_temp[0] = willow_thermal::units::Celsius(f64::INFINITY);
+            assert!(has(a.check(&w), |v| matches!(
+                v,
+                InvariantViolation::NonFinite {
+                    what: "accepted_temp",
+                    ..
+                }
+            )));
+        }
+
+        #[test]
+        #[should_panic(expected = "invariant violations at tick")]
+        fn panic_mode_panics_on_violation() {
+            let mut w = settled();
+            let mut a = Auditor::new(&w).panic_on_violation(true);
+            w.servers[1].apps.clear();
+            w.servers[1].app_demand.clear();
+            let _ = a.check(&w);
+        }
+    }
 }

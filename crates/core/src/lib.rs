@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod baseline;
 pub mod config;
 pub mod controller;
@@ -86,6 +87,7 @@ pub mod snapshot;
 pub mod state;
 pub mod txn;
 
+pub use audit::{Auditor, InvariantViolation};
 pub use config::ControllerConfig;
 pub use controller::{Backoff, Watchdog, Willow};
 pub use disturbance::{Disturbances, MigrationOutcome};

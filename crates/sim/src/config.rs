@@ -65,6 +65,11 @@ pub struct SimConfig {
     /// (the default, so old configs still parse) runs fault-free.
     #[serde(default)]
     pub faults: Option<FaultPlan>,
+    /// Panic as soon as the always-on invariant auditor finds a violation,
+    /// instead of only counting it (CI / chaos-harness mode). Defaults to
+    /// `false`, so old configs still parse.
+    #[serde(default)]
+    pub audit_panic: bool,
 }
 
 impl SimConfig {
@@ -88,6 +93,7 @@ impl SimConfig {
             demand_drift: 0.35,
             utilization_trace: None,
             faults: None,
+            audit_panic: false,
         }
     }
 

@@ -11,6 +11,7 @@ use crate::faults::FaultInjector;
 use crate::metrics::{FabricSnapshot, MetricsAccumulator, RunMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use willow_core::audit::Auditor;
 use willow_core::controller::Willow;
 use willow_core::migration::TickReport;
 use willow_core::server::ServerSpec;
@@ -53,6 +54,11 @@ pub struct Simulation {
     open_loop_ticks: usize,
     /// Controller restarts performed (checkpoint restore + reconcile).
     controller_recoveries: usize,
+    /// Always-on invariant auditor, run after every tick (read-only, so it
+    /// never perturbs the trajectory).
+    auditor: Auditor,
+    /// Invariant violations found across the run so far.
+    invariant_violations: usize,
 }
 
 /// AR(1) persistence of the per-app load drift (per demand period).
@@ -101,6 +107,7 @@ impl Simulation {
             Some(plan) => Some(FaultInjector::new(plan.clone(), config.n_servers())?),
             None => None,
         };
+        let auditor = Auditor::new(&willow).panic_on_violation(config.audit_panic);
         Ok(Simulation {
             config,
             willow,
@@ -117,6 +124,8 @@ impl Simulation {
             was_down: false,
             open_loop_ticks: 0,
             controller_recoveries: 0,
+            auditor,
+            invariant_violations: 0,
         })
     }
 
@@ -130,6 +139,7 @@ impl Simulation {
             "Wall time of one full simulation tick (sampling + control + physics)",
         );
         self.willow.attach_telemetry(registry);
+        self.auditor.attach_telemetry(registry);
     }
 
     /// The configuration this simulation runs.
@@ -246,6 +256,7 @@ impl Simulation {
             }
             self.willow.step_into(&demands, supply, &disturb, report);
         }
+        self.invariant_violations += self.auditor.check(&self.willow).len();
         self.snapshot_fabric_into(fabric);
         self.tick += 1;
         self.tick_hist.record_since(t0);
@@ -281,6 +292,7 @@ impl Simulation {
         let mut m = acc.finish();
         m.open_loop_ticks = self.open_loop_ticks;
         m.controller_recoveries = self.controller_recoveries;
+        m.invariant_violations = self.invariant_violations;
         m
     }
 
@@ -294,6 +306,12 @@ impl Simulation {
     #[must_use]
     pub fn controller_recoveries(&self) -> usize {
         self.controller_recoveries
+    }
+
+    /// Invariant violations found by the always-on auditor so far.
+    #[must_use]
+    pub fn invariant_violations(&self) -> usize {
+        self.invariant_violations
     }
 }
 
@@ -558,6 +576,36 @@ mod tests {
         assert_eq!(m, run(), "same seed + same crash plan ⇒ identical metrics");
         assert_eq!(m.controller_recoveries, 2);
         assert_eq!(m.open_loop_ticks, 25);
+    }
+
+    #[test]
+    fn auditor_stays_clean_under_faults_and_crashes() {
+        use crate::faults::{ControllerCrashPlan, ControllerOutage, FaultPlan};
+        let mut cfg = SimConfig::paper_hot_cold(29, 0.7);
+        cfg.ticks = 150;
+        cfg.warmup = 0;
+        // Panic mode on: any violation aborts the test with the full list.
+        cfg.audit_panic = true;
+        cfg.faults = Some(FaultPlan {
+            seed: 11,
+            report_loss: 0.15,
+            directive_loss: 0.15,
+            migration_failure: 0.3,
+            abort_fraction: 0.5,
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 16,
+                windows: vec![ControllerOutage {
+                    from: 60,
+                    until: 85,
+                }],
+            }),
+            ..FaultPlan::default()
+        });
+        let mut sim = Simulation::new(cfg).unwrap();
+        let m = sim.run();
+        assert_eq!(m.invariant_violations, 0);
+        assert_eq!(sim.invariant_violations(), 0);
+        assert!(m.fault_summary().contains("invariant violations 0"));
     }
 
     #[test]

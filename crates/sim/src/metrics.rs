@@ -95,6 +95,10 @@ pub struct RunMetrics {
     /// Controller restarts performed (checkpoint restore + reconcile).
     #[serde(default)]
     pub controller_recoveries: usize,
+    /// Violations found by the always-on runtime invariant auditor. Any
+    /// non-zero value is a controller bug, not a fault effect.
+    #[serde(default)]
+    pub invariant_violations: usize,
 }
 
 /// Streaming fold of `(report, fabric)` ticks into [`RunMetrics`]:
@@ -256,7 +260,7 @@ impl RunMetrics {
         format!(
             "reports lost {}, directives lost {}, migrations rejected {} / aborted {} / retried {}, \
              watchdog trips {}, fallback server-ticks {}, sensor readings rejected {}, \
-             controller recoveries {}, open-loop ticks {}",
+             controller recoveries {}, open-loop ticks {}, invariant violations {}",
             self.reports_lost,
             self.directives_lost,
             self.migration_rejects,
@@ -266,7 +270,8 @@ impl RunMetrics {
             self.fallback_server_ticks,
             self.sensor_rejections,
             self.controller_recoveries,
-            self.open_loop_ticks
+            self.open_loop_ticks,
+            self.invariant_violations
         )
     }
 
