@@ -15,6 +15,7 @@ use willow_sim::experiments as sim_exp;
 use willow_testbed::experiments as tb_exp;
 
 mod bench_controller;
+mod chaos_cmd;
 mod telemetry_cmd;
 
 /// Counting global allocator: lets the `bench` subcommand report
@@ -35,6 +36,21 @@ fn main() {
     }
     if args.iter().any(|a| a == "telemetry") {
         telemetry_cmd::run(SEED);
+        return;
+    }
+    if args.iter().any(|a| a == "chaos") {
+        let flag = |name: &str, default: usize| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        chaos_cmd::run(
+            flag("--seeds", 8) as u64,
+            flag("--ticks", 200),
+            args.iter().any(|a| a == "--sweep"),
+        );
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
