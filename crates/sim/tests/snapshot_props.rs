@@ -1,0 +1,149 @@
+//! Property-based tests for checkpoint/restore: a controller snapshot
+//! survives a JSON round trip and the restored controller continues the
+//! run bit-for-bit identically — over arbitrary tree shapes, app
+//! placements and fault plans.
+
+use proptest::prelude::*;
+use willow_core::config::ControllerConfig;
+use willow_core::controller::Willow;
+use willow_core::migration::TickReport;
+use willow_core::server::ServerSpec;
+use willow_sim::faults::{CrashWindow, FaultInjector, FaultPlan, SensorFault};
+use willow_thermal::units::{Celsius, Watts};
+use willow_topology::Tree;
+use willow_workload::app::{AppId, Application, SIM_APP_CLASSES};
+
+/// Build a controller over `branching` with `apps_per_server` apps placed
+/// round-robin across classes.
+fn build(branching: &[usize], apps_per_server: usize) -> Willow {
+    let tree = Tree::uniform(branching);
+    let mut next = 0u32;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            let apps: Vec<Application> = (0..apps_per_server)
+                .map(|_| {
+                    let class = next as usize % SIM_APP_CLASSES.len();
+                    let a = Application::new(AppId(next), class, &SIM_APP_CLASSES[class]);
+                    next += 1;
+                    a
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+    Willow::new(tree, specs, ControllerConfig::default()).expect("valid build")
+}
+
+/// Deterministic per-app demand for tick `t` (varied enough to trigger
+/// migrations and shedding at tight supply).
+fn demands(n_apps: usize, t: u64) -> Vec<Watts> {
+    (0..n_apps)
+        .map(|i| Watts(10.0 + ((i as u64 * 13 + t * 7) % 17) as f64 * 8.0))
+        .collect()
+}
+
+prop_compose! {
+    /// Tree shapes from a single server up to a few dozen.
+    fn arb_shape()(branching in prop::collection::vec(1usize..4, 1..4)) -> Vec<usize> {
+        branching
+    }
+}
+
+prop_compose! {
+    /// Fault plans with random loss rates, PMU crash windows and sensor
+    /// faults. Window positions are fractions resolved against the run
+    /// length and server count by the test body.
+    fn arb_plan()(
+        seed in 0u64..1_000_000,
+        report_loss in 0.0f64..0.4,
+        directive_loss in 0.0f64..0.4,
+        migration_failure in 0.0f64..0.5,
+        abort_fraction in 0.0f64..1.0,
+        crash in prop::option::of((0.0f64..1.0, 0.0f64..1.0, 1u64..30)),
+        sensor in prop::option::of((0.0f64..1.0, 0.0f64..1.0, prop::option::of(80.0f64..120.0), 0.0f64..4.0)),
+    ) -> (FaultPlan, Option<(f64, f64, u64)>, Option<(f64, f64, Option<f64>, f64)>) {
+        (FaultPlan {
+            seed,
+            report_loss,
+            directive_loss,
+            migration_failure,
+            abort_fraction,
+            ..FaultPlan::default()
+        }, crash, sensor)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot mid-run under arbitrary faults, round-trip it through
+    /// JSON, restore, and drive original and restoree in lockstep on the
+    /// same disturbance stream: every subsequent tick report must match
+    /// exactly.
+    #[test]
+    fn json_round_trip_restore_continues_identically(
+        shape in arb_shape(),
+        apps_per_server in 1usize..4,
+        (mut plan, crash, sensor) in arb_plan(),
+        checkpoint_at in 3u64..25,
+        supply_frac in 0.3f64..1.0,
+    ) {
+        let mut w = build(&shape, apps_per_server);
+        let n_servers = w.servers().len();
+        let n_apps = n_servers * apps_per_server;
+        let total_ticks = checkpoint_at + 30;
+
+        // Resolve the fractional fault windows against this run.
+        if let Some((s, f, len)) = crash {
+            let server = ((s * n_servers as f64) as usize).min(n_servers - 1);
+            let from = (f * total_ticks as f64) as u64;
+            plan.crashes = vec![CrashWindow { server, from, until: from + len }];
+        }
+        if let Some((s, f, stuck, sigma)) = sensor {
+            let server = ((s * n_servers as f64) as usize).min(n_servers - 1);
+            let from = (f * total_ticks as f64) as u64;
+            plan.sensor_faults = vec![SensorFault {
+                server,
+                from,
+                until: from + 20,
+                stuck_at: stuck.map(Celsius),
+                noise_sigma: sigma,
+            }];
+        }
+        let mut injector = FaultInjector::new(plan, n_servers).expect("valid plan");
+
+        let rating: f64 = w.servers().iter().map(|s| s.thermal.rating().0).sum();
+        let supply = Watts(rating * supply_frac);
+        let mut report = TickReport::default();
+        for t in 0..checkpoint_at {
+            let d = injector.disturbances_for(t);
+            w.step_into(&demands(n_apps, t), supply, &d, &mut report);
+        }
+
+        // JSON round trip must be lossless.
+        let snap = w.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let parsed: willow_core::snapshot::WillowSnapshot =
+            serde_json::from_str(&json).expect("snapshot parses");
+        prop_assert_eq!(&parsed, &snap);
+
+        // The restoree continues bit-for-bit on the shared fault stream.
+        let mut restored = Willow::restore(parsed).expect("snapshot restores");
+        let mut ra = TickReport::default();
+        let mut rb = TickReport::default();
+        for t in checkpoint_at..total_ticks {
+            let d = injector.disturbances_for(t);
+            let dm = demands(n_apps, t);
+            w.step_into(&dm, supply, &d, &mut ra);
+            restored.step_into(&dm, supply, &d, &mut rb);
+            prop_assert_eq!(
+                format!("{ra:?}"),
+                format!("{rb:?}"),
+                "diverged at tick {}",
+                t
+            );
+        }
+        prop_assert_eq!(w.snapshot(), restored.snapshot());
+    }
+}
