@@ -12,9 +12,9 @@
 
 use crate::config::ControllerConfig;
 use crate::controller::{Backoff, ControlStats, Watchdog, Willow, WillowError};
-use crate::txn::MigrationJournal;
 use crate::server::ServerState;
 use crate::state::PowerState;
+use crate::txn::MigrationJournal;
 use serde::{Deserialize, Serialize};
 use willow_thermal::units::{Celsius, Watts};
 use willow_topology::{NodeId, Tree};

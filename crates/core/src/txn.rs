@@ -32,9 +32,7 @@ use willow_workload::app::AppId;
 
 /// Monotonic migration-transaction id, unique within one controller run
 /// (and across checkpoint/restore: the counter is checkpointed).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TxnId(pub u64);
 
 impl std::fmt::Display for TxnId {
@@ -146,8 +144,14 @@ impl MigrationJournal {
     /// Panics if the transaction is unknown or not in `Prepared` — phase
     /// transitions are controller bugs, not runtime conditions.
     pub fn mark_transferred(&mut self, id: TxnId) {
-        let e = self.entry_mut(id).expect("transferring unknown transaction");
-        assert_eq!(e.phase, TxnPhase::Prepared, "transfer out of order for {id}");
+        let e = self
+            .entry_mut(id)
+            .expect("transferring unknown transaction");
+        assert_eq!(
+            e.phase,
+            TxnPhase::Prepared,
+            "transfer out of order for {id}"
+        );
         e.phase = TxnPhase::Transferred;
     }
 
