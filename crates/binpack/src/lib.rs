@@ -37,8 +37,10 @@ pub mod exact;
 pub mod ffdlr;
 pub mod generators;
 pub mod packing;
+pub mod select;
 
 pub use baselines::{BestFitDecreasing, FirstFit, FirstFitDecreasing, NextFit};
 pub use exact::optimal_bins_used;
 pub use ffdlr::Ffdlr;
 pub use packing::{Packer, Packing};
+pub use select::{packer_for, PackerStrategy};

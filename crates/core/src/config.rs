@@ -6,17 +6,14 @@ use willow_thermal::units::{Seconds, Watts};
 
 /// Which bin-packing algorithm the migration planner uses (§IV-F; the paper
 /// chooses FFDLR, the alternatives exist for the packer ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PackerChoice {
-    /// Friesen–Langston FFDLR (the paper's choice).
-    Ffdlr,
-    /// First-Fit Decreasing.
-    FirstFitDecreasing,
-    /// Best-Fit Decreasing.
-    BestFitDecreasing,
-    /// Next-Fit (weak baseline).
-    NextFit,
-}
+///
+/// An alias for [`willow_binpack::PackerStrategy`]: the strategy enum and
+/// its [`willow_binpack::packer_for`] constructor live next to the packers
+/// themselves, so every controller (pipeline, frozen reference, greedy
+/// baseline) selects its heuristic through the same single match. The
+/// serialized form is the bare variant name either way, so persisted
+/// experiment configs are unaffected by the aliasing.
+pub use willow_binpack::PackerStrategy as PackerChoice;
 
 /// How the unidirectional "no migrations into reduced-budget nodes" rule
 /// (§IV-E) is interpreted. See `DESIGN.md`: the literal reading conflicts

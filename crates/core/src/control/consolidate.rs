@@ -1,0 +1,349 @@
+//! Pipeline stage 4 — consolidation (§IV-E end, §V-C5): below-threshold
+//! servers try to empty themselves (local targets first) and sleep if they
+//! succeed; sleeping servers may be woken when demand was shed. The
+//! victim/receiver ordering is the third pluggable decision point (see
+//! [`super::policy`]). Also home to the operator API (drain, force-wake,
+//! ambient changes), which reuses the evacuation machinery.
+
+use super::demand::DeficitItem;
+use super::Willow;
+use crate::migration::{MigrationReason, MigrationRecord};
+use willow_thermal::units::Watts;
+use willow_topology::{NodeId, Tree};
+
+/// Reusable working memory for the consolidation stage: candidate victims,
+/// receiver flags, and the buffers of one all-or-nothing evacuation plan.
+/// Cleared (capacity retained) instead of reallocated, so a steady-state
+/// consolidation tick performs zero heap allocations once warmed up. Taken
+/// out of the controller with `std::mem::take` for the duration of the
+/// stage and put back afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct ConsolidateStage {
+    /// Below-threshold server indices.
+    pub(super) candidates: Vec<usize>,
+    /// Servers that received consolidated load this round.
+    pub(super) received: Vec<bool>,
+    /// Apps to move in a full-evacuation plan.
+    pub(super) evac_items: Vec<DeficitItem>,
+    /// Effective sizes of the evacuation items.
+    pub(super) evac_sizes: Vec<f64>,
+    /// Ordered target bins (siblings first) for an evacuation.
+    pub(super) evac_bins: Vec<NodeId>,
+    /// Free capacity per evacuation bin during first-fit placement.
+    pub(super) evac_free: Vec<f64>,
+    /// Item placement order (largest first) for an evacuation.
+    pub(super) evac_order: Vec<usize>,
+    /// The all-or-nothing evacuation plan.
+    pub(super) evac_plan: Vec<(DeficitItem, NodeId)>,
+    /// Sleeping-server indices for wake-on-deficit.
+    pub(super) sleeping: Vec<usize>,
+}
+
+impl ConsolidateStage {
+    /// Pre-size the per-leaf and per-server buffers so even the first
+    /// consolidation tick allocates as little as possible.
+    pub(super) fn for_tree(tree: &Tree, servers: usize) -> Self {
+        let leaves = tree.leaves().count();
+        ConsolidateStage {
+            candidates: Vec::with_capacity(servers),
+            received: Vec::with_capacity(servers),
+            evac_bins: Vec::with_capacity(leaves),
+            evac_free: Vec::with_capacity(leaves),
+            sleeping: Vec::with_capacity(servers),
+            ..ConsolidateStage::default()
+        }
+    }
+}
+
+impl Willow {
+    /// Consolidation (§IV-E end, §V-C5): below-threshold servers try to
+    /// empty themselves — local targets first — and sleep if they succeed.
+    pub(super) fn consolidate(
+        &mut self,
+        tick: u64,
+        stage: &mut ConsolidateStage,
+        records: &mut Vec<MigrationRecord>,
+        slept: &mut Vec<NodeId>,
+    ) {
+        let first_record = records.len();
+        stage.candidates.clear();
+        stage
+            .candidates
+            .extend((0..self.servers.len()).filter(|&i| {
+                self.servers[i].active
+                    && self.servers[i].utilization() < self.config.consolidation_threshold
+            }));
+        {
+            let ctx = self.policy_ctx();
+            self.policies
+                .consolidation
+                .order_victims(&ctx, &mut stage.candidates);
+        }
+
+        // Servers that receive consolidated load this round must not be
+        // evacuated in the same round — that would cascade apps through
+        // multiple hops in a single period.
+        stage.received.clear();
+        stage.received.resize(self.servers.len(), false);
+
+        for ci in 0..stage.candidates.len() {
+            let si = stage.candidates[ci];
+            // Re-check: a candidate may have received load meanwhile.
+            if stage.received[si]
+                || !self.servers[si].active
+                || self.servers[si].utilization() >= self.config.consolidation_threshold
+            {
+                continue;
+            }
+            let leaf = self.servers[si].node;
+            if self.servers[si].apps.is_empty() {
+                self.sleep_server(si, tick);
+                slept.push(leaf);
+                continue;
+            }
+            if self.plan_full_evacuation(
+                si,
+                &mut stage.evac_items,
+                &mut stage.evac_sizes,
+                &mut stage.evac_bins,
+                &mut stage.evac_free,
+                &mut stage.evac_order,
+                &mut stage.evac_plan,
+            ) {
+                // A failed attempt mid-plan (injected reject/abort) stops
+                // the evacuation: the server keeps its remaining apps and
+                // stays awake — never sleep a server that still hosts work.
+                let mut evacuated = true;
+                for pi in 0..stage.evac_plan.len() {
+                    let (item, target) = stage.evac_plan[pi];
+                    let tgt_idx =
+                        self.leaf_server[target.index()].expect("target is a server leaf");
+                    if self.attempt_migration(&item, target, tick, records) {
+                        stage.received[tgt_idx] = true;
+                    } else {
+                        evacuated = false;
+                        break;
+                    }
+                }
+                if evacuated {
+                    debug_assert!(self.servers[si].apps.is_empty());
+                    self.sleep_server(si, tick);
+                    slept.push(leaf);
+                }
+            }
+        }
+        // Consolidation migrations are re-labeled with their reason; demand
+        // records recorded earlier this tick sit before `first_record`.
+        for r in &mut records[first_record..] {
+            r.reason = MigrationReason::Consolidation;
+        }
+    }
+
+    /// Try to place *all* apps of server `si` elsewhere (local bins first,
+    /// then anywhere eligible). Fills `plan` and returns `true`, or returns
+    /// `false` if the server cannot be fully evacuated.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn plan_full_evacuation(
+        &self,
+        si: usize,
+        items: &mut Vec<DeficitItem>,
+        sizes: &mut Vec<f64>,
+        bins: &mut Vec<NodeId>,
+        free: &mut Vec<f64>,
+        order: &mut Vec<usize>,
+        plan: &mut Vec<(DeficitItem, NodeId)>,
+    ) -> bool {
+        plan.clear();
+        let leaf = self.servers[si].node;
+        // All-or-nothing: an app still in retry backoff blocks evacuation.
+        if self.servers[si]
+            .apps
+            .iter()
+            .any(|a| self.in_backoff(a.id, self.tick))
+        {
+            return false;
+        }
+        items.clear();
+        items.extend(
+            self.servers[si]
+                .apps
+                .iter()
+                .enumerate()
+                .map(|(i, app)| DeficitItem {
+                    server: si,
+                    app: app.id,
+                    demand: self.servers[si].app_demand[i],
+                    reason: MigrationReason::Consolidation,
+                }),
+        );
+        sizes.clear();
+        sizes.extend(items.iter().map(|it| self.effective_size(it.demand)));
+
+        // Eligible bins: siblings first, then the rest of the data center.
+        // The consolidation policy orders each class separately so the
+        // locality preference is never policy-dependent.
+        bins.clear();
+        bins.extend(
+            self.tree
+                .siblings(leaf)
+                .filter(|&l| self.target_eligible(l)),
+        );
+        let n_siblings = bins.len();
+        {
+            let ctx = self.policy_ctx();
+            self.policies
+                .consolidation
+                .order_receivers(&ctx, &mut bins[..n_siblings]);
+        }
+        for l in self.tree.leaves() {
+            if l != leaf && self.target_eligible(l) && !bins[..n_siblings].contains(&l) {
+                bins.push(l);
+            }
+        }
+        {
+            let ctx = self.policy_ctx();
+            self.policies
+                .consolidation
+                .order_receivers(&ctx, &mut bins[n_siblings..]);
+        }
+        if bins.is_empty() {
+            return false;
+        }
+        // First-fit over the ordered bins keeps the locality preference;
+        // a full FFDLR over the union would not honor sibling priority.
+        free.clear();
+        free.extend(bins.iter().map(|&l| self.bin_capacity(l).0));
+        order.clear();
+        order.extend(0..items.len());
+        order.sort_unstable_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
+        let tick = self.tick;
+        for &i in order.iter() {
+            let placed = free.iter().enumerate().position(|(b, &f)| {
+                sizes[i] <= f + 1e-12 && !self.would_pingpong(items[i].app, bins[b], tick)
+            });
+            match placed {
+                Some(b) => {
+                    free[b] -= sizes[i];
+                    plan.push((items[i], bins[b]));
+                }
+                None => return false, // all-or-nothing evacuation
+            }
+        }
+        true
+    }
+
+    pub(super) fn sleep_server(&mut self, si: usize, tick: u64) {
+        let server = &mut self.servers[si];
+        server.active = false;
+        server.last_activity_change = tick;
+        server.smoother.reset();
+        self.power.cp[server.node.index()] = Watts::ZERO;
+        self.local_cp[server.node.index()] = Watts::ZERO;
+    }
+
+    // ------------------------------------------------------------------
+    // Operator / failure-injection API
+    // ------------------------------------------------------------------
+
+    /// Change a server's ambient temperature mid-run — a cooling failure
+    /// (ambient rises) or repair (ambient falls). The next supply tick
+    /// recomputes the thermal cap from the new environment and the
+    /// demand-side machinery migrates workload accordingly.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn set_server_ambient(&mut self, server: usize, ambient: willow_thermal::units::Celsius) {
+        self.servers[server].thermal.set_ambient(ambient);
+    }
+
+    /// Drain a server for maintenance: try to evacuate every hosted app
+    /// (margins respected) and put it to sleep. Returns `true` on success;
+    /// on failure the server is left untouched and awake.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn drain_server(&mut self, server: usize) -> bool {
+        if !self.servers[server].active {
+            return true;
+        }
+        let tick = self.tick;
+        if self.servers[server].apps.is_empty() {
+            self.sleep_server(server, tick);
+            return true;
+        }
+        let mut stage = std::mem::take(&mut self.consolidate_stage);
+        let planned = self.plan_full_evacuation(
+            server,
+            &mut stage.evac_items,
+            &mut stage.evac_sizes,
+            &mut stage.evac_bins,
+            &mut stage.evac_free,
+            &mut stage.evac_order,
+            &mut stage.evac_plan,
+        );
+        let mut drained = planned;
+        if planned {
+            let mut records = Vec::new();
+            for pi in 0..stage.evac_plan.len() {
+                let (item, target) = stage.evac_plan[pi];
+                if !self.attempt_migration(&item, target, tick, &mut records) {
+                    // Injected failure mid-drain: already-moved apps stay
+                    // moved, but the server keeps the rest and stays awake.
+                    drained = false;
+                    break;
+                }
+            }
+            if drained {
+                debug_assert!(self.servers[server].apps.is_empty());
+                self.sleep_server(server, tick);
+            }
+        }
+        self.consolidate_stage = stage;
+        drained
+    }
+
+    /// Wake a sleeping server (after maintenance). No-op if already awake.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn force_wake(&mut self, server: usize) {
+        if !self.servers[server].active {
+            let tick = self.tick;
+            self.servers[server].active = true;
+            self.servers[server].last_activity_change = tick;
+        }
+    }
+
+    /// Wake sleeping servers (largest thermal headroom first) until their
+    /// combined ratings cover `needed`, appending the woken leaves to
+    /// `woken`. `sleeping` is sorting scratch.
+    pub(super) fn wake_servers(
+        &mut self,
+        needed: Watts,
+        tick: u64,
+        sleeping: &mut Vec<usize>,
+        woken: &mut Vec<NodeId>,
+    ) {
+        sleeping.clear();
+        sleeping.extend((0..self.servers.len()).filter(|&i| !self.servers[i].active));
+        sleeping.sort_unstable_by(|&a, &b| {
+            self.servers[b]
+                .thermal
+                .rating()
+                .0
+                .total_cmp(&self.servers[a].thermal.rating().0)
+                .then(a.cmp(&b))
+        });
+        let mut covered = Watts::ZERO;
+        for &si in sleeping.iter() {
+            if covered >= needed {
+                break;
+            }
+            let server = &mut self.servers[si];
+            server.active = true;
+            server.last_activity_change = tick;
+            covered += server.thermal.rating();
+            woken.push(server.node);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Pipeline stage 3 — demand adaptation (§IV-E): per-level bottom-up bin
+//! packing of deficit parcels into surpluses, sibling subtrees first,
+//! leftovers passed up for non-local placement. Two of the pipeline's
+//! pluggable decision points live here: the packing heuristic and the
+//! candidate-target ordering (see [`super::policy`]).
+
+use super::Willow;
+use crate::migration::{MigrationReason, MigrationRecord};
+use willow_thermal::units::Watts;
+use willow_topology::{NodeId, Tree};
+use willow_workload::app::AppId;
+
+/// A deficit parcel traveling up the hierarchy: one application that must
+/// leave its server.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct DeficitItem {
+    pub(super) server: usize,
+    pub(super) app: AppId,
+    pub(super) demand: Watts,
+    pub(super) reason: MigrationReason,
+}
+
+/// Reusable working memory for the demand stage: deficit parcels, their
+/// per-level grouping keys, and the buffers of one packing instance.
+/// Cleared (capacity retained) instead of reallocated, so a steady-state
+/// tick performs zero heap allocations once warmed up. Taken out of the
+/// controller with `std::mem::take` for the duration of the stage and put
+/// back afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct DemandStage {
+    /// Deficit items still looking for a target (current level).
+    pub(super) pending: Vec<DeficitItem>,
+    /// Deficit items deferred to the next level up.
+    pub(super) next_pending: Vec<DeficitItem>,
+    /// Per-item grouping keys: (pmu arena idx, child arena idx, item idx).
+    pub(super) keys: Vec<(u32, u32, u32)>,
+    /// Items of the group currently being packed (backoff items filtered
+    /// straight to the leftovers).
+    pub(super) group: Vec<DeficitItem>,
+    /// App ordering for per-server deficit selection.
+    pub(super) order: Vec<usize>,
+    /// Candidate target leaves for one packing instance.
+    pub(super) bins: Vec<NodeId>,
+    /// Remaining capacity per candidate bin.
+    pub(super) bin_caps: Vec<f64>,
+    /// Effective item sizes for one packing instance.
+    pub(super) sizes: Vec<f64>,
+}
+
+impl DemandStage {
+    /// Pre-size the per-leaf buffers so even the first tick allocates as
+    /// little as possible.
+    pub(super) fn for_tree(tree: &Tree) -> Self {
+        let leaves = tree.leaves().count();
+        DemandStage {
+            bins: Vec::with_capacity(leaves),
+            bin_caps: Vec::with_capacity(leaves),
+            ..DemandStage::default()
+        }
+    }
+}
+
+impl Willow {
+    /// True if `leaf` may receive migrations: active, not crashed, and
+    /// neither it nor any ancestor was flagged as budget-reduced (§IV-E
+    /// final rule).
+    pub(super) fn target_eligible(&self, leaf: NodeId) -> bool {
+        let Some(si) = self.leaf_server[leaf.index()] else {
+            return false;
+        };
+        if !self.servers[si].active || self.disturb.crashed(si) {
+            return false;
+        }
+        if self.power.reduced[leaf.index()] {
+            return false;
+        }
+        !self
+            .tree
+            .ancestors(leaf)
+            .any(|a| self.power.reduced[a.index()])
+    }
+
+    /// Remaining surplus a target server can absorb (margin already
+    /// deducted).
+    pub(super) fn bin_capacity(&self, leaf: NodeId) -> Watts {
+        (self.power.tp[leaf.index()] - self.power.cp[leaf.index()] - self.config.margin)
+            .non_negative()
+    }
+
+    /// Effective packing size of a demand parcel: the moved demand plus the
+    /// temporary cost it charges the target while migrating.
+    pub(super) fn effective_size(&self, demand: Watts) -> f64 {
+        (demand + self.config.cost_model.node_cost(demand)).0
+    }
+
+    /// Bottom-up demand-side adaptation: local packing first, leftovers up.
+    pub(super) fn demand_adaptation(
+        &mut self,
+        tick: u64,
+        stage: &mut DemandStage,
+        records: &mut Vec<MigrationRecord>,
+    ) {
+        // Collect deficit items at the leaves.
+        self.collect_deficit_items(&mut stage.pending, &mut stage.order);
+
+        // Process levels bottom-up; at each level, each PMU node packs the
+        // pending items originating in its subtree into surpluses in its
+        // subtree (excluding the origin's child-subtree, already tried).
+        for level in 1..=self.tree.height() {
+            if stage.pending.is_empty() {
+                break;
+            }
+            // Group items by their PMU node at this level and, within a
+            // PMU, by the child subtree containing their origin (already
+            // tried one level down). Sorting keys of
+            // `(pmu arena idx, child arena idx, item idx)` reproduces the
+            // nested-map iteration order exactly: `nodes_at_level` is
+            // ascending in arena index, group keys were visited in sorted
+            // order, and items within a group in arrival order.
+            stage.keys.clear();
+            for (idx, item) in stage.pending.iter().enumerate() {
+                let mut pmu = self.servers[item.server].node;
+                let mut child = pmu;
+                while self.tree.level(pmu) < level {
+                    child = pmu;
+                    pmu = self.tree.parent(pmu).expect("levels reach the root");
+                }
+                stage
+                    .keys
+                    .push((pmu.index() as u32, child.index() as u32, idx as u32));
+            }
+            stage.keys.sort_unstable();
+            stage.next_pending.clear();
+            let mut i = 0;
+            while i < stage.keys.len() {
+                let (pmu_idx, child_idx, _) = stage.keys[i];
+                let mut j = i + 1;
+                while j < stage.keys.len()
+                    && stage.keys[j].0 == pmu_idx
+                    && stage.keys[j].1 == child_idx
+                {
+                    j += 1;
+                }
+                // Backoff items sit this round out: straight to leftovers,
+                // ahead of this group's unplaced items.
+                stage.group.clear();
+                for k in i..j {
+                    let item = stage.pending[stage.keys[k].2 as usize];
+                    if self.in_backoff(item.app, tick) {
+                        stage.next_pending.push(item);
+                    } else {
+                        stage.group.push(item);
+                    }
+                }
+                self.pack_and_execute(
+                    NodeId(pmu_idx),
+                    NodeId(child_idx),
+                    &stage.group,
+                    &mut stage.next_pending,
+                    &mut stage.bins,
+                    &mut stage.bin_caps,
+                    &mut stage.sizes,
+                    tick,
+                    records,
+                );
+                i = j;
+            }
+            std::mem::swap(&mut stage.pending, &mut stage.next_pending);
+        }
+        // Items left after the root instance stay on their servers; their
+        // demand above budget is shed in the physics phase.
+    }
+
+    /// Deficit items: for every active server over budget, pick the largest
+    /// apps until the remainder fits under `TP − margin` (cost-adjusted).
+    /// Fills `items`; `order` is per-server sorting scratch.
+    pub(super) fn collect_deficit_items(
+        &self,
+        items: &mut Vec<DeficitItem>,
+        order: &mut Vec<usize>,
+    ) {
+        items.clear();
+        let overhead = self.config.cost_model.node_overhead;
+        for (si, server) in self.servers.iter().enumerate() {
+            if !server.active {
+                continue;
+            }
+            let leaf = server.node.index();
+            // Deficit detection is local: the server compares its own
+            // fresh demand view against its budget, regardless of what the
+            // hierarchy believes.
+            let cp = self.local_cp[leaf];
+            let tp = self.power.tp[leaf];
+            let excess = (cp - tp + self.config.margin).non_negative();
+            if excess.0 <= 1e-9 {
+                continue;
+            }
+            // Shedding `shed` relieves `shed·(1 − overhead)` net of the
+            // temporary cost charged back to the source.
+            let target_shed = if overhead < 1.0 {
+                excess.0 / (1.0 - overhead)
+            } else {
+                excess.0
+            };
+            // Settled apps first (Property 4: a demand that migrated stays
+            // put for ≥ Δ_f whenever possible), then largest-first to
+            // minimize the number of migrations.
+            order.clear();
+            order.extend(0..server.apps.len());
+            let tick = self.tick;
+            order.sort_unstable_by(|&a, &b| {
+                let recent = |i: usize| {
+                    self.last_move
+                        .get(&server.apps[i].id)
+                        .is_some_and(|&(_, t)| tick.saturating_sub(t) < self.config.pingpong_window)
+                };
+                recent(a)
+                    .cmp(&recent(b)) // settled (false) before recent (true)
+                    .then(server.app_demand[b].0.total_cmp(&server.app_demand[a].0))
+                    .then(a.cmp(&b))
+            });
+            let mut shed = 0.0;
+            for &idx in order.iter() {
+                if shed >= target_shed {
+                    break;
+                }
+                let demand = server.app_demand[idx];
+                if demand.0 <= 0.0 {
+                    continue;
+                }
+                shed += demand.0;
+                items.push(DeficitItem {
+                    server: si,
+                    app: server.apps[idx].id,
+                    demand,
+                    reason: MigrationReason::Demand,
+                });
+            }
+        }
+    }
+
+    /// Pack `items` (already backoff-filtered) into eligible surpluses
+    /// among `pmu`'s leaves minus those under `child`; execute the
+    /// migrations that fit; push leftovers for the next level up.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn pack_and_execute(
+        &mut self,
+        pmu: NodeId,
+        child: NodeId,
+        items: &[DeficitItem],
+        leftovers: &mut Vec<DeficitItem>,
+        bins: &mut Vec<NodeId>,
+        bin_caps: &mut Vec<f64>,
+        sizes: &mut Vec<f64>,
+        tick: u64,
+        records: &mut Vec<MigrationRecord>,
+    ) {
+        // Candidate bins come off the cached Euler-tour range in DFS order;
+        // the target policy then fixes their ordering (the default restores
+        // the ascending-id order the packing has always seen —
+        // `subtree_leaves` returns sorted ids).
+        bins.clear();
+        for &leaf in self.tree.leaf_range(pmu) {
+            if !self.tree.subtree_contains(child, leaf) && self.target_eligible(leaf) {
+                bins.push(leaf);
+            }
+        }
+        {
+            let ctx = self.policy_ctx();
+            self.policies.targets.order_targets(&ctx, bins);
+        }
+        if bins.is_empty() {
+            leftovers.extend_from_slice(items);
+            return;
+        }
+        bin_caps.clear();
+        bin_caps.extend(bins.iter().map(|&l| self.bin_capacity(l).0));
+        sizes.clear();
+        sizes.extend(items.iter().map(|it| self.effective_size(it.demand)));
+        self.stats.packing_instances += 1;
+        self.stats.items_offered += sizes.len() as u64;
+        self.stats.bins_offered += bin_caps.len() as u64;
+        let packing = self.policies.packer.pack(sizes, bin_caps);
+
+        for (i, item) in items.iter().enumerate() {
+            match packing.assignment[i] {
+                Some(b) => {
+                    let target_leaf = bins[b];
+                    // Property 4 / ping-pong avoidance: never bounce an app
+                    // straight back to the host it recently left — defer it
+                    // to the next level (other bins) or shed it instead.
+                    if self.would_pingpong(item.app, target_leaf, tick)
+                        || !self.attempt_migration(item, target_leaf, tick, records)
+                    {
+                        leftovers.push(*item);
+                    }
+                }
+                None => leftovers.push(*item),
+            }
+        }
+    }
+}

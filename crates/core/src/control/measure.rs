@@ -1,0 +1,66 @@
+//! Pipeline stage 1 — measurement: raw per-app demands are smoothed
+//! (Eq. 4) into leaf `CP` values and aggregated up the tree.
+
+use super::Willow;
+use willow_thermal::units::Watts;
+
+impl Willow {
+    /// Smooth raw demands into leaf `CP` values and aggregate upward. A
+    /// server whose report is lost keeps running on its own fresh view
+    /// (`local_cp`) while the hierarchy keeps the stale `power.cp` entry.
+    pub(super) fn measure(&mut self, app_demand: &[Watts]) {
+        for (si, server) in self.servers.iter_mut().enumerate() {
+            if server.active {
+                for (i, app) in server.apps.iter().enumerate() {
+                    let idx = app.id.0 as usize;
+                    assert!(
+                        idx < app_demand.len(),
+                        "demand vector too short for {}",
+                        app.id
+                    );
+                    server.app_demand[i] = app_demand[idx];
+                }
+                let raw = server.raw_demand();
+                let smoothed = server.smoother.observe(raw);
+                self.local_cp[server.node.index()] = smoothed;
+                if self.disturb.report_lost(si) {
+                    self.counters.reports_lost += 1;
+                } else {
+                    self.power.cp[server.node.index()] = smoothed;
+                }
+            } else {
+                self.local_cp[server.node.index()] = Watts::ZERO;
+                self.power.cp[server.node.index()] = Watts::ZERO;
+            }
+            // Migration costs are charged for exactly one period.
+            server.pending_cost = Watts::ZERO;
+        }
+        self.power.aggregate_demands(&self.tree);
+    }
+
+    /// Leaf-local measurement with the controller down: smoothing still
+    /// happens (the machine observes its own load) and `local_cp` stays
+    /// fresh, but nothing reaches the hierarchy — `power.cp` keeps the
+    /// controller's last view and no control messages are exchanged.
+    pub(super) fn measure_open_loop(&mut self, app_demand: &[Watts]) {
+        for server in self.servers.iter_mut() {
+            if server.active {
+                for (i, app) in server.apps.iter().enumerate() {
+                    let idx = app.id.0 as usize;
+                    assert!(
+                        idx < app_demand.len(),
+                        "demand vector too short for {}",
+                        app.id
+                    );
+                    server.app_demand[i] = app_demand[idx];
+                }
+                let raw = server.raw_demand();
+                let smoothed = server.smoother.observe(raw);
+                self.local_cp[server.node.index()] = smoothed;
+            } else {
+                self.local_cp[server.node.index()] = Watts::ZERO;
+            }
+            server.pending_cost = Watts::ZERO;
+        }
+    }
+}

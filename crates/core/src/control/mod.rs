@@ -1,0 +1,865 @@
+//! The Willow controller: a staged control pipeline for hierarchical
+//! supply/demand adaptation, local-first migration planning, and
+//! consolidation.
+//!
+//! One [`Willow::step`] call is one demand period `Δ_D`, orchestrated by
+//! [`Willow::step_into`] as five pipeline stages, each in its own
+//! submodule:
+//!
+//! 1. **[`measure`]** — raw per-app demands (supplied by the caller) plus
+//!    pending migration costs are smoothed (Eq. 4) into leaf `CP` values
+//!    and aggregated up the tree (one upward control message per link).
+//! 2. **[`supply`]** — every `η1` periods, hard caps are refreshed from
+//!    the thermal model (Eq. 3 over the `Δ_S` window), and the total
+//!    supply is divided top-down proportionally to demand, clipped by caps
+//!    (one downward message per link; Property 3: ≤ 2 messages per link per
+//!    period).
+//! 3. **[`demand`]** — per-level bottom-up bin packing of deficits into
+//!    surpluses: local (sibling) surpluses first, leftovers passed up for
+//!    non-local placement, margins enforced at both ends, costs charged as
+//!    temporary demand, residual deficits shed.
+//! 4. **[`consolidate`]** — every `η2` periods, servers below the
+//!    utilization threshold try to empty themselves (local targets
+//!    preferred); emptied servers sleep. Sleeping servers may be woken when
+//!    demand was shed.
+//! 5. **[`physics`]** — each server draws `min(demand, budget)` and its RC
+//!    thermal state advances by `Δ_D`.
+//!
+//! The transactional migration machinery (prepare → transfer → commit,
+//! ping-pong suppression, retry backoff) that stages 3 and 4 share lives in
+//! [`migrate`]; sampled spans and counters in [`telemetry`].
+//!
+//! Three decision points inside the stages are pluggable via the traits in
+//! [`policy`] (see [`Willow::with_policies`]): which packing heuristic
+//! matches deficits with surpluses, how candidate migration targets are
+//! ordered, and in which order consolidation picks its victims and
+//! receivers. The defaults reproduce the paper's behavior exactly.
+
+use crate::config::ControllerConfig;
+use crate::disturbance::Disturbances;
+use crate::migration::TickReport;
+use crate::server::{ServerSpec, ServerState};
+use crate::state::PowerState;
+use crate::txn::MigrationJournal;
+use std::collections::HashMap;
+use willow_network::Fabric;
+use willow_thermal::model::decay_factor;
+use willow_thermal::units::{Celsius, Watts};
+use willow_topology::{NodeId, Tree};
+use willow_workload::app::AppId;
+
+pub mod consolidate;
+pub mod demand;
+pub mod measure;
+pub mod migrate;
+pub mod physics;
+pub mod policy;
+pub mod supply;
+pub mod telemetry;
+
+#[cfg(test)]
+mod fault_tests;
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod testutil;
+
+pub use migrate::Backoff;
+pub use policy::{
+    AscendingIdTargets, ConsolidationOrderPolicy, ControlPolicies, HotZonesFirst,
+    MigrationTargetPolicy, PolicyCtx,
+};
+pub use supply::Watchdog;
+pub use telemetry::SPAN_SAMPLE_PERIOD;
+
+use consolidate::ConsolidateStage;
+use demand::DemandStage;
+use supply::SupplyStage;
+use telemetry::{
+    ControllerTelemetry, SLOT_AGGREGATE, SLOT_ALLOCATE, SLOT_CONSOLIDATE, SLOT_GAUGES,
+    SLOT_PLAN_MIGRATIONS, SLOT_THERMAL_UPDATE,
+};
+
+/// Errors from [`Willow::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WillowError {
+    /// Config invariant violated.
+    Config(crate::config::ConfigError),
+    /// The server specs do not cover every leaf exactly once.
+    LeafCoverage {
+        /// Leaves in the tree.
+        leaves: usize,
+        /// Server specs supplied.
+        specs: usize,
+    },
+    /// A spec references a non-leaf node.
+    NotALeaf(NodeId),
+    /// Two specs reference the same leaf.
+    DuplicateLeaf(NodeId),
+    /// Two applications share an id.
+    DuplicateApp(AppId),
+    /// A snapshot's auxiliary state vectors do not match its topology
+    /// (wrong length for the tree / server count it carries).
+    SnapshotShape {
+        /// Which snapshot field is malformed.
+        field: &'static str,
+        /// Entries found.
+        found: usize,
+        /// Entries required by the snapshot's own topology.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for WillowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WillowError::Config(e) => write!(f, "invalid config: {e}"),
+            WillowError::LeafCoverage { leaves, specs } => {
+                write!(f, "{specs} server specs for {leaves} leaves")
+            }
+            WillowError::NotALeaf(n) => write!(f, "node {n} is not a leaf"),
+            WillowError::DuplicateLeaf(n) => write!(f, "leaf {n} specified twice"),
+            WillowError::DuplicateApp(a) => write!(f, "application {a} hosted twice"),
+            WillowError::SnapshotShape {
+                field,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "snapshot field `{field}` has {found} entries, topology requires {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WillowError {}
+
+/// Fault and defense events observed during the current period.
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct FaultCounters {
+    pub(super) reports_lost: usize,
+    pub(super) directives_lost: usize,
+    pub(super) migration_rejects: usize,
+    pub(super) migration_aborts: usize,
+    pub(super) migration_retries: usize,
+    pub(super) watchdog_trips: usize,
+    pub(super) sensor_rejections: usize,
+}
+
+/// Cumulative operation counters backing the paper's §V-A2 complexity
+/// analysis: the distributed scheme solves one pod-sized packing instance
+/// per PMU node per period, so instances scale with the node count and the
+/// work per instance with the branching factor — not with the data center
+/// as a whole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ControlStats {
+    /// Bin-packing instances solved (demand-side adaptation).
+    pub packing_instances: u64,
+    /// Deficit items offered across all instances.
+    pub items_offered: u64,
+    /// Bins (candidate targets) offered across all instances.
+    pub bins_offered: u64,
+    /// Control messages exchanged on tree links.
+    pub messages: u64,
+    /// Migrations executed (both reasons).
+    pub migrations: u64,
+}
+
+/// The Willow control system. See the module docs for the pipeline model.
+pub struct Willow {
+    pub(super) tree: Tree,
+    pub(super) config: ControllerConfig,
+    pub(super) servers: Vec<ServerState>,
+    /// Arena index → server index (None for interior nodes).
+    pub(super) leaf_server: Vec<Option<usize>>,
+    pub(super) power: PowerState,
+    pub(super) fabric: Fabric,
+    pub(super) tick: u64,
+    /// For each app: the server it last migrated *from* and when. Ping-pong
+    /// is defined as the paper does — "migrates demand from server A to B
+    /// and then immediately from B to A" — i.e. a return to the previous
+    /// host within the `Δ_f` window.
+    pub(super) last_move: HashMap<AppId, (NodeId, u64)>,
+    /// Demand shed last period (drives wake-on-deficit).
+    pub(super) last_dropped: Watts,
+    /// Cumulative operation counters.
+    pub(super) stats: ControlStats,
+    /// Each leaf's *own* view of its smoothed demand, indexed like
+    /// `power.cp`. Identical to `power.cp` in fault-free operation; under
+    /// report loss `power.cp` keeps the hierarchy's stale view while this
+    /// stays current — physics and local deficit detection use this.
+    pub(super) local_cp: Vec<Watts>,
+    /// Stale-directive watchdog per server.
+    pub(super) watchdog: Vec<Watchdog>,
+    /// Last temperature reading per server that passed the plausibility
+    /// filter; caps and predictions are computed from this, never from a
+    /// raw (possibly faulted) sensor.
+    pub(super) accepted_temp: Vec<Celsius>,
+    /// Per-server decay factor `e^(−c2·Δ_D)` for the physics update —
+    /// `c2` and the demand period never change within a run, so the
+    /// exponential is evaluated once at construction instead of twice per
+    /// server per tick.
+    pub(super) decay_dd: Vec<f64>,
+    /// Per-server decay factor `e^(−c2·Δ_S)` for the thermal-cap
+    /// prediction on supply ticks.
+    pub(super) decay_ds: Vec<f64>,
+    /// Retry backoff for apps whose migrations recently failed.
+    pub(super) backoff: HashMap<AppId, Backoff>,
+    /// Write-ahead journal of migration transactions (see `crate::txn`):
+    /// every migration runs prepare → transfer → commit through it, so a
+    /// crash or dead link mid-flight can never orphan or duplicate an app.
+    pub(super) journal: MigrationJournal,
+    /// Disturbances being applied to the period currently in progress.
+    pub(super) disturb: Disturbances,
+    /// Migration attempts made so far this period (indexes into the
+    /// pre-rolled outcome list).
+    pub(super) mig_attempts: usize,
+    /// Fault/defense events observed this period.
+    pub(super) counters: FaultCounters,
+    /// Per-stage reusable working memory: a steady-state tick performs
+    /// zero heap allocations once these have warmed up.
+    pub(super) supply_stage: SupplyStage,
+    /// Demand-adaptation working memory (deficit parcels, packing buffers).
+    pub(super) demand_stage: DemandStage,
+    /// Consolidation working memory (candidates, evacuation plans).
+    pub(super) consolidate_stage: ConsolidateStage,
+    /// The pluggable policy decision points (packing heuristic, target
+    /// ordering, consolidation ordering), boxed once at construction.
+    pub(super) policies: ControlPolicies,
+    /// Telemetry handles (disabled until [`Willow::attach_telemetry`]).
+    pub(super) tel: ControllerTelemetry,
+}
+
+impl Willow {
+    /// Build a controller for `tree` with one [`ServerSpec`] per leaf and
+    /// the default policies (the paper's behavior).
+    pub fn new(
+        tree: Tree,
+        specs: Vec<ServerSpec>,
+        config: ControllerConfig,
+    ) -> Result<Self, WillowError> {
+        let policies = ControlPolicies::for_config(&config);
+        Willow::with_policies(tree, specs, config, policies)
+    }
+
+    /// [`Willow::new`] with explicit [`ControlPolicies`] — the extension
+    /// point for plugging alternative packing heuristics, target orderings
+    /// or consolidation orderings into the pipeline. The stage structure
+    /// (and every guarantee that comes from it: margins, unidirectional
+    /// triggers, transactional migrations) is unaffected by the policies.
+    pub fn with_policies(
+        tree: Tree,
+        specs: Vec<ServerSpec>,
+        config: ControllerConfig,
+        policies: ControlPolicies,
+    ) -> Result<Self, WillowError> {
+        config.validate().map_err(WillowError::Config)?;
+        let leaves: Vec<NodeId> = tree.leaves().collect();
+        if specs.len() != leaves.len() {
+            return Err(WillowError::LeafCoverage {
+                leaves: leaves.len(),
+                specs: specs.len(),
+            });
+        }
+        let mut leaf_server = vec![None; tree.len()];
+        let mut servers = Vec::with_capacity(specs.len());
+        let mut seen_apps = HashMap::new();
+        for spec in &specs {
+            if !tree.node(spec.node).is_leaf() {
+                return Err(WillowError::NotALeaf(spec.node));
+            }
+            if leaf_server[spec.node.index()].is_some() {
+                return Err(WillowError::DuplicateLeaf(spec.node));
+            }
+            for app in &spec.apps {
+                if seen_apps.insert(app.id, spec.node).is_some() {
+                    return Err(WillowError::DuplicateApp(app.id));
+                }
+            }
+            leaf_server[spec.node.index()] = Some(servers.len());
+            servers.push(ServerState::from_spec_with_smoother(
+                spec,
+                crate::server::DemandSmoother::new(config.smoother, config.alpha),
+            ));
+        }
+        let power = PowerState::new(&tree);
+        let fabric = Fabric::new(&tree);
+        let accepted_temp = servers.iter().map(|s| s.thermal.temperature()).collect();
+        let decay_dd = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_d))
+            .collect();
+        let decay_ds = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_s()))
+            .collect();
+        let watchdog = vec![Watchdog::default(); servers.len()];
+        let local_cp = vec![Watts::ZERO; tree.len()];
+        let supply_stage = SupplyStage::for_tree(&tree);
+        let demand_stage = DemandStage::for_tree(&tree);
+        let consolidate_stage = ConsolidateStage::for_tree(&tree, servers.len());
+        Ok(Willow {
+            tree,
+            config,
+            servers,
+            leaf_server,
+            power,
+            fabric,
+            tick: 0,
+            last_move: HashMap::new(),
+            last_dropped: Watts::ZERO,
+            stats: ControlStats::default(),
+            local_cp,
+            watchdog,
+            accepted_temp,
+            decay_dd,
+            decay_ds,
+            backoff: HashMap::new(),
+            journal: MigrationJournal::default(),
+            disturb: Disturbances::default(),
+            mig_attempts: 0,
+            counters: FaultCounters::default(),
+            supply_stage,
+            demand_stage,
+            consolidate_stage,
+            policies,
+            tel: ControllerTelemetry::default(),
+        })
+    }
+
+    /// Register this controller's metrics — per-phase span histograms,
+    /// migration/abort/watchdog counters, per-level budget-deficit gauges
+    /// and fabric traffic gauges — on `registry` and start recording into
+    /// it. Attaching to a disabled registry (or never attaching) leaves
+    /// every record a no-op; recording itself never allocates or locks, so
+    /// the steady-state zero-allocation tick invariant holds either way.
+    pub fn attach_telemetry(&mut self, registry: &willow_telemetry::TelemetryRegistry) {
+        self.tel = ControllerTelemetry::register(registry, self.tree.height());
+    }
+
+    /// The PMU tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Immutable view of server states (indexed by server order).
+    #[must_use]
+    pub fn servers(&self) -> &[ServerState] {
+        &self.servers
+    }
+
+    /// The switch fabric's traffic counters for the current period.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Current power state (CP/TP/caps per node).
+    #[must_use]
+    pub fn power(&self) -> &PowerState {
+        &self.power
+    }
+
+    /// Cumulative operation counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> ControlStats {
+        self.stats
+    }
+
+    /// The demand-period counter (number of completed `step` calls).
+    #[must_use]
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Ping-pong bookkeeping as a serializable list, sorted by app id.
+    #[must_use]
+    pub fn last_moves(&self) -> Vec<(AppId, NodeId, u64)> {
+        let mut out = Vec::new();
+        self.last_moves_into(&mut out);
+        out
+    }
+
+    /// [`Willow::last_moves`] into a caller-provided buffer (cleared
+    /// first), so periodic checkpointing can reuse one allocation.
+    pub fn last_moves_into(&self, out: &mut Vec<(AppId, NodeId, u64)>) {
+        out.clear();
+        out.extend(
+            self.last_move
+                .iter()
+                .map(|(&app, &(from, t))| (app, from, t)),
+        );
+        // App ids are unique map keys, so the unstable sort is total.
+        out.sort_unstable_by_key(|(app, _, _)| *app);
+    }
+
+    /// Demand shed in the last completed period.
+    #[must_use]
+    pub fn last_dropped(&self) -> Watts {
+        self.last_dropped
+    }
+
+    /// Per-server stale-directive watchdog state (indexed by server order).
+    #[must_use]
+    pub fn watchdogs(&self) -> &[Watchdog] {
+        &self.watchdog
+    }
+
+    /// Last temperature per server that passed the plausibility filter
+    /// (indexed by server order). Caps and predictions derive from these,
+    /// never from raw sensor readings.
+    #[must_use]
+    pub fn accepted_temps(&self) -> &[Celsius] {
+        &self.accepted_temp
+    }
+
+    /// Each leaf's own view of its smoothed demand, indexed by arena node
+    /// id (interior entries are unused and stay zero). Identical to
+    /// `power().cp` in fault-free operation; diverges under report loss.
+    #[must_use]
+    pub fn local_demands(&self) -> &[Watts] {
+        &self.local_cp
+    }
+
+    /// Migration retry backoff as a serializable list, sorted by app id.
+    #[must_use]
+    pub fn backoffs(&self) -> Vec<(AppId, Backoff)> {
+        let mut out = Vec::new();
+        self.backoffs_into(&mut out);
+        out
+    }
+
+    /// [`Willow::backoffs`] into a caller-provided buffer (cleared first),
+    /// so periodic checkpointing can reuse one allocation.
+    pub fn backoffs_into(&self, out: &mut Vec<(AppId, Backoff)>) {
+        out.clear();
+        out.extend(self.backoff.iter().map(|(&app, &b)| (app, b)));
+        // App ids are unique map keys, so the unstable sort is total.
+        out.sort_unstable_by_key(|(app, _)| *app);
+    }
+
+    /// The migration-transaction journal: open transactions plus recently
+    /// closed ones (retained for duplicate-commit detection).
+    #[must_use]
+    pub fn journal(&self) -> &MigrationJournal {
+        &self.journal
+    }
+
+    /// Rebuild a controller from a previously captured snapshot (the
+    /// checkpoint/restore path — see `crate::snapshot`). Validates the
+    /// config, the leaf coverage of the server states, and the shape of
+    /// every auxiliary state vector against the snapshot's own topology.
+    ///
+    /// Policies are not part of the serialized state: the restored
+    /// controller runs the defaults for its config.
+    pub(crate) fn from_parts(
+        snapshot: crate::snapshot::WillowSnapshot,
+    ) -> Result<Willow, WillowError> {
+        let crate::snapshot::WillowSnapshot {
+            tree,
+            config,
+            servers,
+            power,
+            tick,
+            last_moves,
+            last_dropped,
+            local_cp,
+            watchdog,
+            accepted_temp,
+            backoff,
+            stats,
+            journal,
+        } = snapshot;
+        config.validate().map_err(WillowError::Config)?;
+        let leaves = tree.leaves().count();
+        if servers.len() != leaves {
+            return Err(WillowError::LeafCoverage {
+                leaves,
+                specs: servers.len(),
+            });
+        }
+        let shape = |field: &'static str, found: usize, expected: usize| {
+            if found == expected {
+                Ok(())
+            } else {
+                Err(WillowError::SnapshotShape {
+                    field,
+                    found,
+                    expected,
+                })
+            }
+        };
+        shape("local_cp", local_cp.len(), tree.len())?;
+        shape("watchdog", watchdog.len(), servers.len())?;
+        shape("accepted_temp", accepted_temp.len(), servers.len())?;
+        let mut leaf_server = vec![None; tree.len()];
+        for (si, server) in servers.iter().enumerate() {
+            if !tree.node(server.node).is_leaf() {
+                return Err(WillowError::NotALeaf(server.node));
+            }
+            if leaf_server[server.node.index()].is_some() {
+                return Err(WillowError::DuplicateLeaf(server.node));
+            }
+            leaf_server[server.node.index()] = Some(si);
+        }
+        let fabric = Fabric::new(&tree);
+        let decay_dd = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_d))
+            .collect();
+        let decay_ds = servers
+            .iter()
+            .map(|s| decay_factor(s.thermal.params(), config.delta_s()))
+            .collect();
+        let supply_stage = SupplyStage::for_tree(&tree);
+        let demand_stage = DemandStage::for_tree(&tree);
+        let consolidate_stage = ConsolidateStage::for_tree(&tree, servers.len());
+        let policies = ControlPolicies::for_config(&config);
+        Ok(Willow {
+            tree,
+            config,
+            servers,
+            leaf_server,
+            power,
+            fabric,
+            tick,
+            last_move: last_moves
+                .into_iter()
+                .map(|(app, from, t)| (app, (from, t)))
+                .collect(),
+            last_dropped,
+            stats,
+            local_cp,
+            watchdog,
+            accepted_temp,
+            decay_dd,
+            decay_ds,
+            backoff: backoff.into_iter().collect(),
+            journal,
+            disturb: Disturbances::default(),
+            mig_attempts: 0,
+            counters: FaultCounters::default(),
+            supply_stage,
+            demand_stage,
+            consolidate_stage,
+            policies,
+            tel: ControllerTelemetry::default(),
+        })
+    }
+
+    /// Restart a crashed controller from its last periodic `checkpoint`
+    /// and reconcile it against `field` — the live leaf-local state that
+    /// kept running open-loop while the controller was down (see
+    /// [`Willow::step_open_loop`]).
+    ///
+    /// The checkpoint supplies the controller's *memory* (config, counters,
+    /// ping-pong history, retry backoff, the migration journal); the field
+    /// supplies *physical truth*, which always wins where the two disagree:
+    ///
+    /// * **Placement and server state** — migrations committed between the
+    ///   checkpoint and the crash are in the field but not the checkpoint,
+    ///   so the field's servers (and their smoother/thermal state) are
+    ///   adopted wholesale. Nothing moves during an outage (only the
+    ///   controller migrates), so this is exact, not approximate.
+    /// * **Budgets, caps, watchdogs, accepted temperatures, clock** — the
+    ///   leaves' applied budgets (tightened by open-loop watchdogs) and
+    ///   filtered sensor state carry over; the restored controller resumes
+    ///   at the field's tick, not the checkpoint's.
+    /// * **Demand view** — re-learned: each leaf's `CP` is seeded from its
+    ///   fresh `local_cp` and re-aggregated up the tree, replacing the
+    ///   checkpoint's stale hierarchy view.
+    /// * **Ping-pong / backoff memory** — entries whose window already
+    ///   elapsed during the outage are expired rather than replayed.
+    /// * **In-flight migrations** — journal entries still open in the
+    ///   checkpoint never flipped a placement, so they are aborted
+    ///   ([`MigrationJournal::resolve_in_flight`]).
+    ///
+    /// # Errors
+    /// Whatever [`WillowSnapshot`](crate::snapshot::WillowSnapshot)
+    /// restoration reports, plus [`WillowError::SnapshotShape`] when the
+    /// checkpoint's topology does not match the field's.
+    pub fn recover(
+        checkpoint: crate::snapshot::WillowSnapshot,
+        field: &Willow,
+    ) -> Result<Willow, WillowError> {
+        let mut w = Willow::from_parts(checkpoint)?;
+        let shape = |field_name: &'static str, found: usize, expected: usize| {
+            if found == expected {
+                Ok(())
+            } else {
+                Err(WillowError::SnapshotShape {
+                    field: field_name,
+                    found,
+                    expected,
+                })
+            }
+        };
+        shape("recover.tree", w.tree.len(), field.tree.len())?;
+        shape("recover.servers", w.servers.len(), field.servers.len())?;
+        for (ours, theirs) in w.servers.iter().zip(&field.servers) {
+            shape("recover.leaf", ours.node.index(), theirs.node.index())?;
+        }
+
+        // Physical truth from the field.
+        w.servers.clone_from(&field.servers);
+        w.leaf_server.clone_from(&field.leaf_server);
+        w.power.clone_from(&field.power);
+        w.local_cp.clone_from(&field.local_cp);
+        w.watchdog.clone_from(&field.watchdog);
+        w.accepted_temp.clone_from(&field.accepted_temp);
+        w.tick = field.tick;
+        w.last_dropped = field.last_dropped;
+
+        // Re-learn the demand hierarchy from the leaves' fresh local view,
+        // and re-sum the caps the leaves computed for themselves open-loop.
+        for server in &w.servers {
+            let leaf = server.node.index();
+            w.power.cp[leaf] = if server.active {
+                w.local_cp[leaf]
+            } else {
+                Watts::ZERO
+            };
+        }
+        w.power.aggregate_demands(&w.tree);
+        w.power.aggregate_caps(&w.tree);
+
+        // Expire memory whose window elapsed during the outage.
+        let horizon = w.config.pingpong_window;
+        let now = w.tick;
+        w.last_move
+            .retain(|_, &mut (_, t)| now.saturating_sub(t) < horizon);
+        w.backoff.retain(|_, b| b.retry_at > now);
+        w.journal.resolve_in_flight();
+        Ok(w)
+    }
+
+    /// Server index hosting `app`, if any.
+    #[must_use]
+    pub fn locate_app(&self, app: AppId) -> Option<usize> {
+        self.servers.iter().position(|s| s.find_app(app).is_some())
+    }
+
+    /// A read-only view of the controller state for policy callbacks.
+    pub(super) fn policy_ctx(&self) -> PolicyCtx<'_> {
+        PolicyCtx {
+            tree: &self.tree,
+            power: &self.power,
+            servers: &self.servers,
+            leaf_server: &self.leaf_server,
+            config: &self.config,
+        }
+    }
+
+    /// Drive one demand period. `app_demand` is indexed by `AppId.0` and
+    /// gives each application's raw power demand this period; `supply` is
+    /// the data center's total power budget (used on supply ticks).
+    ///
+    /// Equivalent to [`Willow::step_with`] with no disturbances.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step(&mut self, app_demand: &[Watts], supply: Watts) -> TickReport {
+        self.step_with(app_demand, supply, &Disturbances::default())
+    }
+
+    /// Drive one demand period under injected faults (see
+    /// [`crate::disturbance`]). With the default (empty) [`Disturbances`]
+    /// this is exactly [`Willow::step`] — the fault machinery changes
+    /// nothing about fault-free trajectories.
+    ///
+    /// Allocates a fresh [`TickReport`]; steady-state drivers should prefer
+    /// [`Willow::step_into`], which reuses a caller-provided one.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step_with(
+        &mut self,
+        app_demand: &[Watts],
+        supply: Watts,
+        disturb: &Disturbances,
+    ) -> TickReport {
+        let mut report = TickReport::default();
+        self.step_into(app_demand, supply, disturb, &mut report);
+        report
+    }
+
+    /// [`Willow::step_with`], writing into a caller-provided report instead
+    /// of returning a fresh one. `report` is fully overwritten (its buffer
+    /// capacity is reused), so one report driven across a run makes the
+    /// steady-state no-migration tick free of heap allocation entirely.
+    ///
+    /// Each pipeline stage borrows its own scratch struct for the duration
+    /// of its phase (`std::mem::take`, put back afterwards) so the stage
+    /// methods can work alongside `&mut self` field access without
+    /// reallocating.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step_into(
+        &mut self,
+        app_demand: &[Watts],
+        supply: Watts,
+        disturb: &Disturbances,
+        report: &mut TickReport,
+    ) {
+        self.disturb.assign_from(disturb);
+        self.mig_attempts = 0;
+        self.counters = FaultCounters::default();
+        let tick = self.tick;
+        // Age out closed migration transactions; open entries are kept
+        // (and an empty journal makes this free on steady-state ticks).
+        self.journal.prune(tick);
+        let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
+        let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
+        report.reset(tick, supply_tick, consolidation_tick);
+        self.fabric.reset_epoch();
+
+        // ------------------------------------------------ 1. measurement
+        let t0 = self.tel.span_start(SLOT_AGGREGATE, tick);
+        self.measure(app_demand);
+        self.tel.span_aggregate.record_since(t0);
+        // Upward demand reports: one message per tree link.
+        report.control_messages += self.tree.len() - 1;
+        self.stats.messages += (self.tree.len() - 1) as u64;
+
+        // ------------------------------------------- 2. supply adaptation
+        if supply_tick {
+            let t0 = self.tel.span_start(SLOT_ALLOCATE, tick);
+            let mut stage = std::mem::take(&mut self.supply_stage);
+            self.supply_adaptation(supply, &mut stage);
+            self.supply_stage = stage;
+            self.tel.span_allocate.record_since(t0);
+            // Downward budget directives: one message per tree link.
+            report.control_messages += self.tree.len() - 1;
+            self.stats.messages += (self.tree.len() - 1) as u64;
+        }
+
+        // ------------------------------------------- 3. demand adaptation
+        let t0 = self.tel.span_start(SLOT_PLAN_MIGRATIONS, tick);
+        let mut stage = std::mem::take(&mut self.demand_stage);
+        self.demand_adaptation(tick, &mut stage, &mut report.migrations);
+        self.demand_stage = stage;
+        self.tel.span_plan_migrations.record_since(t0);
+
+        // --------------------------------------------- 4. consolidation
+        if consolidation_tick {
+            let t0 = self.tel.span_start(SLOT_CONSOLIDATE, tick);
+            let mut stage = std::mem::take(&mut self.consolidate_stage);
+            self.consolidate(tick, &mut stage, &mut report.migrations, &mut report.slept);
+            if self.config.wake_on_deficit && self.last_dropped.0 > 0.0 {
+                self.wake_servers(
+                    self.last_dropped,
+                    tick,
+                    &mut stage.sleeping,
+                    &mut report.woken,
+                );
+            }
+            self.consolidate_stage = stage;
+            self.tel.span_consolidate.record_since(t0);
+        }
+
+        // ------------------------------------------------- 5. physics
+        let t0 = self.tel.span_start(SLOT_THERMAL_UPDATE, tick);
+        // Re-aggregate interior demands only if a leaf CP changed since
+        // the measurement phase aggregated them: executed migrations and
+        // aborts charge costs, sleeping zeroes the leaf. On a clean tick
+        // the interior sums are already exactly what recomputation would
+        // write, so skipping it is bit-neutral.
+        let cp_dirty = !report.migrations.is_empty()
+            || self.counters.migration_aborts > 0
+            || !report.slept.is_empty();
+        if cp_dirty {
+            self.power.aggregate_demands(&self.tree);
+        }
+        self.physics_phase(report);
+        self.tel.span_thermal_update.record_since(t0);
+
+        self.tel.migrations.add(report.migrations.len() as u64);
+        self.tel
+            .migration_aborts
+            .add(self.counters.migration_aborts as u64);
+        self.tel
+            .migration_rejects
+            .add(self.counters.migration_rejects as u64);
+        self.tel
+            .watchdog_trips
+            .add(self.counters.watchdog_trips as u64);
+        if self.tel.due(SLOT_GAUGES, tick) {
+            for (level, gauge) in self.tel.level_deficit.iter().enumerate() {
+                let deficit = self
+                    .tree
+                    .nodes_at_level(level as u8)
+                    .iter()
+                    .map(|&n| self.power.deficit(n))
+                    .fold(Watts::ZERO, |a, b| a + b);
+                gauge.set(deficit.0);
+            }
+            self.tel.fabric.observe(&self.fabric);
+        }
+
+        self.publish_counters(report);
+
+        self.tick += 1;
+    }
+
+    /// Drive one demand period with the central controller *down*: only
+    /// the leaf-local control surface runs. Servers keep measuring and
+    /// smoothing their own demand, draw against their last applied budget,
+    /// advance thermally, and run the sensor plausibility filter — but no
+    /// reports flow up, no budgets flow down, and no migrations or
+    /// consolidations happen (only the controller initiates them). On
+    /// supply ticks every leaf misses its directive, so the stale-directive
+    /// watchdogs count, trip at the configured threshold, and budgets can
+    /// only *tighten* (clipped by the locally recomputed thermal cap, and
+    /// by the fallback fraction once tripped) — exactly the per-leaf
+    /// degraded mode of [`Willow::step_into`] under directive loss, applied
+    /// fleet-wide.
+    ///
+    /// Sensor faults in `disturb` still apply (they are physical); message
+    /// and migration faults are moot since no messages are sent.
+    ///
+    /// # Panics
+    /// Panics if `app_demand` does not cover every hosted application's id.
+    pub fn step_open_loop(
+        &mut self,
+        app_demand: &[Watts],
+        disturb: &Disturbances,
+        report: &mut TickReport,
+    ) {
+        self.disturb.assign_from(disturb);
+        self.mig_attempts = 0;
+        self.counters = FaultCounters::default();
+        let tick = self.tick;
+        let supply_tick = tick.is_multiple_of(u64::from(self.config.eta1));
+        let consolidation_tick = tick.is_multiple_of(u64::from(self.config.eta2));
+        report.reset(tick, supply_tick, consolidation_tick);
+        self.fabric.reset_epoch();
+
+        self.measure_open_loop(app_demand);
+
+        // On supply ticks every leaf's directive is missing. Each leaf
+        // refreshes its *own* thermal cap from its accepted temperature
+        // (that computation is local) and applies the same tighten-only
+        // fallback it uses for an individually lost directive.
+        if supply_tick {
+            self.open_loop_supply_fallback();
+        }
+
+        self.physics_phase(report);
+        self.tel
+            .watchdog_trips
+            .add(self.counters.watchdog_trips as u64);
+        self.publish_counters(report);
+
+        self.tick += 1;
+    }
+}

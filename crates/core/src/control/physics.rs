@@ -1,0 +1,93 @@
+//! Pipeline stage 5 — physics: each server draws `min(demand, budget)`,
+//! sheds the shortfall by QoS class, advances its RC thermal model by
+//! `Δ_D`, and runs the sensor plausibility filter. Shared verbatim by
+//! closed-loop and open-loop (controller-down) ticks.
+
+use super::Willow;
+use crate::migration::TickReport;
+use willow_thermal::model::step_temperature_with_decay;
+use willow_thermal::units::Watts;
+
+impl Willow {
+    /// The per-server physical update shared by closed- and open-loop
+    /// ticks: draw `min(local demand, budget)`, account shed demand by QoS
+    /// class, advance the RC thermal model, run the sensor plausibility
+    /// filter, record query traffic, and fill the report's per-server and
+    /// imbalance vectors.
+    pub(super) fn physics_phase(&mut self, report: &mut TickReport) {
+        let mut dropped = Watts::ZERO;
+        for (si, server) in self.servers.iter_mut().enumerate() {
+            let leaf = server.node.index();
+            let budget = self.power.tp[leaf];
+            // The server draws against its *own* demand view: report loss
+            // fools the hierarchy, not the machine itself.
+            let demand = if server.active {
+                self.local_cp[leaf]
+            } else {
+                Watts::ZERO
+            };
+            let drawn = demand.min(budget);
+            let shortfall = (demand - budget).non_negative();
+            dropped += shortfall;
+            if shortfall.0 > 0.0 {
+                // Degraded operation: attribute the shed demand to QoS
+                // classes, lowest priority first (§IV-E / §VI).
+                let plan =
+                    crate::shedding::shed_by_priority(&server.apps, &server.app_demand, shortfall);
+                for (acc, class_shed) in report.shed_by_priority.iter_mut().zip(plan.by_class) {
+                    *acc += class_shed;
+                }
+            }
+            server.thermal.advance_with_decay(drawn, self.decay_dd[si]);
+            // Sensor plausibility filter: accept the (possibly faulted)
+            // reading only if it is within `sensor_slack` of what the RC
+            // model predicts from the last accepted temperature under the
+            // power actually drawn; otherwise keep running on the model.
+            let measured = self.disturb.measured_temp(si, server.thermal.temperature());
+            let predicted = step_temperature_with_decay(
+                server.thermal.params(),
+                self.accepted_temp[si],
+                server.thermal.ambient(),
+                drawn,
+                self.decay_dd[si],
+            );
+            self.accepted_temp[si] =
+                if (measured.0 - predicted.0).abs() <= self.config.robustness.sensor_slack {
+                    measured
+                } else {
+                    self.counters.sensor_rejections += 1;
+                    predicted
+                };
+            // Indirect network impact: query traffic follows the workload.
+            self.fabric.record_query(
+                &self.tree,
+                server.node,
+                drawn.0 * self.config.query_traffic_per_watt,
+            );
+            report.server_power.push(drawn);
+            report.server_budget.push(budget);
+            report.server_temp.push(server.thermal.temperature());
+            report.server_active.push(server.active);
+        }
+        report.dropped_demand = dropped;
+        self.last_dropped = dropped;
+        for level in 0..=self.tree.height() {
+            report
+                .imbalance
+                .push(self.power.level_imbalance(&self.tree, level));
+        }
+    }
+
+    /// Copy the period's fault/defense counters into the report tail —
+    /// shared by [`Willow::step_into`] and [`Willow::step_open_loop`].
+    pub(super) fn publish_counters(&mut self, report: &mut TickReport) {
+        report.reports_lost = self.counters.reports_lost;
+        report.directives_lost = self.counters.directives_lost;
+        report.migration_rejects = self.counters.migration_rejects;
+        report.migration_aborts = self.counters.migration_aborts;
+        report.migration_retries = self.counters.migration_retries;
+        report.watchdog_trips = self.counters.watchdog_trips;
+        report.sensor_rejections = self.counters.sensor_rejections;
+        report.fallback_servers = self.watchdog.iter().filter(|w| w.tripped).count();
+    }
+}

@@ -1,0 +1,150 @@
+//! Pluggable policy decision points of the control pipeline.
+//!
+//! The pipeline's *structure* — what happens in which stage, the margins,
+//! the unidirectional triggers, the transactional migration protocol — is
+//! fixed; these traits parameterize three decisions *inside* the stages:
+//!
+//! * which packing heuristic matches deficit parcels with surplus bins
+//!   (stage 3) — the existing [`Packer`] trait, selected by
+//!   `ControllerConfig::packer` via [`willow_binpack::packer_for`];
+//! * how the eligible migration-target bins of one packing instance are
+//!   ordered before packing ([`MigrationTargetPolicy`]);
+//! * in which order consolidation evacuates victims and fills receivers
+//!   ([`ConsolidationOrderPolicy`]).
+//!
+//! The defaults ([`AscendingIdTargets`], [`HotZonesFirst`]) reproduce the
+//! paper's behavior bit-for-bit; [`ControlPolicies::for_config`] is what
+//! [`Willow::new`](super::Willow::new) installs. Alternatives plug in via
+//! [`Willow::with_policies`](super::Willow::with_policies).
+//!
+//! Policies must be deterministic: the differential and snapshot-restore
+//! harnesses compare trajectories bit-for-bit, and a restored controller
+//! reconstructs its policies from config alone (they carry no serialized
+//! state).
+
+use crate::config::ControllerConfig;
+use crate::server::ServerState;
+use crate::state::PowerState;
+use willow_binpack::{packer_for, Packer};
+use willow_topology::{NodeId, Tree};
+
+/// Read-only controller state handed to policy callbacks.
+pub struct PolicyCtx<'a> {
+    /// The PMU tree.
+    pub tree: &'a Tree,
+    /// Current power state (CP/TP/caps per node).
+    pub power: &'a PowerState,
+    /// Server states, indexed by server order.
+    pub servers: &'a [ServerState],
+    /// Arena index → server index (None for interior nodes).
+    pub leaf_server: &'a [Option<usize>],
+    /// The controller configuration.
+    pub config: &'a ControllerConfig,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// Utilization of the server at `leaf`, or `0.0` for non-server nodes.
+    #[must_use]
+    pub fn leaf_utilization(&self, leaf: NodeId) -> f64 {
+        self.leaf_server[leaf.index()].map_or(0.0, |i| self.servers[i].utilization())
+    }
+}
+
+/// Orders the eligible target bins of one demand-side packing instance.
+/// The packer sees the bins in this order, so for order-sensitive packers
+/// (first-fit and friends) this decides which surplus absorbs a parcel
+/// when several could.
+pub trait MigrationTargetPolicy {
+    /// Reorder `targets` in place. `targets` arrives in DFS (Euler-tour)
+    /// order; the ordering must be deterministic.
+    fn order_targets(&self, ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>);
+}
+
+/// The default target ordering: ascending arena id — the deterministic
+/// "first eligible server in tree order" the paper's evaluation uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AscendingIdTargets;
+
+impl MigrationTargetPolicy for AscendingIdTargets {
+    fn order_targets(&self, _ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
+        targets.sort_unstable();
+    }
+}
+
+/// Orders consolidation's victims (servers to evacuate) and receivers
+/// (bins to evacuate into). Receivers are ordered *within* each locality
+/// class — siblings and non-siblings separately — so no policy can defeat
+/// the sibling-first preference.
+pub trait ConsolidationOrderPolicy {
+    /// Reorder candidate victim server indices in place; consolidation
+    /// evacuates them in this order. Must be deterministic.
+    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>);
+    /// Reorder one locality class of receiver bins in place; evacuation
+    /// first-fits into them in this order. Must be deterministic.
+    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]);
+}
+
+/// The default consolidation ordering. Victims: thermally constrained
+/// (lowest hard cap, i.e. hot zones) first, then emptiest first — the
+/// paper's Fig. 7 notes that Willow "tries to move as much work away from
+/// these \[hot\] servers as possible … hence they remain shut down for more
+/// time". Receivers: coolest zone (largest hard cap) first so consolidated
+/// load lands where thermal headroom is, then most-utilized first so
+/// consolidation fills the fullest servers (the FFDLR "run every server at
+/// full utilization" rationale) instead of cascading load through
+/// near-idle ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HotZonesFirst;
+
+impl ConsolidationOrderPolicy for HotZonesFirst {
+    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>) {
+        victims.sort_unstable_by(|&a, &b| {
+            let cap = |i: usize| ctx.power.cap[ctx.servers[i].node.index()].0;
+            cap(a)
+                .total_cmp(&cap(b))
+                .then(
+                    ctx.servers[a]
+                        .utilization()
+                        .total_cmp(&ctx.servers[b].utilization()),
+                )
+                .then(a.cmp(&b))
+        });
+    }
+
+    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]) {
+        receivers.sort_unstable_by(|a, b| {
+            let cap = |n: NodeId| ctx.power.cap[n.index()].0;
+            cap(*b)
+                .total_cmp(&cap(*a))
+                .then(
+                    ctx.leaf_utilization(*b)
+                        .total_cmp(&ctx.leaf_utilization(*a)),
+                )
+                .then(a.cmp(b))
+        });
+    }
+}
+
+/// The pipeline's pluggable decision points, boxed once at construction so
+/// hot paths never re-box or re-dispatch beyond one vtable call.
+pub struct ControlPolicies {
+    /// Packing heuristic for demand-side adaptation (stage 3).
+    pub packer: Box<dyn Packer>,
+    /// Target-bin ordering for demand-side packing instances (stage 3).
+    pub targets: Box<dyn MigrationTargetPolicy>,
+    /// Victim/receiver ordering for consolidation (stage 4).
+    pub consolidation: Box<dyn ConsolidationOrderPolicy>,
+}
+
+impl ControlPolicies {
+    /// The default policies for `config`: the configured packer plus the
+    /// paper's target and consolidation orderings.
+    #[must_use]
+    pub fn for_config(config: &ControllerConfig) -> Self {
+        ControlPolicies {
+            packer: packer_for(config.packer),
+            targets: Box::new(AscendingIdTargets),
+            consolidation: Box::new(HotZonesFirst),
+        }
+    }
+}

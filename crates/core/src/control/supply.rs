@@ -1,0 +1,238 @@
+//! Pipeline stage 2 — supply adaptation (§IV-D): refresh thermal hard
+//! caps (Eq. 3 over the `Δ_S` window) and divide the total supply
+//! top-down, proportionally to demand and clipped by the caps. Runs every
+//! `η1` demand periods. Also home to the stale-directive watchdog and the
+//! open-loop (controller-down) budget fallback, which reuse the same cap
+//! computation.
+
+use super::Willow;
+use crate::config::{AllocationPolicy, ReducedTargetRule};
+use willow_power::allocation::allocate_proportional_into;
+use willow_thermal::limit::power_limit_with_decay;
+use willow_thermal::units::Watts;
+use willow_topology::Tree;
+
+/// Per-server stale-directive watchdog state (paper-adjacent defense: a
+/// leaf that keeps missing its budget directive falls back to a
+/// conservative local cap rather than running open-loop forever).
+///
+/// Public and serializable because it is part of the controller's complete
+/// mutable state: a checkpoint that dropped it would silently reset the
+/// degraded-mode defenses on restore (see `crate::snapshot`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Watchdog {
+    /// Consecutive supply ticks whose budget directive never arrived.
+    pub missed: u32,
+    /// Whether the conservative fallback cap is currently engaged.
+    pub tripped: bool,
+}
+
+/// Reusable working memory for the supply stage: child caps, allocation
+/// weights and budgets for one interior node's top-down division, plus the
+/// water-filling working set. Cleared (capacity retained) instead of
+/// reallocated, so a steady-state supply tick performs zero heap
+/// allocations once warmed up. Taken out of the controller with
+/// `std::mem::take` for the duration of the stage and put back afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct SupplyStage {
+    /// Child hard caps for one interior node.
+    pub(super) caps: Vec<Watts>,
+    /// Child allocation weights for one interior node.
+    pub(super) weights: Vec<Watts>,
+    /// Child budgets written by the proportional division.
+    pub(super) budgets: Vec<Watts>,
+    /// Water-filling working set.
+    pub(super) alloc: willow_power::AllocationScratch,
+}
+
+impl SupplyStage {
+    /// Pre-size the buffers to the tree's maximum branching factor so even
+    /// the first supply tick allocates as little as possible.
+    pub(super) fn for_tree(tree: &Tree) -> Self {
+        let max_branching: usize = (0..=tree.height())
+            .map(|l| tree.max_branching_at(l))
+            .max()
+            .unwrap_or(0);
+        SupplyStage {
+            caps: Vec::with_capacity(max_branching),
+            weights: Vec::with_capacity(max_branching),
+            budgets: Vec::with_capacity(max_branching),
+            alloc: willow_power::AllocationScratch::default(),
+        }
+    }
+}
+
+impl Willow {
+    /// Thermal hard cap for server `si`, from its *accepted* temperature —
+    /// the reading that passed the plausibility filter — never a raw
+    /// sensor, so a stuck or noisy sensor cannot zero out a healthy
+    /// server. Sleeping servers present their wake-up headroom; they are
+    /// at (or cooling toward) ambient, so this is near their rating.
+    /// Shared by the closed-loop supply stage and the open-loop fallback.
+    pub(super) fn thermal_cap(&self, si: usize) -> Watts {
+        let server = &self.servers[si];
+        match self.config.thermal_estimate {
+            crate::config::ThermalEstimate::WindowPrediction => {
+                // `power_limit` with the decay factor cached at
+                // construction (the window is a run constant).
+                let limit = if self.config.delta_s().is_positive() {
+                    power_limit_with_decay(
+                        server.thermal.params(),
+                        self.accepted_temp[si],
+                        server.thermal.ambient(),
+                        server.thermal.limit(),
+                        self.decay_ds[si],
+                    )
+                } else {
+                    Watts(f64::INFINITY)
+                };
+                limit.clamp(Watts::ZERO, server.thermal.rating())
+            }
+            crate::config::ThermalEstimate::NaiveThrottle => {
+                if self.accepted_temp[si].0 > server.thermal.limit().0 + 1e-9 {
+                    Watts::ZERO
+                } else {
+                    server.thermal.rating()
+                }
+            }
+        }
+    }
+
+    /// Count a missed directive for server `si`'s watchdog, tripping it at
+    /// the configured threshold, and return the tighten-only fallback
+    /// budget: `base` (the budget the leaf keeps applying) clipped by the
+    /// locally known thermal cap, and by the conservative fallback
+    /// fraction of the rating once tripped.
+    fn missed_directive_fallback(&mut self, si: usize, base: Watts, cap: Watts) -> Watts {
+        self.counters.directives_lost += 1;
+        let wd = &mut self.watchdog[si];
+        wd.missed += 1;
+        if !wd.tripped && wd.missed >= self.config.robustness.watchdog_threshold {
+            wd.tripped = true;
+            self.counters.watchdog_trips += 1;
+        }
+        let mut fallback = base.min(cap);
+        if wd.tripped {
+            let cap_w =
+                self.servers[si].thermal.rating().0 * self.config.robustness.watchdog_cap_fraction;
+            fallback = fallback.min(Watts(cap_w));
+        }
+        fallback
+    }
+
+    /// Refresh hard caps from the thermal model and divide the supply
+    /// top-down proportional to demand (§IV-D).
+    pub(super) fn supply_adaptation(&mut self, supply: Watts, stage: &mut SupplyStage) {
+        for si in 0..self.servers.len() {
+            let cap = self.thermal_cap(si);
+            self.power.cap[self.servers[si].node.index()] = cap;
+        }
+        self.power.aggregate_caps(&self.tree);
+
+        self.power.tp_old.copy_from_slice(&self.power.tp);
+        let root = self.tree.root();
+        self.power.tp[root.index()] = supply.min(self.power.cap[root.index()]);
+        for level in (1..=self.tree.height()).rev() {
+            for &node in self.tree.nodes_at_level(level) {
+                let children = self.tree.children(node);
+                stage.caps.clear();
+                stage
+                    .caps
+                    .extend(children.iter().map(|c| self.power.cap[c.index()]));
+                // The allocation "demand" weights depend on the policy.
+                // `ProportionalToCapacity` weights *are* the caps, so that
+                // arm borrows `stage.caps` directly instead of copying it.
+                stage.weights.clear();
+                match self.config.allocation {
+                    AllocationPolicy::ProportionalToDemand => stage
+                        .weights
+                        .extend(children.iter().map(|c| self.power.cp[c.index()])),
+                    AllocationPolicy::EqualShare => {
+                        stage.weights.extend(children.iter().map(|_| Watts(1.0)));
+                    }
+                    AllocationPolicy::ProportionalToCapacity => {}
+                }
+                let weights: &[Watts] =
+                    if self.config.allocation == AllocationPolicy::ProportionalToCapacity {
+                        &stage.caps
+                    } else {
+                        &stage.weights
+                    };
+                allocate_proportional_into(
+                    self.power.tp[node.index()],
+                    weights,
+                    &stage.caps,
+                    &mut stage.budgets,
+                    &mut stage.alloc,
+                )
+                .expect("validated inputs");
+                for (c, &b) in children.iter().zip(&stage.budgets) {
+                    self.power.tp[c.index()] = b;
+                }
+            }
+        }
+
+        // Stale-directive watchdog. A leaf whose directive is lost never
+        // sees the freshly allocated budget: it keeps its previously
+        // applied one, clipped by its locally known thermal cap — i.e. the
+        // effective budget can only *tighten*, never loosen, without a
+        // fresh directive. After `watchdog_threshold` consecutive misses
+        // the leaf self-imposes a conservative fallback cap (a fraction of
+        // its rating) until a directive gets through again.
+        for si in 0..self.servers.len() {
+            let leaf = self.servers[si].node.index();
+            if self.disturb.directive_lost(si) {
+                let base = self.power.tp_old[leaf];
+                let cap = self.power.cap[leaf];
+                self.power.tp[leaf] = self.missed_directive_fallback(si, base, cap);
+            } else {
+                self.watchdog[si] = Watchdog::default();
+            }
+        }
+
+        // Budget-reduction flags for the unidirectional target rule (after
+        // the watchdog, so degraded leaves read as reduced targets).
+        for id in self.tree.ids() {
+            let i = id.index();
+            let reduced = match self.config.reduced_rule {
+                ReducedTargetRule::Off => false,
+                ReducedTargetRule::Strict => self.power.tp[i].0 < self.power.tp_old[i].0 - 1e-9,
+                ReducedTargetRule::Disproportionate => {
+                    let old = self.power.tp_old[i].0;
+                    let new = self.power.tp[i].0;
+                    if old <= 0.0 || new >= old {
+                        false
+                    } else {
+                        match self.tree.parent(id) {
+                            None => false, // global events never flag the root
+                            Some(p) => {
+                                let p_old = self.power.tp_old[p.index()].0;
+                                let p_new = self.power.tp[p.index()].0;
+                                let parent_ratio = if p_old > 0.0 { p_new / p_old } else { 1.0 };
+                                new / old < parent_ratio - 1e-6
+                            }
+                        }
+                    }
+                }
+            };
+            self.power.reduced[i] = reduced;
+        }
+    }
+
+    /// The supply-tick fallback with the controller down: every leaf's
+    /// directive is missing, so each refreshes its *own* thermal cap from
+    /// its accepted temperature (that computation is local) and applies
+    /// the same tighten-only fallback it uses for an individually lost
+    /// directive. The base here is the leaf's currently *applied* budget
+    /// (`tp`): with the controller down there is no freshly allocated
+    /// budget for `tp_old` to snapshot.
+    pub(super) fn open_loop_supply_fallback(&mut self) {
+        for si in 0..self.servers.len() {
+            let leaf = self.servers[si].node.index();
+            let cap = self.thermal_cap(si);
+            self.power.cap[leaf] = cap;
+            let base = self.power.tp[leaf];
+            self.power.tp[leaf] = self.missed_directive_fallback(si, base, cap);
+        }
+    }
+}

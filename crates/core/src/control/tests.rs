@@ -1,0 +1,422 @@
+//! Behavioral tests of the closed-loop control pipeline: constructor
+//! validation, supply/demand adaptation, consolidation, thermal behavior
+//! and the paper's properties. Fault-injection and crash-recovery tests
+//! live in `super::fault_tests`.
+
+use super::testutil::{demands, small_setup};
+use super::*;
+use crate::config::{AllocationPolicy, ReducedTargetRule};
+use crate::migration::MigrationReason;
+use willow_workload::app::{Application, SIM_APP_CLASSES};
+
+#[test]
+fn constructor_validates() {
+    let (tree, specs, _) = small_setup(1);
+    assert!(Willow::new(tree.clone(), specs.clone(), ControllerConfig::default()).is_ok());
+    // Too few specs.
+    let err = Willow::new(
+        tree.clone(),
+        specs[..2].to_vec(),
+        ControllerConfig::default(),
+    );
+    assert!(matches!(err, Err(WillowError::LeafCoverage { .. })));
+    // Duplicate leaf.
+    let mut dup = specs.clone();
+    dup[1].node = dup[0].node;
+    assert!(matches!(
+        Willow::new(tree.clone(), dup, ControllerConfig::default()),
+        Err(WillowError::DuplicateLeaf(_))
+    ));
+    // Duplicate app id.
+    let mut dup_app = specs.clone();
+    let a = dup_app[0].apps[0].clone();
+    dup_app[1].apps = vec![a];
+    assert!(matches!(
+        Willow::new(tree.clone(), dup_app, ControllerConfig::default()),
+        Err(WillowError::DuplicateApp(_))
+    ));
+    // Non-leaf spec.
+    let mut non_leaf = specs;
+    non_leaf[0].node = tree.root();
+    assert!(matches!(
+        Willow::new(tree, non_leaf, ControllerConfig::default()),
+        Err(WillowError::NotALeaf(_))
+    ));
+}
+
+#[test]
+fn ample_supply_no_migrations_no_drops() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    for _ in 0..20 {
+        let r = w.step(&demands(n_apps, 10.0), Watts(10_000.0));
+        assert_eq!(r.dropped_demand, Watts(0.0));
+        assert_eq!(
+            r.migrations_by_reason(MigrationReason::Demand),
+            0,
+            "no deficit ⇒ no demand-driven migrations"
+        );
+        assert_eq!(r.pingpongs(), 0);
+    }
+}
+
+#[test]
+fn budgets_allocated_proportionally_to_demand() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    // Unequal demands; ample supply: each server's budget ≥ demand.
+    let mut d = demands(n_apps, 10.0);
+    d[0] = Watts(40.0);
+    let r = w.step(&d, Watts(10_000.0));
+    assert!(r.server_budget[0] >= Watts(40.0));
+    for i in 1..4 {
+        assert!(r.server_budget[i] >= Watts(10.0));
+    }
+}
+
+#[test]
+fn supply_plunge_triggers_migration_under_equal_share() {
+    // The testbed scenario (§V-C4): equal-share budgets, a supply
+    // plunge leaves the loaded server deficient while idle servers keep
+    // surplus ⇒ demand-driven migration.
+    let (tree, specs, n_apps) = small_setup(2);
+    let mut cfg = ControllerConfig::default();
+    cfg.margin = Watts(5.0);
+    cfg.eta1 = 1; // supply adaptation every tick
+    cfg.eta2 = 2;
+    cfg.consolidation_threshold = 0.0; // isolate demand-driven behaviour
+    cfg.allocation = AllocationPolicy::EqualShare;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    // Server 0 hosts apps 0, 1 at 60 W each; everyone else idles at 10 W.
+    let mut d = demands(n_apps, 10.0);
+    d[0] = Watts(60.0);
+    d[1] = Watts(60.0);
+    let r = w.step(&d, Watts(800.0)); // 200 W each: no deficit
+    assert_eq!(r.migrations_by_reason(MigrationReason::Demand), 0);
+    // Plunge: 100 W each. Server 0 (demand 120) is deficient; siblings
+    // (demand 20) have surplus 75 ≥ app's effective 63.
+    let r = w.step(&d, Watts(400.0));
+    let demand_migs: Vec<_> = r
+        .migrations
+        .iter()
+        .filter(|m| m.reason == MigrationReason::Demand)
+        .collect();
+    assert!(!demand_migs.is_empty(), "plunge must trigger migration");
+    assert!(
+        demand_migs.iter().all(|m| m.from == w.servers()[0].node),
+        "migrations must come off the loaded server"
+    );
+}
+
+#[test]
+fn migrations_prefer_siblings() {
+    // Server 0 in deficit; both its sibling (server 1) and the other pod
+    // have surplus ⇒ the migration must use the sibling (local).
+    let (tree, specs, n_apps) = small_setup(2);
+    let mut cfg = ControllerConfig::default();
+    cfg.margin = Watts(5.0);
+    cfg.eta1 = 1;
+    cfg.eta2 = 2;
+    cfg.consolidation_threshold = 0.0;
+    cfg.allocation = AllocationPolicy::EqualShare;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    let mut d = demands(n_apps, 10.0);
+    d[0] = Watts(60.0);
+    d[1] = Watts(60.0);
+    let _ = w.step(&d, Watts(800.0));
+    let r = w.step(&d, Watts(400.0));
+    let demand_migs: Vec<_> = r
+        .migrations
+        .iter()
+        .filter(|m| m.reason == MigrationReason::Demand)
+        .collect();
+    assert!(!demand_migs.is_empty());
+    assert!(
+        demand_migs.iter().all(|m| m.local),
+        "sibling surplus must be preferred: {demand_migs:?}"
+    );
+}
+
+#[test]
+fn demand_dropped_when_no_surplus_anywhere() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut cfg = ControllerConfig::default();
+    cfg.wake_on_deficit = false;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    // Demand far beyond the total supply.
+    let d = demands(n_apps, 200.0);
+    let mut r = TickReport::default();
+    for _ in 0..5 {
+        r = w.step(&d, Watts(100.0));
+    }
+    assert!(r.dropped_demand.0 > 0.0, "undersupply must shed demand");
+}
+
+#[test]
+fn consolidation_empties_idle_server_and_sleeps_it() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut cfg = ControllerConfig::default();
+    cfg.consolidation_threshold = 0.2; // 90 W on a 450 W server
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    // All servers lightly loaded; ample supply.
+    let d = demands(n_apps, 20.0);
+    let mut slept_any = false;
+    let mut consolidation_migs = 0;
+    for _ in 0..15 {
+        let r = w.step(&d, Watts(10_000.0));
+        slept_any |= !r.slept.is_empty();
+        consolidation_migs += r.migrations_by_reason(MigrationReason::Consolidation);
+    }
+    assert!(slept_any, "idle servers must be consolidated away");
+    assert!(consolidation_migs > 0);
+    let active = w.servers().iter().filter(|s| s.active).count();
+    assert!(active < 4, "at least one server must sleep");
+    // All apps still hosted somewhere.
+    let hosted: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+    assert_eq!(hosted, n_apps);
+}
+
+#[test]
+fn sleeping_servers_draw_no_power() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    let d = demands(n_apps, 10.0);
+    let mut last = None;
+    for _ in 0..20 {
+        last = Some(w.step(&d, Watts(10_000.0)));
+    }
+    let r = last.unwrap();
+    for (i, active) in r.server_active.iter().enumerate() {
+        if !active {
+            assert_eq!(r.server_power[i], Watts(0.0));
+        }
+    }
+}
+
+#[test]
+fn wake_on_deficit_restores_capacity() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut cfg = ControllerConfig::default();
+    cfg.consolidation_threshold = 0.2;
+    cfg.wake_on_deficit = true;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    // Phase 1: idle ⇒ consolidation puts servers to sleep.
+    let low = demands(n_apps, 15.0);
+    for _ in 0..15 {
+        let _ = w.step(&low, Watts(10_000.0));
+    }
+    let active_before = w.servers().iter().filter(|s| s.active).count();
+    assert!(active_before < 4);
+    // Phase 2: demand surges beyond what awake servers can host.
+    let high = demands(n_apps, 400.0);
+    let mut woke = false;
+    for _ in 0..20 {
+        let r = w.step(&high, Watts(10_000.0));
+        woke |= !r.woken.is_empty();
+    }
+    assert!(woke, "dropped demand must wake sleeping servers");
+    let active_after = w.servers().iter().filter(|s| s.active).count();
+    assert!(active_after > active_before);
+}
+
+#[test]
+fn thermal_cap_limits_hot_server_and_workload_flees_hot_zone() {
+    // Server 0 sits in a hot zone: once it heats up, its thermal cap —
+    // and hence its budget — must fall well below its rating, its
+    // temperature must never cross the limit, and Willow must migrate
+    // its workload toward the cool zone (the Fig. 5/7 behaviour).
+    let (tree, mut specs, n_apps) = small_setup(1);
+    specs[0].ambient = Celsius(45.0);
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    let mut d = demands(n_apps, 10.0);
+    d[0] = Watts(400.0);
+    let mut min_loaded_budget = f64::INFINITY;
+    for _ in 0..50 {
+        let r = w.step(&d, Watts(10_000.0));
+        assert!(
+            r.server_temp[0] <= Celsius(70.0 + 1e-6),
+            "thermal limit violated: {}",
+            r.server_temp[0]
+        );
+        if r.server_active[0] && r.server_power[0].0 > 100.0 {
+            min_loaded_budget = min_loaded_budget.min(r.server_budget[0].0);
+        }
+    }
+    assert!(
+        min_loaded_budget < 450.0 * 0.8,
+        "hot loaded server budget {min_loaded_budget} should fall well below rating"
+    );
+    // The heavy app must have left the hot zone.
+    let host = w.locate_app(AppId(0)).expect("app still hosted");
+    assert_ne!(host, 0, "workload must migrate out of the hot zone");
+}
+
+#[test]
+fn thermal_limit_never_violated() {
+    let (tree, mut specs, n_apps) = small_setup(2);
+    for s in &mut specs[2..] {
+        s.ambient = Celsius(40.0);
+    }
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    let d = demands(n_apps, 120.0);
+    for _ in 0..100 {
+        let r = w.step(&d, Watts(1_200.0));
+        for (i, t) in r.server_temp.iter().enumerate() {
+            assert!(t.0 <= 70.0 + 1e-6, "server {i} exceeded thermal limit: {t}");
+        }
+    }
+}
+
+#[test]
+fn property3_message_bound() {
+    let (tree, specs, n_apps) = small_setup(1);
+    let links = tree.len() - 1;
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    for _ in 0..10 {
+        let r = w.step(&demands(n_apps, 10.0), Watts(10_000.0));
+        assert!(
+            r.control_messages <= 2 * links,
+            "Property 3: ≤ 2 messages per link per Δ_D"
+        );
+    }
+}
+
+#[test]
+fn no_pingpong_under_stable_demand() {
+    let (tree, specs, n_apps) = small_setup(2);
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    let mut d = demands(n_apps, 30.0);
+    d[0] = Watts(80.0);
+    d[1] = Watts(80.0);
+    let mut total_pingpongs = 0;
+    for _ in 0..60 {
+        let r = w.step(&d, Watts(500.0));
+        total_pingpongs += r.pingpongs();
+    }
+    assert_eq!(total_pingpongs, 0, "stable demand must not ping-pong");
+}
+
+#[test]
+fn apps_conserved_across_arbitrary_churn() {
+    let (tree, specs, n_apps) = small_setup(3);
+    let mut w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    // Deterministic wavy demand + supply.
+    for t in 0..120u64 {
+        let d: Vec<Watts> = (0..n_apps)
+            .map(|i| Watts(20.0 + 15.0 * (((t as usize + i) % 7) as f64)))
+            .collect();
+        let supply = Watts(600.0 + 300.0 * ((t % 11) as f64 / 10.0));
+        let _ = w.step(&d, supply);
+        let hosted: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(hosted, n_apps, "apps must never be lost or duplicated");
+        // Demand alignment invariant.
+        for s in w.servers() {
+            assert_eq!(s.apps.len(), s.app_demand.len());
+        }
+    }
+}
+
+#[test]
+fn strict_reduced_rule_blocks_targets_on_global_dip() {
+    // Identical scenario to `supply_plunge_triggers_migration_under_
+    // equal_share`, but under the literal reading of the §IV-E rule a
+    // global dip reduces every budget, so no target is eligible and no
+    // migration may happen — the inconsistency DESIGN.md documents.
+    let (tree, specs, n_apps) = small_setup(2);
+    let mut cfg = ControllerConfig::default();
+    cfg.reduced_rule = ReducedTargetRule::Strict;
+    cfg.eta1 = 1;
+    cfg.eta2 = 2;
+    cfg.consolidation_threshold = 0.0;
+    cfg.allocation = AllocationPolicy::EqualShare;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    let mut d = demands(n_apps, 10.0);
+    d[0] = Watts(60.0);
+    d[1] = Watts(60.0);
+    let _ = w.step(&d, Watts(800.0));
+    let r = w.step(&d, Watts(400.0));
+    assert_eq!(
+        r.migrations_by_reason(MigrationReason::Demand),
+        0,
+        "strict rule forbids all targets after a global reduction"
+    );
+}
+
+#[test]
+fn shedding_respects_priorities_end_to_end() {
+    use willow_workload::app::Priority;
+    // One server pod, two apps per server: app even = Low, odd = High.
+    let tree = Tree::uniform(&[2, 2]);
+    let mut id = 0u32;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            let apps: Vec<_> = (0..2)
+                .map(|_| {
+                    let prio = if id.is_multiple_of(2) {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    };
+                    let a = Application::new(AppId(id), 0, &SIM_APP_CLASSES[0]).with_priority(prio);
+                    id += 1;
+                    a
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+    let mut cfg = ControllerConfig::default();
+    cfg.wake_on_deficit = false;
+    cfg.consolidation_threshold = 0.0;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    // Demand far above supply: shedding is unavoidable everywhere.
+    let d = demands(id as usize, 150.0);
+    let mut low = 0.0;
+    let mut high = 0.0;
+    for _ in 0..10 {
+        let r = w.step(&d, Watts(800.0));
+        low += r.shed_by_priority[Priority::Low.index()].0;
+        high += r.shed_by_priority[Priority::High.index()].0;
+    }
+    assert!(low > 0.0, "undersupply must shed low-priority demand");
+    assert!(
+        high < low,
+        "high-priority demand ({high}) must shed less than low ({low})"
+    );
+}
+
+#[test]
+fn naive_throttle_ablation_overshoots_where_willow_does_not() {
+    use crate::config::ThermalEstimate;
+    // Hot-zone server driven hard: the naive reactive throttle lets the
+    // temperature cross the limit between supply ticks; Willow's
+    // window-prediction cap (tested elsewhere) never does.
+    let (tree, mut specs, n_apps) = small_setup(1);
+    for s in &mut specs {
+        s.ambient = Celsius(45.0);
+    }
+    let mut cfg = ControllerConfig::default();
+    cfg.thermal_estimate = ThermalEstimate::NaiveThrottle;
+    cfg.consolidation_threshold = 0.0;
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    let d = demands(n_apps, 400.0);
+    let mut max_temp = f64::MIN;
+    for _ in 0..100 {
+        let r = w.step(&d, Watts(10_000.0));
+        max_temp = max_temp.max(r.server_temp.iter().map(|t| t.0).fold(f64::MIN, f64::max));
+    }
+    assert!(
+        max_temp > 70.0,
+        "naive throttling should overshoot the limit, peaked at {max_temp}"
+    );
+}
+
+#[test]
+fn locate_app_finds_hosts() {
+    let (tree, specs, _) = small_setup(1);
+    let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
+    assert_eq!(w.locate_app(AppId(0)), Some(0));
+    assert_eq!(w.locate_app(AppId(3)), Some(3));
+    assert_eq!(w.locate_app(AppId(99)), None);
+}

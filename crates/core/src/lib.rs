@@ -35,8 +35,10 @@
 //! * [`state`] — per-node power state arrays (`CP`, `TP`, caps, reduction
 //!   flags).
 //! * [`migration`] — migration records, reasons, and per-tick reports.
-//! * [`controller`] — [`controller::Willow`] itself: `step()` once per
-//!   `Δ_D` with measured app demands and the current total supply.
+//! * [`control`] — [`control::Willow`] itself: `step()` once per `Δ_D`
+//!   with measured app demands and the current total supply, staged as a
+//!   five-phase pipeline with pluggable policies (also reachable under
+//!   its historical name, `controller`).
 //!
 //! ## Minimal use
 //!
@@ -72,7 +74,8 @@
 pub mod audit;
 pub mod baseline;
 pub mod config;
-pub mod controller;
+pub mod control;
+pub use self::control as controller;
 pub mod convergence;
 #[cfg(test)]
 mod differential;

@@ -3,14 +3,14 @@
 //! `Willow::step_with` must produce bit-identical `TickReport`s and budgets
 //! to this implementation on any input. Test-only; never ships.
 
-use crate::config::{AllocationPolicy, ControllerConfig, PackerChoice, ReducedTargetRule};
+use crate::config::{AllocationPolicy, ControllerConfig, ReducedTargetRule};
 use crate::controller::{ControlStats, WillowError};
 use crate::disturbance::{Disturbances, MigrationOutcome};
 use crate::migration::{MigrationReason, MigrationRecord, TickReport};
 use crate::server::{ServerSpec, ServerState};
 use crate::state::PowerState;
 use std::collections::HashMap;
-use willow_binpack::{BestFitDecreasing, Ffdlr, FirstFitDecreasing, NextFit, Packer};
+use willow_binpack::Packer;
 use willow_network::Fabric;
 use willow_power::allocation::allocate_proportional;
 use willow_thermal::limit::power_limit;
@@ -289,12 +289,7 @@ impl ReferenceWillow {
     }
 
     fn packer(&self) -> Box<dyn Packer> {
-        match self.config.packer {
-            PackerChoice::Ffdlr => Box::new(Ffdlr),
-            PackerChoice::FirstFitDecreasing => Box::new(FirstFitDecreasing),
-            PackerChoice::BestFitDecreasing => Box::new(BestFitDecreasing),
-            PackerChoice::NextFit => Box::new(NextFit),
-        }
+        willow_binpack::packer_for(self.config.packer)
     }
 
     /// Effective packing size of a demand parcel: the moved demand plus the
