@@ -16,6 +16,7 @@ use willow_testbed::experiments as tb_exp;
 
 mod bench_controller;
 mod chaos_cmd;
+mod liveops_cmd;
 mod telemetry_cmd;
 
 /// Counting global allocator: lets the `bench` subcommand report
@@ -51,6 +52,22 @@ fn main() {
             flag("--ticks", 200),
             args.iter().any(|a| a == "--sweep"),
         );
+        return;
+    }
+    if args.iter().any(|a| a == "liveops") {
+        let flag = |name: &str, default: usize| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let timeline = args
+            .iter()
+            .position(|a| a == "--timeline")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str);
+        liveops_cmd::run(flag("--seeds", 8) as u64, flag("--ticks", 200), timeline);
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");

@@ -240,6 +240,31 @@ impl Auditor {
         self.checks
     }
 
+    /// Re-synchronize the auditor with `w` after an online topology
+    /// change (live-ops server add/remove): resize the node-to-server map
+    /// to the new arena and seed the tightening-only tracker for newly
+    /// added servers from their current budgets and watchdog state.
+    /// Existing servers keep their history, so the tightening-only rule
+    /// keeps policing across the change. Call this before
+    /// [`Auditor::check`] on any tick whose report flagged
+    /// `topology_changed`.
+    pub fn resync(&mut self, w: &Willow) {
+        self.server_of_node.clear();
+        self.server_of_node.resize(w.tree().len(), None);
+        for (si, s) in w.servers().iter().enumerate() {
+            // A retired server's arena slot may have been reused by a
+            // later-added server; only live servers own their node.
+            if s.fence != crate::server::FenceState::Retired {
+                self.server_of_node[s.node.index()] = Some(si);
+            }
+        }
+        for si in self.prev_tp.len()..w.servers().len() {
+            self.prev_tp
+                .push(w.power().tp[w.servers()[si].node.index()]);
+            self.prev_missed.push(w.watchdogs()[si].missed);
+        }
+    }
+
     /// Audit `w` against all four invariant families. Returns the
     /// violations found this check (empty on a healthy controller).
     ///

@@ -67,10 +67,13 @@ impl Willow {
     ) {
         let first_record = records.len();
         stage.candidates.clear();
+        // Fenced-state servers are excluded: a draining server's lifecycle
+        // belongs to the command plane alone (see `super::liveops`).
         stage
             .candidates
             .extend((0..self.servers.len()).filter(|&i| {
                 self.servers[i].active
+                    && self.servers[i].fence.is_active()
                     && self.servers[i].utilization() < self.config.consolidation_threshold
             }));
         {
@@ -302,12 +305,15 @@ impl Willow {
         drained
     }
 
-    /// Wake a sleeping server (after maintenance). No-op if already awake.
+    /// Wake a sleeping server (after maintenance). No-op if already awake
+    /// or if the server is fenced by the command plane (a drained server
+    /// receives zero budget and zero load until re-added; see
+    /// [`super::liveops`]).
     ///
     /// # Panics
     /// Panics if `server` is out of range.
     pub fn force_wake(&mut self, server: usize) {
-        if !self.servers[server].active {
+        if !self.servers[server].active && self.servers[server].fence.is_active() {
             let tick = self.tick;
             self.servers[server].active = true;
             self.servers[server].last_activity_change = tick;
@@ -325,7 +331,12 @@ impl Willow {
         woken: &mut Vec<NodeId>,
     ) {
         sleeping.clear();
-        sleeping.extend((0..self.servers.len()).filter(|&i| !self.servers[i].active));
+        // Fenced and retired servers must never be woken — a drained
+        // server receives zero budget and zero load thereafter.
+        sleeping.extend(
+            (0..self.servers.len())
+                .filter(|&i| !self.servers[i].active && self.servers[i].fence.is_active()),
+        );
         sleeping.sort_unstable_by(|&a, &b| {
             self.servers[b]
                 .thermal

@@ -61,14 +61,17 @@ impl DemandStage {
 }
 
 impl Willow {
-    /// True if `leaf` may receive migrations: active, not crashed, and
-    /// neither it nor any ancestor was flagged as budget-reduced (§IV-E
-    /// final rule).
+    /// True if `leaf` may receive migrations: active, unfenced, not
+    /// crashed, and neither it nor any ancestor was flagged as
+    /// budget-reduced (§IV-E final rule).
     pub(super) fn target_eligible(&self, leaf: NodeId) -> bool {
         let Some(si) = self.leaf_server[leaf.index()] else {
             return false;
         };
-        if !self.servers[si].active || self.disturb.crashed(si) {
+        if !self.servers[si].active
+            || !self.servers[si].fence.is_active()
+            || self.disturb.crashed(si)
+        {
             return false;
         }
         if self.power.reduced[leaf.index()] {

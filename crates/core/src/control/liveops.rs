@@ -1,0 +1,354 @@
+//! The live-ops command plane: queued operator commands executed at a
+//! fixed point in the tick — after measurement, before supply adaptation —
+//! so every reconfiguration lands at a deterministic, replayable position
+//! in the control trajectory.
+//!
+//! Commands are submitted with [`Willow::submit_command`] and processed
+//! FIFO. Each command is validated (check-then-act) against its
+//! preconditions before any state is touched; a rejected command changes
+//! nothing and reports a typed [`CommandError`]. A
+//! [`Command::Drain`] is the one *multi-tick* command: it evacuates what
+//! it can place each tick (reporting the rest as stranded) and stays
+//! pending until the server is empty, at which point it fences the server
+//! and completes. Pending drains do not block commands queued behind them.
+//!
+//! Online topology edits (server add/remove) grow the per-node state
+//! arrays and rebuild the per-stage scratch; the queue itself is part of
+//! the checkpointed state, so commands in flight survive a controller
+//! crash (see [`Willow::recover`]).
+
+use super::consolidate::ConsolidateStage;
+use super::demand::{DeficitItem, DemandStage};
+use super::supply::SupplyStage;
+use super::Willow;
+use crate::command::{
+    Command, CommandError, CommandId, CommandOutcome, CommandStatus, PendingCommand,
+};
+use crate::migration::{MigrationReason, TickReport};
+use crate::server::{DemandSmoother, FenceState, ServerSpec, ServerState};
+use willow_thermal::model::decay_factor;
+use willow_thermal::units::Watts;
+use willow_topology::NodeId;
+
+impl Willow {
+    /// Queue `command` for processing at the next tick's command point
+    /// (between the measure and supply stages). Returns the correlation id
+    /// echoed in the eventual [`CommandOutcome`] on the report of the tick
+    /// in which the command reaches a terminal state.
+    pub fn submit_command(&mut self, command: Command) -> CommandId {
+        let id = CommandId(self.next_command_id);
+        self.next_command_id += 1;
+        self.pending.push(PendingCommand {
+            id,
+            command,
+            issued_tick: self.tick,
+        });
+        id
+    }
+
+    /// Commands still in flight: queued but not yet processed, or drains
+    /// that have not emptied their server yet.
+    #[must_use]
+    pub fn pending_commands(&self) -> &[PendingCommand] {
+        &self.pending
+    }
+
+    /// The next correlation id [`Willow::submit_command`] will assign.
+    #[must_use]
+    pub fn next_command_id(&self) -> u64 {
+        self.next_command_id
+    }
+
+    /// Whether adaptation is paused by [`Command::Pause`]: measurement,
+    /// command processing and physics keep running, budgets stay frozen.
+    #[must_use]
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Process the pending command queue, FIFO and non-blocking: every
+    /// command is attempted each tick in submission order; completed and
+    /// rejected commands leave the queue with an outcome on `report`,
+    /// unfinished drains stay for the next tick. With an empty queue this
+    /// is a single branch — the steady-state tick stays allocation-free
+    /// and bit-for-bit identical to a controller without a command plane.
+    pub(super) fn process_commands(&mut self, report: &mut TickReport) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let tick = self.tick;
+        let mut i = 0;
+        while i < self.pending.len() {
+            let PendingCommand {
+                id,
+                command,
+                issued_tick,
+            } = self.pending[i].clone();
+            let status = match &command {
+                Command::AddServer { parent, name } => {
+                    Some(match self.exec_add_server(*parent, name) {
+                        Ok(()) => {
+                            report.topology_changed = true;
+                            CommandStatus::Applied
+                        }
+                        Err(e) => CommandStatus::Rejected(e),
+                    })
+                }
+                Command::RemoveServer { server } => Some(match self.exec_remove_server(*server) {
+                    Ok(()) => {
+                        report.topology_changed = true;
+                        CommandStatus::Applied
+                    }
+                    Err(e) => CommandStatus::Rejected(e),
+                }),
+                Command::Drain { server } => match self.exec_drain(*server, tick, report) {
+                    Ok(true) => Some(CommandStatus::Applied),
+                    Ok(false) => None, // still evacuating; retry next tick
+                    Err(e) => Some(CommandStatus::Rejected(e)),
+                },
+                Command::SwapPacker { packer } => {
+                    self.config.packer = *packer;
+                    self.policies.packer = willow_binpack::packer_for(*packer);
+                    Some(CommandStatus::Applied)
+                }
+                Command::Pause => {
+                    self.paused = true;
+                    Some(CommandStatus::Applied)
+                }
+                Command::Resume => {
+                    self.paused = false;
+                    Some(CommandStatus::Applied)
+                }
+            };
+            match status {
+                Some(status) => {
+                    if status.is_applied() {
+                        report.commands_applied += 1;
+                        self.tel.commands_applied.add(1);
+                    } else {
+                        report.commands_rejected += 1;
+                        self.tel.commands_rejected.add(1);
+                    }
+                    self.tel
+                        .command_latency
+                        .record(tick.saturating_sub(issued_tick) as f64);
+                    report.command_outcomes.push(CommandOutcome {
+                        id,
+                        command,
+                        tick,
+                        status,
+                    });
+                    self.pending.remove(i);
+                }
+                None => i += 1,
+            }
+        }
+        // Drain migrations, fencing and topology edits all move leaf-level
+        // demand around; re-aggregate so the supply stage divides against
+        // fresh interior sums. On a tick whose commands changed nothing
+        // this recomputes the sums measurement just wrote — bit-neutral.
+        self.power.aggregate_demands(&self.tree);
+    }
+
+    /// Insert a new leaf under `parent`, grow every per-node array, and
+    /// bring a simulation-default server online at the new slot. The new
+    /// server starts active and empty with a zero budget; it receives its
+    /// first real budget at the next supply tick.
+    fn exec_add_server(&mut self, parent: NodeId, name: &str) -> Result<(), CommandError> {
+        let leaf = self.tree.insert_leaf(parent, name)?;
+        let n = self.tree.len();
+        self.power.ensure_len(n);
+        self.fabric.ensure_len(n);
+        if self.local_cp.len() < n {
+            self.local_cp.resize(n, Watts::ZERO);
+        }
+        if self.leaf_server.len() < n {
+            self.leaf_server.resize(n, None);
+        }
+        // A reused tombstone slot may carry state from the server that
+        // used to live there.
+        let li = leaf.index();
+        self.power.cp[li] = Watts::ZERO;
+        self.power.tp[li] = Watts::ZERO;
+        self.power.tp_old[li] = Watts::ZERO;
+        self.power.cap[li] = Watts::ZERO;
+        self.power.reduced[li] = false;
+        self.local_cp[li] = Watts::ZERO;
+        debug_assert!(self.leaf_server[li].is_none(), "slot cleared at removal");
+        self.leaf_server[li] = Some(self.servers.len());
+        let spec = ServerSpec::simulation_default(leaf);
+        let state = ServerState::from_spec_with_smoother(
+            &spec,
+            DemandSmoother::new(self.config.smoother, self.config.alpha),
+        );
+        self.watchdog.push(super::supply::Watchdog::default());
+        self.accepted_temp.push(state.thermal.temperature());
+        self.decay_dd
+            .push(decay_factor(state.thermal.params(), self.config.delta_d));
+        self.decay_ds
+            .push(decay_factor(state.thermal.params(), self.config.delta_s()));
+        self.servers.push(state);
+        self.rebuild_stage_scratch();
+        Ok(())
+    }
+
+    /// Permanently retire a fenced, empty server: remove its tree leaf
+    /// (slot becomes a reusable tombstone), zero its per-node state, and
+    /// mark its server slot [`FenceState::Retired`] — server indices are
+    /// stable for the life of the run, so the slot is never reused.
+    fn exec_remove_server(&mut self, server: usize) -> Result<(), CommandError> {
+        if server >= self.servers.len() {
+            return Err(CommandError::UnknownServer(server));
+        }
+        match self.servers[server].fence {
+            FenceState::Retired => return Err(CommandError::Retired(server)),
+            FenceState::Active | FenceState::Draining => {
+                return Err(CommandError::NotFenced(server))
+            }
+            FenceState::Fenced => {}
+        }
+        if !self.servers[server].apps.is_empty() {
+            return Err(CommandError::NotEmpty(server));
+        }
+        let node = self.servers[server].node;
+        self.tree.remove_leaf(node)?;
+        // The edit committed; everything below is infallible.
+        let li = node.index();
+        self.servers[server].fence = FenceState::Retired;
+        self.leaf_server[li] = None;
+        self.power.cp[li] = Watts::ZERO;
+        self.power.tp[li] = Watts::ZERO;
+        self.power.tp_old[li] = Watts::ZERO;
+        self.power.cap[li] = Watts::ZERO;
+        self.power.reduced[li] = false;
+        self.local_cp[li] = Watts::ZERO;
+        self.rebuild_stage_scratch();
+        Ok(())
+    }
+
+    /// One tick of a graceful drain. Marks the server
+    /// [`FenceState::Draining`], evacuates every placeable app through the
+    /// transactional migration machinery (largest first, siblings first),
+    /// and — once the server is empty — sleeps and fences it with its
+    /// budget and cap forced to zero. Returns `Ok(true)` when fenced,
+    /// `Ok(false)` while apps remain (counted on
+    /// [`TickReport::stranded_apps`]; the drain retries next tick).
+    fn exec_drain(
+        &mut self,
+        server: usize,
+        tick: u64,
+        report: &mut TickReport,
+    ) -> Result<bool, CommandError> {
+        if server >= self.servers.len() {
+            return Err(CommandError::UnknownServer(server));
+        }
+        match self.servers[server].fence {
+            FenceState::Retired => return Err(CommandError::Retired(server)),
+            FenceState::Fenced => return Ok(true), // idempotent
+            FenceState::Active | FenceState::Draining => {}
+        }
+        self.servers[server].fence = FenceState::Draining;
+
+        if !self.servers[server].apps.is_empty() {
+            let mut stage = std::mem::take(&mut self.consolidate_stage);
+            self.evacuate_for_drain(server, tick, &mut stage, report);
+            self.consolidate_stage = stage;
+        }
+
+        if self.servers[server].apps.is_empty() {
+            if self.servers[server].active {
+                self.sleep_server(server, tick);
+            }
+            self.servers[server].fence = FenceState::Fenced;
+            // Zero the applied budget immediately — a fenced server must
+            // never draw power again, not even until the next supply tick.
+            let li = self.servers[server].node.index();
+            self.power.tp[li] = Watts::ZERO;
+            self.power.cap[li] = Watts::ZERO;
+            Ok(true)
+        } else {
+            report.stranded_apps += self.servers[server].apps.len();
+            Ok(false)
+        }
+    }
+
+    /// Best-effort evacuation of a draining server: apps largest-first,
+    /// each first-fit into the first eligible target with headroom —
+    /// siblings before the rest of the data center. Apps in retry backoff,
+    /// without a fitting target, or whose migration fails its fault roll
+    /// simply stay put for this tick; the caller reports them stranded.
+    fn evacuate_for_drain(
+        &mut self,
+        server: usize,
+        tick: u64,
+        stage: &mut ConsolidateStage,
+        report: &mut TickReport,
+    ) {
+        stage.evac_items.clear();
+        stage.evac_items.extend(
+            self.servers[server]
+                .apps
+                .iter()
+                .enumerate()
+                .map(|(i, app)| DeficitItem {
+                    server,
+                    app: app.id,
+                    demand: self.servers[server].app_demand[i],
+                    reason: MigrationReason::Drain,
+                }),
+        );
+        stage.evac_order.clear();
+        stage.evac_order.extend(0..stage.evac_items.len());
+        stage.evac_order.sort_unstable_by(|&a, &b| {
+            stage.evac_items[b]
+                .demand
+                .0
+                .total_cmp(&stage.evac_items[a].demand.0)
+                .then(a.cmp(&b))
+        });
+
+        // Eligible bins, sibling leaves first, then leaf order. The
+        // draining server itself is never eligible (its fence is set).
+        let leaf = self.servers[server].node;
+        stage.evac_bins.clear();
+        stage.evac_bins.extend(
+            self.tree
+                .siblings(leaf)
+                .filter(|&l| self.target_eligible(l)),
+        );
+        let n_siblings = stage.evac_bins.len();
+        for l in self.tree.leaves() {
+            if l != leaf && self.target_eligible(l) && !stage.evac_bins[..n_siblings].contains(&l) {
+                stage.evac_bins.push(l);
+            }
+        }
+
+        for oi in 0..stage.evac_order.len() {
+            let item = stage.evac_items[stage.evac_order[oi]];
+            if self.in_backoff(item.app, tick) {
+                continue; // stranded this tick; retried once backoff clears
+            }
+            // First fit against *live* remaining capacity: each committed
+            // migration already updated the target's CP.
+            let target = stage.evac_bins.iter().copied().find(|&l| {
+                self.bin_capacity(l).0 + 1e-12 >= self.effective_size(item.demand)
+                    && !self.would_pingpong(item.app, l, tick)
+            });
+            if let Some(target) = target {
+                // A failed attempt (injected reject/abort) leaves the app
+                // at the source, in backoff — stranded, never lost.
+                let _ = self.attempt_migration(&item, target, tick, &mut report.migrations);
+            }
+        }
+    }
+
+    /// Rebuild the per-stage scratch buffers after a topology or roster
+    /// change, so their pre-sized capacities match the new shape. This
+    /// allocates — acceptable on the rare reconfiguration tick; idle-queue
+    /// ticks never reach here.
+    fn rebuild_stage_scratch(&mut self) {
+        self.supply_stage = SupplyStage::for_tree(&self.tree);
+        self.demand_stage = DemandStage::for_tree(&self.tree);
+        self.consolidate_stage = ConsolidateStage::for_tree(&self.tree, self.servers.len());
+    }
+}

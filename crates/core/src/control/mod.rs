@@ -27,7 +27,10 @@
 //!
 //! The transactional migration machinery (prepare → transfer → commit,
 //! ping-pong suppression, retry backoff) that stages 3 and 4 share lives in
-//! [`migrate`]; sampled spans and counters in [`telemetry`].
+//! [`migrate`]; sampled spans and counters in [`telemetry`]. The live-ops
+//! command plane ([`liveops`]) executes queued operator commands at a
+//! fixed point between stages 1 and 2, so reconfigurations land at a
+//! deterministic, replayable position in every tick.
 //!
 //! Three decision points inside the stages are pluggable via the traits in
 //! [`policy`] (see [`Willow::with_policies`]): which packing heuristic
@@ -35,9 +38,11 @@
 //! ordered, and in which order consolidation picks its victims and
 //! receivers. The defaults reproduce the paper's behavior exactly.
 
+use crate::command::{Command, PendingCommand};
 use crate::config::ControllerConfig;
 use crate::disturbance::Disturbances;
 use crate::migration::TickReport;
+use crate::server::FenceState;
 use crate::server::{ServerSpec, ServerState};
 use crate::state::PowerState;
 use crate::txn::MigrationJournal;
@@ -50,6 +55,7 @@ use willow_workload::app::AppId;
 
 pub mod consolidate;
 pub mod demand;
+pub mod liveops;
 pub mod measure;
 pub mod migrate;
 pub mod physics;
@@ -230,6 +236,15 @@ pub struct Willow {
     pub(super) policies: ControlPolicies,
     /// Telemetry handles (disabled until [`Willow::attach_telemetry`]).
     pub(super) tel: ControllerTelemetry,
+    /// Live-ops commands awaiting processing (see [`liveops`]). Part of
+    /// the checkpointed state.
+    pub(super) pending: Vec<PendingCommand>,
+    /// Next command correlation id to assign.
+    pub(super) next_command_id: u64,
+    /// Adaptation paused by [`crate::command::Command::Pause`]: supply,
+    /// demand and consolidation stages are skipped; measurement, command
+    /// processing and physics keep running every tick.
+    pub(super) paused: bool,
 }
 
 impl Willow {
@@ -326,6 +341,9 @@ impl Willow {
             consolidate_stage,
             policies,
             tel: ControllerTelemetry::default(),
+            pending: Vec::new(),
+            next_command_id: 0,
+            paused: false,
         })
     }
 
@@ -478,13 +496,22 @@ impl Willow {
             backoff,
             stats,
             journal,
+            pending,
+            next_command_id,
+            paused,
         } = snapshot;
         config.validate().map_err(WillowError::Config)?;
+        // Retired servers own no leaf (their slot was tombstoned at
+        // removal), so only live roster entries must cover the leaves.
         let leaves = tree.leaves().count();
-        if servers.len() != leaves {
+        let live = servers
+            .iter()
+            .filter(|s| s.fence != FenceState::Retired)
+            .count();
+        if live != leaves {
             return Err(WillowError::LeafCoverage {
                 leaves,
-                specs: servers.len(),
+                specs: live,
             });
         }
         let shape = |field: &'static str, found: usize, expected: usize| {
@@ -503,6 +530,9 @@ impl Willow {
         shape("accepted_temp", accepted_temp.len(), servers.len())?;
         let mut leaf_server = vec![None; tree.len()];
         for (si, server) in servers.iter().enumerate() {
+            if server.fence == FenceState::Retired {
+                continue;
+            }
             if !tree.node(server.node).is_leaf() {
                 return Err(WillowError::NotALeaf(server.node));
             }
@@ -553,6 +583,9 @@ impl Willow {
             consolidate_stage,
             policies,
             tel: ControllerTelemetry::default(),
+            pending,
+            next_command_id,
+            paused,
         })
     }
 
@@ -582,6 +615,13 @@ impl Willow {
     /// * **In-flight migrations** — journal entries still open in the
     ///   checkpoint never flipped a placement, so they are aborted
     ///   ([`MigrationJournal::resolve_in_flight`]).
+    /// * **In-flight drains** — the pending command queue is controller
+    ///   memory and comes from the checkpoint; a server the field reports
+    ///   as `Draining` whose drain command is *not* in that queue (it was
+    ///   issued after the checkpoint) is demoted back to `Active` — a
+    ///   crash mid-drain never permanently fences a healthy server.
+    ///   Conversely a checkpointed drain whose server already finished
+    ///   fencing simply re-completes (at-least-once outcome reporting).
     ///
     /// # Errors
     /// Whatever [`WillowSnapshot`](crate::snapshot::WillowSnapshot)
@@ -639,6 +679,24 @@ impl Willow {
             .retain(|_, &mut (_, t)| now.saturating_sub(t) < horizon);
         w.backoff.retain(|_, b| b.retry_at > now);
         w.journal.resolve_in_flight();
+
+        // Command plane: the queue is controller memory (restored from the
+        // checkpoint above), but correlation ids must never regress below
+        // ones the field already handed out.
+        w.next_command_id = w.next_command_id.max(field.next_command_id);
+        // Resolve in-flight drain fences the same way the journal resolves
+        // in-flight migrations: a `Draining` fence whose drain command was
+        // issued after the checkpoint (so the restored queue no longer
+        // carries it) would otherwise stay half-fenced forever.
+        for (si, server) in w.servers.iter_mut().enumerate() {
+            let drain_pending = w
+                .pending
+                .iter()
+                .any(|p| matches!(p.command, Command::Drain { server } if server == si));
+            if server.fence == FenceState::Draining && !drain_pending {
+                server.fence = FenceState::Active;
+            }
+        }
         Ok(w)
     }
 
@@ -731,8 +789,14 @@ impl Willow {
         report.control_messages += self.tree.len() - 1;
         self.stats.messages += (self.tree.len() - 1) as u64;
 
+        // -------------------------------------------- 1b. command plane
+        // Fixed point in the tick: after measurement (commands see fresh
+        // demand), before supply (budgets divide over the post-command
+        // topology). A single branch when the queue is idle.
+        self.process_commands(report);
+
         // ------------------------------------------- 2. supply adaptation
-        if supply_tick {
+        if supply_tick && !self.paused {
             let t0 = self.tel.span_start(SLOT_ALLOCATE, tick);
             let mut stage = std::mem::take(&mut self.supply_stage);
             self.supply_adaptation(supply, &mut stage);
@@ -744,14 +808,16 @@ impl Willow {
         }
 
         // ------------------------------------------- 3. demand adaptation
-        let t0 = self.tel.span_start(SLOT_PLAN_MIGRATIONS, tick);
-        let mut stage = std::mem::take(&mut self.demand_stage);
-        self.demand_adaptation(tick, &mut stage, &mut report.migrations);
-        self.demand_stage = stage;
-        self.tel.span_plan_migrations.record_since(t0);
+        if !self.paused {
+            let t0 = self.tel.span_start(SLOT_PLAN_MIGRATIONS, tick);
+            let mut stage = std::mem::take(&mut self.demand_stage);
+            self.demand_adaptation(tick, &mut stage, &mut report.migrations);
+            self.demand_stage = stage;
+            self.tel.span_plan_migrations.record_since(t0);
+        }
 
         // --------------------------------------------- 4. consolidation
-        if consolidation_tick {
+        if consolidation_tick && !self.paused {
             let t0 = self.tel.span_start(SLOT_CONSOLIDATE, tick);
             let mut stage = std::mem::take(&mut self.consolidate_stage);
             self.consolidate(tick, &mut stage, &mut report.migrations, &mut report.slept);

@@ -18,7 +18,14 @@ impl Willow {
         let mut dropped = Watts::ZERO;
         for (si, server) in self.servers.iter_mut().enumerate() {
             let leaf = server.node.index();
-            let budget = self.power.tp[leaf];
+            // A retired server's arena slot may have been reused by a
+            // later-added server; never report the new owner's budget on
+            // the retired row.
+            let budget = if server.fence == crate::server::FenceState::Retired {
+                Watts::ZERO
+            } else {
+                self.power.tp[leaf]
+            };
             // The server draws against its *own* demand view: report loss
             // fools the hierarchy, not the machine itself.
             let demand = if server.active {

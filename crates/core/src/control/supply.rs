@@ -98,6 +98,21 @@ impl Willow {
         }
     }
 
+    /// [`Willow::thermal_cap`] with the live-ops fence applied: fenced and
+    /// retired servers present zero capacity, so the proportional division
+    /// allocates them zero budget — a drained server receives zero budget
+    /// thereafter. Active and draining servers (even sleeping ones)
+    /// present their thermal cap; sleeping servers keep advertising
+    /// wake-up headroom.
+    pub(super) fn effective_thermal_cap(&self, si: usize) -> Watts {
+        match self.servers[si].fence {
+            crate::server::FenceState::Active | crate::server::FenceState::Draining => {
+                self.thermal_cap(si)
+            }
+            crate::server::FenceState::Fenced | crate::server::FenceState::Retired => Watts::ZERO,
+        }
+    }
+
     /// Count a missed directive for server `si`'s watchdog, tripping it at
     /// the configured threshold, and return the tighten-only fallback
     /// budget: `base` (the budget the leaf keeps applying) clipped by the
@@ -124,7 +139,12 @@ impl Willow {
     /// top-down proportional to demand (§IV-D).
     pub(super) fn supply_adaptation(&mut self, supply: Watts, stage: &mut SupplyStage) {
         for si in 0..self.servers.len() {
-            let cap = self.thermal_cap(si);
+            // Fenced and retired servers present zero capacity: the
+            // proportional division then allocates them zero budget, so a
+            // drained server receives zero budget thereafter. Active and
+            // draining servers (even sleeping ones) present their thermal
+            // cap — sleeping servers keep advertising wake-up headroom.
+            let cap = self.effective_thermal_cap(si);
             self.power.cap[self.servers[si].node.index()] = cap;
         }
         self.power.aggregate_caps(&self.tree);

@@ -36,6 +36,10 @@ pub(crate) struct ControllerTelemetry {
     pub(super) migration_aborts: willow_telemetry::Counter,
     pub(super) migration_rejects: willow_telemetry::Counter,
     pub(super) watchdog_trips: willow_telemetry::Counter,
+    pub(super) commands_applied: willow_telemetry::Counter,
+    pub(super) commands_rejected: willow_telemetry::Counter,
+    /// Ticks between command submission and its terminal outcome.
+    pub(super) command_latency: willow_telemetry::Histogram,
     /// One budget-deficit gauge per tree level (index = level).
     pub(super) level_deficit: Vec<willow_telemetry::Gauge>,
     pub(super) fabric: willow_network::FabricTelemetry,
@@ -73,6 +77,22 @@ impl ControllerTelemetry {
             watchdog_trips: registry.counter(
                 "willow_controller_watchdog_trips_total",
                 "Stale-directive watchdog trips",
+            ),
+            commands_applied: registry.counter(
+                "willow_commands_applied_total",
+                "Live-ops commands that committed",
+            ),
+            commands_rejected: registry.counter(
+                "willow_commands_rejected_total",
+                "Live-ops commands rejected with a typed error",
+            ),
+            // Buckets 2^0 .. 2^11 ticks: most commands land within one
+            // tick; multi-tick drains under faults fill the tail.
+            command_latency: registry.histogram(
+                "willow_command_latency_ticks",
+                "Ticks between a command's submission and its terminal outcome",
+                0,
+                12,
             ),
             level_deficit: (0..=height)
                 .map(|level| {

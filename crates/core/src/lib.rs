@@ -35,6 +35,9 @@
 //! * [`state`] — per-node power state arrays (`CP`, `TP`, caps, reduction
 //!   flags).
 //! * [`migration`] — migration records, reasons, and per-tick reports.
+//! * [`command`] — the live-ops command plane: typed operator commands
+//!   (server add/remove, drain, policy hot-swap, pause/resume) processed
+//!   at a fixed point in the tick.
 //! * [`control`] — [`control::Willow`] itself: `step()` once per `Δ_D`
 //!   with measured app demands and the current total supply, staged as a
 //!   five-phase pipeline with pluggable policies (also reachable under
@@ -73,6 +76,7 @@
 
 pub mod audit;
 pub mod baseline;
+pub mod command;
 pub mod config;
 pub mod control;
 pub use self::control as controller;
@@ -91,6 +95,9 @@ pub mod state;
 pub mod txn;
 
 pub use audit::{Auditor, InvariantViolation};
+pub use command::{
+    Command, CommandError, CommandId, CommandOutcome, CommandStatus, PendingCommand,
+};
 pub use config::ControllerConfig;
 pub use controller::{Backoff, Watchdog, Willow};
 pub use disturbance::{Disturbances, MigrationOutcome};

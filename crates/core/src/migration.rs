@@ -1,5 +1,6 @@
 //! Migration records and per-tick reports.
 
+use crate::command::CommandOutcome;
 use serde::{Deserialize, Serialize};
 use willow_thermal::units::{Celsius, Watts};
 use willow_topology::NodeId;
@@ -13,6 +14,9 @@ pub enum MigrationReason {
     /// Consolidation-driven: the source idled below the threshold and its
     /// workload was packed away so the server could sleep.
     Consolidation,
+    /// Drain-driven: an operator [`crate::command::Command::Drain`]
+    /// evacuated the app off a fencing server.
+    Drain,
 }
 
 /// One application migration.
@@ -104,6 +108,24 @@ pub struct TickReport {
     pub fallback_servers: usize,
     /// Temperature readings rejected by the plausibility filter this period.
     pub sensor_rejections: usize,
+    /// Live-ops commands that committed this period.
+    #[serde(default)]
+    pub commands_applied: usize,
+    /// Live-ops commands rejected (typed error, no state change) this
+    /// period.
+    #[serde(default)]
+    pub commands_rejected: usize,
+    /// Apps a pending drain could not place this period; they stay on the
+    /// draining server (never lost) and the drain retries next tick.
+    #[serde(default)]
+    pub stranded_apps: usize,
+    /// True when a command changed the PMU tree or the server roster this
+    /// period (observers must re-sync cached per-node state).
+    #[serde(default)]
+    pub topology_changed: bool,
+    /// Terminal command outcomes reached this period, in processing order.
+    #[serde(default)]
+    pub command_outcomes: Vec<CommandOutcome>,
 }
 
 impl TickReport {
@@ -134,6 +156,11 @@ impl TickReport {
         self.watchdog_trips = 0;
         self.fallback_servers = 0;
         self.sensor_rejections = 0;
+        self.commands_applied = 0;
+        self.commands_rejected = 0;
+        self.stranded_apps = 0;
+        self.topology_changed = false;
+        self.command_outcomes.clear();
     }
 
     /// Count of migrations with the given reason.

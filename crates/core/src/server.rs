@@ -169,6 +169,39 @@ impl ServerSpec {
     }
 }
 
+/// Live-ops fencing state of a server (the drain state machine).
+///
+/// `Active → Draining → Fenced → Retired`, driven by the command plane
+/// (`willow_core::command`): a draining server keeps running its apps but
+/// stops accepting new ones; a fenced server is empty, asleep and
+/// ineligible for wake-up; a retired server's tree slot has been removed
+/// and its state slot is a permanent tombstone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FenceState {
+    /// Normal operation: hosts apps, receives budget, eligible as a
+    /// migration target and for sleep/wake decisions.
+    #[default]
+    Active,
+    /// Being evacuated: existing apps keep running under budget, but the
+    /// server cannot receive migrations and is excluded from
+    /// consolidation sleep and wake-up.
+    Draining,
+    /// Evacuated and powered down: zero cap, zero budget, never woken.
+    Fenced,
+    /// Removed from the topology; the server slot is a tombstone and its
+    /// `node` id no longer names a live tree leaf.
+    Retired,
+}
+
+impl FenceState {
+    /// True only for [`FenceState::Active`] — the single state in which a
+    /// server participates fully in control decisions.
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        self == FenceState::Active
+    }
+}
+
 /// Live state of a server inside the controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerState {
@@ -192,6 +225,10 @@ pub struct ServerState {
     pub base_load: Watts,
     /// Utilization denominator (see [`ServerSpec::full_util_power`]).
     pub full_util_power: Watts,
+    /// Live-ops fencing state (defaults to [`FenceState::Active`], so
+    /// pre-command-plane snapshots still parse).
+    #[serde(default)]
+    pub fence: FenceState,
 }
 
 impl ServerState {
@@ -219,6 +256,7 @@ impl ServerState {
             last_activity_change: 0,
             base_load: spec.base_load,
             full_util_power: spec.full_util_power,
+            fence: FenceState::default(),
         }
     }
 

@@ -10,6 +10,7 @@
 //! bit-for-bit identically — including under active faults, where the
 //! defense state is load-bearing.
 
+use crate::command::PendingCommand;
 use crate::config::ControllerConfig;
 use crate::controller::{Backoff, ControlStats, Watchdog, Willow, WillowError};
 use crate::server::ServerState;
@@ -55,6 +56,17 @@ pub struct WillowSnapshot {
     /// closed ones. Restore resolves any entry still open (see
     /// `crate::txn`).
     pub journal: MigrationJournal,
+    /// Live-ops commands still in flight (queued or mid-drain). Absent in
+    /// pre-command-plane checkpoints.
+    #[serde(default)]
+    pub pending: Vec<PendingCommand>,
+    /// Next correlation id to assign. Absent in pre-command-plane
+    /// checkpoints.
+    #[serde(default)]
+    pub next_command_id: u64,
+    /// Whether adaptation was paused by [`crate::command::Command::Pause`].
+    #[serde(default)]
+    pub paused: bool,
 }
 
 impl Willow {
@@ -75,6 +87,9 @@ impl Willow {
             backoff: self.backoffs(),
             stats: self.stats(),
             journal: self.journal().clone(),
+            pending: self.pending_commands().to_vec(),
+            next_command_id: self.next_command_id(),
+            paused: self.is_paused(),
         }
     }
 
@@ -99,6 +114,10 @@ impl Willow {
         self.backoffs_into(&mut snap.backoff);
         snap.stats = self.stats();
         snap.journal.clone_from(self.journal());
+        snap.pending.clear();
+        snap.pending.extend_from_slice(self.pending_commands());
+        snap.next_command_id = self.next_command_id();
+        snap.paused = self.is_paused();
     }
 
     /// Reconstruct a controller from a snapshot. The result continues the
@@ -195,6 +214,30 @@ mod tests {
         w.snapshot_into(&mut reused);
         assert_eq!(reused, w.snapshot(), "reused image must match a fresh one");
         assert_ne!(reused, stale, "the image must actually be overwritten");
+    }
+
+    #[test]
+    fn snapshot_with_retired_server_restores() {
+        // A retired server keeps its roster slot but owns no leaf: the
+        // restore-time leaf-coverage check must count live servers only.
+        use crate::command::Command;
+        use crate::server::FenceState;
+        let (mut w, n_apps) = setup();
+        let _ = drive(&mut w, n_apps, 5);
+        w.submit_command(Command::Drain { server: 1 });
+        let _ = drive(&mut w, n_apps, 10); // drain completes, server fences
+        assert_eq!(w.servers()[1].fence, FenceState::Fenced);
+        w.submit_command(Command::RemoveServer { server: 1 });
+        let _ = drive(&mut w, n_apps, 5);
+        assert_eq!(w.servers()[1].fence, FenceState::Retired);
+
+        let json = serde_json::to_string(&w.snapshot()).expect("serialize");
+        let snap: WillowSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let mut restored = Willow::restore(snap).expect("retired slots must restore");
+        assert_eq!(restored.servers()[1].fence, FenceState::Retired);
+        let a = drive(&mut w, n_apps, 20);
+        let b = drive(&mut restored, n_apps, 20);
+        assert_eq!(a, b, "restored controller must continue identically");
     }
 
     #[test]

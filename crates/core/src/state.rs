@@ -37,6 +37,20 @@ impl PowerState {
         }
     }
 
+    /// Grow every per-node array to at least `n` slots (zero-filled), for
+    /// online leaf insertion. No-op if the arrays already cover `n`;
+    /// removal keeps the arena size, so arrays only ever grow.
+    pub fn ensure_len(&mut self, n: usize) {
+        if n <= self.cp.len() {
+            return;
+        }
+        self.cp.resize(n, Watts::ZERO);
+        self.tp.resize(n, Watts::ZERO);
+        self.tp_old.resize(n, Watts::ZERO);
+        self.cap.resize(n, Watts::ZERO);
+        self.reduced.resize(n, false);
+    }
+
     /// Per-node deficit `[CP − TP]⁺` (Eq. 5).
     #[must_use]
     pub fn deficit(&self, id: NodeId) -> Watts {

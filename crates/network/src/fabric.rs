@@ -97,6 +97,21 @@ impl Fabric {
         }
     }
 
+    /// Grow the fabric to cover `n` arena slots (online topology growth):
+    /// new slots start with zero traffic, zero peak and a single path.
+    /// Asking for fewer slots than currently covered is a no-op — node
+    /// removal leaves tombstone slots behind, so the arena never shrinks.
+    pub fn ensure_len(&mut self, n: usize) {
+        if n <= self.n_nodes {
+            return;
+        }
+        self.query.resize(n, 0.0);
+        self.migration.resize(n, 0.0);
+        self.peak.resize(n, 0.0);
+        self.redundancy.resize(n, 1.0);
+        self.n_nodes = n;
+    }
+
     /// Zero the per-epoch counters, folding the closing epoch's combined
     /// traffic into the all-time peaks.
     pub fn reset_epoch(&mut self) {

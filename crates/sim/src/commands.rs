@@ -1,0 +1,150 @@
+//! Scheduled live-ops command timelines.
+//!
+//! A simulation config may carry a *timeline* of operator commands — one
+//! [`ScheduledCommand`] per entry — that the engine submits into the
+//! running controller at the scheduled demand periods. Controller-level
+//! commands (drain, add/remove server, packer hot-swap, pause/resume) are
+//! translated to [`willow_core::Command`] and flow through the command
+//! plane between the measure and supply stages; engine-level commands
+//! (supply override, forced checkpoint) act on the simulation loop
+//! itself. Commands that fall due while the controller is down are held
+//! and submitted on the first tick after recovery, so an outage delays
+//! but never drops an operator's request.
+
+use serde::{Deserialize, Serialize};
+use willow_core::config::PackerChoice;
+
+/// One operator command in a simulation timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimCommand {
+    /// Gracefully drain a server (evacuate all apps, then fence it).
+    Drain {
+        /// Server index to drain.
+        server: usize,
+    },
+    /// Add a new server leaf under the named parent node. The name is
+    /// resolved against the live tree at submission time; an unknown
+    /// parent counts as a rejected command.
+    AddServer {
+        /// Name of the PMU node the new leaf attaches to (e.g. `"l1-2"`).
+        parent: String,
+        /// Unique name for the new server leaf.
+        name: String,
+    },
+    /// Permanently retire a server (must be fenced and empty).
+    RemoveServer {
+        /// Server index to retire.
+        server: usize,
+    },
+    /// Hot-swap the controller's packing heuristic.
+    SwapPacker {
+        /// Replacement packing strategy.
+        packer: PackerChoice,
+    },
+    /// Pause adaptation (supply/demand/consolidation stages skipped).
+    Pause,
+    /// Resume adaptation after a pause.
+    Resume,
+    /// Scale the configured supply by `factor` from this tick onward
+    /// (engine-level; stacks with supply traces, replaced by the next
+    /// override).
+    SupplyOverride {
+        /// Multiplier applied to the configured supply (finite, ≥ 0).
+        factor: f64,
+    },
+    /// Force a controller checkpoint at this tick (taken on the next tick
+    /// the controller is up).
+    Checkpoint,
+}
+
+/// A command bound to the demand period at which it is submitted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledCommand {
+    /// Demand period the command is submitted at.
+    pub tick: u64,
+    /// The command.
+    pub command: SimCommand,
+}
+
+impl SimCommand {
+    /// Validate command parameters that are checkable statically (server
+    /// indices and parent names are resolved against the live topology at
+    /// submission time instead). Returns the offending supply factor, if
+    /// any.
+    #[must_use]
+    pub fn invalid_factor(&self) -> Option<f64> {
+        match self {
+            SimCommand::SupplyOverride { factor } if !factor.is_finite() || *factor < 0.0 => {
+                Some(*factor)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_commands_round_trip_through_json() {
+        let timeline = vec![
+            ScheduledCommand {
+                tick: 3,
+                command: SimCommand::Drain { server: 2 },
+            },
+            ScheduledCommand {
+                tick: 5,
+                command: SimCommand::AddServer {
+                    parent: "l1-2".to_string(),
+                    name: "server19".to_string(),
+                },
+            },
+            ScheduledCommand {
+                tick: 6,
+                command: SimCommand::RemoveServer { server: 2 },
+            },
+            ScheduledCommand {
+                tick: 7,
+                command: SimCommand::SwapPacker {
+                    packer: PackerChoice::BestFitDecreasing,
+                },
+            },
+            ScheduledCommand {
+                tick: 8,
+                command: SimCommand::Pause,
+            },
+            ScheduledCommand {
+                tick: 9,
+                command: SimCommand::Resume,
+            },
+            ScheduledCommand {
+                tick: 10,
+                command: SimCommand::SupplyOverride { factor: 0.5 },
+            },
+            ScheduledCommand {
+                tick: 11,
+                command: SimCommand::Checkpoint,
+            },
+        ];
+        let json = serde_json::to_string(&timeline).expect("timeline serializes");
+        let back: Vec<ScheduledCommand> = serde_json::from_str(&json).expect("timeline parses");
+        assert_eq!(back, timeline);
+    }
+
+    #[test]
+    fn supply_factor_validation() {
+        assert_eq!(
+            SimCommand::SupplyOverride { factor: -0.1 }.invalid_factor(),
+            Some(-0.1)
+        );
+        assert!(SimCommand::SupplyOverride { factor: f64::NAN }
+            .invalid_factor()
+            .is_some());
+        assert_eq!(
+            SimCommand::SupplyOverride { factor: 1.5 }.invalid_factor(),
+            None
+        );
+        assert_eq!(SimCommand::Pause.invalid_factor(), None);
+    }
+}

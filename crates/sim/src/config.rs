@@ -1,5 +1,6 @@
 //! Simulation configuration (the paper's §V-B1 setup, made explicit).
 
+use crate::commands::ScheduledCommand;
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,11 @@ pub struct SimConfig {
     /// `false`, so old configs still parse.
     #[serde(default)]
     pub audit_panic: bool,
+    /// Live-ops command timeline: operator commands submitted into the
+    /// running controller at scheduled ticks (see [`crate::commands`]).
+    /// Empty (the default, so old configs still parse) runs command-free.
+    #[serde(default)]
+    pub commands: Vec<ScheduledCommand>,
 }
 
 impl SimConfig {
@@ -94,6 +100,7 @@ impl SimConfig {
             utilization_trace: None,
             faults: None,
             audit_panic: false,
+            commands: Vec::new(),
         }
     }
 
@@ -165,6 +172,11 @@ impl SimConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate(n)?;
+        }
+        for sc in &self.commands {
+            if let Some(factor) = sc.command.invalid_factor() {
+                return Err(SimError::SupplyOverrideFactor(factor));
+            }
         }
         self.controller.validate()?;
         Ok(())
@@ -240,6 +252,30 @@ mod tests {
         assert!(!json.contains("faults"));
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn config_without_commands_field_still_parses() {
+        // Pre-command-plane configs (no `commands` key) must keep loading.
+        let cfg = SimConfig::paper_default(5, 0.5);
+        let mut json = serde_json::to_string(&cfg).unwrap();
+        json = json.replace(",\"commands\":[]", "");
+        assert!(!json.contains("commands"));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn validation_covers_command_timeline() {
+        use crate::commands::{ScheduledCommand, SimCommand};
+        let mut cfg = SimConfig::paper_default(1, 0.4);
+        cfg.commands = vec![ScheduledCommand {
+            tick: 5,
+            command: SimCommand::SupplyOverride { factor: -2.0 },
+        }];
+        assert_eq!(cfg.validate(), Err(SimError::SupplyOverrideFactor(-2.0)));
+        cfg.commands[0].command = SimCommand::SupplyOverride { factor: 0.4 };
+        cfg.validate().unwrap();
     }
 
     #[test]

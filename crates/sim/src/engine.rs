@@ -5,6 +5,7 @@
 //! controller, snapshot the fabric, and stream `(TickReport,
 //! FabricSnapshot)` pairs into the aggregate metrics.
 
+use crate::commands::{ScheduledCommand, SimCommand};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::faults::FaultInjector;
@@ -12,6 +13,7 @@ use crate::metrics::{FabricSnapshot, MetricsAccumulator, RunMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use willow_core::audit::Auditor;
+use willow_core::command::{Command, CommandError, CommandStatus};
 use willow_core::controller::Willow;
 use willow_core::migration::TickReport;
 use willow_core::server::ServerSpec;
@@ -59,6 +61,27 @@ pub struct Simulation {
     auditor: Auditor,
     /// Invariant violations found across the run so far.
     invariant_violations: usize,
+    /// Live-ops command timeline, tick-sorted (from the config).
+    timeline: Vec<ScheduledCommand>,
+    /// Next timeline entry to submit.
+    timeline_cursor: usize,
+    /// Controller-level commands due now — or held through an outage and
+    /// submitted, in order, on the first tick after recovery, so an
+    /// outage delays but never drops an operator's request.
+    held_commands: Vec<SimCommand>,
+    /// Engine-level supply multiplier set by `SupplyOverride` commands.
+    supply_override: f64,
+    /// A `Checkpoint` command is waiting for the next up tick.
+    force_checkpoint: bool,
+    /// Live-ops commands the controller committed.
+    commands_applied: usize,
+    /// Live-ops commands rejected (typed errors + unresolvable parents).
+    commands_rejected: usize,
+    /// Summed still-stranded app counts across pending-drain ticks.
+    drain_stranded_app_ticks: usize,
+    /// Command rejections caused by topology errors (including parent
+    /// names that resolve to no live node).
+    topology_rejections: usize,
 }
 
 /// AR(1) persistence of the per-app load drift (per demand period).
@@ -108,6 +131,10 @@ impl Simulation {
             None => None,
         };
         let auditor = Auditor::new(&willow).panic_on_violation(config.audit_panic);
+        // Stable sort: commands scheduled for the same tick are submitted
+        // in config order.
+        let mut timeline = config.commands.clone();
+        timeline.sort_by_key(|sc| sc.tick);
         Ok(Simulation {
             config,
             willow,
@@ -126,7 +153,42 @@ impl Simulation {
             controller_recoveries: 0,
             auditor,
             invariant_violations: 0,
+            timeline,
+            timeline_cursor: 0,
+            held_commands: Vec::new(),
+            supply_override: 1.0,
+            force_checkpoint: false,
+            commands_applied: 0,
+            commands_rejected: 0,
+            drain_stranded_app_ticks: 0,
+            topology_rejections: 0,
         })
+    }
+
+    /// Translate one timeline command into a controller command and
+    /// submit it. `AddServer` parent names are resolved against the live
+    /// tree here; an unresolvable name is a typed topology rejection that
+    /// never reaches the controller. Engine-level commands (supply
+    /// override, checkpoint) are handled at timeline-drain time and never
+    /// reach this path.
+    fn submit_command(&mut self, cmd: SimCommand) {
+        let core = match cmd {
+            SimCommand::Drain { server } => Command::Drain { server },
+            SimCommand::RemoveServer { server } => Command::RemoveServer { server },
+            SimCommand::SwapPacker { packer } => Command::SwapPacker { packer },
+            SimCommand::Pause => Command::Pause,
+            SimCommand::Resume => Command::Resume,
+            SimCommand::AddServer { parent, name } => match self.willow.tree().find(&parent) {
+                Some(node) => Command::AddServer { parent: node, name },
+                None => {
+                    self.commands_rejected += 1;
+                    self.topology_rejections += 1;
+                    return;
+                }
+            },
+            SimCommand::SupplyOverride { .. } | SimCommand::Checkpoint => return,
+        };
+        self.willow.submit_command(core);
     }
 
     /// Register engine- and controller-level metrics on `registry` and
@@ -204,7 +266,7 @@ impl Simulation {
                 self.demand_model.sample_app_demand(&mut self.rng, a, eff_u)
             })
             .collect();
-        let supply = match &self.config.supply {
+        let base_supply = match &self.config.supply {
             Some(trace) => {
                 // Supply changes at the Δ_S granularity: index by supply
                 // period, not demand period.
@@ -213,12 +275,15 @@ impl Simulation {
             }
             None => self.config.ample_supply(),
         };
+        // Live-ops supply override: multiplying by the default 1.0 is
+        // bit-exact, so override-free runs keep their trajectory.
+        let supply = Watts(base_supply.0 * self.supply_override);
         let disturb = match &mut self.injector {
             Some(inj) => inj.disturbances_for(self.tick as u64),
             None => Disturbances::none(),
         };
         let tick = self.tick as u64;
-        let (down, checkpoint_due) = match self
+        let (down, mut checkpoint_due) = match self
             .injector
             .as_ref()
             .and_then(|i| i.plan().controller_crash.as_ref())
@@ -226,6 +291,26 @@ impl Simulation {
             Some(plan) => (plan.down(tick), tick.is_multiple_of(plan.checkpoint_period)),
             None => (false, false),
         };
+        // Drain due timeline entries: engine-level commands apply here;
+        // controller-level ones stage into `held_commands` for submission
+        // below (immediately when up, after recovery when down).
+        while self
+            .timeline
+            .get(self.timeline_cursor)
+            .is_some_and(|sc| sc.tick <= tick)
+        {
+            let sc = self.timeline[self.timeline_cursor].clone();
+            self.timeline_cursor += 1;
+            match sc.command {
+                SimCommand::SupplyOverride { factor } => self.supply_override = factor,
+                SimCommand::Checkpoint => self.force_checkpoint = true,
+                cmd => self.held_commands.push(cmd),
+            }
+        }
+        if !down && self.force_checkpoint {
+            checkpoint_due = true;
+            self.force_checkpoint = false;
+        }
         if down {
             // Controller dead: the leaves run open-loop on their last
             // applied budgets; watchdogs count the missing directives.
@@ -248,6 +333,14 @@ impl Simulation {
                 self.controller_recoveries += 1;
                 self.was_down = false;
             }
+            // Submit live-ops commands due now (or held through the
+            // outage), in issue order.
+            if !self.held_commands.is_empty() {
+                let due: Vec<SimCommand> = self.held_commands.drain(..).collect();
+                for cmd in due {
+                    self.submit_command(cmd);
+                }
+            }
             if checkpoint_due {
                 match &mut self.checkpoint {
                     Some(snap) => self.willow.snapshot_into(snap),
@@ -255,6 +348,33 @@ impl Simulation {
                 }
             }
             self.willow.step_into(&demands, supply, &disturb, report);
+        }
+        self.commands_applied += report.commands_applied;
+        self.commands_rejected += report.commands_rejected;
+        self.drain_stranded_app_ticks += report.stranded_apps;
+        self.topology_rejections += report
+            .command_outcomes
+            .iter()
+            .filter(|o| matches!(o.status, CommandStatus::Rejected(CommandError::Topology(_))))
+            .count();
+        if report.topology_changed {
+            // The arena and server set changed shape: re-sync the auditor
+            // before checking.
+            self.auditor.resync(&self.willow);
+        }
+        if report.topology_changed
+            || !report.command_outcomes.is_empty()
+            || report.stranded_apps > 0
+        {
+            // Command-plane activity this tick (a terminal outcome, an
+            // in-flight drain making progress, or a topology edit):
+            // refresh the periodic checkpoint (when one is maintained) so
+            // a later recovery neither rolls back an applied operator
+            // command nor reconciles against a shape-mismatched snapshot.
+            // Command-free runs never take this branch.
+            if let Some(snap) = &mut self.checkpoint {
+                self.willow.snapshot_into(snap);
+            }
         }
         self.invariant_violations += self.auditor.check(&self.willow).len();
         self.snapshot_fabric_into(fabric);
@@ -293,6 +413,10 @@ impl Simulation {
         m.open_loop_ticks = self.open_loop_ticks;
         m.controller_recoveries = self.controller_recoveries;
         m.invariant_violations = self.invariant_violations;
+        m.commands_applied = self.commands_applied;
+        m.commands_rejected = self.commands_rejected;
+        m.drain_stranded_app_ticks = self.drain_stranded_app_ticks;
+        m.topology_rejections = self.topology_rejections;
         m
     }
 
@@ -312,6 +436,33 @@ impl Simulation {
     #[must_use]
     pub fn invariant_violations(&self) -> usize {
         self.invariant_violations
+    }
+
+    /// Live-ops commands the controller committed so far.
+    #[must_use]
+    pub fn commands_applied(&self) -> usize {
+        self.commands_applied
+    }
+
+    /// Live-ops commands rejected so far (typed controller errors plus
+    /// parent names that resolved to no live node).
+    #[must_use]
+    pub fn commands_rejected(&self) -> usize {
+        self.commands_rejected
+    }
+
+    /// Summed still-stranded app counts across pending-drain ticks so
+    /// far: each tick a drain stays pending contributes the number of
+    /// apps it could not place that tick.
+    #[must_use]
+    pub fn drain_stranded_app_ticks(&self) -> usize {
+        self.drain_stranded_app_ticks
+    }
+
+    /// Command rejections caused by topology errors so far.
+    #[must_use]
+    pub fn topology_rejections(&self) -> usize {
+        self.topology_rejections
     }
 }
 
@@ -606,6 +757,252 @@ mod tests {
         assert_eq!(m.invariant_violations, 0);
         assert_eq!(sim.invariant_violations(), 0);
         assert!(m.fault_summary().contains("invariant violations 0"));
+    }
+
+    #[test]
+    fn command_timeline_drains_swaps_grows_and_retires() {
+        use willow_core::config::PackerChoice;
+        use willow_core::server::FenceState;
+        let mut cfg = SimConfig::paper_hot_cold(19, 0.4);
+        cfg.ticks = 120;
+        cfg.warmup = 0;
+        cfg.audit_panic = true;
+        cfg.commands = vec![
+            ScheduledCommand {
+                tick: 10,
+                command: SimCommand::Drain { server: 2 },
+            },
+            ScheduledCommand {
+                tick: 20,
+                command: SimCommand::SwapPacker {
+                    packer: PackerChoice::BestFitDecreasing,
+                },
+            },
+            ScheduledCommand {
+                tick: 30,
+                command: SimCommand::AddServer {
+                    parent: "l1-1".into(),
+                    name: "server19".into(),
+                },
+            },
+            ScheduledCommand {
+                tick: 40,
+                command: SimCommand::RemoveServer { server: 2 },
+            },
+            ScheduledCommand {
+                tick: 50,
+                command: SimCommand::Checkpoint,
+            },
+            ScheduledCommand {
+                tick: 60,
+                command: SimCommand::Pause,
+            },
+            ScheduledCommand {
+                tick: 70,
+                command: SimCommand::Resume,
+            },
+        ];
+        let mut sim = Simulation::new(cfg).unwrap();
+        let before: usize = sim.willow().servers().iter().map(|s| s.apps.len()).sum();
+        let m = sim.run();
+        assert_eq!(m.invariant_violations, 0);
+        assert_eq!(m.commands_rejected, 0);
+        assert_eq!(
+            m.commands_applied, 6,
+            "drain, swap, add, remove, pause, resume (checkpoint is engine-level)"
+        );
+        assert_eq!(m.topology_rejections, 0);
+        let w = sim.willow();
+        assert_eq!(w.servers()[2].fence, FenceState::Retired);
+        assert_eq!(w.power().tp[w.servers()[2].node.index()], Watts::ZERO);
+        assert!(w.tree().find("server19").is_some(), "added leaf is live");
+        assert_eq!(w.servers().len(), 19);
+        let after: usize = w.servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(
+            before, after,
+            "drain + retire relocate apps, never lose them"
+        );
+    }
+
+    #[test]
+    fn never_due_timeline_is_bit_for_bit_neutral() {
+        // A timeline whose commands never come due must not perturb the
+        // trajectory: the idle command queue is a single branch per tick.
+        let mut clean_cfg = SimConfig::paper_hot_cold(23, 0.6);
+        clean_cfg.ticks = 90;
+        clean_cfg.warmup = 0;
+        let mut cmd_cfg = clean_cfg.clone();
+        cmd_cfg.commands = vec![ScheduledCommand {
+            tick: 10_000,
+            command: SimCommand::Drain { server: 0 },
+        }];
+        let mut clean = Simulation::new(clean_cfg).unwrap();
+        let mut with = Simulation::new(cmd_cfg).unwrap();
+        for t in 0..90 {
+            assert_eq!(clean.step(), with.step(), "diverged at tick {t}");
+        }
+        assert_eq!(with.commands_applied(), 0);
+        assert_eq!(with.commands_rejected(), 0);
+    }
+
+    #[test]
+    fn commands_held_through_outage_apply_after_recovery() {
+        use crate::faults::{ControllerCrashPlan, ControllerOutage, FaultPlan};
+        use willow_core::server::FenceState;
+        let mut cfg = SimConfig::paper_hot_cold(31, 0.5);
+        cfg.ticks = 100;
+        cfg.warmup = 0;
+        cfg.audit_panic = true;
+        cfg.faults = Some(FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 20,
+                windows: vec![ControllerOutage {
+                    from: 35,
+                    until: 50,
+                }],
+            }),
+            ..FaultPlan::default()
+        });
+        // Issued mid-outage: the engine must hold it and submit it on the
+        // first healthy tick instead of dropping it.
+        cfg.commands = vec![ScheduledCommand {
+            tick: 40,
+            command: SimCommand::Drain { server: 5 },
+        }];
+        let mut sim = Simulation::new(cfg).unwrap();
+        let before: usize = sim.willow().servers().iter().map(|s| s.apps.len()).sum();
+        let mut report = TickReport::default();
+        let mut fabric = FabricSnapshot::default();
+        for t in 0..100u64 {
+            sim.step_into_buffers(&mut report, &mut fabric);
+            if (35..50).contains(&t) {
+                assert_eq!(
+                    sim.willow().servers()[5].fence,
+                    FenceState::Active,
+                    "tick {t}: the drain must wait out the outage"
+                );
+            }
+        }
+        assert_eq!(sim.willow().servers()[5].fence, FenceState::Fenced);
+        assert_eq!(sim.commands_applied(), 1);
+        assert_eq!(sim.controller_recoveries(), 1);
+        let after: usize = sim.willow().servers().iter().map(|s| s.apps.len()).sum();
+        assert_eq!(before, after, "apps conserved across outage + drain");
+    }
+
+    #[test]
+    fn applied_commands_survive_a_later_crash() {
+        use crate::faults::{ControllerCrashPlan, ControllerOutage, FaultPlan};
+        use willow_core::server::FenceState;
+        // Fence a server well after the last periodic checkpoint, then
+        // crash: recovery must not roll the fence back, because the engine
+        // refreshes its checkpoint on every command-activity tick.
+        let mut cfg = SimConfig::paper_hot_cold(37, 0.5);
+        cfg.ticks = 120;
+        cfg.warmup = 0;
+        cfg.audit_panic = true;
+        cfg.faults = Some(FaultPlan {
+            controller_crash: Some(ControllerCrashPlan {
+                checkpoint_period: 1000, // only the mandatory tick-0 checkpoint
+                windows: vec![ControllerOutage {
+                    from: 60,
+                    until: 75,
+                }],
+            }),
+            ..FaultPlan::default()
+        });
+        cfg.commands = vec![ScheduledCommand {
+            tick: 20,
+            command: SimCommand::Drain { server: 4 },
+        }];
+        let mut sim = Simulation::new(cfg).unwrap();
+        let m = sim.run();
+        assert_eq!(m.invariant_violations, 0);
+        assert_eq!(m.controller_recoveries, 1);
+        assert_eq!(
+            sim.willow().servers()[4].fence,
+            FenceState::Fenced,
+            "the committed drain must survive recovery"
+        );
+    }
+
+    #[test]
+    fn command_timeline_runs_are_deterministic() {
+        use crate::faults::FaultPlan;
+        use willow_core::config::PackerChoice;
+        let run = || {
+            let mut cfg = SimConfig::paper_hot_cold(41, 0.5);
+            cfg.ticks = 100;
+            cfg.warmup = 0;
+            cfg.faults = Some(FaultPlan {
+                seed: 6,
+                migration_failure: 0.3,
+                abort_fraction: 0.5,
+                ..FaultPlan::default()
+            });
+            cfg.commands = vec![
+                ScheduledCommand {
+                    tick: 15,
+                    command: SimCommand::Drain { server: 7 },
+                },
+                ScheduledCommand {
+                    tick: 25,
+                    command: SimCommand::SwapPacker {
+                        packer: PackerChoice::NextFit,
+                    },
+                },
+                ScheduledCommand {
+                    tick: 35,
+                    command: SimCommand::SupplyOverride { factor: 0.85 },
+                },
+            ];
+            Simulation::new(cfg).unwrap().run()
+        };
+        assert_eq!(run(), run(), "same seed + same timeline ⇒ identical run");
+    }
+
+    #[test]
+    fn unresolvable_add_parent_is_a_topology_rejection() {
+        let mut cfg = SimConfig::paper_default(3, 0.4);
+        cfg.ticks = 30;
+        cfg.warmup = 0;
+        cfg.commands = vec![ScheduledCommand {
+            tick: 5,
+            command: SimCommand::AddServer {
+                parent: "no-such-switch".into(),
+                name: "orphan".into(),
+            },
+        }];
+        let mut sim = Simulation::new(cfg).unwrap();
+        let m = sim.run();
+        assert_eq!(m.commands_applied, 0);
+        assert_eq!(m.commands_rejected, 1);
+        assert_eq!(m.topology_rejections, 1);
+        assert_eq!(sim.willow().servers().len(), 18, "rejection is a no-op");
+    }
+
+    #[test]
+    fn supply_override_caps_total_draw() {
+        let mut cfg = SimConfig::paper_default(9, 0.8);
+        cfg.ticks = 100;
+        cfg.warmup = 0;
+        let cap = cfg.ample_supply().0 * 0.3;
+        cfg.commands = vec![ScheduledCommand {
+            tick: 50,
+            command: SimCommand::SupplyOverride { factor: 0.3 },
+        }];
+        let mut sim = Simulation::new(cfg).unwrap();
+        let mut late_max = 0.0f64;
+        for t in 0..100 {
+            let (r, _) = sim.step();
+            if t >= 70 {
+                late_max = late_max.max(r.total_power().0);
+            }
+        }
+        assert!(
+            late_max <= cap + 1e-6,
+            "draw {late_max:.1} W exceeds the overridden supply {cap:.1} W"
+        );
     }
 
     #[test]

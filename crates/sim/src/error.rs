@@ -74,6 +74,9 @@ pub enum SimError {
         /// Which rule was violated.
         reason: &'static str,
     },
+    /// A scheduled supply-override command with a non-finite or negative
+    /// factor.
+    SupplyOverrideFactor(f64),
 }
 
 impl std::fmt::Display for SimError {
@@ -127,6 +130,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::ControllerCrashPlan { reason } => {
                 write!(f, "fault plan: invalid controller-crash schedule: {reason}")
+            }
+            SimError::SupplyOverrideFactor(v) => {
+                write!(f, "command timeline: supply override factor invalid: {v}")
             }
         }
     }

@@ -7,6 +7,10 @@
 //! aggregates the metrics behind every simulation figure of the paper
 //! (Figs. 4–12).
 //!
+//! * [`commands`] — scheduled live-ops command timelines
+//!   ([`SimCommand`], [`ScheduledCommand`]): operator drains, online
+//!   server add/remove, packer hot-swaps and supply overrides submitted
+//!   into the running controller at scheduled ticks.
 //! * [`config`] — serializable experiment configuration ([`SimConfig`]).
 //! * [`engine`] — the fixed-step simulation loop ([`Simulation`]).
 //! * [`error`] — typed configuration/construction errors ([`SimError`]).
@@ -21,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod commands;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -31,6 +36,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod trace;
 
+pub use commands::{ScheduledCommand, SimCommand};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use error::SimError;

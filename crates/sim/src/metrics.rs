@@ -99,6 +99,22 @@ pub struct RunMetrics {
     /// non-zero value is a controller bug, not a fault effect.
     #[serde(default)]
     pub invariant_violations: usize,
+    /// Live-ops commands the controller committed.
+    #[serde(default)]
+    pub commands_applied: usize,
+    /// Live-ops commands rejected with a typed error (including parent
+    /// names that resolved to no live node).
+    #[serde(default)]
+    pub commands_rejected: usize,
+    /// Summed still-stranded app counts across pending-drain ticks: each
+    /// tick a drain stays pending contributes the number of apps it could
+    /// not place that tick. Stranded apps stay on the draining server —
+    /// never lost, only delayed.
+    #[serde(default)]
+    pub drain_stranded_app_ticks: usize,
+    /// Command rejections caused by online topology-edit errors.
+    #[serde(default)]
+    pub topology_rejections: usize,
 }
 
 /// Streaming fold of `(report, fabric)` ticks into [`RunMetrics`]:
@@ -260,7 +276,8 @@ impl RunMetrics {
         format!(
             "reports lost {}, directives lost {}, migrations rejected {} / aborted {} / retried {}, \
              watchdog trips {}, fallback server-ticks {}, sensor readings rejected {}, \
-             controller recoveries {}, open-loop ticks {}, invariant violations {}",
+             controller recoveries {}, open-loop ticks {}, invariant violations {}, \
+             commands applied {} / rejected {} (topology {}), drain stranded app-ticks {}",
             self.reports_lost,
             self.directives_lost,
             self.migration_rejects,
@@ -271,7 +288,11 @@ impl RunMetrics {
             self.sensor_rejections,
             self.controller_recoveries,
             self.open_loop_ticks,
-            self.invariant_violations
+            self.invariant_violations,
+            self.commands_applied,
+            self.commands_rejected,
+            self.topology_rejections,
+            self.drain_stranded_app_ticks
         )
     }
 

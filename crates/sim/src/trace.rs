@@ -5,6 +5,7 @@
 //! event stream that serializes to JSON-lines for external tooling.
 
 use serde::{Deserialize, Serialize};
+use willow_core::command::{Command, CommandId, CommandStatus};
 use willow_core::migration::{MigrationReason, TickReport};
 use willow_topology::NodeId;
 use willow_workload::app::AppId;
@@ -50,6 +51,15 @@ pub enum Event {
     Telemetry {
         /// Every registered metric's current value.
         snapshot: willow_telemetry::TelemetrySnapshot,
+    },
+    /// A live-ops command reached a terminal state (applied or rejected).
+    Command {
+        /// Correlation id assigned at submission.
+        id: CommandId,
+        /// The command that was processed.
+        command: Command,
+        /// Applied or rejected (with the typed error).
+        status: CommandStatus,
     },
 }
 
@@ -102,6 +112,16 @@ impl EventLog {
             self.events.push(TimedEvent {
                 tick,
                 event: Event::Wake { node },
+            });
+        }
+        for outcome in &report.command_outcomes {
+            self.events.push(TimedEvent {
+                tick,
+                event: Event::Command {
+                    id: outcome.id,
+                    command: outcome.command.clone(),
+                    status: outcome.status.clone(),
+                },
             });
         }
         if report.dropped_demand.0 > 0.0 {
@@ -193,6 +213,12 @@ mod tests {
             woken: vec![NodeId(8)],
             dropped_demand: Watts(12.0),
             shed_by_priority: [Watts(12.0), Watts(0.0), Watts(0.0)],
+            command_outcomes: vec![willow_core::command::CommandOutcome {
+                id: CommandId(3),
+                command: Command::Drain { server: 1 },
+                tick: 9,
+                status: CommandStatus::Applied,
+            }],
             ..TickReport::default()
         }
     }
@@ -201,9 +227,13 @@ mod tests {
     fn record_extracts_all_event_kinds() {
         let mut log = EventLog::new();
         log.record(&report_with_everything());
-        assert_eq!(log.len(), 4);
+        assert_eq!(log.len(), 5);
         assert_eq!(log.migrations(), 1);
         assert!(log.events().iter().all(|e| e.tick == 9));
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::Command { .. })));
     }
 
     #[test]
@@ -218,7 +248,7 @@ mod tests {
         let mut log = EventLog::new();
         log.record(&report_with_everything());
         let text = log.to_jsonl().unwrap();
-        assert_eq!(text.lines().count(), 4);
+        assert_eq!(text.lines().count(), 5);
         // Each line parses back into a TimedEvent.
         for line in text.lines() {
             let ev: TimedEvent = serde_json::from_str(line).unwrap();
@@ -226,6 +256,7 @@ mod tests {
         }
         assert!(text.contains("\"kind\":\"migration\""));
         assert!(text.contains("\"kind\":\"shed\""));
+        assert!(text.contains("\"kind\":\"command\""));
     }
 
     #[test]
@@ -255,6 +286,16 @@ mod tests {
             },
             Event::Telemetry {
                 snapshot: registry.snapshot(),
+            },
+            Event::Command {
+                id: CommandId(21),
+                command: Command::AddServer {
+                    parent: NodeId(4),
+                    name: "server99".to_string(),
+                },
+                status: CommandStatus::Rejected(willow_core::command::CommandError::Topology(
+                    willow_topology::TreeError::DuplicateName("server99".to_string()),
+                )),
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

@@ -5,7 +5,8 @@
 //! (controller-down) windows and the checkpoint-recovery path.
 
 use proptest::prelude::*;
-use willow_core::config::ControllerConfig;
+use willow_core::command::Command;
+use willow_core::config::{ControllerConfig, PackerChoice};
 use willow_core::controller::Willow;
 use willow_core::migration::TickReport;
 use willow_core::server::ServerSpec;
@@ -91,7 +92,12 @@ proptest! {
     /// JSON, restore, and drive original and restoree in lockstep on the
     /// same disturbance stream: every subsequent tick report must match
     /// exactly — including across an interleaved open-loop window where
-    /// both controllers are "down" and the leaves free-run.
+    /// both controllers are "down" and the leaves free-run. Optionally a
+    /// drain is issued before the checkpoint (so the snapshot carries a
+    /// fenced — or, under migration failures or on a single-server tree,
+    /// still-draining — server) and a further command is queued *at*
+    /// snapshot time, so the pending queue round-trips too and both
+    /// controllers process it on the first post-restore tick.
     #[test]
     fn json_round_trip_restore_continues_identically(
         shape in arb_shape(),
@@ -100,11 +106,16 @@ proptest! {
         checkpoint_at in 3u64..25,
         supply_frac in 0.3f64..1.0,
         open_loop in prop::option::of((0.0f64..1.0, 1u64..6)),
+        drain in prop::option::of((0.0f64..1.0, 0u8..2)),
     ) {
         let mut w = build(&shape, apps_per_server);
         let n_servers = w.servers().len();
         let n_apps = n_servers * apps_per_server;
         let total_ticks = checkpoint_at + 30;
+        if let Some((s, _)) = drain {
+            let server = ((s * n_servers as f64) as usize).min(n_servers - 1);
+            w.submit_command(Command::Drain { server });
+        }
 
         // Resolve the fractional fault windows against this run.
         if let Some((s, f, len)) = crash {
@@ -131,6 +142,15 @@ proptest! {
         for t in 0..checkpoint_at {
             let d = injector.disturbances_for(t);
             w.step_into(&demands(n_apps, t), supply, &d, &mut report);
+        }
+
+        // Queue a command that is pending (submitted, unprocessed) at
+        // snapshot time: it must round-trip inside the snapshot and fire
+        // identically in both controllers on the next tick.
+        if let Some((_, 1)) = drain {
+            w.submit_command(Command::SwapPacker {
+                packer: PackerChoice::BestFitDecreasing,
+            });
         }
 
         // JSON round trip must be lossless.

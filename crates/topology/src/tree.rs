@@ -46,8 +46,8 @@ impl Node {
     }
 }
 
-/// Errors from tree construction and queries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors from tree construction, online edits and queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TreeError {
     /// A referenced id does not exist in this tree.
     UnknownNode(NodeId),
@@ -61,6 +61,19 @@ pub enum TreeError {
     },
     /// The tree has no nodes.
     Empty,
+    /// The slot is a detached tombstone (a removed node), or an arena
+    /// carried an unreachable node that still held parent/child links.
+    Detached(NodeId),
+    /// Online leaf insertion requires a level-1 parent; this node is not
+    /// directly above the leaf level.
+    NotAboveLeaves(NodeId),
+    /// The target of a leaf edit is not a leaf.
+    NotALeaf(NodeId),
+    /// Removing this parent's only child would leave it childless — an
+    /// interior node masquerading as a leaf at the wrong depth.
+    LastChild(NodeId),
+    /// A live node with this name already exists.
+    DuplicateName(String),
 }
 
 impl fmt::Display for TreeError {
@@ -76,6 +89,15 @@ impl fmt::Display for TreeError {
                  the hierarchy must be uniform"
             ),
             TreeError::Empty => write!(f, "tree has no nodes"),
+            TreeError::Detached(id) => write!(f, "node {id} is a detached (removed) slot"),
+            TreeError::NotAboveLeaves(id) => {
+                write!(f, "node {id} is not a level-1 parent of leaves")
+            }
+            TreeError::NotALeaf(id) => write!(f, "node {id} is not a leaf"),
+            TreeError::LastChild(id) => {
+                write!(f, "cannot remove the only child of node {id}")
+            }
+            TreeError::DuplicateName(name) => write!(f, "a node named {name:?} already exists"),
         }
     }
 }
@@ -172,12 +194,31 @@ impl Tree {
                 stack.push(c);
             }
         }
-        debug_assert_eq!(visited, nodes.len(), "arena must be a single tree");
+        // Unreachable slots are legal only as *detached tombstones* left by
+        // [`Tree::remove_leaf`]: fully unlinked, so they can be skipped by
+        // every derived index. Anything unreachable that still carries links
+        // is a malformed arena, not a tombstone.
+        for (i, node) in nodes.iter().enumerate() {
+            if depth[i] == usize::MAX && (node.parent.is_some() || !node.children.is_empty()) {
+                return Err(TreeError::Detached(NodeId(i as u32)));
+            }
+        }
+        debug_assert_eq!(
+            visited,
+            depth.iter().filter(|&&d| d != usize::MAX).count(),
+            "arena must be a single tree plus detached tombstones"
+        );
         let height = leaf_depth.expect("non-empty tree has leaves");
 
         let mut nodes = nodes;
         let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); height + 1];
         for (i, node) in nodes.iter_mut().enumerate() {
+            if depth[i] == usize::MAX {
+                // Detached tombstone: excluded from every level list; its
+                // leaf span stays empty, so range queries ignore it.
+                node.level = 0;
+                continue;
+            }
             let lvl = (height - depth[i]) as Level;
             node.level = lvl;
             by_level[lvl as usize].push(NodeId(i as u32));
@@ -472,12 +513,139 @@ impl Tree {
     }
 
     /// Look up a node by name (linear scan; intended for tests/config).
+    /// Detached tombstone slots are never returned.
     #[must_use]
     pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.ids()
+            .find(|&id| !self.is_detached(id) && self.nodes[id.index()].name == name)
+    }
+
+    /// True if `id` is a detached tombstone slot left behind by
+    /// [`Tree::remove_leaf`]. Out-of-range ids are not detached (they are
+    /// unknown).
+    #[must_use]
+    pub fn is_detached(&self, id: NodeId) -> bool {
+        id != self.root
+            && self
+                .nodes
+                .get(id.index())
+                .is_some_and(|n| n.parent.is_none())
+    }
+
+    /// Number of *live* (non-detached) nodes. [`Tree::len`] keeps counting
+    /// arena slots, since index-parallel state vectors are sized to those.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
         self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(|i| NodeId(i as u32))
+            .len()
+            .saturating_sub(self.detached_slots().count())
+    }
+
+    /// Iterator over detached tombstone slot ids, lowest first.
+    pub fn detached_slots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ids().filter(move |&id| self.is_detached(id))
+    }
+
+    /// Online insertion of a new leaf under level-1 parent `parent`.
+    ///
+    /// The lowest detached tombstone slot is reused if one exists,
+    /// otherwise the arena grows by one slot (callers holding
+    /// index-parallel state vectors must resize them to [`Tree::len`]
+    /// afterwards). All derived indices (levels, Euler-tour leaf order and
+    /// spans) are rebuilt, so range queries stay coherent.
+    ///
+    /// # Errors
+    /// - [`TreeError::UnknownNode`] / [`TreeError::Detached`] — `parent`
+    ///   does not name a live node;
+    /// - [`TreeError::NotAboveLeaves`] — `parent` is not a level-1 node,
+    ///   so hanging a leaf off it would violate leaf-depth uniformity;
+    /// - [`TreeError::DuplicateName`] — a live node already uses `name`.
+    ///
+    /// On error the tree is unchanged.
+    pub fn insert_leaf(&mut self, parent: NodeId, name: &str) -> Result<NodeId, TreeError> {
+        if parent.index() >= self.nodes.len() {
+            return Err(TreeError::UnknownNode(parent));
+        }
+        if self.is_detached(parent) {
+            return Err(TreeError::Detached(parent));
+        }
+        if self.level(parent) != 1 {
+            return Err(TreeError::NotAboveLeaves(parent));
+        }
+        if self.find(name).is_some() {
+            return Err(TreeError::DuplicateName(name.to_owned()));
+        }
+        let reusable = self.detached_slots().next();
+        let id = match reusable {
+            Some(slot) => slot,
+            None => {
+                self.nodes.push(Node {
+                    parent: None,
+                    children: Vec::new(),
+                    level: 0,
+                    name: String::new(),
+                });
+                NodeId((self.nodes.len() - 1) as u32)
+            }
+        };
+        let node = &mut self.nodes[id.index()];
+        node.parent = Some(parent);
+        node.children.clear();
+        node.level = 0;
+        name.clone_into(&mut node.name);
+        self.nodes[parent.index()].children.push(id);
+        self.rebuild();
+        Ok(id)
+    }
+
+    /// Online removal of leaf `leaf`, leaving a detached tombstone slot.
+    ///
+    /// The arena keeps its size (so index-parallel state vectors stay
+    /// valid) and the slot is reusable by a later [`Tree::insert_leaf`].
+    /// All derived indices are rebuilt.
+    ///
+    /// # Errors
+    /// - [`TreeError::UnknownNode`] / [`TreeError::Detached`] — `leaf`
+    ///   does not name a live node;
+    /// - [`TreeError::Empty`] — `leaf` is the root;
+    /// - [`TreeError::NotALeaf`] — `leaf` has children;
+    /// - [`TreeError::LastChild`] — `leaf` is its parent's only child, so
+    ///   removing it would turn the parent into a false leaf at the wrong
+    ///   depth.
+    ///
+    /// On error the tree is unchanged.
+    pub fn remove_leaf(&mut self, leaf: NodeId) -> Result<(), TreeError> {
+        if leaf.index() >= self.nodes.len() {
+            return Err(TreeError::UnknownNode(leaf));
+        }
+        if leaf == self.root {
+            return Err(TreeError::Empty);
+        }
+        if self.is_detached(leaf) {
+            return Err(TreeError::Detached(leaf));
+        }
+        if !self.node(leaf).is_leaf() {
+            return Err(TreeError::NotALeaf(leaf));
+        }
+        let parent = self.parent(leaf).expect("non-root has a parent");
+        if self.children(parent).len() == 1 {
+            return Err(TreeError::LastChild(parent));
+        }
+        self.nodes[parent.index()].children.retain(|&c| c != leaf);
+        let node = &mut self.nodes[leaf.index()];
+        node.parent = None;
+        node.children.clear();
+        node.level = 0;
+        node.name.clear();
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Recompute every derived index from the (already validated) arena.
+    fn rebuild(&mut self) {
+        let nodes = std::mem::take(&mut self.nodes);
+        let root = self.root;
+        *self = Tree::from_arena(nodes, root).expect("validated edit keeps the arena well-formed");
     }
 }
 
@@ -698,5 +866,148 @@ mod tests {
         let id = NodeId(7);
         assert_eq!(id.to_string(), "n7");
         assert_eq!(id.index(), 7);
+    }
+
+    /// Cross-check every derived index against first-principles walks.
+    fn assert_coherent(t: &Tree) {
+        let live: Vec<NodeId> = t.ids().filter(|&id| !t.is_detached(id)).collect();
+        assert_eq!(t.live_len(), live.len());
+        let by_level: usize = (0..=t.height()).map(|l| t.nodes_at_level(l).len()).sum();
+        assert_eq!(by_level, live.len(), "levels partition live nodes");
+        let mut order = t.leaf_order().to_vec();
+        order.sort_unstable();
+        let mut leaves: Vec<_> = t.leaves().collect();
+        leaves.sort_unstable();
+        assert_eq!(order, leaves, "leaf order covers live leaves once");
+        for &id in &live {
+            let mut from_range = t.leaf_range(id).to_vec();
+            from_range.sort_unstable();
+            assert_eq!(from_range, t.subtree_leaves(id), "{id}");
+            for leaf in t.leaves() {
+                let expected = leaf == id || t.ancestors(leaf).any(|a| a == id);
+                assert_eq!(t.subtree_contains(id, leaf), expected, "{id} {leaf}");
+            }
+        }
+        for d in t.detached_slots() {
+            assert_eq!(t.leaf_position(d), None);
+            assert!(t.leaf_range(d).is_empty());
+            assert!(!t.subtree_contains(t.root(), d));
+        }
+    }
+
+    #[test]
+    fn remove_then_insert_reuses_slot() {
+        let mut t = Tree::paper_fig3();
+        let n = t.len();
+        let victim = t.find("server5").unwrap();
+        let parent = t.parent(victim).unwrap();
+        t.remove_leaf(victim).unwrap();
+        assert_eq!(t.len(), n, "arena keeps its size");
+        assert_eq!(t.live_len(), n - 1);
+        assert!(t.is_detached(victim));
+        assert_eq!(t.find("server5"), None);
+        assert_coherent(&t);
+
+        let added = t.insert_leaf(parent, "server5b").unwrap();
+        assert_eq!(added, victim, "lowest tombstone slot is reused");
+        assert_eq!(t.len(), n);
+        assert_eq!(t.live_len(), n);
+        assert_eq!(t.find("server5b"), Some(added));
+        assert!(t.leaf_range(parent).contains(&added));
+        assert_coherent(&t);
+    }
+
+    #[test]
+    fn insert_without_tombstone_grows_arena() {
+        let mut t = Tree::paper_fig3();
+        let n = t.len();
+        let parent = t.parent(t.find("server1").unwrap()).unwrap();
+        let added = t.insert_leaf(parent, "server19").unwrap();
+        assert_eq!(added.index(), n);
+        assert_eq!(t.len(), n + 1);
+        assert_eq!(t.children(parent).len(), 4);
+        assert_eq!(t.level(added), 0);
+        assert_coherent(&t);
+    }
+
+    #[test]
+    fn edit_errors_leave_tree_unchanged() {
+        let mut t = Tree::paper_testbed();
+        let before = t.clone();
+        let a = t.find("serverA").unwrap();
+        let c = t.find("serverC").unwrap();
+        let switch1 = t.parent(a).unwrap();
+        let root = t.root();
+
+        assert_eq!(
+            t.insert_leaf(NodeId(99), "x"),
+            Err(TreeError::UnknownNode(NodeId(99)))
+        );
+        assert_eq!(
+            t.insert_leaf(root, "x"),
+            Err(TreeError::NotAboveLeaves(root))
+        );
+        assert_eq!(t.insert_leaf(a, "x"), Err(TreeError::NotAboveLeaves(a)));
+        assert_eq!(
+            t.insert_leaf(switch1, "serverC"),
+            Err(TreeError::DuplicateName("serverC".to_owned()))
+        );
+        assert_eq!(
+            t.remove_leaf(NodeId(99)),
+            Err(TreeError::UnknownNode(NodeId(99)))
+        );
+        assert_eq!(t.remove_leaf(root), Err(TreeError::Empty));
+        assert_eq!(t.remove_leaf(switch1), Err(TreeError::NotALeaf(switch1)));
+        let switch2 = t.parent(c).unwrap();
+        assert_eq!(t.remove_leaf(c), Err(TreeError::LastChild(switch2)));
+        assert_eq!(t, before, "every rejected edit is a no-op");
+
+        t.remove_leaf(a).unwrap();
+        assert_eq!(t.remove_leaf(a), Err(TreeError::Detached(a)));
+        assert_eq!(t.insert_leaf(a, "x"), Err(TreeError::Detached(a)));
+    }
+
+    #[test]
+    fn tree_with_tombstones_serde_round_trips() {
+        let mut t = Tree::paper_fig3();
+        t.remove_leaf(t.find("server7").unwrap()).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t, "tombstones and derived indices survive serde");
+        assert_coherent(&back);
+    }
+
+    #[test]
+    fn malformed_detached_arena_is_rejected() {
+        let mut t = Tree::paper_fig3();
+        t.remove_leaf(t.find("server7").unwrap()).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        // Re-point the tombstone's parent at the root without relinking it
+        // as a child: unreachable but carrying links — must be rejected.
+        let broken = json.replacen(
+            "{\"parent\":null,\"children\":[],\"level\":0,\"name\":\"\"}",
+            "{\"parent\":0,\"children\":[],\"level\":0,\"name\":\"\"}",
+            1,
+        );
+        assert_ne!(broken, json, "tombstone found in the serialized arena");
+        assert!(serde_json::from_str::<Tree>(&broken).is_err());
+    }
+
+    #[test]
+    fn repeated_edits_stay_coherent() {
+        let mut t = Tree::uniform(&[2, 2]);
+        let l1 = t.nodes_at_level(1).to_vec();
+        for round in 0..3 {
+            let name_a = format!("extra-a{round}");
+            let name_b = format!("extra-b{round}");
+            let a = t.insert_leaf(l1[0], &name_a).unwrap();
+            let b = t.insert_leaf(l1[1], &name_b).unwrap();
+            assert_coherent(&t);
+            t.remove_leaf(a).unwrap();
+            assert_coherent(&t);
+            t.remove_leaf(b).unwrap();
+            assert_coherent(&t);
+        }
+        assert_eq!(t.live_len(), 1 + 2 + 4);
     }
 }

@@ -65,6 +65,7 @@ fn main() {
                     let reason = match m.reason {
                         MigrationReason::Demand => "demand",
                         MigrationReason::Consolidation => "consol",
+                        MigrationReason::Drain => "drain",
                     };
                     format!("{}:{}->{} ({reason})", m.app, m.from, m.to)
                 })
