@@ -11,13 +11,18 @@
 //!   [`CountingAllocator`] installed as the global allocator (the
 //!   steady-state invariant is 0).
 //!
-//! `--quick` shrinks the measurement window for CI smoke runs.
+//! A second, 5-level sweep (~19k/~52k/~105k servers) measures the sharded
+//! pipeline at 1/2/4/8 threads against the serial path and asserts the
+//! determinism contract: the sharded tick is bit-for-bit identical to the
+//! serial one under migration pressure.
+//!
+//! `--quick` shrinks both measurement windows for CI smoke runs.
 
 use serde::Value;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use willow_core::config::ControllerConfig;
+use willow_core::config::{AllocationPolicy, ControllerConfig};
 use willow_core::controller::Willow;
 use willow_core::migration::TickReport;
 use willow_core::server::ServerSpec;
@@ -63,6 +68,17 @@ const SHAPES: [(&str, &[usize]); 3] = [
     ("2187", &[3, 27, 27]),
 ];
 
+/// The 5-level scaling shapes for the sharded-pipeline sweep: ~19k, ~52k
+/// and ~105k servers (9-ary below a widening root).
+const SCALING_SHAPES: [(&str, &[usize]); 3] = [
+    ("19683", &[3, 9, 9, 9, 9]),
+    ("52488", &[8, 9, 9, 9, 9]),
+    ("104976", &[16, 9, 9, 9, 9]),
+];
+
+/// Thread counts measured per scaling shape (1 = the serial path).
+const THREADS_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
 /// Pre-optimization numbers, recorded on this machine by running this
 /// exact harness (same fastest-8-tick-batch estimator, best of three
 /// process runs) against the pre-scratch-workspace controller — the
@@ -89,6 +105,22 @@ struct SizeResult {
 }
 
 fn build(branching: &[usize]) -> (Willow, Vec<Watts>) {
+    build_with(branching, 1)
+}
+
+fn build_with(branching: &[usize], threads: usize) -> (Willow, Vec<Watts>) {
+    let config = ControllerConfig {
+        threads,
+        ..ControllerConfig::default()
+    };
+    build_cfg(branching, config, 0.4)
+}
+
+fn build_cfg(
+    branching: &[usize],
+    config: ControllerConfig,
+    utilization: f64,
+) -> (Willow, Vec<Watts>) {
     let tree = Tree::uniform(branching);
     let mut id = 0u32;
     let specs: Vec<ServerSpec> = tree
@@ -107,12 +139,13 @@ fn build(branching: &[usize]) -> (Willow, Vec<Watts>) {
             ServerSpec::simulation_default(leaf).with_apps(apps)
         })
         .collect();
-    let w = Willow::new(tree, specs, ControllerConfig::default()).unwrap();
-    // Steady 40 % utilization: above the consolidation threshold (20 %),
-    // far below any thermal or supply constraint — the no-migration
-    // steady state the zero-allocation invariant is defined over.
+    let w = Willow::new(tree, specs, config).unwrap();
+    // Steady utilization above the consolidation threshold (20 %) and far
+    // below any thermal or supply constraint — at the default 40 % this is
+    // the no-migration steady state the zero-allocation invariant is
+    // defined over.
     let demands: Vec<Watts> = (0..id)
-        .map(|i| SIM_APP_CLASSES[i as usize % SIM_APP_CLASSES.len()].mean_power * 0.4)
+        .map(|i| SIM_APP_CLASSES[i as usize % SIM_APP_CLASSES.len()].mean_power * utilization)
         .collect();
     (w, demands)
 }
@@ -164,6 +197,88 @@ fn measure(branching: &[usize], warmup: usize, ticks: usize, instrument: bool) -
         bytes_per_tick: bytes as f64 / measured,
         migrations_observed,
     }
+}
+
+/// Steady-state ns/tick at a given thread count, plus allocs/tick over the
+/// measured window. The allocation number is only meaningful for the
+/// serial path (whose steady-state invariant is 0); with workers parked on
+/// a condvar the count would include any of their wake-up bookkeeping.
+fn measure_threads(branching: &[usize], threads: usize, warmup: usize, ticks: usize) -> (f64, f64) {
+    let (mut willow, demands) = build_with(branching, threads);
+    let servers = willow.servers().len();
+    let supply = Watts(servers as f64 * 450.0);
+    let quiet = Disturbances::none();
+    let mut report = TickReport::default();
+    for _ in 0..warmup {
+        willow.step_into(&demands, supply, &quiet, &mut report);
+    }
+    let per_batch = 8usize.min(ticks.max(1));
+    let batches = (ticks / per_batch).max(1);
+    let mut best_ns = f64::INFINITY;
+    let allocs0 = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        for _ in 0..per_batch {
+            willow.step_into(&demands, supply, &quiet, &mut report);
+        }
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as f64 / per_batch as f64);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs0;
+    (best_ns, allocs as f64 / (batches * per_batch) as f64)
+}
+
+/// Lockstep serial vs sharded run with live migration pressure, asserting
+/// the determinism contract: every `TickReport` and the final snapshots
+/// must match bit for bit (`config.threads` is the one intentional
+/// difference and is normalized before comparing).
+///
+/// The pressure is engineered to stay *bounded at every scale* — a
+/// rotating set of ~48 servers gets a +200 W spike on its smallest app
+/// under equal-share caps of 185 W/server, so each spiked server sheds
+/// its largest app (w9, ~59.6 W at 25 % utilization) into the ~67 W of
+/// headroom on any flat server. A few dozen migrations per tick, not the
+/// fleet-wide packing storm a plain supply cut would cause under the
+/// default demand-proportional division.
+fn bitwise_threads_check(branching: &[usize], threads: usize, ticks: usize) -> bool {
+    let cfg = |threads| ControllerConfig {
+        threads,
+        allocation: AllocationPolicy::EqualShare,
+        ..ControllerConfig::default()
+    };
+    let (mut serial, demands) = build_cfg(branching, cfg(1), 0.25);
+    let (mut sharded, _) = build_cfg(branching, cfg(threads), 0.25);
+    let servers = serial.servers().len();
+    let supply = Watts(servers as f64 * 185.0);
+    let quiet = Disturbances::none();
+    let mut r_serial = TickReport::default();
+    let mut r_sharded = TickReport::default();
+    // Warm both controllers into the flat steady state before applying
+    // pressure (caps are established on the first supply tick).
+    for _ in 0..3 {
+        serial.step_into(&demands, supply, &quiet, &mut r_serial);
+        sharded.step_into(&demands, supply, &quiet, &mut r_sharded);
+    }
+    let mut scaled = demands.clone();
+    let stride = (servers / 48).max(1);
+    for tick in 0..ticks {
+        scaled.copy_from_slice(&demands);
+        // Rotate the spike set each tick; +200 W overwhelms the 0.5-alpha
+        // exponential smoothing within a single tick.
+        for s in 0..servers {
+            if (s + tick * 7919) % stride == 0 {
+                scaled[s * 4] = Watts(demands[s * 4].0 + 200.0);
+            }
+        }
+        serial.step_into(&scaled, supply, &quiet, &mut r_serial);
+        sharded.step_into(&scaled, supply, &quiet, &mut r_sharded);
+        if r_serial != r_sharded || format!("{r_serial:?}") != format!("{r_sharded:?}") {
+            return false;
+        }
+    }
+    let snap_serial = serial.snapshot();
+    let mut snap_sharded = sharded.snapshot();
+    snap_sharded.config.threads = snap_serial.config.threads;
+    snap_serial == snap_sharded
 }
 
 /// Run the sweep and write `BENCH_controller.json` into the current
@@ -257,6 +372,75 @@ pub fn run(quick: bool) {
             ),
         ]));
     }
+    // Sharded-pipeline scaling sweep: 5-level trees at ~19k/~52k/~105k
+    // servers, serial vs sharded ns/tick at each thread count, plus a
+    // lockstep bit-for-bit equality check under migration pressure.
+    let (s_warm, s_ticks, bit_ticks) = if quick { (4, 8, 4) } else { (16, 64, 12) };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nsharded-pipeline scaling sweep ({s_ticks} ticks/point after {s_warm} warm-up, \
+         {host_cpus} host cpus):"
+    );
+    let mut scaling_rows = Vec::new();
+    for (label, branching) in SCALING_SHAPES.iter() {
+        let mut serial_ns = f64::NAN;
+        let mut serial_allocs = f64::NAN;
+        let mut points = Vec::new();
+        for &t in THREADS_SWEEP.iter() {
+            let (ns, allocs) = measure_threads(branching, t, s_warm, s_ticks);
+            if t == 1 {
+                serial_ns = ns;
+                serial_allocs = allocs;
+                // The zero-allocation steady-state invariant extends to
+                // the 5-level sizes on the serial path.
+                assert!(
+                    allocs == 0.0,
+                    "serial steady-state tick allocated ({allocs} allocs/tick at {label} servers)"
+                );
+            }
+            points.push((t, ns));
+        }
+        let bitwise = bitwise_threads_check(branching, 4, bit_ticks);
+        assert!(
+            bitwise,
+            "sharded tick diverged from the serial tick at {label} servers"
+        );
+        print!("  {label:>6} servers:");
+        for &(t, ns) in &points {
+            print!("  {t}T {:>9.1} us ({:.2}x)", ns / 1e3, serial_ns / ns);
+        }
+        println!("  [bitwise ok]");
+        scaling_rows.push(obj(vec![
+            (
+                "servers",
+                Value::U64(branching.iter().product::<usize>() as u64),
+            ),
+            (
+                "branching",
+                Value::Array(branching.iter().map(|&b| Value::U64(b as u64)).collect()),
+            ),
+            (
+                "threads",
+                Value::Array(
+                    points
+                        .iter()
+                        .map(|&(t, ns)| {
+                            obj(vec![
+                                ("threads", Value::U64(t as u64)),
+                                ("ns_per_tick", Value::F64((ns * 10.0).round() / 10.0)),
+                                (
+                                    "speedup_vs_serial",
+                                    Value::F64((serial_ns / ns * 100.0).round() / 100.0),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("allocs_per_tick_serial", Value::F64(serial_allocs)),
+            ("bitwise_equal_serial_vs_4_threads", Value::Bool(bitwise)),
+        ]));
+    }
     let doc = obj(vec![
         (
             "_comment",
@@ -277,9 +461,29 @@ pub fn run(quick: bool) {
                 ("warmup_ticks", Value::U64(warmup as u64)),
                 ("measured_ticks", Value::U64(ticks as u64)),
                 ("quick", Value::Bool(quick)),
+                ("scaling_warmup_ticks", Value::U64(s_warm as u64)),
+                ("scaling_measured_ticks", Value::U64(s_ticks as u64)),
+                ("scaling_bitwise_check_ticks", Value::U64(bit_ticks as u64)),
             ]),
         ),
         ("sizes", Value::Array(rows)),
+        (
+            "scaling",
+            obj(vec![
+                (
+                    "_comment",
+                    Value::Str(
+                        "Sharded-pipeline scaling on 5-level trees. Speedups are only \
+                         meaningful when host_cpus >= the thread count; on a single-core \
+                         host the sweep degenerates to an overhead measurement (sharded \
+                         ~= serial shows the shard handoff cost is small)."
+                            .to_owned(),
+                    ),
+                ),
+                ("host_cpus", Value::U64(host_cpus as u64)),
+                ("sizes", Value::Array(scaling_rows)),
+            ]),
+        ),
     ]);
     let path = "BENCH_controller.json";
     std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();

@@ -130,11 +130,12 @@ fn placed_apps(sim: &Simulation) -> Vec<AppId> {
 
 /// Run one seed's schedule; returns the failure descriptions (empty =
 /// pass).
-fn run_seed(seed: u64, ticks: usize) -> Vec<String> {
+fn run_seed(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
     let mut failures = Vec::new();
     let mut cfg = SimConfig::paper_hot_cold(seed, 0.5);
     cfg.ticks = ticks;
     cfg.warmup = 0;
+    cfg.controller.threads = threads;
     let sched = schedule_for(seed, ticks, cfg.n_servers());
     cfg.utilization = sched.utilization;
     cfg.faults = Some(sched.plan.clone());
@@ -262,7 +263,7 @@ fn run_seed(seed: u64, ticks: usize) -> Vec<String> {
 /// Crash-duration sweep at a fixed seed (the EXPERIMENTS.md table):
 /// longer outages mean more open-loop ticks and watchdog fallback, while
 /// the invariants hold throughout.
-fn sweep(ticks: usize) {
+fn sweep(ticks: usize, threads: usize) {
     println!("\ncrash-duration sweep (seed 2011, u=0.6, outage starts at tick 100):");
     println!(
         "  {:>8}  {:>9}  {:>10}  {:>14}  {:>13}  {:>10}",
@@ -272,6 +273,7 @@ fn sweep(ticks: usize) {
         let mut cfg = SimConfig::paper_hot_cold(2011, 0.6);
         cfg.ticks = ticks.max(200);
         cfg.warmup = 0;
+        cfg.controller.threads = threads;
         let windows = if duration == 0 {
             Vec::new()
         } else {
@@ -300,11 +302,14 @@ fn sweep(ticks: usize) {
 }
 
 /// Run the harness; exits the process with status 1 if any seed fails.
-pub fn run(seeds: u64, ticks: usize, with_sweep: bool) {
-    println!("chaos harness: {seeds} seeds x {ticks} ticks, auditor on");
+/// `threads` sets the controller's shard-pool width (1 = serial); the pass
+/// criteria are thread-count-independent because the sharded tick is
+/// bit-for-bit identical to the serial one.
+pub fn run(seeds: u64, ticks: usize, with_sweep: bool, threads: usize) {
+    println!("chaos harness: {seeds} seeds x {ticks} ticks, auditor on, threads={threads}");
     let mut failed = 0usize;
     for seed in 0..seeds {
-        let failures = run_seed(seed, ticks);
+        let failures = run_seed(seed, ticks, threads);
         for f in &failures {
             eprintln!("  seed {seed}: {f}");
         }
@@ -313,7 +318,7 @@ pub fn run(seeds: u64, ticks: usize, with_sweep: bool) {
         }
     }
     if with_sweep {
-        sweep(ticks);
+        sweep(ticks, threads);
     }
     if failed > 0 {
         eprintln!("chaos: {failed}/{seeds} seeds FAILED");

@@ -97,11 +97,17 @@ fn scripted_timeline() -> Vec<ScheduledCommand> {
 
 /// Leg 1: the scripted (or file-supplied) timeline under a fixed chaos
 /// plan. Returns failure descriptions (empty = pass).
-fn run_scripted(ticks: usize, timeline: &[ScheduledCommand], builtin: bool) -> Vec<String> {
+fn run_scripted(
+    ticks: usize,
+    timeline: &[ScheduledCommand],
+    builtin: bool,
+    threads: usize,
+) -> Vec<String> {
     let mut failures = Vec::new();
     let mut cfg = SimConfig::paper_hot_cold(2011, 0.5);
     cfg.ticks = ticks;
     cfg.warmup = 0;
+    cfg.controller.threads = threads;
     cfg.commands = timeline.to_vec();
     let outage_from = (ticks as u64 * 3) / 5;
     let outage_len = 15u64.min(ticks as u64 / 10).max(1);
@@ -184,12 +190,13 @@ fn run_scripted(ticks: usize, timeline: &[ScheduledCommand], builtin: bool) -> V
 }
 
 /// Leg 2: one seed's random command schedule on a random fault plan.
-fn run_random_seed(seed: u64, ticks: usize) -> Vec<String> {
+fn run_random_seed(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
     let mut failures = Vec::new();
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
     let mut cfg = SimConfig::paper_hot_cold(seed, rng.gen_range(0.3..0.7));
     cfg.ticks = ticks;
     cfg.warmup = 0;
+    cfg.controller.threads = threads;
     let n = cfg.n_servers();
     let horizon = (ticks as u64).saturating_sub(20).max(1);
 
@@ -292,10 +299,11 @@ fn run_random_seed(seed: u64, ticks: usize) -> Vec<String> {
 }
 
 /// Leg 3: a never-due timeline must be bit-for-bit invisible.
-fn run_neutrality(ticks: usize) -> Vec<String> {
+fn run_neutrality(ticks: usize, threads: usize) -> Vec<String> {
     let mut base = SimConfig::paper_hot_cold(2011, 0.6);
     base.ticks = ticks;
     base.warmup = 0;
+    base.controller.threads = threads;
     let mut with_cmds = base.clone();
     with_cmds.commands = vec![
         ScheduledCommand {
@@ -318,8 +326,14 @@ fn run_neutrality(ticks: usize) -> Vec<String> {
 }
 
 /// Run the harness; exits the process with status 1 on any failure.
-pub fn run(seeds: u64, ticks: usize, timeline_file: Option<&str>) {
-    println!("liveops smoke: scripted timeline + {seeds} random seeds x {ticks} ticks, auditor on");
+/// `threads` sets the controller's shard-pool width (1 = serial); the pass
+/// criteria are thread-count-independent because the sharded tick is
+/// bit-for-bit identical to the serial one.
+pub fn run(seeds: u64, ticks: usize, timeline_file: Option<&str>, threads: usize) {
+    println!(
+        "liveops smoke: scripted timeline + {seeds} random seeds x {ticks} ticks, \
+         auditor on, threads={threads}"
+    );
     let (timeline, builtin) = match timeline_file {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -340,11 +354,17 @@ pub fn run(seeds: u64, ticks: usize, timeline_file: Option<&str>) {
             failed += 1;
         }
     };
-    check(run_scripted(ticks, &timeline, builtin), "scripted".into());
+    check(
+        run_scripted(ticks, &timeline, builtin, threads),
+        "scripted".into(),
+    );
     for seed in 0..seeds {
-        check(run_random_seed(seed, ticks), format!("seed {seed}"));
+        check(
+            run_random_seed(seed, ticks, threads),
+            format!("seed {seed}"),
+        );
     }
-    check(run_neutrality(ticks), "neutrality".into());
+    check(run_neutrality(ticks, threads), "neutrality".into());
     if failed > 0 {
         eprintln!("liveops: {failed} leg(s) FAILED");
         std::process::exit(1);

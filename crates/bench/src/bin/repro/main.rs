@@ -51,6 +51,7 @@ fn main() {
             flag("--seeds", 8) as u64,
             flag("--ticks", 200),
             args.iter().any(|a| a == "--sweep"),
+            flag("--threads", 1),
         );
         return;
     }
@@ -67,7 +68,12 @@ fn main() {
             .position(|a| a == "--timeline")
             .and_then(|i| args.get(i + 1))
             .map(String::as_str);
-        liveops_cmd::run(flag("--seeds", 8) as u64, flag("--ticks", 200), timeline);
+        liveops_cmd::run(
+            flag("--seeds", 8) as u64,
+            flag("--ticks", 200),
+            timeline,
+            flag("--threads", 1),
+        );
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");

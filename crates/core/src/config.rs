@@ -188,6 +188,16 @@ pub struct ControllerConfig {
     /// Degraded-mode defense tunables (watchdog, sensor filter, retry
     /// backoff).
     pub robustness: RobustnessConfig,
+    /// Worker threads for the sharded pipeline stages (per-server physics,
+    /// per-level deficit packing). `1` runs every stage serially on the
+    /// control thread (and stays allocation-free per tick); `0` means
+    /// auto-detect from available parallelism; `n > 1` shards across `n`
+    /// threads with fixed shard boundaries and a deterministic reduction
+    /// order, so results are bit-for-bit identical to the serial path at
+    /// any thread count. Absent in persisted configs from before this
+    /// field existed, which deserialize as `0` (auto).
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for ControllerConfig {
@@ -209,6 +219,7 @@ impl Default for ControllerConfig {
             pingpong_window: 50,
             query_traffic_per_watt: 1.0,
             robustness: RobustnessConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -386,6 +397,20 @@ mod tests {
                 assert_eq!(c, back);
             }
         }
+    }
+
+    #[test]
+    fn threads_field_defaults_when_absent() {
+        // Persisted configs from before the sharded pipeline existed have
+        // no `threads` key; they must still load (as 0 = auto).
+        let c = ControllerConfig::default();
+        assert_eq!(c.threads, 1, "in-code default stays serial");
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json.replacen(",\"threads\":1", "", 1);
+        assert_ne!(stripped, json, "threads key found in serialized config");
+        let back: ControllerConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.threads, 0);
+        back.validate().unwrap();
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub(crate) struct ConsolidateStage {
     pub(super) evac_plan: Vec<(DeficitItem, NodeId)>,
     /// Sleeping-server indices for wake-on-deficit.
     pub(super) sleeping: Vec<usize>,
+    /// Migration-record scratch for operator-initiated drains (the records
+    /// feed no tick report; a drain reports via its return value).
+    pub(super) drain_records: Vec<MigrationRecord>,
 }
 
 impl ConsolidateStage {
@@ -286,10 +289,10 @@ impl Willow {
         );
         let mut drained = planned;
         if planned {
-            let mut records = Vec::new();
+            stage.drain_records.clear();
             for pi in 0..stage.evac_plan.len() {
                 let (item, target) = stage.evac_plan[pi];
-                if !self.attempt_migration(&item, target, tick, &mut records) {
+                if !self.attempt_migration(&item, target, tick, &mut stage.drain_records) {
                     // Injected failure mid-drain: already-moved apps stay
                     // moved, but the server keeps the rest and stays awake.
                     drained = false;

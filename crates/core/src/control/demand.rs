@@ -3,12 +3,41 @@
 //! leftovers passed up for non-local placement. Two of the pipeline's
 //! pluggable decision points live here: the packing heuristic and the
 //! candidate-target ordering (see [`super::policy`]).
+//!
+//! Sharded sub-steps (bit-for-bit identical to serial at any thread
+//! count):
+//!
+//! * **Deficit collection** — per-shard item lists concatenated in shard
+//!   order, which is ascending server order, exactly the serial visit
+//!   order.
+//! * **Target eligibility** — resolved once per stage run into a per-leaf
+//!   cache (`active ∧ unfenced ∧ ¬crashed ∧ ¬reduced-anywhere-above`).
+//!   Nothing the packing loop does (migrations charge costs to `cp`/`tp`)
+//!   changes any of those inputs, so the cache holds for the whole stage —
+//!   and it replaces the `O(height)` ancestor climb the serial code paid
+//!   *per candidate bin per level* with an `O(nodes)` top-down sweep.
+//! * **Candidate-bin filtering** — wide instances (≥ `PAR_BINS_MIN_LEAVES`
+//!   leaves under the PMU) filter the Euler-tour leaf range shard-by-shard
+//!   into per-shard lists concatenated in shard order — the same sequence
+//!   the serial filter emits.
+//!
+//! Group packing and migration execution stay serial: each migration
+//! mutates the `cp`/`tp` surpluses that every later group must observe,
+//! and journal transaction ids, attempt ordinals and record order are all
+//! part of the deterministic contract.
 
+use super::shard::{shard_range, RawSlice};
 use super::Willow;
 use crate::migration::{MigrationReason, MigrationRecord};
 use willow_thermal::units::Watts;
 use willow_topology::{NodeId, Tree};
 use willow_workload::app::AppId;
+
+/// Minimum Euler-tour leaf-range width before the candidate-bin filter is
+/// worth sharding: below this the pool dispatch costs more than the scan.
+/// The cutover only picks the execution path — both paths emit the same
+/// bin sequence — so it cannot affect results.
+const PAR_BINS_MIN_LEAVES: usize = 4096;
 
 /// A deficit parcel traveling up the hierarchy: one application that must
 /// leave its server.
@@ -21,11 +50,11 @@ pub(super) struct DeficitItem {
 }
 
 /// Reusable working memory for the demand stage: deficit parcels, their
-/// per-level grouping keys, and the buffers of one packing instance.
-/// Cleared (capacity retained) instead of reallocated, so a steady-state
-/// tick performs zero heap allocations once warmed up. Taken out of the
-/// controller with `std::mem::take` for the duration of the stage and put
-/// back afterwards.
+/// per-level grouping keys, the buffers of one packing instance, and the
+/// per-shard scratch of the parallel sub-steps. Cleared (capacity
+/// retained) instead of reallocated, so a steady-state tick performs zero
+/// heap allocations once warmed up. Taken out of the controller with
+/// `std::mem::take` for the duration of the stage and put back afterwards.
 #[derive(Debug, Default)]
 pub(crate) struct DemandStage {
     /// Deficit items still looking for a target (current level).
@@ -37,14 +66,26 @@ pub(crate) struct DemandStage {
     /// Items of the group currently being packed (backoff items filtered
     /// straight to the leftovers).
     pub(super) group: Vec<DeficitItem>,
-    /// App ordering for per-server deficit selection.
-    pub(super) order: Vec<usize>,
     /// Candidate target leaves for one packing instance.
     pub(super) bins: Vec<NodeId>,
     /// Remaining capacity per candidate bin.
     pub(super) bin_caps: Vec<f64>,
     /// Effective item sizes for one packing instance.
     pub(super) sizes: Vec<f64>,
+    /// Per-shard deficit collections, concatenated in shard order (shard
+    /// ranges tile ascending server indices, so the concatenation is the
+    /// serial collection order).
+    pub(super) shard_items: Vec<Vec<DeficitItem>>,
+    /// Per-shard app-ordering scratch for deficit selection.
+    pub(super) shard_order: Vec<Vec<usize>>,
+    /// Per-shard candidate-bin scratch for wide packing instances.
+    pub(super) shard_bins: Vec<Vec<NodeId>>,
+    /// Arena slot → budget-reduced on itself or any ancestor, refreshed
+    /// once per stage run (top-down sweep).
+    pub(super) reduced_anc: Vec<bool>,
+    /// Leaf arena slot → migration-target eligibility, refreshed once per
+    /// stage run.
+    pub(super) eligible: Vec<bool>,
 }
 
 impl DemandStage {
@@ -55,6 +96,8 @@ impl DemandStage {
         DemandStage {
             bins: Vec::with_capacity(leaves),
             bin_caps: Vec::with_capacity(leaves),
+            reduced_anc: Vec::with_capacity(tree.len()),
+            eligible: Vec::with_capacity(tree.len()),
             ..DemandStage::default()
         }
     }
@@ -63,7 +106,9 @@ impl DemandStage {
 impl Willow {
     /// True if `leaf` may receive migrations: active, unfenced, not
     /// crashed, and neither it nor any ancestor was flagged as
-    /// budget-reduced (§IV-E final rule).
+    /// budget-reduced (§IV-E final rule). The walking form, used by the
+    /// consolidation and live-ops stages; the demand stage resolves the
+    /// same predicate into [`DemandStage::eligible`] once per run.
     pub(super) fn target_eligible(&self, leaf: NodeId) -> bool {
         let Some(si) = self.leaf_server[leaf.index()] else {
             return false;
@@ -104,7 +149,13 @@ impl Willow {
         records: &mut Vec<MigrationRecord>,
     ) {
         // Collect deficit items at the leaves.
-        self.collect_deficit_items(&mut stage.pending, &mut stage.order);
+        self.collect_deficit_items(stage);
+        if stage.pending.is_empty() {
+            return;
+        }
+        // Deficits exist: resolve target eligibility once for the whole
+        // stage (none of its inputs change while packing executes).
+        self.compute_eligibility(stage);
 
         // Process levels bottom-up; at each level, each PMU node packs the
         // pending items originating in its subtree into surpluses in its
@@ -163,6 +214,8 @@ impl Willow {
                     &mut stage.bins,
                     &mut stage.bin_caps,
                     &mut stage.sizes,
+                    &stage.eligible,
+                    &mut stage.shard_bins,
                     tick,
                     records,
                 );
@@ -176,76 +229,143 @@ impl Willow {
 
     /// Deficit items: for every active server over budget, pick the largest
     /// apps until the remainder fits under `TP − margin` (cost-adjusted).
-    /// Fills `items`; `order` is per-server sorting scratch.
-    pub(super) fn collect_deficit_items(
-        &self,
-        items: &mut Vec<DeficitItem>,
-        order: &mut Vec<usize>,
-    ) {
-        items.clear();
-        let overhead = self.config.cost_model.node_overhead;
-        for (si, server) in self.servers.iter().enumerate() {
-            if !server.active {
-                continue;
-            }
-            let leaf = server.node.index();
-            // Deficit detection is local: the server compares its own
-            // fresh demand view against its budget, regardless of what the
-            // hierarchy believes.
-            let cp = self.local_cp[leaf];
-            let tp = self.power.tp[leaf];
-            let excess = (cp - tp + self.config.margin).non_negative();
-            if excess.0 <= 1e-9 {
-                continue;
-            }
-            // Shedding `shed` relieves `shed·(1 − overhead)` net of the
-            // temporary cost charged back to the source.
-            let target_shed = if overhead < 1.0 {
-                excess.0 / (1.0 - overhead)
-            } else {
-                excess.0
-            };
-            // Settled apps first (Property 4: a demand that migrated stays
-            // put for ≥ Δ_f whenever possible), then largest-first to
-            // minimize the number of migrations.
-            order.clear();
-            order.extend(0..server.apps.len());
+    /// Shards over the roster; fills `stage.pending` in server order.
+    #[allow(unsafe_code)] // disjoint shard scratch; see `super::shard`
+    pub(super) fn collect_deficit_items(&self, stage: &mut DemandStage) {
+        let n = self.servers.len();
+        let threads = self.pool.threads();
+        stage.shard_items.resize_with(threads, Vec::new);
+        stage.shard_order.resize_with(threads, Vec::new);
+        {
+            let shard_items = RawSlice::new(&mut stage.shard_items);
+            let shard_order = RawSlice::new(&mut stage.shard_order);
+            let servers = &self.servers;
+            let local_cp = &self.local_cp;
+            let tp = &self.power.tp;
+            let last_move = &self.last_move;
+            let margin = self.config.margin;
+            let overhead = self.config.cost_model.node_overhead;
+            let pingpong_window = self.config.pingpong_window;
             let tick = self.tick;
-            order.sort_unstable_by(|&a, &b| {
-                let recent = |i: usize| {
-                    self.last_move
-                        .get(&server.apps[i].id)
-                        .is_some_and(|&(_, t)| tick.saturating_sub(t) < self.config.pingpong_window)
-                };
-                recent(a)
-                    .cmp(&recent(b)) // settled (false) before recent (true)
-                    .then(server.app_demand[b].0.total_cmp(&server.app_demand[a].0))
-                    .then(a.cmp(&b))
+            self.pool.run(&|k| {
+                // SAFETY: each shard touches only its own scratch element.
+                let items = unsafe { shard_items.get_mut(k) };
+                let order = unsafe { shard_order.get_mut(k) };
+                items.clear();
+                for si in shard_range(n, threads, k) {
+                    let server = &servers[si];
+                    if !server.active {
+                        continue;
+                    }
+                    let leaf = server.node.index();
+                    // Deficit detection is local: the server compares its
+                    // own fresh demand view against its budget, regardless
+                    // of what the hierarchy believes.
+                    let cp = local_cp[leaf];
+                    let tp = tp[leaf];
+                    let excess = (cp - tp + margin).non_negative();
+                    if excess.0 <= 1e-9 {
+                        continue;
+                    }
+                    // Shedding `shed` relieves `shed·(1 − overhead)` net of
+                    // the temporary cost charged back to the source.
+                    let target_shed = if overhead < 1.0 {
+                        excess.0 / (1.0 - overhead)
+                    } else {
+                        excess.0
+                    };
+                    // Settled apps first (Property 4: a demand that
+                    // migrated stays put for ≥ Δ_f whenever possible),
+                    // then largest-first to minimize migrations.
+                    order.clear();
+                    order.extend(0..server.apps.len());
+                    order.sort_unstable_by(|&a, &b| {
+                        let recent = |i: usize| {
+                            last_move
+                                .get(&server.apps[i].id)
+                                .is_some_and(|&(_, t)| tick.saturating_sub(t) < pingpong_window)
+                        };
+                        recent(a)
+                            .cmp(&recent(b)) // settled (false) before recent
+                            .then(server.app_demand[b].0.total_cmp(&server.app_demand[a].0))
+                            .then(a.cmp(&b))
+                    });
+                    let mut shed = 0.0;
+                    for &idx in order.iter() {
+                        if shed >= target_shed {
+                            break;
+                        }
+                        let demand = server.app_demand[idx];
+                        if demand.0 <= 0.0 {
+                            continue;
+                        }
+                        shed += demand.0;
+                        items.push(DeficitItem {
+                            server: si,
+                            app: server.apps[idx].id,
+                            demand,
+                            reason: MigrationReason::Demand,
+                        });
+                    }
+                }
             });
-            let mut shed = 0.0;
-            for &idx in order.iter() {
-                if shed >= target_shed {
-                    break;
-                }
-                let demand = server.app_demand[idx];
-                if demand.0 <= 0.0 {
-                    continue;
-                }
-                shed += demand.0;
-                items.push(DeficitItem {
-                    server: si,
-                    app: server.apps[idx].id,
-                    demand,
-                    reason: MigrationReason::Demand,
-                });
+        }
+        // Shard ranges tile ascending server indices, so concatenating in
+        // shard order reproduces the serial collection order exactly.
+        stage.pending.clear();
+        for shard in &stage.shard_items {
+            stage.pending.extend_from_slice(shard);
+        }
+    }
+
+    /// Resolve [`Willow::target_eligible`] for every leaf into
+    /// `stage.eligible`: one serial top-down sweep folds the reduced flags
+    /// down the tree, then the per-leaf roster checks shard across the
+    /// pool. Valid for the whole demand stage — migrations change only
+    /// `cp`/`tp`, never the fence, activity, crash or reduced inputs.
+    #[allow(unsafe_code)] // disjoint per-leaf writes; see `super::shard`
+    fn compute_eligibility(&self, stage: &mut DemandStage) {
+        let tree = &self.tree;
+        stage.reduced_anc.clear();
+        stage.reduced_anc.resize(tree.len(), false);
+        let root = tree.root();
+        stage.reduced_anc[root.index()] = self.power.reduced[root.index()];
+        for level in (0..tree.height()).rev() {
+            for &node in tree.nodes_at_level(level) {
+                let p = tree.parent(node).expect("non-root nodes have parents");
+                stage.reduced_anc[node.index()] =
+                    self.power.reduced[node.index()] || stage.reduced_anc[p.index()];
             }
         }
+        stage.eligible.clear();
+        stage.eligible.resize(tree.len(), false);
+        let leaves = tree.nodes_at_level(0);
+        let threads = self.pool.threads();
+        let eligible = RawSlice::new(&mut stage.eligible);
+        let reduced_anc = &stage.reduced_anc;
+        let servers = &self.servers;
+        let leaf_server = &self.leaf_server;
+        let disturb = &self.disturb;
+        self.pool.run(&|k| {
+            for &leaf in &leaves[shard_range(leaves.len(), threads, k)] {
+                let i = leaf.index();
+                let ok = leaf_server[i].is_some_and(|si| {
+                    servers[si].active && servers[si].fence.is_active() && !disturb.crashed(si)
+                }) && !reduced_anc[i];
+                // SAFETY: every live leaf appears exactly once in the
+                // level-0 list, so writes to its slot are race-free.
+                unsafe {
+                    *eligible.get_mut(i) = ok;
+                }
+            }
+        });
     }
 
     /// Pack `items` (already backoff-filtered) into eligible surpluses
     /// among `pmu`'s leaves minus those under `child`; execute the
     /// migrations that fit; push leftovers for the next level up.
     #[allow(clippy::too_many_arguments)]
+    #[allow(unsafe_code)] // disjoint shard scratch; see `super::shard`
     pub(super) fn pack_and_execute(
         &mut self,
         pmu: NodeId,
@@ -255,6 +375,8 @@ impl Willow {
         bins: &mut Vec<NodeId>,
         bin_caps: &mut Vec<f64>,
         sizes: &mut Vec<f64>,
+        eligible: &[bool],
+        shard_bins: &mut Vec<Vec<NodeId>>,
         tick: u64,
         records: &mut Vec<MigrationRecord>,
     ) {
@@ -263,9 +385,32 @@ impl Willow {
         // the ascending-id order the packing has always seen —
         // `subtree_leaves` returns sorted ids).
         bins.clear();
-        for &leaf in self.tree.leaf_range(pmu) {
-            if !self.tree.subtree_contains(child, leaf) && self.target_eligible(leaf) {
-                bins.push(leaf);
+        {
+            let leaf_range = self.tree.leaf_range(pmu);
+            let threads = self.pool.threads();
+            if threads > 1 && leaf_range.len() >= PAR_BINS_MIN_LEAVES {
+                shard_bins.resize_with(threads, Vec::new);
+                let out = RawSlice::new(shard_bins.as_mut_slice());
+                let tree = &self.tree;
+                self.pool.run(&|k| {
+                    // SAFETY: each shard touches only its own element.
+                    let mine = unsafe { out.get_mut(k) };
+                    mine.clear();
+                    for &leaf in &leaf_range[shard_range(leaf_range.len(), threads, k)] {
+                        if !tree.subtree_contains(child, leaf) && eligible[leaf.index()] {
+                            mine.push(leaf);
+                        }
+                    }
+                });
+                for shard in shard_bins.iter() {
+                    bins.extend_from_slice(shard);
+                }
+            } else {
+                for &leaf in leaf_range {
+                    if !self.tree.subtree_contains(child, leaf) && eligible[leaf.index()] {
+                        bins.push(leaf);
+                    }
+                }
             }
         }
         {

@@ -350,5 +350,6 @@ impl Willow {
         self.supply_stage = SupplyStage::for_tree(&self.tree);
         self.demand_stage = DemandStage::for_tree(&self.tree);
         self.consolidate_stage = ConsolidateStage::for_tree(&self.tree, self.servers.len());
+        self.physics_stage = super::physics::PhysicsStage::for_tree(&self.tree, self.servers.len());
     }
 }

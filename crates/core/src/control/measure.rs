@@ -1,40 +1,89 @@
 //! Pipeline stage 1 — measurement: raw per-app demands are smoothed
 //! (Eq. 4) into leaf `CP` values and aggregated up the tree.
+//!
+//! The per-server half (demand writes, smoothing, leaf `CP` stores) shards
+//! across the worker pool: each roster row is touched by exactly one shard,
+//! and the arena-indexed `local_cp`/`power.cp` stores are gated on slot
+//! ownership (`leaf_server[leaf] == Some(si)`) so a retired row whose leaf
+//! slot was reused by a later-added server can never race — or clobber —
+//! the live owner's entry. The upward aggregation stays serial (it is one
+//! `O(nodes)` pass over contiguous per-level slices).
 
+use super::shard::{shard_range, RawSlice};
 use super::Willow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use willow_thermal::units::Watts;
 
 impl Willow {
     /// Smooth raw demands into leaf `CP` values and aggregate upward. A
     /// server whose report is lost keeps running on its own fresh view
     /// (`local_cp`) while the hierarchy keeps the stale `power.cp` entry.
+    #[allow(unsafe_code)] // disjoint shard slicing; see `super::shard`
     pub(super) fn measure(&mut self, app_demand: &[Watts]) {
-        for (si, server) in self.servers.iter_mut().enumerate() {
-            if server.active {
-                for (i, app) in server.apps.iter().enumerate() {
-                    let idx = app.id.0 as usize;
-                    assert!(
-                        idx < app_demand.len(),
-                        "demand vector too short for {}",
-                        app.id
-                    );
-                    server.app_demand[i] = app_demand[idx];
+        let n = self.servers.len();
+        let threads = self.pool.threads();
+        let reports_lost = AtomicUsize::new(0);
+        {
+            let servers = RawSlice::new(&mut self.servers);
+            let local_cp = RawSlice::new(&mut self.local_cp);
+            let cp = RawSlice::new(&mut self.power.cp);
+            let disturb = &self.disturb;
+            let leaf_server = &self.leaf_server;
+            let lost = &reports_lost;
+            self.pool.run(&|k| {
+                let range = shard_range(n, threads, k);
+                // SAFETY: shard ranges over server indices are pairwise
+                // disjoint, and `servers` is indexed by server.
+                let servers = unsafe { servers.range_mut(range.clone()) };
+                for (off, server) in servers.iter_mut().enumerate() {
+                    let si = range.start + off;
+                    let leaf = server.node.index();
+                    // Slot-ownership gate for the arena-indexed stores: a
+                    // retired row must never write the (possibly reused)
+                    // slot — only the live owner does, which also keeps the
+                    // hierarchy's stale view intact under report loss.
+                    let owns = leaf_server[leaf] == Some(si);
+                    if server.active {
+                        for (i, app) in server.apps.iter().enumerate() {
+                            let idx = app.id.0 as usize;
+                            assert!(
+                                idx < app_demand.len(),
+                                "demand vector too short for {}",
+                                app.id
+                            );
+                            server.app_demand[i] = app_demand[idx];
+                        }
+                        let raw = server.raw_demand();
+                        let smoothed = server.smoother.observe(raw);
+                        debug_assert!(owns, "an active server owns its leaf slot");
+                        // SAFETY: exactly one roster row owns any leaf
+                        // slot, so these scattered writes are race-free.
+                        unsafe {
+                            *local_cp.get_mut(leaf) = smoothed;
+                        }
+                        if disturb.report_lost(si) {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            // SAFETY: as above — sole owner of `leaf`.
+                            unsafe {
+                                *cp.get_mut(leaf) = smoothed;
+                            }
+                        }
+                    } else if owns {
+                        // SAFETY: as above — sole owner of `leaf`.
+                        unsafe {
+                            *local_cp.get_mut(leaf) = Watts::ZERO;
+                            *cp.get_mut(leaf) = Watts::ZERO;
+                        }
+                    }
+                    // Migration costs are charged for exactly one period.
+                    server.pending_cost = Watts::ZERO;
                 }
-                let raw = server.raw_demand();
-                let smoothed = server.smoother.observe(raw);
-                self.local_cp[server.node.index()] = smoothed;
-                if self.disturb.report_lost(si) {
-                    self.counters.reports_lost += 1;
-                } else {
-                    self.power.cp[server.node.index()] = smoothed;
-                }
-            } else {
-                self.local_cp[server.node.index()] = Watts::ZERO;
-                self.power.cp[server.node.index()] = Watts::ZERO;
-            }
-            // Migration costs are charged for exactly one period.
-            server.pending_cost = Watts::ZERO;
+            });
         }
+        // Integer addition commutes: the relaxed total matches the serial
+        // count at every thread count.
+        self.counters.reports_lost += reports_lost.into_inner();
         self.power.aggregate_demands(&self.tree);
     }
 
@@ -42,6 +91,8 @@ impl Willow {
     /// happens (the machine observes its own load) and `local_cp` stays
     /// fresh, but nothing reaches the hierarchy — `power.cp` keeps the
     /// controller's last view and no control messages are exchanged.
+    /// Stays serial: the open-loop path models per-leaf firmware, not the
+    /// controller's hot loop.
     pub(super) fn measure_open_loop(&mut self, app_demand: &[Watts]) {
         for server in self.servers.iter_mut() {
             if server.active {

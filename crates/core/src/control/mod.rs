@@ -60,6 +60,7 @@ pub mod measure;
 pub mod migrate;
 pub mod physics;
 pub mod policy;
+pub mod shard;
 pub mod supply;
 pub mod telemetry;
 
@@ -80,6 +81,8 @@ pub use telemetry::SPAN_SAMPLE_PERIOD;
 
 use consolidate::ConsolidateStage;
 use demand::DemandStage;
+use physics::PhysicsStage;
+use shard::ShardPool;
 use supply::SupplyStage;
 use telemetry::{
     ControllerTelemetry, SLOT_AGGREGATE, SLOT_ALLOCATE, SLOT_CONSOLIDATE, SLOT_GAUGES,
@@ -231,6 +234,14 @@ pub struct Willow {
     pub(super) demand_stage: DemandStage,
     /// Consolidation working memory (candidates, evacuation plans).
     pub(super) consolidate_stage: ConsolidateStage,
+    /// Physics-stage working memory (per-server shortfall/shed scratch and
+    /// the fabric's bottom-up query sums).
+    pub(super) physics_stage: PhysicsStage,
+    /// Persistent worker pool for the sharded stages. `threads == 1` (the
+    /// default) runs every stage serially on the control thread; any other
+    /// count shards per-server and per-leaf loops bit-for-bit identically
+    /// (see [`shard`]).
+    pub(super) pool: ShardPool,
     /// The pluggable policy decision points (packing heuristic, target
     /// ordering, consolidation ordering), boxed once at construction.
     pub(super) policies: ControlPolicies,
@@ -282,7 +293,7 @@ impl Willow {
         let mut servers = Vec::with_capacity(specs.len());
         let mut seen_apps = HashMap::new();
         for spec in &specs {
-            if !tree.node(spec.node).is_leaf() {
+            if !tree.is_leaf(spec.node) {
                 return Err(WillowError::NotALeaf(spec.node));
             }
             if leaf_server[spec.node.index()].is_some() {
@@ -315,6 +326,8 @@ impl Willow {
         let supply_stage = SupplyStage::for_tree(&tree);
         let demand_stage = DemandStage::for_tree(&tree);
         let consolidate_stage = ConsolidateStage::for_tree(&tree, servers.len());
+        let physics_stage = PhysicsStage::for_tree(&tree, servers.len());
+        let pool = ShardPool::new(shard::resolve_threads(config.threads));
         Ok(Willow {
             tree,
             config,
@@ -339,6 +352,8 @@ impl Willow {
             supply_stage,
             demand_stage,
             consolidate_stage,
+            physics_stage,
+            pool,
             policies,
             tel: ControllerTelemetry::default(),
             pending: Vec::new(),
@@ -533,7 +548,7 @@ impl Willow {
             if server.fence == FenceState::Retired {
                 continue;
             }
-            if !tree.node(server.node).is_leaf() {
+            if !tree.is_leaf(server.node) {
                 return Err(WillowError::NotALeaf(server.node));
             }
             if leaf_server[server.node.index()].is_some() {
@@ -553,6 +568,8 @@ impl Willow {
         let supply_stage = SupplyStage::for_tree(&tree);
         let demand_stage = DemandStage::for_tree(&tree);
         let consolidate_stage = ConsolidateStage::for_tree(&tree, servers.len());
+        let physics_stage = PhysicsStage::for_tree(&tree, servers.len());
+        let pool = ShardPool::new(shard::resolve_threads(config.threads));
         let policies = ControlPolicies::for_config(&config);
         Ok(Willow {
             tree,
@@ -581,6 +598,8 @@ impl Willow {
             supply_stage,
             demand_stage,
             consolidate_stage,
+            physics_stage,
+            pool,
             policies,
             tel: ControllerTelemetry::default(),
             pending,

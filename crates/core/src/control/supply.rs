@@ -5,11 +5,13 @@
 //! open-loop (controller-down) budget fallback, which reuse the same cap
 //! computation.
 
+use super::shard::{shard_range, RawSlice};
 use super::Willow;
-use crate::config::{AllocationPolicy, ReducedTargetRule};
+use crate::config::{AllocationPolicy, ControllerConfig, ReducedTargetRule, ThermalEstimate};
+use crate::server::{FenceState, ServerState};
 use willow_power::allocation::allocate_proportional_into;
 use willow_thermal::limit::power_limit_with_decay;
-use willow_thermal::units::Watts;
+use willow_thermal::units::{Celsius, Watts};
 use willow_topology::Tree;
 
 /// Per-server stale-directive watchdog state (paper-adjacent defense: a
@@ -62,55 +64,75 @@ impl SupplyStage {
     }
 }
 
-impl Willow {
-    /// Thermal hard cap for server `si`, from its *accepted* temperature —
-    /// the reading that passed the plausibility filter — never a raw
-    /// sensor, so a stuck or noisy sensor cannot zero out a healthy
-    /// server. Sleeping servers present their wake-up headroom; they are
-    /// at (or cooling toward) ambient, so this is near their rating.
-    /// Shared by the closed-loop supply stage and the open-loop fallback.
-    pub(super) fn thermal_cap(&self, si: usize) -> Watts {
-        let server = &self.servers[si];
-        match self.config.thermal_estimate {
-            crate::config::ThermalEstimate::WindowPrediction => {
-                // `power_limit` with the decay factor cached at
-                // construction (the window is a run constant).
-                let limit = if self.config.delta_s().is_positive() {
-                    power_limit_with_decay(
-                        server.thermal.params(),
-                        self.accepted_temp[si],
-                        server.thermal.ambient(),
-                        server.thermal.limit(),
-                        self.decay_ds[si],
-                    )
-                } else {
-                    Watts(f64::INFINITY)
-                };
-                limit.clamp(Watts::ZERO, server.thermal.rating())
-            }
-            crate::config::ThermalEstimate::NaiveThrottle => {
-                if self.accepted_temp[si].0 > server.thermal.limit().0 + 1e-9 {
-                    Watts::ZERO
-                } else {
-                    server.thermal.rating()
-                }
+/// Free-function core of [`Willow::thermal_cap`]: the thermal hard cap
+/// from a server's *accepted* temperature — the reading that passed the
+/// plausibility filter — never a raw sensor, so a stuck or noisy sensor
+/// cannot zero out a healthy server. Sleeping servers present their
+/// wake-up headroom; they are at (or cooling toward) ambient, so this is
+/// near their rating. Takes exactly the per-server inputs so the sharded
+/// cap refresh can call it without borrowing the whole controller.
+fn thermal_cap_of(
+    server: &ServerState,
+    accepted: Celsius,
+    decay_ds: f64,
+    config: &ControllerConfig,
+) -> Watts {
+    match config.thermal_estimate {
+        ThermalEstimate::WindowPrediction => {
+            // `power_limit` with the decay factor cached at construction
+            // (the window is a run constant).
+            let limit = if config.delta_s().is_positive() {
+                power_limit_with_decay(
+                    server.thermal.params(),
+                    accepted,
+                    server.thermal.ambient(),
+                    server.thermal.limit(),
+                    decay_ds,
+                )
+            } else {
+                Watts(f64::INFINITY)
+            };
+            limit.clamp(Watts::ZERO, server.thermal.rating())
+        }
+        ThermalEstimate::NaiveThrottle => {
+            if accepted.0 > server.thermal.limit().0 + 1e-9 {
+                Watts::ZERO
+            } else {
+                server.thermal.rating()
             }
         }
     }
+}
 
-    /// [`Willow::thermal_cap`] with the live-ops fence applied: fenced and
-    /// retired servers present zero capacity, so the proportional division
-    /// allocates them zero budget — a drained server receives zero budget
-    /// thereafter. Active and draining servers (even sleeping ones)
-    /// present their thermal cap; sleeping servers keep advertising
-    /// wake-up headroom.
-    pub(super) fn effective_thermal_cap(&self, si: usize) -> Watts {
-        match self.servers[si].fence {
-            crate::server::FenceState::Active | crate::server::FenceState::Draining => {
-                self.thermal_cap(si)
-            }
-            crate::server::FenceState::Fenced | crate::server::FenceState::Retired => Watts::ZERO,
+/// [`thermal_cap_of`] with the live-ops fence applied: fenced and retired
+/// servers present zero capacity, so the proportional division allocates
+/// them zero budget — a drained server receives zero budget thereafter.
+/// Active and draining servers (even sleeping ones) present their thermal
+/// cap; sleeping servers keep advertising wake-up headroom.
+fn effective_cap_of(
+    server: &ServerState,
+    accepted: Celsius,
+    decay_ds: f64,
+    config: &ControllerConfig,
+) -> Watts {
+    match server.fence {
+        FenceState::Active | FenceState::Draining => {
+            thermal_cap_of(server, accepted, decay_ds, config)
         }
+        FenceState::Fenced | FenceState::Retired => Watts::ZERO,
+    }
+}
+
+impl Willow {
+    /// Thermal hard cap for server `si` (see [`thermal_cap_of`]). Shared
+    /// by the closed-loop supply stage and the open-loop fallback.
+    pub(super) fn thermal_cap(&self, si: usize) -> Watts {
+        thermal_cap_of(
+            &self.servers[si],
+            self.accepted_temp[si],
+            self.decay_ds[si],
+            &self.config,
+        )
     }
 
     /// Count a missed directive for server `si`'s watchdog, tripping it at
@@ -137,15 +159,42 @@ impl Willow {
 
     /// Refresh hard caps from the thermal model and divide the supply
     /// top-down proportional to demand (§IV-D).
+    ///
+    /// Only the per-server cap refresh shards across the pool (it is the
+    /// `O(servers)` half, with an exponential per server under
+    /// `WindowPrediction`). The top-down division, the watchdog pass and
+    /// the reduced-flag pass stay serial: the division is inherently
+    /// level-sequential and the other two are cheap linear scans whose
+    /// counter updates would need ordering anyway.
+    #[allow(unsafe_code)] // disjoint shard slicing; see `super::shard`
     pub(super) fn supply_adaptation(&mut self, supply: Watts, stage: &mut SupplyStage) {
-        for si in 0..self.servers.len() {
-            // Fenced and retired servers present zero capacity: the
-            // proportional division then allocates them zero budget, so a
-            // drained server receives zero budget thereafter. Active and
-            // draining servers (even sleeping ones) present their thermal
-            // cap — sleeping servers keep advertising wake-up headroom.
-            let cap = self.effective_thermal_cap(si);
-            self.power.cap[self.servers[si].node.index()] = cap;
+        let n = self.servers.len();
+        let threads = self.pool.threads();
+        {
+            let cap = RawSlice::new(&mut self.power.cap);
+            let servers = &self.servers;
+            let accepted_temp = &self.accepted_temp;
+            let decay_ds = &self.decay_ds;
+            let config = &self.config;
+            let leaf_server = &self.leaf_server;
+            self.pool.run(&|k| {
+                for si in shard_range(n, threads, k) {
+                    let leaf = servers[si].node.index();
+                    // Slot-ownership gate: a retired row must not write a
+                    // reused slot. Its own effective cap is zero, and its
+                    // slot was zeroed at retirement, so skipping the write
+                    // is value-identical to the serial loop.
+                    if leaf_server[leaf] == Some(si) {
+                        let c =
+                            effective_cap_of(&servers[si], accepted_temp[si], decay_ds[si], config);
+                        // SAFETY: exactly one roster row owns any leaf
+                        // slot, so this scattered write is race-free.
+                        unsafe {
+                            *cap.get_mut(leaf) = c;
+                        }
+                    }
+                }
+            });
         }
         self.power.aggregate_caps(&self.tree);
 

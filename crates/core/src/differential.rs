@@ -186,6 +186,170 @@ fn run_differential(seed: u64, ticks: u64, demand_scale: f64) {
     }
 }
 
+/// Run one faulted + command-scripted workload through a serial controller
+/// and a sharded one in lockstep, asserting bit-for-bit identical
+/// `TickReport`s every tick and identical full snapshots periodically
+/// (`config.threads` is the one intentional difference and is normalized
+/// away before comparing).
+fn run_thread_differential(seed: u64, ticks: u64, threads: usize, demand_scale: f64) {
+    let mut rng = Rng(seed);
+    let tree = random_tree(&mut rng);
+    let (specs, n_apps) = random_specs(&tree, &mut rng);
+    let servers = specs.len();
+    let config = ControllerConfig::default();
+    assert_eq!(config.threads, 1, "serial baseline");
+    let mut par_config = config.clone();
+    par_config.threads = threads;
+
+    let mut serial = Willow::new(tree.clone(), specs.clone(), config).unwrap();
+    let mut sharded = Willow::new(tree.clone(), specs, par_config).unwrap();
+
+    // Live-ops command script: drain → retire → re-add on the same leaf
+    // position (exercising arena slot reuse under parallelism), a packer
+    // hot-swap, and a pause/resume window — submitted identically to both.
+    let parent = tree.parent(serial.servers()[0].node).unwrap();
+    let script: Vec<(u64, crate::command::Command)> = vec![
+        (40, crate::command::Command::Drain { server: 1 }),
+        (80, crate::command::Command::RemoveServer { server: 1 }),
+        (
+            110,
+            crate::command::Command::AddServer {
+                parent,
+                name: "tdiff-readd".to_string(),
+            },
+        ),
+        (
+            150,
+            crate::command::Command::SwapPacker {
+                packer: crate::config::PackerChoice::BestFitDecreasing,
+            },
+        ),
+        (200, crate::command::Command::Pause),
+        (240, crate::command::Command::Resume),
+    ];
+
+    let full: Watts = Watts(servers as f64 * 450.0);
+    let mut r_serial = crate::migration::TickReport::default();
+    let mut r_sharded = crate::migration::TickReport::default();
+    for tick in 0..ticks {
+        for (at, cmd) in &script {
+            if *at == tick {
+                serial.submit_command(cmd.clone());
+                sharded.submit_command(cmd.clone());
+            }
+        }
+        let phase = tick as f64 / 23.0;
+        let demands: Vec<Watts> = (0..n_apps)
+            .map(|i| {
+                let base = SIM_APP_CLASSES[i % SIM_APP_CLASSES.len()].mean_power.0;
+                let wave = 0.5 + 0.45 * (phase + i as f64).sin();
+                let spike = if rng.chance(0.03) { 2.0 } else { 1.0 };
+                Watts((base * demand_scale * wave * spike).max(0.0))
+            })
+            .collect();
+        let supply = full * (0.55 + 0.4 * (tick as f64 / 41.0).cos().abs());
+        let disturb = random_disturbances(servers, &mut rng);
+
+        serial.step_into(&demands, supply, &disturb, &mut r_serial);
+        sharded.step_into(&demands, supply, &disturb, &mut r_sharded);
+        assert_eq!(
+            r_sharded, r_serial,
+            "TickReport diverged at tick {tick} with {threads} threads"
+        );
+        assert_eq!(
+            format!("{r_sharded:?}"),
+            format!("{r_serial:?}"),
+            "TickReport bits diverged at tick {tick} with {threads} threads"
+        );
+        if tick % 25 == 0 || tick + 1 == ticks {
+            let snap_serial = serial.snapshot();
+            let mut snap_sharded = sharded.snapshot();
+            snap_sharded.config.threads = snap_serial.config.threads;
+            assert_eq!(
+                snap_sharded, snap_serial,
+                "snapshot diverged at tick {tick} with {threads} threads"
+            );
+            assert_eq!(
+                format!("{snap_sharded:?}"),
+                format!("{snap_serial:?}"),
+                "snapshot bits diverged at tick {tick} with {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_tick_matches_serial_with_2_threads() {
+    run_thread_differential(0xD1FF, 500, 2, 0.7);
+}
+
+#[test]
+fn sharded_tick_matches_serial_with_4_threads() {
+    run_thread_differential(0xD1FF, 500, 4, 0.7);
+}
+
+#[test]
+fn sharded_tick_matches_serial_with_8_threads() {
+    run_thread_differential(0xD1FF, 500, 8, 0.7);
+}
+
+#[test]
+fn sharded_tick_matches_serial_under_heavy_load() {
+    run_thread_differential(0xFEED, 250, 4, 1.15);
+}
+
+/// Wide-tree case: 4096 leaves puts the root packing instance at the
+/// sharded candidate-bin filter threshold, so this exercises the parallel
+/// filter path the small random trees never reach.
+#[test]
+fn sharded_tick_matches_serial_on_wide_tree() {
+    let tree = Tree::uniform(&[64, 64]);
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .enumerate()
+        .map(|(i, leaf)| {
+            let class = i % SIM_APP_CLASSES.len();
+            ServerSpec::simulation_default(leaf).with_apps(vec![Application::new(
+                AppId(i as u32),
+                class,
+                &SIM_APP_CLASSES[class],
+            )])
+        })
+        .collect();
+    let n_apps = specs.len();
+    let config = ControllerConfig::default();
+    let mut par_config = config.clone();
+    par_config.threads = 4;
+    let mut serial = Willow::new(tree.clone(), specs.clone(), config).unwrap();
+    let mut sharded = Willow::new(tree, specs, par_config).unwrap();
+
+    // Overloaded and supply-starved so the root instance packs every tick.
+    let mut rng = Rng(0x51DE);
+    let mut r_serial = crate::migration::TickReport::default();
+    let mut r_sharded = crate::migration::TickReport::default();
+    for tick in 0..10u64 {
+        let demands: Vec<Watts> = (0..n_apps)
+            .map(|i| {
+                let base = SIM_APP_CLASSES[i % SIM_APP_CLASSES.len()].mean_power.0;
+                Watts(base * (0.4 + 1.3 * rng.unit()))
+            })
+            .collect();
+        let supply = Watts(n_apps as f64 * 180.0);
+        let disturb = Disturbances::none();
+        serial.step_into(&demands, supply, &disturb, &mut r_serial);
+        sharded.step_into(&demands, supply, &disturb, &mut r_sharded);
+        assert_eq!(
+            format!("{r_sharded:?}"),
+            format!("{r_serial:?}"),
+            "wide-tree TickReport diverged at tick {tick}"
+        );
+    }
+    let snap_serial = serial.snapshot();
+    let mut snap_sharded = sharded.snapshot();
+    snap_sharded.config.threads = snap_serial.config.threads;
+    assert_eq!(snap_sharded, snap_serial, "wide-tree snapshot diverged");
+}
+
 #[test]
 fn optimized_step_matches_reference_over_500_faulted_ticks() {
     // Moderate load: plenty of headroom ticks plus scarcity under the

@@ -72,7 +72,13 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed only in the audited shard-pool
+// island (`control::shard` and the stage loops it shards): the persistent
+// worker pool erases the job closure's borrow lifetime behind a barrier,
+// and parallel stages hand disjoint index ranges of the same vectors to
+// different workers. Every `unsafe` block carries its disjointness /
+// lifetime argument inline.
+#![deny(unsafe_code)]
 
 pub mod audit;
 pub mod baseline;

@@ -121,7 +121,7 @@ impl ReferenceWillow {
         let mut servers = Vec::with_capacity(specs.len());
         let mut seen_apps = HashMap::new();
         for spec in &specs {
-            if !tree.node(spec.node).is_leaf() {
+            if !tree.is_leaf(spec.node) {
                 return Err(WillowError::NotALeaf(spec.node));
             }
             if leaf_server[spec.node.index()].is_some() {
@@ -246,7 +246,7 @@ impl ReferenceWillow {
         }
         let mut leaf_server = vec![None; tree.len()];
         for (si, server) in servers.iter().enumerate() {
-            if !tree.node(server.node).is_leaf() {
+            if !tree.is_leaf(server.node) {
                 return Err(WillowError::NotALeaf(server.node));
             }
             if leaf_server[server.node.index()].is_some() {

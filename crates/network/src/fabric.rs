@@ -146,6 +146,41 @@ impl Fabric {
         }
     }
 
+    /// Record one tick's query traffic for *every* server at once:
+    /// `leaf_units[i]` is the traffic destined to the leaf at arena index
+    /// `i` (zero for interior and tombstone slots). Equivalent in structure
+    /// to calling [`Fabric::record_query`] per leaf, but computed
+    /// bottom-up with one subtree sum per switch — `O(nodes)` instead of
+    /// `O(servers × height)`, which is what keeps the physics stage linear
+    /// at 100k-server scale. `sums` is caller-provided scratch (resized to
+    /// `tree.len()`); after the call `sums[i]` holds the subtree's total
+    /// query units, which the switch at `i` observes.
+    ///
+    /// The per-switch totals are summed in fixed child order, so results
+    /// are independent of how callers shard the per-server work.
+    pub fn record_query_bulk(&mut self, tree: &Tree, leaf_units: &[f64], sums: &mut Vec<f64>) {
+        debug_assert_eq!(leaf_units.len(), tree.len());
+        sums.clear();
+        sums.resize(tree.len(), 0.0);
+        for &leaf in tree.nodes_at_level(0) {
+            sums[leaf.index()] = leaf_units[leaf.index()];
+        }
+        for level in 1..=tree.height() {
+            for &node in tree.nodes_at_level(level) {
+                let i = node.index();
+                let mut s = 0.0;
+                for &c in tree.children(node) {
+                    s += sums[c.index()];
+                }
+                sums[i] = s;
+                if s != 0.0 {
+                    let r = self.redundancy[i];
+                    self.query[i] += if r == 1.0 { s } else { s / r };
+                }
+            }
+        }
+    }
+
     /// Record `units` of migration traffic from `from` to `to`: it
     /// traverses the switches at every interior node on the tree path
     /// between them (up to and including the LCA, and down again).
@@ -360,6 +395,33 @@ mod tests {
     fn zero_level_redundancy_rejected() {
         let t = tree();
         let _ = Fabric::with_level_redundancy(&t, &[1, 0]);
+    }
+
+    #[test]
+    fn bulk_query_matches_per_server_recording() {
+        let t = tree();
+        // Integer units: both accumulation orders are exact, so the
+        // structural equivalence shows up as bit equality.
+        let mut per_server = Fabric::with_level_redundancy(&t, &[1, 1, 2, 4]);
+        let mut bulk = Fabric::with_level_redundancy(&t, &[1, 1, 2, 4]);
+        let mut leaf_units = vec![0.0; t.len()];
+        for (k, leaf) in t.leaves().enumerate() {
+            let units = (k * 3 + 1) as f64;
+            leaf_units[leaf.index()] = units;
+            per_server.record_query(&t, leaf, units);
+        }
+        let mut sums = Vec::new();
+        bulk.record_query_bulk(&t, &leaf_units, &mut sums);
+        for id in t.ids() {
+            assert_eq!(
+                bulk.query_traffic(id),
+                per_server.query_traffic(id),
+                "switch {id}"
+            );
+        }
+        // The scratch holds subtree totals.
+        let total: f64 = leaf_units.iter().sum();
+        assert_eq!(sums[t.root().index()], total);
     }
 
     #[test]

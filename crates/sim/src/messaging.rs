@@ -445,7 +445,7 @@ pub fn emulate_round_with_faults_into(
             }
             Payload::Directive(budget) => {
                 let i = msg.to.index();
-                if tree.node(msg.to).is_leaf() {
+                if tree.is_leaf(msg.to) {
                     leaves_pending -= 1;
                     if leaves_pending == 0 {
                         leaves_converged_at = Some(now);

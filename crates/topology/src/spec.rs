@@ -80,7 +80,7 @@ impl TopologySpec {
     pub fn from_tree(tree: &Tree) -> Self {
         fn build(tree: &Tree, node: crate::NodeId) -> TopologySpec {
             TopologySpec {
-                name: tree.node(node).name.clone(),
+                name: tree.name(node).to_owned(),
                 children: tree
                     .children(node)
                     .iter()
@@ -97,11 +97,13 @@ impl TopologySpec {
 pub fn to_dot(tree: &Tree) -> String {
     let mut out = String::from("digraph willow {\n  rankdir=TB;\n");
     for id in tree.ids() {
-        let node = tree.node(id);
-        let shape = if node.is_leaf() { "box" } else { "ellipse" };
+        let shape = if tree.is_leaf(id) { "box" } else { "ellipse" };
         out.push_str(&format!(
             "  {} [label=\"{}\\nL{}\" shape={}];\n",
-            id, node.name, node.level, shape
+            id,
+            tree.name(id),
+            tree.level(id),
+            shape
         ));
     }
     for id in tree.ids() {

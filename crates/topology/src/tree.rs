@@ -1,4 +1,12 @@
-//! Arena-allocated PMU tree with id-based navigation.
+//! Struct-of-arrays PMU tree with id-based navigation.
+//!
+//! The arena is stored column-wise (parents / levels / names as parallel
+//! vectors, children and per-level node lists in CSR form) so the per-level
+//! loops of the control pipeline iterate contiguous slices instead of
+//! chasing per-node heap allocations. [`Node`] survives as the builder and
+//! serialization wire format; [`Tree::to_arena`] reconstructs it on demand,
+//! so the serialized form is byte-identical to the historical
+//! array-of-structs layout (including detached tombstone slots).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -25,7 +33,13 @@ impl fmt::Display for NodeId {
 /// the paper's Fig. 3 topology is level 3.
 pub type Level = u8;
 
-/// One node of the hierarchy.
+/// Sentinel for "no parent" in the packed parent column (root and detached
+/// tombstones).
+const NO_PARENT: u32 = u32::MAX;
+
+/// One node of the hierarchy — the construction and serialization wire
+/// format. The [`Tree`] itself stores the arena column-wise; use
+/// [`Tree::to_arena`] to materialize this representation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Node {
     /// Parent node, `None` for the root.
@@ -104,23 +118,39 @@ impl fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
-/// The power-control hierarchy: an immutable arena of [`Node`]s.
+/// The power-control hierarchy: a struct-of-arrays arena with CSR child
+/// and per-level indices.
 ///
 /// Construction goes through [`crate::TreeBuilder`] (arbitrary shapes),
 /// [`Tree::uniform`] (per-level branching factors) or [`Tree::paper_fig3`]
 /// (the paper's simulated configuration).
 ///
-/// Besides the arena itself the tree carries derived indices — per-level
-/// node lists and an Euler-tour leaf order in which every subtree's leaves
-/// form one contiguous range — so hot-path queries ([`Tree::leaf_range`],
-/// [`Tree::subtree_contains`]) are slice lookups rather than tree walks.
-/// The derived indices are rebuilt on deserialization, not serialized.
+/// Besides the packed parent/level/name columns the tree carries derived
+/// indices — CSR per-level node lists and an Euler-tour leaf order in
+/// which every subtree's leaves form one contiguous range — so hot-path
+/// queries ([`Tree::leaf_range`], [`Tree::subtree_contains`],
+/// [`Tree::nodes_at_level`], [`Tree::children`]) are contiguous slice
+/// lookups rather than tree walks. The derived indices are rebuilt on
+/// deserialization, not serialized; the wire format stays the historical
+/// `Vec<Node>` arena (see [`Tree::to_arena`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
-    nodes: Vec<Node>,
+    /// Parent arena index per slot; `NO_PARENT` for the root and for
+    /// detached tombstones.
+    parents: Vec<u32>,
+    /// Level (height above leaves) per slot; 0 for tombstones.
+    levels: Vec<Level>,
+    /// Name per slot; empty for tombstones.
+    names: Vec<String>,
+    /// CSR child index: the children of slot `i` are
+    /// `child_list[child_start[i]..child_start[i+1]]`, in insertion order.
+    child_start: Vec<u32>,
+    child_list: Vec<NodeId>,
+    /// CSR level index: the live nodes at level `l` are
+    /// `level_nodes[level_start[l]..level_start[l+1]]`, in arena order.
+    level_start: Vec<u32>,
+    level_nodes: Vec<NodeId>,
     root: NodeId,
-    /// Node ids grouped by level; `by_level[l]` are all nodes at level `l`.
-    by_level: Vec<Vec<NodeId>>,
     /// All leaves in depth-first (Euler-tour) order: the leaves under any
     /// node occupy the contiguous range `leaf_span[node]` of this list.
     leaf_order: Vec<NodeId>,
@@ -131,10 +161,11 @@ pub struct Tree {
 
 impl Serialize for Tree {
     fn to_value(&self) -> serde::Value {
-        // Only the arena is authoritative; derived indices (by_level,
-        // leaf_order, leaf_span) are rebuilt on load.
+        // Only the arena is authoritative; derived indices (levels CSR,
+        // leaf_order, leaf_span) are rebuilt on load. The wire format is
+        // the historical `Vec<Node>` arena.
         serde::Value::Object(vec![
-            ("nodes".to_owned(), self.nodes.to_value()),
+            ("nodes".to_owned(), self.to_arena().to_value()),
             ("root".to_owned(), self.root.to_value()),
         ])
     }
@@ -209,26 +240,47 @@ impl Tree {
             "arena must be a single tree plus detached tombstones"
         );
         let height = leaf_depth.expect("non-empty tree has leaves");
+        let n = nodes.len();
 
-        let mut nodes = nodes;
-        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); height + 1];
-        for (i, node) in nodes.iter_mut().enumerate() {
-            if depth[i] == usize::MAX {
-                // Detached tombstone: excluded from every level list; its
-                // leaf span stays empty, so range queries ignore it.
-                node.level = 0;
-                continue;
+        // Flatten into the packed columns and CSR indices.
+        let mut parents = vec![NO_PARENT; n];
+        let mut levels = vec![0 as Level; n];
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut child_list = Vec::new();
+        // Count-sort by level keeps each level's nodes in arena order.
+        let mut level_count = vec![0u32; height + 1];
+        for (i, node) in nodes.iter().enumerate() {
+            if depth[i] != usize::MAX {
+                parents[i] = node.parent.map_or(NO_PARENT, |p| p.0);
+                let lvl = (height - depth[i]) as Level;
+                levels[i] = lvl;
+                level_count[lvl as usize] += 1;
             }
-            let lvl = (height - depth[i]) as Level;
-            node.level = lvl;
-            by_level[lvl as usize].push(NodeId(i as u32));
         }
+        let mut level_start = Vec::with_capacity(height + 2);
+        level_start.push(0u32);
+        for &c in &level_count {
+            level_start.push(level_start.last().unwrap() + c);
+        }
+        let mut level_fill = level_start.clone();
+        let mut level_nodes = vec![NodeId(0); level_start[height + 1] as usize];
+        for i in 0..n {
+            child_start.push(child_list.len() as u32);
+            child_list.extend_from_slice(&nodes[i].children);
+            if depth[i] != usize::MAX {
+                let lvl = levels[i] as usize;
+                level_nodes[level_fill[lvl] as usize] = NodeId(i as u32);
+                level_fill[lvl] += 1;
+            }
+        }
+        child_start.push(child_list.len() as u32);
 
         // Euler-tour leaf order: a post-order walk visiting children
         // left-to-right assigns every subtree a contiguous [start, end)
         // range of the global leaf list.
-        let mut leaf_order = Vec::with_capacity(by_level[0].len());
-        let mut leaf_span = vec![(0u32, 0u32); nodes.len()];
+        let n_leaves = level_count[0] as usize;
+        let mut leaf_order = Vec::with_capacity(n_leaves);
+        let mut leaf_span = vec![(0u32, 0u32); n];
         // Explicit stack of (node, entered): on first visit record the
         // range start and push children in reverse; on re-visit (after the
         // whole subtree is done) record the range end.
@@ -239,26 +291,52 @@ impl Tree {
                 continue;
             }
             leaf_span[id.index()].0 = leaf_order.len() as u32;
-            let node = &nodes[id.index()];
-            if node.is_leaf() {
+            let kids = &nodes[id.index()].children;
+            if kids.is_empty() {
                 leaf_order.push(id);
                 leaf_span[id.index()].1 = leaf_order.len() as u32;
             } else {
                 walk.push((id, true));
-                for &c in node.children.iter().rev() {
+                for &c in kids.iter().rev() {
                     walk.push((c, false));
                 }
             }
         }
-        debug_assert_eq!(leaf_order.len(), by_level[0].len());
+        debug_assert_eq!(leaf_order.len(), n_leaves);
 
+        let names = nodes.into_iter().map(|node| node.name).collect();
         Ok(Tree {
-            nodes,
+            parents,
+            levels,
+            names,
+            child_start,
+            child_list,
+            level_start,
+            level_nodes,
             root,
-            by_level,
             leaf_order,
             leaf_span,
         })
+    }
+
+    /// Materialize the arena back into the historical `Vec<Node>` wire
+    /// format: live nodes carry their parent/children/level/name, detached
+    /// tombstones serialize as fully unlinked slots (`parent: null`, no
+    /// children, level 0, empty name) — byte-identical to the layout the
+    /// tree used before the struct-of-arrays refactor.
+    #[must_use]
+    pub fn to_arena(&self) -> Vec<Node> {
+        (0..self.parents.len())
+            .map(|i| {
+                let id = NodeId(i as u32);
+                Node {
+                    parent: self.parent(id),
+                    children: self.children(id).to_vec(),
+                    level: self.levels[i],
+                    name: self.names[i].clone(),
+                }
+            })
+            .collect()
     }
 
     /// A uniform tree described by per-level branching factors, root first.
@@ -330,60 +408,68 @@ impl Tree {
     /// Total number of nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.parents.len()
     }
 
     /// True if the tree is empty (never true for a constructed tree).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.parents.is_empty()
     }
 
     /// Height of the tree == level of the root.
     #[must_use]
     pub fn height(&self) -> Level {
-        self.nodes[self.root.index()].level
-    }
-
-    /// Borrow a node.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range (ids are only minted by this tree).
-    #[must_use]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        self.levels[self.root.index()]
     }
 
     /// Parent of `id`, `None` for the root.
     #[must_use]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.node(id).parent
+        let p = self.parents[id.index()];
+        (p != NO_PARENT).then_some(NodeId(p))
     }
 
-    /// Children of `id`.
+    /// Children of `id`, in insertion order (a contiguous CSR slice).
     #[must_use]
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).children
+        let i = id.index();
+        &self.child_list[self.child_start[i] as usize..self.child_start[i + 1] as usize]
+    }
+
+    /// True if the node has no children (detached slots are childless too).
+    #[must_use]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        let i = id.index();
+        self.child_start[i] == self.child_start[i + 1]
     }
 
     /// Level (height above leaves) of `id`.
     #[must_use]
     pub fn level(&self, id: NodeId) -> Level {
-        self.node(id).level
+        self.levels[id.index()]
     }
 
-    /// All node ids at a given level, in arena order.
+    /// Human-readable name of `id` (empty for detached tombstones).
+    #[must_use]
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All node ids at a given level, in arena order (a contiguous CSR
+    /// slice; detached tombstones appear at no level).
     #[must_use]
     pub fn nodes_at_level(&self, level: Level) -> &[NodeId] {
-        self.by_level
-            .get(level as usize)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let l = level as usize;
+        if l + 1 >= self.level_start.len() {
+            return &[];
+        }
+        &self.level_nodes[self.level_start[l] as usize..self.level_start[l + 1] as usize]
     }
 
     /// Iterator over all node ids.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.parents.len() as u32).map(NodeId)
     }
 
     /// Iterator over the leaf nodes (level 0), in arena order.
@@ -488,7 +574,7 @@ impl Tree {
     #[must_use]
     pub fn leaf_position(&self, leaf: NodeId) -> Option<usize> {
         let (start, end) = self.leaf_span[leaf.index()];
-        (end == start + 1 && self.node(leaf).is_leaf()).then_some(start as usize)
+        (end == start + 1 && self.is_leaf(leaf)).then_some(start as usize)
     }
 
     /// True if `leaf` lies in the subtree rooted at `node` — an O(1) range
@@ -517,7 +603,7 @@ impl Tree {
     #[must_use]
     pub fn find(&self, name: &str) -> Option<NodeId> {
         self.ids()
-            .find(|&id| !self.is_detached(id) && self.nodes[id.index()].name == name)
+            .find(|&id| !self.is_detached(id) && self.names[id.index()] == name)
     }
 
     /// True if `id` is a detached tombstone slot left behind by
@@ -527,16 +613,16 @@ impl Tree {
     pub fn is_detached(&self, id: NodeId) -> bool {
         id != self.root
             && self
-                .nodes
+                .parents
                 .get(id.index())
-                .is_some_and(|n| n.parent.is_none())
+                .is_some_and(|&p| p == NO_PARENT)
     }
 
     /// Number of *live* (non-detached) nodes. [`Tree::len`] keeps counting
     /// arena slots, since index-parallel state vectors are sized to those.
     #[must_use]
     pub fn live_len(&self) -> usize {
-        self.nodes
+        self.parents
             .len()
             .saturating_sub(self.detached_slots().count())
     }
@@ -563,7 +649,7 @@ impl Tree {
     ///
     /// On error the tree is unchanged.
     pub fn insert_leaf(&mut self, parent: NodeId, name: &str) -> Result<NodeId, TreeError> {
-        if parent.index() >= self.nodes.len() {
+        if parent.index() >= self.parents.len() {
             return Err(TreeError::UnknownNode(parent));
         }
         if self.is_detached(parent) {
@@ -575,26 +661,31 @@ impl Tree {
         if self.find(name).is_some() {
             return Err(TreeError::DuplicateName(name.to_owned()));
         }
+        // Validated: materialize the arena, edit it, rebuild the packed
+        // columns. Edits are rare (operator commands), so the O(n) rebuild
+        // is the price of keeping every hot-path index contiguous.
+        let mut nodes = self.to_arena();
         let reusable = self.detached_slots().next();
         let id = match reusable {
             Some(slot) => slot,
             None => {
-                self.nodes.push(Node {
+                nodes.push(Node {
                     parent: None,
                     children: Vec::new(),
                     level: 0,
                     name: String::new(),
                 });
-                NodeId((self.nodes.len() - 1) as u32)
+                NodeId((nodes.len() - 1) as u32)
             }
         };
-        let node = &mut self.nodes[id.index()];
+        let node = &mut nodes[id.index()];
         node.parent = Some(parent);
         node.children.clear();
         node.level = 0;
         name.clone_into(&mut node.name);
-        self.nodes[parent.index()].children.push(id);
-        self.rebuild();
+        nodes[parent.index()].children.push(id);
+        *self =
+            Tree::from_arena(nodes, self.root).expect("validated edit keeps the arena well-formed");
         Ok(id)
     }
 
@@ -615,7 +706,7 @@ impl Tree {
     ///
     /// On error the tree is unchanged.
     pub fn remove_leaf(&mut self, leaf: NodeId) -> Result<(), TreeError> {
-        if leaf.index() >= self.nodes.len() {
+        if leaf.index() >= self.parents.len() {
             return Err(TreeError::UnknownNode(leaf));
         }
         if leaf == self.root {
@@ -624,28 +715,23 @@ impl Tree {
         if self.is_detached(leaf) {
             return Err(TreeError::Detached(leaf));
         }
-        if !self.node(leaf).is_leaf() {
+        if !self.is_leaf(leaf) {
             return Err(TreeError::NotALeaf(leaf));
         }
         let parent = self.parent(leaf).expect("non-root has a parent");
         if self.children(parent).len() == 1 {
             return Err(TreeError::LastChild(parent));
         }
-        self.nodes[parent.index()].children.retain(|&c| c != leaf);
-        let node = &mut self.nodes[leaf.index()];
+        let mut nodes = self.to_arena();
+        nodes[parent.index()].children.retain(|&c| c != leaf);
+        let node = &mut nodes[leaf.index()];
         node.parent = None;
         node.children.clear();
         node.level = 0;
         node.name.clear();
-        self.rebuild();
+        *self =
+            Tree::from_arena(nodes, self.root).expect("validated edit keeps the arena well-formed");
         Ok(())
-    }
-
-    /// Recompute every derived index from the (already validated) arena.
-    fn rebuild(&mut self) {
-        let nodes = std::mem::take(&mut self.nodes);
-        let root = self.root;
-        *self = Tree::from_arena(nodes, root).expect("validated edit keeps the arena well-formed");
     }
 }
 
@@ -866,6 +952,14 @@ mod tests {
         let id = NodeId(7);
         assert_eq!(id.to_string(), "n7");
         assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn arena_round_trips_through_wire_format() {
+        let mut t = Tree::paper_fig3();
+        t.remove_leaf(t.find("server4").unwrap()).unwrap();
+        let rebuilt = Tree::from_arena(t.to_arena(), t.root()).unwrap();
+        assert_eq!(rebuilt, t, "to_arena → from_arena is the identity");
     }
 
     /// Cross-check every derived index against first-principles walks.

@@ -1,7 +1,7 @@
 //! Property-based tests for the PMU tree.
 
 use proptest::prelude::*;
-use willow_topology::{TopologySpec, Tree};
+use willow_topology::{NodeId, TopologySpec, Tree, TreeError};
 
 prop_compose! {
     /// Uniform trees with 1–4 levels and branching 1–4 per level.
@@ -119,6 +119,80 @@ proptest! {
                 let expected = leaf == id || tree.ancestors(leaf).any(|a| a == id);
                 prop_assert_eq!(tree.subtree_contains(id, leaf), expected);
             }
+        }
+    }
+
+    /// Arena slot reuse across online add → retire → re-add sequences:
+    /// removal leaves a tombstone (the arena never shrinks, so
+    /// index-parallel state vectors stay valid), the next insertion reuses
+    /// the lowest tombstone slot, and every derived index — level CSR,
+    /// Euler-tour leaf ranges, leaf positions — stays coherent after every
+    /// edit.
+    #[test]
+    fn slot_reuse_across_add_retire_readd(
+        branching in prop::collection::vec(2usize..4, 2..4),
+        ops in prop::collection::vec((0usize..64, 0u8..2), 1..24),
+    ) {
+        let mut tree = Tree::uniform(&branching);
+        let mut detached: Vec<NodeId> = Vec::new();
+        let mut next_name = 0usize;
+        for (pick, op) in ops {
+            if op == 1 {
+                let parents = tree.nodes_at_level(1).to_vec();
+                let parent = parents[pick % parents.len()];
+                let expected_slot = tree.detached_slots().next();
+                let len_before = tree.len();
+                let id = tree
+                    .insert_leaf(parent, &format!("re{next_name}"))
+                    .expect("a live level-1 parent accepts a fresh name");
+                next_name += 1;
+                match expected_slot {
+                    Some(slot) => {
+                        prop_assert_eq!(id, slot, "lowest tombstone slot is reused");
+                        prop_assert_eq!(tree.len(), len_before, "reuse never grows the arena");
+                        detached.retain(|&r| r != slot);
+                    }
+                    None => {
+                        prop_assert_eq!(id.index(), len_before, "no tombstone: arena grows by one");
+                        prop_assert_eq!(tree.len(), len_before + 1);
+                    }
+                }
+                prop_assert_eq!(tree.parent(id), Some(parent));
+                prop_assert!(tree.is_leaf(id));
+                prop_assert!(tree.leaf_position(id).is_some());
+            } else {
+                let leaves: Vec<NodeId> = tree.leaves().collect();
+                let leaf = leaves[pick % leaves.len()];
+                let parent = tree.parent(leaf).expect("leaves are not the root");
+                let len_before = tree.len();
+                match tree.remove_leaf(leaf) {
+                    Ok(()) => {
+                        prop_assert!(tree.is_detached(leaf));
+                        prop_assert_eq!(tree.len(), len_before, "removal tombstones, never shrinks");
+                        detached.push(leaf);
+                    }
+                    Err(TreeError::LastChild(p)) => {
+                        // Rejected atomically: the leaf stays live.
+                        prop_assert_eq!(p, parent);
+                        prop_assert!(!tree.is_detached(leaf));
+                    }
+                    Err(e) => prop_assert!(false, "unexpected removal error {:?}", e),
+                }
+            }
+            // Derived-index coherence after every edit.
+            prop_assert_eq!(tree.live_len(), tree.len() - detached.len());
+            let by_level: usize =
+                (0..=tree.height()).map(|l| tree.nodes_at_level(l).len()).sum();
+            prop_assert_eq!(by_level, tree.live_len(), "level CSR excludes tombstones");
+            for &slot in &detached {
+                prop_assert!(tree.is_detached(slot));
+                prop_assert_eq!(tree.leaf_position(slot), None);
+            }
+            let mut root_range = tree.leaf_range(tree.root()).to_vec();
+            root_range.sort_unstable();
+            let mut live: Vec<NodeId> = tree.leaves().collect();
+            live.sort_unstable();
+            prop_assert_eq!(root_range, live, "root Euler range covers exactly the live leaves");
         }
     }
 
