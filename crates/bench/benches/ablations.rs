@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use willow_core::config::{
-    AllocationPolicy, ControllerConfig, PackerChoice, ReducedTargetRule, SmootherKind,
-    ThermalEstimate,
+    AllocationPolicy, ConsolidationPolicyChoice, ControllerConfig, PackerChoice, ReducedTargetRule,
+    SmootherKind, TargetPolicyChoice, ThermalEstimate,
 };
 use willow_sim::{RunMetrics, SimConfig, Simulation};
 use willow_thermal::units::Watts;
@@ -25,13 +25,20 @@ fn run_with(mutate: impl Fn(&mut ControllerConfig)) -> RunMetrics {
 }
 
 fn report(label: &str, m: &RunMetrics) {
-    let peak = m
-        .peak_server_temp
-        .iter()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    // Folding from NEG_INFINITY would print "peak temp=-inf °C" when the
+    // metrics carry no servers; report the empty case explicitly instead.
+    let peak = if m.peak_server_temp.is_empty() {
+        "n/a".to_owned()
+    } else {
+        let max = m
+            .peak_server_temp
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        format!("{max:.1} °C")
+    };
     eprintln!(
         "[ablation] {label}: migrations={} (demand={}, consolidation={}), \
-         pingpongs={}, avg dropped={:.2} W, peak temp={:.1} °C",
+         pingpongs={}, avg dropped={:.2} W, peak temp={}",
         m.total_migrations(),
         m.demand_migrations,
         m.consolidation_migrations,
@@ -54,6 +61,40 @@ fn ablation_packers(c: &mut Criterion) {
         report(&label, &run_with(|cc| cc.packer = packer));
         g.bench_function(BenchmarkId::from_parameter(&label), |b| {
             b.iter(|| black_box(run_with(|cc| cc.packer = packer)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_target_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_target_policy");
+    g.sample_size(10);
+    for policy in [
+        TargetPolicyChoice::AscendingId,
+        TargetPolicyChoice::BestFit,
+        TargetPolicyChoice::ThermalHeadroom,
+    ] {
+        let label = format!("{policy:?}");
+        report(&label, &run_with(|cc| cc.target_policy = policy));
+        g.bench_function(BenchmarkId::from_parameter(&label), |b| {
+            b.iter(|| black_box(run_with(|cc| cc.target_policy = policy)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_consolidation_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_consolidation_policy");
+    g.sample_size(10);
+    for policy in [
+        ConsolidationPolicyChoice::HotZonesFirst,
+        ConsolidationPolicyChoice::EmptiestFirst,
+        ConsolidationPolicyChoice::MostHeadroomReceivers,
+    ] {
+        let label = format!("{policy:?}");
+        report(&label, &run_with(|cc| cc.consolidation_policy = policy));
+        g.bench_function(BenchmarkId::from_parameter(&label), |b| {
+            b.iter(|| black_box(run_with(|cc| cc.consolidation_policy = policy)))
         });
     }
     g.finish();
@@ -166,6 +207,8 @@ fn ablation_smoother(c: &mut Criterion) {
 criterion_group!(
     benches,
     ablation_packers,
+    ablation_target_policy,
+    ablation_consolidation_policy,
     ablation_margin,
     ablation_unidirectional,
     ablation_allocation,

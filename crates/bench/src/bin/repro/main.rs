@@ -14,6 +14,7 @@ use willow_bench::{r1, r3};
 use willow_sim::experiments as sim_exp;
 use willow_testbed::experiments as tb_exp;
 
+mod ablate_cmd;
 mod bench_controller;
 mod chaos_cmd;
 mod liveops_cmd;
@@ -33,6 +34,19 @@ fn main() {
     if args.iter().any(|a| a == "bench") {
         let quick = args.iter().any(|a| a == "--quick");
         bench_controller::run(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "ablate") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let flag = |name: &str, default: usize| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let (ticks, seeds) = if smoke { (80, 1) } else { (TICKS, N_SEEDS) };
+        ablate_cmd::run(SEED, flag("--ticks", ticks), flag("--seeds", seeds), smoke);
         return;
     }
     if args.iter().any(|a| a == "telemetry") {

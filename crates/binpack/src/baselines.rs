@@ -5,7 +5,7 @@
 //! (ablation `ablation_packers`) and (b) because Willow's consolidation path
 //! reuses BFD internally.
 
-use crate::packing::{desc_order, validate_instance, Packer, Packing};
+use crate::packing::{desc_order, validate_instance, Packer, Packing, FIT_EPSILON};
 
 /// Next-Fit: keep one open bin; if the item does not fit, move to the next
 /// bin and never look back. `O(n + m)`.
@@ -20,7 +20,7 @@ impl Packer for NextFit {
         let mut remaining: Option<f64> = bins.first().copied();
         for (i, &size) in items.iter().enumerate() {
             while let Some(rem) = remaining {
-                if size <= rem + 1e-12 {
+                if size <= rem + FIT_EPSILON {
                     assignment[i] = Some(current);
                     remaining = Some(rem - size);
                     break;
@@ -47,7 +47,7 @@ impl Packer for FirstFit {
         let mut free: Vec<f64> = bins.to_vec();
         let mut assignment = vec![None; items.len()];
         for (i, &size) in items.iter().enumerate() {
-            if let Some(b) = free.iter().position(|&f| size <= f + 1e-12) {
+            if let Some(b) = free.iter().position(|&f| size <= f + FIT_EPSILON) {
                 assignment[i] = Some(b);
                 free[b] -= size;
             }
@@ -75,7 +75,7 @@ impl Packer for FirstFitDecreasing {
         let mut assignment = vec![None; items.len()];
         for &i in &item_order {
             let size = items[i];
-            if let Some(&b) = bin_order.iter().find(|&&b| size <= free[b] + 1e-12) {
+            if let Some(&b) = bin_order.iter().find(|&&b| size <= free[b] + FIT_EPSILON) {
                 assignment[i] = Some(b);
                 free[b] -= size;
             }
@@ -104,7 +104,7 @@ impl Packer for BestFitDecreasing {
             let best = free
                 .iter()
                 .enumerate()
-                .filter(|(_, &f)| size <= f + 1e-12)
+                .filter(|(_, &f)| size <= f + FIT_EPSILON)
                 .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)));
             if let Some((b, _)) = best {
                 assignment[i] = Some(b);
@@ -224,15 +224,34 @@ mod tests {
         }
     }
 
+    /// Every packer (the four baselines plus FFDLR) must reject malformed
+    /// instances — negative, NaN or infinite sizes on either side.
     #[test]
-    #[should_panic(expected = "finite and non-negative")]
-    fn negative_item_rejected() {
-        let _ = FirstFit.pack(&[-1.0], &[10.0]);
-    }
+    fn invalid_instances_rejected_by_every_packer() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
 
-    #[test]
-    #[should_panic(expected = "finite and non-negative")]
-    fn nan_bin_rejected() {
-        let _ = BestFitDecreasing.pack(&[1.0], &[f64::NAN]);
+        let bad_instances: [(&str, Vec<f64>, Vec<f64>); 5] = [
+            ("negative item", vec![-1.0], vec![10.0]),
+            ("NaN item", vec![f64::NAN], vec![10.0]),
+            ("infinite item", vec![f64::INFINITY], vec![10.0]),
+            ("negative bin", vec![1.0], vec![-10.0]),
+            ("NaN bin", vec![1.0], vec![f64::NAN]),
+        ];
+        let mut packers = all_packers();
+        packers.push(Box::new(crate::Ffdlr));
+        // Silence the default hook: the expected panics would otherwise spam
+        // the test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut accepted = Vec::new();
+        for p in &packers {
+            for (what, items, bins) in &bad_instances {
+                if catch_unwind(AssertUnwindSafe(|| p.pack(items, bins))).is_ok() {
+                    accepted.push(format!("{} accepted {}", p.name(), what));
+                }
+            }
+        }
+        std::panic::set_hook(prev);
+        assert!(accepted.is_empty(), "{accepted:?}");
     }
 }

@@ -17,7 +17,7 @@
 //! `O(n log n)` for `n = items + bins`, and the solution is within
 //! `(3/2)·OPT + 1` bins of optimal.
 
-use crate::packing::{desc_order, validate_instance, Packer, Packing};
+use crate::packing::{desc_order, validate_instance, Packer, Packing, FIT_EPSILON};
 
 /// The FFDLR packer. See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,7 +41,7 @@ impl Packer for Ffdlr {
         let mut placed_any = vec![false; items.len()];
         for &i in &item_order {
             let size = items[i];
-            if let Some(&b) = bin_order.iter().find(|&&b| size <= free[b] + 1e-12) {
+            if let Some(&b) = bin_order.iter().find(|&&b| size <= free[b] + FIT_EPSILON) {
                 free[b] -= size;
                 groups[b].push(i);
                 placed_any[i] = true;
@@ -68,16 +68,38 @@ impl Packer for Ffdlr {
 
         let mut assignment = vec![None; items.len()];
         for (orig_bin, total) in group_totals {
+            // The exchange argument above makes the smallest-feasible lookup
+            // succeed for *exact* arithmetic, but `total` is a fresh
+            // left-to-right sum while phase 1 subtracted sizes sequentially:
+            // at large magnitudes the two can differ by several ULPs, enough
+            // to exceed FIT_EPSILON and fail every fit test. The fallbacks
+            // must never hand a group to a bin another group already claimed
+            // (double-booking overfills the bin by a whole group, not an
+            // ULP), so each step checks `used` and the last resort sheds the
+            // group instead.
             let target = asc_bins
                 .iter()
                 .copied()
-                .find(|&b| !used[b] && total <= bins[b] + 1e-9)
-                // Unreachable by the exchange argument above, but fall back
-                // to the phase-1 bin rather than panic on float edge cases.
-                .unwrap_or(orig_bin);
-            used[target] = true;
-            for &i in &groups[orig_bin] {
-                assignment[i] = Some(target);
+                .find(|&b| !used[b] && total <= bins[b] + FIT_EPSILON)
+                // Phase 1 is a physical witness that the group fits its
+                // original bin, whatever the re-summed total claims.
+                .or_else(|| (!used[orig_bin]).then_some(orig_bin))
+                // Any unused bin at least as large as the witness bin also
+                // holds the group.
+                .or_else(|| {
+                    asc_bins
+                        .iter()
+                        .copied()
+                        .find(|&b| !used[b] && bins[b] >= bins[orig_bin])
+                });
+            // When every bin that could hold the group is taken, `target` is
+            // `None`: shed the group (leave its items unplaced) rather than
+            // overbook.
+            if let Some(target) = target {
+                used[target] = true;
+                for &i in &groups[orig_bin] {
+                    assignment[i] = Some(target);
+                }
             }
         }
         Packing::from_assignment(assignment)
@@ -154,6 +176,54 @@ mod tests {
         let items = [5.0, 5.0, 3.0, 2.0];
         let bins = [7.0, 7.0, 7.0];
         assert_eq!(Ffdlr.pack(&items, &bins), Ffdlr.pack(&items, &bins));
+    }
+
+    /// Regression: the phase-2 fallback must never assign a group to a bin
+    /// another group already claimed.
+    ///
+    /// This instance (found by randomized search at magnitudes where
+    /// `ulp > FIT_EPSILON`) is built so that bin 1's group passes phase 1 by
+    /// exact sequential subtraction, but its fresh phase-2 sum lands 2 ULPs
+    /// above bin 1's capacity — beyond `FIT_EPSILON` — so the group migrates
+    /// into bin 0, and bin 0's own (smaller-total) group then finds every
+    /// bin either infeasible or taken. The old fallback
+    /// (`unwrap_or(orig_bin)`) double-booked bin 0 with both groups,
+    /// overfilling it by a whole group (~363 MW on this instance) and
+    /// failing `is_valid`; the fix sheds the unplaceable group instead.
+    #[test]
+    fn fallback_never_double_books() {
+        // Exact bit patterns matter: the instance lives on a float edge.
+        let c1 = f64::from_bits(0x41b5_a872_0557_81a9); // ≈ 3.6336e8
+        let c0 = f64::from_bits(c1.to_bits() + 4); // c1 + 4 ULP
+        let items = [
+            f64::from_bits(c1.to_bits() + 1), // c1 + 1 ULP: only fits bin 0
+            f64::from_bits(0x41aa_0ce7_d527_8231),
+            f64::from_bits(0x4191_f9a4_4ca8_e76d),
+            f64::from_bits(0x4183_7077_e06f_901d),
+            f64::from_bits(0x416f_1f2b_dd31_5156),
+            f64::from_bits(0x4157_fa9c_ddad_ec98),
+            f64::from_bits(0x4149_adbb_8ee9_f76e),
+            f64::from_bits(0x4139_6f0d_eba5_169e),
+            f64::from_bits(0x4123_09c8_5a72_09b7),
+            f64::from_bits(0x4109_df23_0334_b40d),
+            f64::from_bits(0x4108_b75c_a1ce_9dc7),
+        ];
+        let bins = [c0, c1];
+        // items[1..] partition c1 exactly under sequential subtraction, but
+        // their fresh left-to-right sum rounds 2 ULPs high.
+        assert!(items[1..].iter().sum::<f64>() > c1 + FIT_EPSILON);
+
+        let out = Ffdlr.pack(&items, &bins);
+        assert!(
+            out.is_valid(&items, &bins),
+            "fallback produced an overfull packing: loads {:?} vs caps {:?}",
+            out.bin_loads(&items, bins.len()),
+            bins
+        );
+        // The safe outcome: the phase-1 group of bin 1 occupies bin 0, and
+        // the item that only fits bin 0 is shed rather than double-booked.
+        assert_eq!(out.unplaced, vec![0]);
+        assert!(out.assignment[1..].iter().all(|a| a.is_some()));
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod select;
 pub use baselines::{BestFitDecreasing, FirstFit, FirstFitDecreasing, NextFit};
 pub use exact::optimal_bins_used;
 pub use ffdlr::Ffdlr;
-pub use packing::{Packer, Packing};
+pub use packing::{Packer, Packing, FIT_EPSILON};
 pub use select::{packer_for, PackerStrategy};

@@ -2,6 +2,20 @@
 
 use std::fmt;
 
+/// The single absolute fit tolerance shared by every packer and by
+/// [`Packing::is_valid`].
+///
+/// Sizes are physical watt quantities produced by subtraction chains in the
+/// controller, so exact-fill instances routinely sit one rounding error away
+/// from their bin capacity. Every fit test in this crate is therefore
+/// `size <= capacity + FIT_EPSILON`. Using one shared constant matters for
+/// FFDLR in particular: its phase 2 re-sums each phase-1 group from scratch,
+/// and if phase 2 tested with a *tighter* tolerance than phase 1 (or the
+/// validator), a group that legitimately fit during construction could
+/// spuriously fail its own re-fit test. Historically phase 1 used `1e-12`
+/// and phase 2 used `1e-9`; they are now unified here.
+pub const FIT_EPSILON: f64 = 1e-9;
+
 /// Result of packing `items` into `bins` (both referenced by index).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packing {
@@ -51,8 +65,8 @@ impl Packing {
     }
 
     /// Validate capacity feasibility of this packing against the instance:
-    /// every bin's load must not exceed its capacity (with a tiny floating
-    /// tolerance) and every assignment index must be in range.
+    /// every bin's load must not exceed its capacity (within
+    /// [`FIT_EPSILON`]) and every assignment index must be in range.
     #[must_use]
     pub fn is_valid(&self, items: &[f64], bins: &[f64]) -> bool {
         if self.assignment.len() != items.len() {
@@ -64,7 +78,7 @@ impl Packing {
         self.bin_loads(items, bins.len())
             .iter()
             .zip(bins)
-            .all(|(load, cap)| *load <= cap + 1e-9)
+            .all(|(load, cap)| *load <= cap + FIT_EPSILON)
     }
 
     /// Total size successfully placed.

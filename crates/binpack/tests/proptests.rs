@@ -35,6 +35,21 @@ proptest! {
         }
     }
 
+    /// Feasibility must also hold at magnitudes where one ULP exceeds the
+    /// absolute fit tolerance (ulp(1e8) ≈ 1.5e-8 > FIT_EPSILON) — the regime
+    /// where FFDLR's phase-2 re-summation can disagree with phase 1 by more
+    /// than the tolerance and the old repack fallback double-booked bins.
+    #[test]
+    fn all_packers_feasible_at_float_edge_magnitudes(
+        items in prop::collection::vec(1.0e6f64..5.0e8, 0..24),
+        bins in prop::collection::vec(1.0e6f64..8.0e8, 0..12),
+    ) {
+        for p in packers() {
+            let out = p.pack(&items, &bins);
+            prop_assert!(out.is_valid(&items, &bins), "{} produced invalid packing", p.name());
+        }
+    }
+
     /// Conservation: every item is either placed exactly once or listed as
     /// unplaced, and sizes add up.
     #[test]

@@ -15,6 +15,49 @@ use willow_thermal::units::{Seconds, Watts};
 /// experiment configs are unaffected by the aliasing.
 pub use willow_binpack::PackerStrategy as PackerChoice;
 
+/// Which [`MigrationTargetPolicy`](crate::control::MigrationTargetPolicy)
+/// orders the eligible target bins of each demand-side packing instance.
+///
+/// Like [`PackerChoice`], this selects a deterministic, stateless policy
+/// that [`ControlPolicies::for_config`](crate::control::ControlPolicies)
+/// constructs from config alone — checkpoint restore rebuilds it without
+/// serializing any policy state. The default reproduces the paper's
+/// behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TargetPolicyChoice {
+    /// Ascending arena id — "first eligible server in tree order"
+    /// ([`AscendingIdTargets`](crate::control::AscendingIdTargets),
+    /// the paper's evaluation order; default).
+    #[default]
+    AscendingId,
+    /// Tightest surplus first
+    /// ([`BestFitTargets`](crate::control::BestFitTargets)).
+    BestFit,
+    /// Coolest server (largest thermal headroom) first
+    /// ([`ThermalHeadroomTargets`](crate::control::ThermalHeadroomTargets)).
+    ThermalHeadroom,
+}
+
+/// Which [`ConsolidationOrderPolicy`](crate::control::ConsolidationOrderPolicy)
+/// orders consolidation's evacuation victims and receiver bins.
+///
+/// Selected the same way as [`TargetPolicyChoice`]; the default reproduces
+/// the paper's behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ConsolidationPolicyChoice {
+    /// Thermally constrained victims first, coolest receivers first
+    /// ([`HotZonesFirst`](crate::control::HotZonesFirst), the paper's
+    /// ordering; default).
+    #[default]
+    HotZonesFirst,
+    /// Emptiest victims first, fullest receivers first
+    /// ([`EmptiestFirst`](crate::control::EmptiestFirst)).
+    EmptiestFirst,
+    /// Receivers with the largest power headroom first
+    /// ([`MostHeadroomReceivers`](crate::control::MostHeadroomReceivers)).
+    MostHeadroomReceivers,
+}
+
 /// How the unidirectional "no migrations into reduced-budget nodes" rule
 /// (§IV-E) is interpreted. See `DESIGN.md`: the literal reading conflicts
 /// with the paper's own deficit experiment, where a global supply plunge —
@@ -198,6 +241,16 @@ pub struct ControllerConfig {
     /// field existed, which deserialize as `0` (auto).
     #[serde(default)]
     pub threads: usize,
+    /// Target-bin ordering for demand-side packing instances. Absent in
+    /// persisted configs from before this field existed, which deserialize
+    /// as the paper's default ordering.
+    #[serde(default)]
+    pub target_policy: TargetPolicyChoice,
+    /// Victim/receiver ordering for consolidation. Absent in persisted
+    /// configs from before this field existed, which deserialize as the
+    /// paper's default ordering.
+    #[serde(default)]
+    pub consolidation_policy: ConsolidationPolicyChoice,
 }
 
 impl Default for ControllerConfig {
@@ -220,6 +273,8 @@ impl Default for ControllerConfig {
             query_traffic_per_watt: 1.0,
             robustness: RobustnessConfig::default(),
             threads: 1,
+            target_policy: TargetPolicyChoice::AscendingId,
+            consolidation_policy: ConsolidationPolicyChoice::HotZonesFirst,
         }
     }
 }
@@ -392,11 +447,52 @@ mod tests {
                 c.smoother = SmootherKind::Holt { beta: 0.25 };
                 c.thermal_estimate = ThermalEstimate::NaiveThrottle;
                 c.allocation = AllocationPolicy::ProportionalToCapacity;
+                c.target_policy = TargetPolicyChoice::ThermalHeadroom;
+                c.consolidation_policy = ConsolidationPolicyChoice::EmptiestFirst;
                 let json = serde_json::to_string(&c).unwrap();
                 let back: ControllerConfig = serde_json::from_str(&json).unwrap();
                 assert_eq!(c, back);
             }
         }
+        // And every policy-choice variant individually.
+        for target in [
+            TargetPolicyChoice::AscendingId,
+            TargetPolicyChoice::BestFit,
+            TargetPolicyChoice::ThermalHeadroom,
+        ] {
+            for consolidation in [
+                ConsolidationPolicyChoice::HotZonesFirst,
+                ConsolidationPolicyChoice::EmptiestFirst,
+                ConsolidationPolicyChoice::MostHeadroomReceivers,
+            ] {
+                let mut c = ControllerConfig::default();
+                c.target_policy = target;
+                c.consolidation_policy = consolidation;
+                let json = serde_json::to_string(&c).unwrap();
+                let back: ControllerConfig = serde_json::from_str(&json).unwrap();
+                assert_eq!(c, back);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_fields_default_when_absent() {
+        // Persisted configs from before the policy race existed have no
+        // `target_policy`/`consolidation_policy` keys; they must still load
+        // as the paper's default orderings.
+        let c = ControllerConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json
+            .replacen(",\"target_policy\":\"AscendingId\"", "", 1)
+            .replacen(",\"consolidation_policy\":\"HotZonesFirst\"", "", 1);
+        assert_ne!(stripped, json, "policy keys found in serialized config");
+        let back: ControllerConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.target_policy, TargetPolicyChoice::AscendingId);
+        assert_eq!(
+            back.consolidation_policy,
+            ConsolidationPolicyChoice::HotZonesFirst
+        );
+        back.validate().unwrap();
     }
 
     #[test]

@@ -73,8 +73,8 @@ mod testutil;
 
 pub use migrate::Backoff;
 pub use policy::{
-    AscendingIdTargets, ConsolidationOrderPolicy, ControlPolicies, HotZonesFirst,
-    MigrationTargetPolicy, PolicyCtx,
+    AscendingIdTargets, BestFitTargets, ConsolidationOrderPolicy, ControlPolicies, EmptiestFirst,
+    HotZonesFirst, MigrationTargetPolicy, MostHeadroomReceivers, PolicyCtx, ThermalHeadroomTargets,
 };
 pub use supply::Watchdog;
 pub use telemetry::SPAN_SAMPLE_PERIOD;

@@ -14,7 +14,11 @@
 //!
 //! The defaults ([`AscendingIdTargets`], [`HotZonesFirst`]) reproduce the
 //! paper's behavior bit-for-bit; [`ControlPolicies::for_config`] is what
-//! [`Willow::new`](super::Willow::new) installs. Alternatives plug in via
+//! [`Willow::new`](super::Willow::new) installs, selecting implementations
+//! from `ControllerConfig::{packer, target_policy, consolidation_policy}`.
+//! The built-in alternatives ([`BestFitTargets`], [`ThermalHeadroomTargets`],
+//! [`EmptiestFirst`], [`MostHeadroomReceivers`]) are raced head-to-head by
+//! the `repro ablate` harness; out-of-tree policies can still plug in via
 //! [`Willow::with_policies`](super::Willow::with_policies).
 //!
 //! Policies must be deterministic: the differential and snapshot-restore
@@ -22,7 +26,7 @@
 //! reconstructs its policies from config alone (they carry no serialized
 //! state).
 
-use crate::config::ControllerConfig;
+use crate::config::{ConsolidationPolicyChoice, ControllerConfig, TargetPolicyChoice};
 use crate::server::ServerState;
 use crate::state::PowerState;
 use willow_binpack::{packer_for, Packer};
@@ -68,6 +72,45 @@ pub struct AscendingIdTargets;
 impl MigrationTargetPolicy for AscendingIdTargets {
     fn order_targets(&self, _ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
         targets.sort_unstable();
+    }
+}
+
+/// Best-fit target ordering: tightest surplus first, so a parcel lands in
+/// the server that it fills most completely and large surpluses stay whole
+/// for large parcels. Note the capacity-sorting packers (FFDLR, FFD, BFD)
+/// re-sort bins by capacity internally, so for them this ordering decides
+/// *equal-capacity* ties (common on homogeneous fleets) via the utilization
+/// tie-break; order-preserving packers (next-fit) honor it fully.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitTargets;
+
+impl MigrationTargetPolicy for BestFitTargets {
+    fn order_targets(&self, ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
+        let surplus = |n: NodeId| {
+            (ctx.power.tp[n.index()].0 - ctx.power.cp[n.index()].0 - ctx.config.margin.0).max(0.0)
+        };
+        targets.sort_unstable_by(|a, b| {
+            surplus(*a)
+                .total_cmp(&surplus(*b))
+                .then(
+                    ctx.leaf_utilization(*b)
+                        .total_cmp(&ctx.leaf_utilization(*a)),
+                )
+                .then(a.cmp(b))
+        });
+    }
+}
+
+/// Thermal-headroom target ordering: coolest server first, measured as the
+/// gap between a node's hard (thermal) cap and its current demand — migrated
+/// load lands where the thermal model has the most room before throttling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThermalHeadroomTargets;
+
+impl MigrationTargetPolicy for ThermalHeadroomTargets {
+    fn order_targets(&self, ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
+        let headroom = |n: NodeId| ctx.power.cap[n.index()].0 - ctx.power.cp[n.index()].0;
+        targets.sort_unstable_by(|a, b| headroom(*b).total_cmp(&headroom(*a)).then(a.cmp(b)));
     }
 }
 
@@ -125,6 +168,55 @@ impl ConsolidationOrderPolicy for HotZonesFirst {
     }
 }
 
+/// Emptiest-first consolidation ordering: victims ascending by utilization
+/// (the emptiest server is the cheapest to evacuate completely, so servers
+/// empty — and sleep — at the highest rate per migrated watt), receivers
+/// most-utilized first (fill the fullest running servers, never fan load
+/// out across near-idle ones). Ignores thermal zoning entirely — the
+/// ablation foil for [`HotZonesFirst`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptiestFirst;
+
+impl ConsolidationOrderPolicy for EmptiestFirst {
+    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>) {
+        victims.sort_unstable_by(|&a, &b| {
+            ctx.servers[a]
+                .utilization()
+                .total_cmp(&ctx.servers[b].utilization())
+                .then(a.cmp(&b))
+        });
+    }
+
+    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]) {
+        receivers.sort_unstable_by(|a, b| {
+            ctx.leaf_utilization(*b)
+                .total_cmp(&ctx.leaf_utilization(*a))
+                .then(a.cmp(b))
+        });
+    }
+}
+
+/// Headroom-seeking consolidation ordering: victims as in [`HotZonesFirst`]
+/// (hot zones evacuate first), but receivers ordered by largest *power*
+/// headroom (budget minus current demand) instead of largest hard cap —
+/// evacuated load goes where budget is actually available right now, which
+/// can absorb a whole victim without cascading first-fit spills.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MostHeadroomReceivers;
+
+impl ConsolidationOrderPolicy for MostHeadroomReceivers {
+    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>) {
+        HotZonesFirst.order_victims(ctx, victims);
+    }
+
+    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]) {
+        receivers.sort_unstable_by(|a, b| {
+            let headroom = |n: NodeId| ctx.power.tp[n.index()].0 - ctx.power.cp[n.index()].0;
+            headroom(*b).total_cmp(&headroom(*a)).then(a.cmp(b))
+        });
+    }
+}
+
 /// The pipeline's pluggable decision points, boxed once at construction so
 /// hot paths never re-box or re-dispatch beyond one vtable call.
 pub struct ControlPolicies {
@@ -137,14 +229,26 @@ pub struct ControlPolicies {
 }
 
 impl ControlPolicies {
-    /// The default policies for `config`: the configured packer plus the
-    /// paper's target and consolidation orderings.
+    /// The policies `config` selects: the configured packer, target
+    /// ordering and consolidation ordering. Every choice is constructed
+    /// from config alone (no state), so checkpoint restore and the frozen
+    /// reference reconstruct identical policies from the same config.
     #[must_use]
     pub fn for_config(config: &ControllerConfig) -> Self {
+        let targets: Box<dyn MigrationTargetPolicy> = match config.target_policy {
+            TargetPolicyChoice::AscendingId => Box::new(AscendingIdTargets),
+            TargetPolicyChoice::BestFit => Box::new(BestFitTargets),
+            TargetPolicyChoice::ThermalHeadroom => Box::new(ThermalHeadroomTargets),
+        };
+        let consolidation: Box<dyn ConsolidationOrderPolicy> = match config.consolidation_policy {
+            ConsolidationPolicyChoice::HotZonesFirst => Box::new(HotZonesFirst),
+            ConsolidationPolicyChoice::EmptiestFirst => Box::new(EmptiestFirst),
+            ConsolidationPolicyChoice::MostHeadroomReceivers => Box::new(MostHeadroomReceivers),
+        };
         ControlPolicies {
             packer: packer_for(config.packer),
-            targets: Box::new(AscendingIdTargets),
-            consolidation: Box::new(HotZonesFirst),
+            targets,
+            consolidation,
         }
     }
 }

@@ -174,6 +174,46 @@ mod tests {
         log
     }
 
+    /// Policies carry no serialized state: a restored controller must
+    /// reconstruct *non-default* target/consolidation policies from the
+    /// snapshot's config alone and continue in lockstep.
+    #[test]
+    fn restore_reconstructs_nondefault_policies_from_config() {
+        use crate::config::{ConsolidationPolicyChoice, PackerChoice, TargetPolicyChoice};
+
+        let tree = Tree::uniform(&[2, 3]);
+        let mut id = 0u32;
+        let specs: Vec<ServerSpec> = tree
+            .leaves()
+            .map(|leaf| {
+                let apps: Vec<Application> = (0..2)
+                    .map(|_| {
+                        let class = id as usize % SIM_APP_CLASSES.len();
+                        let a = Application::new(AppId(id), class, &SIM_APP_CLASSES[class]);
+                        id += 1;
+                        a
+                    })
+                    .collect();
+                ServerSpec::simulation_default(leaf).with_apps(apps)
+            })
+            .collect();
+        let mut cfg = ControllerConfig::default();
+        cfg.packer = PackerChoice::BestFitDecreasing;
+        cfg.target_policy = TargetPolicyChoice::ThermalHeadroom;
+        cfg.consolidation_policy = ConsolidationPolicyChoice::EmptiestFirst;
+        let mut original = Willow::new(tree, specs, cfg).unwrap();
+        let n_apps = id as usize;
+        let _ = drive(&mut original, n_apps, 37);
+
+        let json = serde_json::to_string(&original.snapshot()).expect("serialize");
+        let snap: WillowSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let mut restored = Willow::restore(snap).expect("restore");
+
+        let a = drive(&mut original, n_apps, 50);
+        let b = drive(&mut restored, n_apps, 50);
+        assert_eq!(a, b, "restored controller must continue identically");
+    }
+
     #[test]
     fn restore_continues_bit_for_bit() {
         let (mut original, n_apps) = setup();
