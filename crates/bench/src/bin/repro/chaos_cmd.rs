@@ -209,6 +209,7 @@ fn run_seed(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
         duplication: rng.gen_range(0.0..0.3),
         delay: rng.gen_range(0.0..0.3),
         dead_link: None,
+        flap: None,
     };
     let mut scratch = RoundScratch::default();
     for round in 0..ROUNDS {

@@ -1,0 +1,435 @@
+//! `repro federate`: multi-zone federation scenarios with the broker's
+//! defenses under fire.
+//!
+//! Four legs, every one seeded and deterministic:
+//!
+//! 1. **Single-zone neutrality**: a federation of one healthy zone is
+//!    bit-for-bit identical to the standalone simulation on the same
+//!    config — per-tick reports, fabric snapshots and the final
+//!    controller snapshot all match exactly.
+//! 2. **Zone-outage chaos**: per seed, a derived [`ZoneOutagePlan`] over
+//!    three zones mixes controller crashes, network isolation, report
+//!    staleness and a broker crash. Requires zero invariant violations,
+//!    zero conservation violations, zero lost apps, exact recovery and
+//!    rejoin accounting, and quiet-plan bit-for-bit neutrality.
+//! 3. **Regional brownout**: one zone's supply plunges (the paper's
+//!    Fig. 15 deficit profile) while the others stay ample; the pooled
+//!    broker split shares the pain, and the brownout zone drops less
+//!    demand federated than it would standalone.
+//! 4. **Follow-the-sun**: three zones replay phase-shifted diurnal
+//!    utilization traces; the largest grant rotates across zones as
+//!    demand follows the sun.
+//!
+//! `--smoke` shrinks ticks/seeds for CI. A failing run exits 1 with the
+//! seed printed, so `repro federate --seeds <n> --ticks <t>` is the repro.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use willow_core::federation::BrokerConfig;
+use willow_core::migration::TickReport;
+use willow_power::SupplyTrace;
+use willow_sim::config::SimConfig;
+use willow_sim::engine::Simulation;
+use willow_sim::faults::{ControllerOutage, ZoneOutage, ZoneOutageKind, ZoneOutagePlan};
+use willow_sim::federate::{FederateConfig, FederatedSimulation};
+use willow_sim::metrics::{FabricSnapshot, MetricsAccumulator};
+use willow_workload::app::AppId;
+
+/// Zones per federated run.
+const ZONES: usize = 3;
+
+/// Sorted application ids currently placed in one zone.
+fn placed_apps(sim: &Simulation) -> Vec<AppId> {
+    let mut ids: Vec<AppId> = sim
+        .willow()
+        .servers()
+        .iter()
+        .flat_map(|s| s.apps.iter().map(|a| a.id))
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// A paper-default zone with `ticks` periods and no warm-up exclusion.
+fn zone_cfg(seed: u64, utilization: f64, ticks: usize, threads: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_hot_cold(seed, utilization);
+    cfg.ticks = ticks;
+    cfg.warmup = 0;
+    cfg.controller.threads = threads;
+    cfg
+}
+
+/// Leg 1 — single-zone neutrality: federation-of-one vs standalone,
+/// stepped in lockstep and compared bit for bit every tick.
+fn run_differential(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let cfg = zone_cfg(seed, 0.5, ticks, threads);
+    let mut standalone = Simulation::new(cfg.clone()).expect("valid zone config");
+    let mut fed = FederatedSimulation::new(FederateConfig::new(vec![cfg]))
+        .expect("valid single-zone federation");
+
+    let mut s_report = TickReport::default();
+    let mut s_fabric = FabricSnapshot::default();
+    let mut f_reports = vec![TickReport::default()];
+    let mut f_fabrics = vec![FabricSnapshot::default()];
+    for t in 0..ticks {
+        standalone.step_into_buffers(&mut s_report, &mut s_fabric);
+        fed.step_into_buffers(&mut f_reports, &mut f_fabrics);
+        if s_report != f_reports[0] || s_fabric != f_fabrics[0] {
+            failures.push(format!("single-zone federation diverged at tick {t}"));
+            break;
+        }
+    }
+    if standalone.willow().snapshot() != fed.zone(0).willow().snapshot() {
+        failures.push("single-zone federation: final snapshots differ".into());
+    }
+    if fed.broker().counters().conservation_violations != 0 {
+        failures.push("single-zone federation: conservation violation".into());
+    }
+    println!(
+        "  differential: federation-of-one vs standalone over {ticks} ticks -> {}",
+        if failures.is_empty() {
+            "bit-for-bit"
+        } else {
+            "FAIL"
+        }
+    );
+    failures
+}
+
+/// One seed's federation chaos schedule.
+struct FedSchedule {
+    utilizations: Vec<f64>,
+    plan: ZoneOutagePlan,
+}
+
+/// Derive a zone-outage schedule from `seed`: every zone gets one outage
+/// window of a seed-chosen kind, plus one broker crash, all fully inside
+/// the run so every outage ends in a recovery/rejoin.
+fn fed_schedule_for(seed: u64, ticks: usize) -> FedSchedule {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+    let utilizations = (0..ZONES).map(|_| rng.gen_range(0.3..0.8)).collect();
+    let horizon = ticks as u64;
+    // Zone windows live in the first 60 % of the run; the broker crash in
+    // the back half. Keeping them in disjoint eras bounds the worst case
+    // (a zone may still be mid-outage when the broker dies).
+    let outages = (0..ZONES)
+        .map(|zone| {
+            let kind = match rng.gen_range(0..3u8) {
+                0 => ZoneOutageKind::ControllerCrash,
+                1 => ZoneOutageKind::Isolation,
+                _ => ZoneOutageKind::StaleReports,
+            };
+            let from = rng.gen_range(1..horizon * 2 / 5);
+            let len = rng.gen_range(5..=horizon / 5);
+            ZoneOutage {
+                zone,
+                kind,
+                from,
+                until: (from + len).min(horizon * 3 / 5),
+            }
+        })
+        .collect();
+    let b_from = rng.gen_range(horizon * 3 / 5 + 1..horizon * 4 / 5);
+    let b_len = rng.gen_range(3..=horizon / 10);
+    let plan = ZoneOutagePlan {
+        checkpoint_period: rng.gen_range(4..=24),
+        broker_crash: vec![ControllerOutage {
+            from: b_from,
+            until: (b_from + b_len).min(horizon - 5),
+        }],
+        outages,
+    };
+    FedSchedule { utilizations, plan }
+}
+
+/// Leg 2 — seeded zone-outage chaos with full accounting.
+fn run_chaos_seed(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let sched = fed_schedule_for(seed, ticks);
+    let zones: Vec<SimConfig> = sched
+        .utilizations
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| zone_cfg(seed ^ (i as u64 + 1), u, ticks, threads))
+        .collect();
+
+    let mut fed = FederatedSimulation::new(FederateConfig {
+        zones: zones.clone(),
+        broker: BrokerConfig::default(),
+        plan: Some(sched.plan.clone()),
+    })
+    .expect("derived chaos schedule must be valid");
+    let before: Vec<Vec<AppId>> = fed.zones().iter().map(placed_apps).collect();
+    let m = fed.run();
+
+    let violations = m.invariant_violations();
+    if violations != 0 {
+        failures.push(format!("{violations} invariant violations (want 0)"));
+    }
+    if m.broker.conservation_violations != 0 {
+        failures.push(format!(
+            "{} supply-conservation violations (want 0)",
+            m.broker.conservation_violations
+        ));
+    }
+    let after: Vec<Vec<AppId>> = fed.zones().iter().map(placed_apps).collect();
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        if b != a {
+            failures.push(format!(
+                "zone {i} lost or duplicated apps: {} before vs {} after",
+                b.len(),
+                a.len()
+            ));
+        }
+    }
+
+    // Exact recovery accounting per zone.
+    for (i, zm) in m.zones.iter().enumerate() {
+        let crash_ticks: u64 = sched
+            .plan
+            .outages
+            .iter()
+            .filter(|o| o.zone == i && o.kind == ZoneOutageKind::ControllerCrash)
+            .map(|o| o.until - o.from)
+            .sum();
+        let crash_windows = sched
+            .plan
+            .outages
+            .iter()
+            .filter(|o| o.zone == i && o.kind == ZoneOutageKind::ControllerCrash)
+            .count();
+        if zm.open_loop_ticks as u64 != crash_ticks {
+            failures.push(format!(
+                "zone {i}: {} open-loop ticks (want {crash_ticks})",
+                zm.open_loop_ticks
+            ));
+        }
+        if zm.controller_recoveries != crash_windows {
+            failures.push(format!(
+                "zone {i}: {} recoveries (want {crash_windows})",
+                zm.controller_recoveries
+            ));
+        }
+    }
+    // Broker accounting: down exactly the scheduled width, one recovery,
+    // one rejoin per isolation/crash window (stale zones never detach).
+    let broker_down: u64 = sched
+        .plan
+        .broker_crash
+        .iter()
+        .map(|w| w.until - w.from)
+        .sum();
+    if m.broker.broker_down_ticks != broker_down {
+        failures.push(format!(
+            "{} broker-down ticks (want {broker_down})",
+            m.broker.broker_down_ticks
+        ));
+    }
+    if m.broker_recoveries != sched.plan.broker_crash.len() {
+        failures.push(format!(
+            "{} broker recoveries (want {})",
+            m.broker_recoveries,
+            sched.plan.broker_crash.len()
+        ));
+    }
+    let expect_rejoins = sched
+        .plan
+        .outages
+        .iter()
+        .filter(|o| o.kind != ZoneOutageKind::StaleReports)
+        .count();
+    if m.zone_rejoins != expect_rejoins {
+        failures.push(format!(
+            "{} zone rejoins (want {expect_rejoins})",
+            m.zone_rejoins
+        ));
+    }
+
+    // Quiet-plan neutrality: the same zones with an empty plan reproduce
+    // the plan-free federation bit for bit (checkpointing is free).
+    let quiet = FederatedSimulation::new(FederateConfig {
+        zones: zones.clone(),
+        broker: BrokerConfig::default(),
+        plan: Some(ZoneOutagePlan::quiet()),
+    })
+    .expect("valid")
+    .run();
+    let plain = FederatedSimulation::new(FederateConfig::new(zones))
+        .expect("valid")
+        .run();
+    if quiet != plain {
+        failures.push("quiet zone-outage plan diverged from the plan-free run".into());
+    }
+
+    let kinds: Vec<&str> = sched
+        .plan
+        .outages
+        .iter()
+        .map(|o| match o.kind {
+            ZoneOutageKind::ControllerCrash => "crash",
+            ZoneOutageKind::Isolation => "isolate",
+            ZoneOutageKind::StaleReports => "stale",
+        })
+        .collect();
+    println!(
+        "  seed {seed:>3}: kinds=[{}] broker-down={} trips={} stale-ticks={} \
+         rejoins={} violations={violations} -> {}",
+        kinds.join(","),
+        m.broker.broker_down_ticks,
+        m.broker.link_trips,
+        m.broker.stale_report_ticks,
+        m.zone_rejoins,
+        if failures.is_empty() { "ok" } else { "FAIL" }
+    );
+    failures
+}
+
+/// Leg 3 — regional brownout: zone 0 rides the paper's deficit profile
+/// while zones 1–2 stay ample; federation must beat standalone for the
+/// brownout zone.
+fn run_brownout(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut zones: Vec<SimConfig> = (0..ZONES)
+        .map(|i| zone_cfg(seed ^ (i as u64 + 11), 0.6, ticks, threads))
+        .collect();
+    let eta1 = zones[0].controller.eta1 as usize;
+    let supply_periods = ticks / eta1 + 1;
+    let nominal = zones[0].ample_supply();
+    zones[0].supply = Some(SupplyTrace::paper_deficit(nominal, supply_periods));
+
+    // Standalone baseline: the brownout zone alone, same trace.
+    let mut solo = Simulation::new(zones[0].clone()).expect("valid brownout zone");
+    let solo_m = solo.run();
+
+    let mut fed =
+        FederatedSimulation::new(FederateConfig::new(zones)).expect("valid brownout federation");
+    let before: Vec<Vec<AppId>> = fed.zones().iter().map(placed_apps).collect();
+    let m = fed.run();
+    let after: Vec<Vec<AppId>> = fed.zones().iter().map(placed_apps).collect();
+
+    if m.invariant_violations() != 0 {
+        failures.push(format!(
+            "{} invariant violations (want 0)",
+            m.invariant_violations()
+        ));
+    }
+    if m.broker.conservation_violations != 0 {
+        failures.push("supply-conservation violation during brownout".into());
+    }
+    if before != after {
+        failures.push("brownout lost or duplicated apps".into());
+    }
+    // Pooling must not leave the brownout zone worse off than going it
+    // alone (the ample zones' headroom covers the plunges).
+    if m.zones[0].avg_dropped > solo_m.avg_dropped + 1e-9 {
+        failures.push(format!(
+            "federated brownout zone dropped {:.1} W avg vs {:.1} standalone",
+            m.zones[0].avg_dropped, solo_m.avg_dropped
+        ));
+    }
+    println!(
+        "  brownout: zone0 dropped {:.1} W avg federated vs {:.1} standalone \
+         (zones 1-2: {:.1}, {:.1}) -> {}",
+        m.zones[0].avg_dropped,
+        solo_m.avg_dropped,
+        m.zones[1].avg_dropped,
+        m.zones[2].avg_dropped,
+        if failures.is_empty() { "ok" } else { "FAIL" }
+    );
+    failures
+}
+
+/// Leg 4 — follow-the-sun: phase-shifted diurnal utilization traces; the
+/// largest grant must rotate across all three zones.
+fn run_follow_the_sun(seed: u64, ticks: usize, threads: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let day = (ticks / 2).max(30);
+    let zones: Vec<SimConfig> = (0..ZONES)
+        .map(|i| {
+            let mut cfg = zone_cfg(seed ^ (i as u64 + 21), 0.5, ticks, threads);
+            let phase = i as f64 / ZONES as f64;
+            cfg.utilization_trace = Some(
+                (0..ticks)
+                    .map(|t| {
+                        let x = (t as f64 / day as f64 + phase) * std::f64::consts::TAU;
+                        0.45 + 0.3 * x.sin()
+                    })
+                    .collect(),
+            );
+            cfg
+        })
+        .collect();
+    let mut fed =
+        FederatedSimulation::new(FederateConfig::new(zones)).expect("valid follow-the-sun");
+
+    let mut reports = vec![TickReport::default(); ZONES];
+    let mut fabrics = vec![FabricSnapshot::default(); ZONES];
+    let mut accs: Vec<MetricsAccumulator> = fed
+        .zones()
+        .iter()
+        .map(|z| MetricsAccumulator::new(z.config().n_servers(), z.level1_switches().len()))
+        .collect();
+    let mut leaders = [false; ZONES];
+    for _ in 0..ticks {
+        fed.step_into_buffers(&mut reports, &mut fabrics);
+        for (acc, (r, f)) in accs.iter_mut().zip(reports.iter().zip(&fabrics)) {
+            acc.record(r, f);
+        }
+        let grants = fed.broker().grants();
+        let lead = (0..ZONES)
+            .max_by(|&a, &b| grants[a].partial_cmp(&grants[b]).expect("finite"))
+            .expect("non-empty");
+        leaders[lead] = true;
+    }
+    let violations: usize = (0..ZONES).map(|i| fed.zone(i).invariant_violations()).sum();
+    if violations != 0 {
+        failures.push(format!("{violations} invariant violations (want 0)"));
+    }
+    if fed.broker().counters().conservation_violations != 0 {
+        failures.push("supply-conservation violation in follow-the-sun".into());
+    }
+    if !leaders.iter().all(|&l| l) {
+        failures.push(format!(
+            "grant leadership never rotated through all zones (saw {leaders:?})"
+        ));
+    }
+    println!(
+        "  follow-the-sun: {ticks} ticks, day={day}, leadership rotated={} -> {}",
+        leaders.iter().all(|&l| l),
+        if failures.is_empty() { "ok" } else { "FAIL" }
+    );
+    failures
+}
+
+/// Run the harness; exits 1 if any leg fails.
+pub fn run(seeds: u64, ticks: usize, smoke: bool, threads: usize) {
+    let (seeds, ticks) = if smoke {
+        (1, ticks.min(150))
+    } else {
+        (seeds, ticks)
+    };
+    println!(
+        "federate harness: {ZONES} zones, {seeds} chaos seeds x {ticks} ticks, threads={threads}"
+    );
+    let mut failed = 0usize;
+    let mut check = |failures: Vec<String>, label: &str| {
+        for f in &failures {
+            eprintln!("  {label}: {f}");
+        }
+        if !failures.is_empty() {
+            failed += 1;
+        }
+    };
+    check(run_differential(2011, ticks, threads), "differential");
+    for seed in 0..seeds {
+        check(run_chaos_seed(seed, ticks, threads), "chaos");
+    }
+    check(run_brownout(2011, ticks, threads), "brownout");
+    check(run_follow_the_sun(2011, ticks, threads), "follow-the-sun");
+    if failed > 0 {
+        eprintln!("federate: {failed} leg(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("federate: all legs passed (zero violations, zero lost apps, conservation green)");
+}

@@ -95,15 +95,9 @@ fn scripted_timeline() -> Vec<ScheduledCommand> {
     tl
 }
 
-/// Leg 1: the scripted (or file-supplied) timeline under a fixed chaos
-/// plan. Returns failure descriptions (empty = pass).
-fn run_scripted(
-    ticks: usize,
-    timeline: &[ScheduledCommand],
-    builtin: bool,
-    threads: usize,
-) -> Vec<String> {
-    let mut failures = Vec::new();
+/// The scripted leg's configuration: paper hot/cold fleet at U=0.5 under
+/// the fixed chaos plan, with `timeline` as the command schedule.
+fn scripted_config(ticks: usize, timeline: &[ScheduledCommand], threads: usize) -> SimConfig {
     let mut cfg = SimConfig::paper_hot_cold(2011, 0.5);
     cfg.ticks = ticks;
     cfg.warmup = 0;
@@ -126,7 +120,21 @@ fn run_scripted(
         }),
         ..FaultPlan::default()
     });
-    let mut sim = Simulation::new(cfg).expect("scripted liveops config must be valid");
+    cfg
+}
+
+/// Leg 1: the scripted (or file-supplied) timeline under a fixed chaos
+/// plan. Returns failure descriptions (empty = pass).
+fn run_scripted(
+    ticks: usize,
+    timeline: &[ScheduledCommand],
+    builtin: bool,
+    threads: usize,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let outage_len = 15u64.min(ticks as u64 / 10).max(1);
+    let mut sim = Simulation::new(scripted_config(ticks, timeline, threads))
+        .expect("scripted liveops config must be valid");
     let before = placed_apps(&sim);
     let m = sim.run();
 
@@ -186,6 +194,35 @@ fn run_scripted(
         m.invariant_violations,
         if failures.is_empty() { "ok" } else { "FAIL" }
     );
+    if !builtin {
+        // File-supplied timeline: quantify what the live-ops churn cost
+        // against a static fleet running the identical chaos plan with an
+        // empty command queue.
+        let m0 = Simulation::new(scripted_config(ticks, &[], threads))
+            .expect("static twin config must be valid")
+            .run();
+        println!(
+            "  vs static fleet: dropped demand {:.3} W avg (static {:.3} W, delta {:+.3} W)",
+            m.avg_dropped,
+            m0.avg_dropped,
+            m.avg_dropped - m0.avg_dropped
+        );
+        println!(
+            "  vs static fleet: migrations {}+{}+{} demand/consolidation/local \
+             (static {}+{}+{}), migrated demand {:.1} W (static {:.1} W), \
+             stranded app-ticks {} (static {})",
+            m.demand_migrations,
+            m.consolidation_migrations,
+            m.local_migrations,
+            m0.demand_migrations,
+            m0.consolidation_migrations,
+            m0.local_migrations,
+            m.migrated_demand,
+            m0.migrated_demand,
+            m.drain_stranded_app_ticks,
+            m0.drain_stranded_app_ticks
+        );
+    }
     failures
 }
 
@@ -336,10 +373,16 @@ pub fn run(seeds: u64, ticks: usize, timeline_file: Option<&str>, threads: usize
     );
     let (timeline, builtin) = match timeline_file {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read timeline {path}: {e}"));
-            let tl: Vec<ScheduledCommand> = serde_json::from_str(&text)
-                .unwrap_or_else(|e| panic!("cannot parse timeline {path}: {e}"));
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read timeline {path}: {e}");
+                std::process::exit(1);
+            });
+            // parse_timeline pinpoints the offending entry index and field
+            // instead of a bare serde error.
+            let tl = willow_sim::parse_timeline(&text).unwrap_or_else(|e| {
+                eprintln!("cannot load timeline {path}: {e}");
+                std::process::exit(1);
+            });
             println!("  timeline: {} commands from {path}", tl.len());
             (tl, false)
         }

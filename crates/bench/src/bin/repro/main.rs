@@ -17,6 +17,7 @@ use willow_testbed::experiments as tb_exp;
 mod ablate_cmd;
 mod bench_controller;
 mod chaos_cmd;
+mod federate_cmd;
 mod liveops_cmd;
 mod telemetry_cmd;
 
@@ -65,6 +66,22 @@ fn main() {
             flag("--seeds", 8) as u64,
             flag("--ticks", 200),
             args.iter().any(|a| a == "--sweep"),
+            flag("--threads", 1),
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "federate") {
+        let flag = |name: &str, default: usize| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        federate_cmd::run(
+            flag("--seeds", 6) as u64,
+            flag("--ticks", 250),
+            args.iter().any(|a| a == "--smoke"),
             flag("--threads", 1),
         );
         return;

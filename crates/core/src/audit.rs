@@ -342,6 +342,12 @@ impl Auditor {
         // previous audit (misses were > 0 and have not been reset) means
         // the applied budget must not have grown.
         for (si, (server, wd)) in w.servers().iter().zip(watchdogs).enumerate() {
+            // A retired server has no budget to police, and its `node`
+            // field may alias a slot recycled by a later-added live server
+            // — reading `tp` through it would police the wrong machine.
+            if server.fence == crate::server::FenceState::Retired {
+                continue;
+            }
             let tp = power.tp[server.node.index()];
             let still_stale = self.prev_missed[si] > 0 && wd.missed >= self.prev_missed[si];
             if still_stale && tp.0 > self.prev_tp[si].0 + 1e-9 {

@@ -524,6 +524,96 @@ fn recover_rejects_mismatched_field() {
     ));
 }
 
+/// Retired-row/recycled-slot aliasing: after `RemoveServer` frees a leaf
+/// slot and a later `AddServer` recycles it, the retired roster row still
+/// carries the old `NodeId`. A directive-loss roll against the *retired*
+/// index must not resurrect a stale budget on the live replacement's leaf
+/// (the pre-fix failure: the retired row wrote `tp_old` back into the
+/// recycled slot while the live row's watchdog read `missed == 0`, so the
+/// auditor flagged a `BudgetOverflow` that no live machine caused).
+#[test]
+fn retired_row_directive_loss_cannot_touch_recycled_slot() {
+    use crate::audit::Auditor;
+    use crate::command::Command;
+    use crate::server::FenceState;
+
+    let (tree, specs, n_apps) = small_setup(1);
+    let mut cfg = ControllerConfig::default();
+    cfg.eta1 = 1; // every tick divides supply and issues directives
+    let mut w = Willow::new(tree, specs, cfg).unwrap();
+    let d = demands(n_apps, 30.0);
+    for _ in 0..5 {
+        w.step(&d, Watts(2000.0));
+    }
+
+    // Drain server 0, retire it, and add a replacement under the same
+    // switch: the new leaf recycles server 0's freed arena slot.
+    let old_node = w.servers()[0].node;
+    let parent = w.tree().parent(old_node).expect("leaf has a parent");
+    w.submit_command(Command::Drain { server: 0 });
+    for _ in 0..20 {
+        w.step(&d, Watts(2000.0));
+        if w.servers()[0].fence == FenceState::Fenced {
+            break;
+        }
+    }
+    assert_eq!(w.servers()[0].fence, FenceState::Fenced, "drain finished");
+    w.submit_command(Command::RemoveServer { server: 0 });
+    w.step(&d, Watts(2000.0));
+    assert_eq!(w.servers()[0].fence, FenceState::Retired);
+    w.submit_command(Command::AddServer {
+        parent,
+        name: "replacement".into(),
+    });
+    w.step(&d, Watts(2000.0));
+    let new_si = w.servers().len() - 1;
+    assert_eq!(
+        w.servers()[new_si].node,
+        old_node,
+        "the add recycles the freed slot (the aliasing premise)"
+    );
+    // Let the idle replacement accumulate a nonzero budget under ample
+    // supply, so a resurrected stale value would be visibly too large.
+    for _ in 0..3 {
+        w.step(&d, Watts(2000.0));
+    }
+
+    let mut auditor = Auditor::new(&w);
+    // Supply plunge with a directive-loss roll against the RETIRED row:
+    // the retired server receives no directives, so nothing may be
+    // counted, no watchdog may move, and the recycled leaf must hold
+    // exactly its freshly allocated (tight) share.
+    let mut lost = Disturbances::none();
+    lost.directive_lost = vec![true, false, false, false, false];
+    let r = w.step_with(&d, Watts(10.0), &lost);
+    assert_eq!(r.directives_lost, 0, "retired rows miss no directives");
+    let wd = w.watchdogs()[0];
+    assert!(!wd.tripped && wd.missed == 0, "retired watchdog untouched");
+    let children: f64 = w
+        .tree()
+        .children(parent)
+        .iter()
+        .map(|c| w.power().tp[c.index()].0)
+        .sum();
+    let budget = w.power().tp[parent.index()].0;
+    assert!(
+        children <= budget + 1e-9 + 1e-6 * budget.abs(),
+        "children {children} exceed parent budget {budget}: stale budget resurrected"
+    );
+    assert!(auditor.check(&w).is_empty(), "clean audit after the roll");
+
+    // The open-loop fallback walks the same roster: retired rows must not
+    // count as missed directives or repopulate the recycled slot's cap.
+    let mut r = TickReport::default();
+    w.step_open_loop(&d, &Disturbances::default(), &mut r);
+    assert_eq!(
+        r.directives_lost,
+        w.servers().len() - 1,
+        "only live servers miss directives open-loop"
+    );
+    assert!(auditor.check(&w).is_empty(), "clean audit open-loop");
+}
+
 /// The auditor's violation arms need a corrupted controller, and only
 /// this module can reach the private state to corrupt it — so the
 /// positive (violation-firing) auditor tests live here, while the

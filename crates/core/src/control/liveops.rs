@@ -222,6 +222,9 @@ impl Willow {
         self.power.cap[li] = Watts::ZERO;
         self.power.reduced[li] = false;
         self.local_cp[li] = Watts::ZERO;
+        // A tripped watchdog on a retired row would keep counting toward
+        // `fallback_servers` forever; the machine is gone, clear it.
+        self.watchdog[server] = crate::control::supply::Watchdog::default();
         self.rebuild_stage_scratch();
         Ok(())
     }

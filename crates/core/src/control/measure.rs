@@ -94,7 +94,10 @@ impl Willow {
     /// Stays serial: the open-loop path models per-leaf firmware, not the
     /// controller's hot loop.
     pub(super) fn measure_open_loop(&mut self, app_demand: &[Watts]) {
-        for server in self.servers.iter_mut() {
+        for (si, server) in self.servers.iter_mut().enumerate() {
+            // Ownership gate as in the closed-loop path: a retired row's
+            // recycled slot belongs to the live replacement server.
+            let owns = self.leaf_server[server.node.index()] == Some(si);
             if server.active {
                 for (i, app) in server.apps.iter().enumerate() {
                     let idx = app.id.0 as usize;
@@ -107,8 +110,10 @@ impl Willow {
                 }
                 let raw = server.raw_demand();
                 let smoothed = server.smoother.observe(raw);
-                self.local_cp[server.node.index()] = smoothed;
-            } else {
+                if owns {
+                    self.local_cp[server.node.index()] = smoothed;
+                }
+            } else if owns {
                 self.local_cp[server.node.index()] = Watts::ZERO;
             }
             server.pending_cost = Watts::ZERO;

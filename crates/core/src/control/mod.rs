@@ -680,8 +680,13 @@ impl Willow {
 
         // Re-learn the demand hierarchy from the leaves' fresh local view,
         // and re-sum the caps the leaves computed for themselves open-loop.
-        for server in &w.servers {
+        for (si, server) in w.servers.iter().enumerate() {
             let leaf = server.node.index();
+            // Only the slot's owner speaks for it: a retired row whose
+            // node was recycled must not clobber the live server's demand.
+            if w.leaf_server[leaf] != Some(si) {
+                continue;
+            }
             w.power.cp[leaf] = if server.active {
                 w.local_cp[leaf]
             } else {

@@ -250,6 +250,13 @@ impl Willow {
         // its rating) until a directive gets through again.
         for si in 0..self.servers.len() {
             let leaf = self.servers[si].node.index();
+            // Slot-ownership gate (as in the cap refresh above): a retired
+            // row receives no directives, and its arena slot may since have
+            // been recycled by a live replacement — rolling its directive
+            // loss here would resurrect a stale budget on the live leaf.
+            if self.leaf_server[leaf] != Some(si) {
+                continue;
+            }
             if self.disturb.directive_lost(si) {
                 let base = self.power.tp_old[leaf];
                 let cap = self.power.cap[leaf];
@@ -298,6 +305,11 @@ impl Willow {
     pub(super) fn open_loop_supply_fallback(&mut self) {
         for si in 0..self.servers.len() {
             let leaf = self.servers[si].node.index();
+            // Retired rows own no slot: they miss no directives and must
+            // not repopulate the (possibly recycled) leaf's cap or budget.
+            if self.leaf_server[leaf] != Some(si) {
+                continue;
+            }
             let cap = self.thermal_cap(si);
             self.power.cap[leaf] = cap;
             let base = self.power.tp[leaf];

@@ -90,6 +90,7 @@ pub mod convergence;
 #[cfg(test)]
 mod differential;
 pub mod disturbance;
+pub mod federation;
 pub mod migration;
 #[cfg(test)]
 #[allow(dead_code)]
@@ -107,5 +108,9 @@ pub use command::{
 pub use config::ControllerConfig;
 pub use controller::{Backoff, Watchdog, Willow};
 pub use disturbance::{Disturbances, MigrationOutcome};
+pub use federation::{
+    BrokerConfig, BrokerCounters, BrokerSnapshot, Federation, FederationError, FederationSnapshot,
+    SupplyBroker, ZoneCondition, ZoneLink,
+};
 pub use migration::{MigrationReason, MigrationRecord, TickReport};
 pub use server::ServerSpec;

@@ -82,6 +82,10 @@ pub struct Simulation {
     /// Command rejections caused by topology errors (including parent
     /// names that resolve to no live node).
     topology_rejections: usize,
+    /// Supply for the next tick, set by a federation driver
+    /// ([`Simulation::step_with_supply`]): the broker's grant replaces
+    /// the trace/override-derived supply verbatim. Cleared every tick.
+    external_supply: Option<Watts>,
 }
 
 /// AR(1) persistence of the per-app load drift (per demand period).
@@ -162,6 +166,7 @@ impl Simulation {
             commands_rejected: 0,
             drain_stranded_app_ticks: 0,
             topology_rejections: 0,
+            external_supply: None,
         })
     }
 
@@ -276,8 +281,14 @@ impl Simulation {
             None => self.config.ample_supply(),
         };
         // Live-ops supply override: multiplying by the default 1.0 is
-        // bit-exact, so override-free runs keep their trajectory.
-        let supply = Watts(base_supply.0 * self.supply_override);
+        // bit-exact, so override-free runs keep their trajectory. A
+        // federation driver's grant (if any) replaces the result verbatim
+        // — a healthy single-zone federation grants exactly this value,
+        // which is what keeps the one-zone differential bit-for-bit.
+        let supply = self
+            .external_supply
+            .take()
+            .unwrap_or(Watts(base_supply.0 * self.supply_override));
         let disturb = match &mut self.injector {
             Some(inj) => inj.disturbances_for(self.tick as u64),
             None => Disturbances::none(),
@@ -390,6 +401,47 @@ impl Simulation {
         out.l1_query.clear();
         out.l1_query
             .extend(self.level1.iter().map(|&n| f.query_traffic(n)));
+    }
+
+    /// [`Simulation::step_into_buffers`] with the period's supply decided
+    /// by the caller — the federation driver passes the broker's grant
+    /// (or the zone's open-loop protocol value) here, overriding the
+    /// zone-local supply trace for this one tick.
+    pub fn step_with_supply(
+        &mut self,
+        supply: Watts,
+        report: &mut TickReport,
+        fabric: &mut FabricSnapshot,
+    ) {
+        self.external_supply = Some(supply);
+        self.step_into_buffers(report, fabric);
+    }
+
+    /// The supply this zone would apply at the current tick from its own
+    /// configuration: the supply trace (indexed by supply period) or
+    /// ample supply, times any live-ops override. A federation's broker
+    /// pools these nominal values across zones before re-splitting by
+    /// demand.
+    #[must_use]
+    pub fn nominal_supply(&self) -> Watts {
+        let base = match &self.config.supply {
+            Some(trace) => trace.at(self.tick / self.config.controller.eta1 as usize),
+            None => self.config.ample_supply(),
+        };
+        Watts(base.0 * self.supply_override)
+    }
+
+    /// Current demand period (0-based; incremented after each step).
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.tick as u64
+    }
+
+    /// The controller's last periodic checkpoint, when one is maintained
+    /// (a fault plan with controller crashes scheduled).
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<&WillowSnapshot> {
+        self.checkpoint.as_ref()
     }
 
     /// Run to completion, aggregating post-warm-up metrics.

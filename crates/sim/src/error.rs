@@ -77,6 +77,42 @@ pub enum SimError {
     /// A scheduled supply-override command with a non-finite or negative
     /// factor.
     SupplyOverrideFactor(f64),
+    /// A link-flap with a non-positive or non-finite period.
+    FaultFlapPeriod(f64),
+    /// A zone-outage schedule violating its structural rules (zero
+    /// checkpoint period, broker/zone window at tick 0, unsorted or
+    /// overlapping windows of the same kind).
+    ZoneOutagePlan {
+        /// Which rule was violated.
+        reason: &'static str,
+    },
+    /// A zone outage references a zone index outside the federation.
+    ZoneOutageZone {
+        /// The offending zone index.
+        index: usize,
+        /// Zones in the federation.
+        zones: usize,
+    },
+    /// A federation was configured with no zones, or with per-zone
+    /// configurations that disagree on a field that must match.
+    Federation {
+        /// What is wrong with the federation shape.
+        reason: &'static str,
+    },
+    /// A scheduled-command timeline entry failed to parse or validate.
+    TimelineEntry {
+        /// Index of the offending entry in the timeline array (0-based).
+        index: usize,
+        /// The field (or aspect) of the entry that is at fault.
+        field: &'static str,
+        /// Human-readable detail (serde message or validation rule).
+        detail: String,
+    },
+    /// A scheduled-command timeline that is not a JSON array of entries.
+    TimelineShape {
+        /// What was found instead.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -133,6 +169,32 @@ impl std::fmt::Display for SimError {
             }
             SimError::SupplyOverrideFactor(v) => {
                 write!(f, "command timeline: supply override factor invalid: {v}")
+            }
+            SimError::FaultFlapPeriod(v) => {
+                write!(
+                    f,
+                    "fault plan: flap period must be positive and finite, got {v}"
+                )
+            }
+            SimError::ZoneOutagePlan { reason } => {
+                write!(f, "zone-outage plan: {reason}")
+            }
+            SimError::ZoneOutageZone { index, zones } => {
+                write!(
+                    f,
+                    "zone-outage plan: zone index {index} out of range for {zones} zones"
+                )
+            }
+            SimError::Federation { reason } => write!(f, "federation: {reason}"),
+            SimError::TimelineEntry {
+                index,
+                field,
+                detail,
+            } => {
+                write!(f, "timeline entry {index}: invalid {field}: {detail}")
+            }
+            SimError::TimelineShape { detail } => {
+                write!(f, "timeline must be a JSON array of entries: {detail}")
             }
         }
     }

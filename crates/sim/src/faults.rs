@@ -123,6 +123,219 @@ impl ControllerCrashPlan {
     }
 }
 
+/// What goes wrong with a zone during a [`ZoneOutage`] window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZoneOutageKind {
+    /// The zone's own controller crashes: its leaves run open-loop on last
+    /// budgets and it restarts from its zone-local checkpoint at the end
+    /// of the window. The broker sees the zone as unreachable.
+    ControllerCrash,
+    /// The broker↔zone network link is down: the zone controller keeps
+    /// running closed-loop *inside* the zone, but no demand report reaches
+    /// the broker and no grant reaches the zone — the zone runs on its
+    /// last delivered grant (open-loop at the federation level).
+    Isolation,
+    /// Reports still arrive but are stale (the broker must not trust
+    /// them): the broker reuses last-known demand and applies a
+    /// tightening-only split for the zone. Grants are still delivered.
+    StaleReports,
+}
+
+/// One zone-level fault window: zone `zone` suffers `kind` for
+/// `from <= tick < until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneOutage {
+    /// Zone index (order of the federation's zone list).
+    pub zone: usize,
+    /// What goes wrong.
+    pub kind: ZoneOutageKind,
+    /// First faulty demand period (inclusive).
+    pub from: u64,
+    /// First healthy demand period again (exclusive end).
+    pub until: u64,
+}
+
+impl ZoneOutage {
+    /// Is `tick` inside the window?
+    #[must_use]
+    pub fn active(&self, tick: u64) -> bool {
+        self.from <= tick && tick < self.until
+    }
+}
+
+/// Federation-level fault schedule: per-zone outage windows plus broker
+/// crash windows, with the checkpoint cadence backing both broker and
+/// zone-controller recovery.
+///
+/// Structural rules (checked by [`ZoneOutagePlan::validate`]):
+/// broker-crash and [`ZoneOutageKind::ControllerCrash`] windows must start
+/// at tick 1 or later (tick 0 always checkpoints, so a restart always has
+/// a checkpoint to restore from); windows of the same kind on the same
+/// zone must be sorted and non-overlapping. Windows of *different* kinds
+/// may overlap — a crashed zone can simultaneously be isolated — with
+/// severity precedence crash > isolation > stale reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneOutagePlan {
+    /// Demand periods between checkpoints (tick 0 included), used for the
+    /// broker snapshot and for every zone that has crash windows.
+    pub checkpoint_period: u64,
+    /// Broker crash windows: while down, no apportioning happens and every
+    /// zone runs open-loop on its last grant. Sorted, non-overlapping.
+    #[serde(default)]
+    pub broker_crash: Vec<ControllerOutage>,
+    /// Per-zone outage windows.
+    #[serde(default)]
+    pub outages: Vec<ZoneOutage>,
+}
+
+impl ZoneOutagePlan {
+    /// A plan that schedules nothing — running with it reproduces the
+    /// outage-free federation trajectory exactly.
+    #[must_use]
+    pub fn quiet() -> Self {
+        ZoneOutagePlan {
+            checkpoint_period: 10,
+            broker_crash: Vec::new(),
+            outages: Vec::new(),
+        }
+    }
+
+    /// Validate the schedule against a federation of `n_zones` zones.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ZoneOutagePlan`] naming the first structural
+    /// rule violated, [`SimError::ZoneOutageZone`] for a zone index past
+    /// the federation, or [`SimError::FaultWindow`] for an empty window.
+    pub fn validate(&self, n_zones: usize) -> Result<(), SimError> {
+        if self.checkpoint_period == 0 {
+            return Err(SimError::ZoneOutagePlan {
+                reason: "checkpoint_period must be at least 1",
+            });
+        }
+        let mut prev_until = 0;
+        for w in &self.broker_crash {
+            if w.from >= w.until {
+                return Err(SimError::FaultWindow {
+                    from: w.from,
+                    until: w.until,
+                });
+            }
+            if w.from == 0 {
+                return Err(SimError::ZoneOutagePlan {
+                    reason: "a broker-crash window may not start at tick 0 \
+                             (no broker checkpoint exists yet)",
+                });
+            }
+            if w.from < prev_until {
+                return Err(SimError::ZoneOutagePlan {
+                    reason: "broker-crash windows must be sorted and non-overlapping",
+                });
+            }
+            prev_until = w.until;
+        }
+        for o in &self.outages {
+            if o.zone >= n_zones {
+                return Err(SimError::ZoneOutageZone {
+                    index: o.zone,
+                    zones: n_zones,
+                });
+            }
+            if o.from >= o.until {
+                return Err(SimError::FaultWindow {
+                    from: o.from,
+                    until: o.until,
+                });
+            }
+            if o.kind == ZoneOutageKind::ControllerCrash && o.from == 0 {
+                return Err(SimError::ZoneOutagePlan {
+                    reason: "a zone controller-crash window may not start at \
+                             tick 0 (no zone checkpoint exists yet)",
+                });
+            }
+        }
+        // Same-(zone, kind) windows must be sorted and non-overlapping;
+        // O(n²) is fine at plan-validation scale.
+        for (i, a) in self.outages.iter().enumerate() {
+            for b in &self.outages[i + 1..] {
+                if a.zone != b.zone || a.kind != b.kind {
+                    continue;
+                }
+                if b.from < a.until {
+                    return Err(SimError::ZoneOutagePlan {
+                        reason: "same-kind windows on one zone must be sorted \
+                                 and non-overlapping",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the broker down at `tick`?
+    #[must_use]
+    pub fn broker_down(&self, tick: u64) -> bool {
+        self.broker_crash.iter().any(|w| w.active(tick))
+    }
+
+    /// The broker's view of `zone` at `tick`, by severity precedence:
+    /// a crashed zone is `Down` even if also isolated; an isolated zone is
+    /// `Isolated` even if its reports would also be stale.
+    #[must_use]
+    pub fn zone_condition(&self, zone: usize, tick: u64) -> willow_core::ZoneCondition {
+        use willow_core::ZoneCondition;
+        let mut condition = ZoneCondition::Healthy;
+        for o in self.outages.iter().filter(|o| o.zone == zone) {
+            if !o.active(tick) {
+                continue;
+            }
+            let c = match o.kind {
+                ZoneOutageKind::ControllerCrash => ZoneCondition::Down,
+                ZoneOutageKind::Isolation => ZoneCondition::Isolated,
+                ZoneOutageKind::StaleReports => ZoneCondition::StaleReport,
+            };
+            if severity(c) > severity(condition) {
+                condition = c;
+            }
+        }
+        condition
+    }
+
+    /// Extract `zone`'s controller-crash windows as a zone-local
+    /// [`ControllerCrashPlan`] (sharing this plan's checkpoint cadence),
+    /// or `None` if the zone never crashes — so a crash-free zone skips
+    /// checkpointing entirely and stays bit-for-bit with a standalone run.
+    #[must_use]
+    pub fn crash_plan_for(&self, zone: usize) -> Option<ControllerCrashPlan> {
+        let windows: Vec<ControllerOutage> = self
+            .outages
+            .iter()
+            .filter(|o| o.zone == zone && o.kind == ZoneOutageKind::ControllerCrash)
+            .map(|o| ControllerOutage {
+                from: o.from,
+                until: o.until,
+            })
+            .collect();
+        if windows.is_empty() {
+            return None;
+        }
+        Some(ControllerCrashPlan {
+            checkpoint_period: self.checkpoint_period,
+            windows,
+        })
+    }
+}
+
+/// Severity order for overlapping zone-outage windows.
+fn severity(c: willow_core::ZoneCondition) -> u8 {
+    use willow_core::ZoneCondition;
+    match c {
+        ZoneCondition::Healthy => 0,
+        ZoneCondition::StaleReport => 1,
+        ZoneCondition::Isolated => 2,
+        ZoneCondition::Down => 3,
+    }
+}
+
 /// A faulty temperature sensor over a window of demand periods.
 ///
 /// With `stuck_at` set the sensor reads that constant regardless of the
@@ -218,6 +431,18 @@ impl FaultPlan {
         }
         probability("message duplication", self.message_faults.duplication)?;
         probability("message delay", self.message_faults.delay)?;
+        if let Some(flap) = &self.message_faults.flap {
+            if !flap.period.is_positive() || !flap.period.0.is_finite() {
+                return Err(SimError::FaultFlapPeriod(flap.period.0));
+            }
+            // A down fraction of 1 would leave no up window to defer into.
+            if !(0.0..1.0).contains(&flap.down_fraction) {
+                return Err(SimError::FaultProbability {
+                    field: "flap down_fraction",
+                    value: flap.down_fraction,
+                });
+            }
+        }
 
         for c in &self.crashes {
             if c.server >= n_servers {
@@ -561,5 +786,170 @@ mod tests {
         };
         assert!(certain_message_loss.validate(n).is_err());
         assert!(FaultPlan::quiet(0).validate(n).is_ok());
+    }
+
+    #[test]
+    fn zone_outage_plan_validation() {
+        use ZoneOutageKind::*;
+        let ok = ZoneOutagePlan {
+            checkpoint_period: 5,
+            broker_crash: vec![ControllerOutage { from: 3, until: 8 }],
+            outages: vec![
+                ZoneOutage {
+                    zone: 0,
+                    kind: ControllerCrash,
+                    from: 10,
+                    until: 20,
+                },
+                ZoneOutage {
+                    zone: 0,
+                    kind: Isolation,
+                    from: 15,
+                    until: 25,
+                },
+                ZoneOutage {
+                    zone: 1,
+                    kind: StaleReports,
+                    from: 0,
+                    until: 5,
+                },
+            ],
+        };
+        assert!(ok.validate(2).is_ok());
+        assert!(matches!(
+            ok.validate(1),
+            Err(SimError::ZoneOutageZone { index: 1, zones: 1 })
+        ));
+
+        let zero_period = ZoneOutagePlan {
+            checkpoint_period: 0,
+            ..ZoneOutagePlan::quiet()
+        };
+        assert!(matches!(
+            zero_period.validate(2),
+            Err(SimError::ZoneOutagePlan { .. })
+        ));
+
+        let broker_at_zero = ZoneOutagePlan {
+            broker_crash: vec![ControllerOutage { from: 0, until: 4 }],
+            ..ZoneOutagePlan::quiet()
+        };
+        assert!(matches!(
+            broker_at_zero.validate(2),
+            Err(SimError::ZoneOutagePlan { .. })
+        ));
+
+        let crash_at_zero = ZoneOutagePlan {
+            outages: vec![ZoneOutage {
+                zone: 0,
+                kind: ControllerCrash,
+                from: 0,
+                until: 4,
+            }],
+            ..ZoneOutagePlan::quiet()
+        };
+        assert!(matches!(
+            crash_at_zero.validate(2),
+            Err(SimError::ZoneOutagePlan { .. })
+        ));
+        // Isolation at tick 0 is legal — no checkpoint is needed for it.
+        let isolated_at_zero = ZoneOutagePlan {
+            outages: vec![ZoneOutage {
+                zone: 0,
+                kind: Isolation,
+                from: 0,
+                until: 4,
+            }],
+            ..ZoneOutagePlan::quiet()
+        };
+        assert!(isolated_at_zero.validate(2).is_ok());
+
+        let overlapping_same_kind = ZoneOutagePlan {
+            outages: vec![
+                ZoneOutage {
+                    zone: 1,
+                    kind: Isolation,
+                    from: 5,
+                    until: 15,
+                },
+                ZoneOutage {
+                    zone: 1,
+                    kind: Isolation,
+                    from: 10,
+                    until: 20,
+                },
+            ],
+            ..ZoneOutagePlan::quiet()
+        };
+        assert!(matches!(
+            overlapping_same_kind.validate(2),
+            Err(SimError::ZoneOutagePlan { .. })
+        ));
+
+        let empty_window = ZoneOutagePlan {
+            outages: vec![ZoneOutage {
+                zone: 0,
+                kind: StaleReports,
+                from: 7,
+                until: 7,
+            }],
+            ..ZoneOutagePlan::quiet()
+        };
+        assert!(matches!(
+            empty_window.validate(2),
+            Err(SimError::FaultWindow { from: 7, until: 7 })
+        ));
+    }
+
+    #[test]
+    fn zone_condition_takes_the_most_severe_overlap() {
+        use willow_core::ZoneCondition;
+        use ZoneOutageKind::*;
+        let plan = ZoneOutagePlan {
+            checkpoint_period: 5,
+            broker_crash: vec![ControllerOutage { from: 3, until: 6 }],
+            outages: vec![
+                ZoneOutage {
+                    zone: 0,
+                    kind: StaleReports,
+                    from: 10,
+                    until: 30,
+                },
+                ZoneOutage {
+                    zone: 0,
+                    kind: Isolation,
+                    from: 15,
+                    until: 25,
+                },
+                ZoneOutage {
+                    zone: 0,
+                    kind: ControllerCrash,
+                    from: 20,
+                    until: 22,
+                },
+            ],
+        };
+        plan.validate(1).unwrap();
+        assert_eq!(plan.zone_condition(0, 9), ZoneCondition::Healthy);
+        assert_eq!(plan.zone_condition(0, 12), ZoneCondition::StaleReport);
+        assert_eq!(plan.zone_condition(0, 16), ZoneCondition::Isolated);
+        assert_eq!(plan.zone_condition(0, 21), ZoneCondition::Down);
+        assert_eq!(plan.zone_condition(0, 24), ZoneCondition::Isolated);
+        assert_eq!(plan.zone_condition(0, 29), ZoneCondition::StaleReport);
+        assert_eq!(plan.zone_condition(0, 30), ZoneCondition::Healthy);
+        assert!(plan.broker_down(3) && plan.broker_down(5));
+        assert!(!plan.broker_down(2) && !plan.broker_down(6));
+
+        let crash = plan.crash_plan_for(0).unwrap();
+        assert_eq!(crash.checkpoint_period, 5);
+        assert_eq!(
+            crash.windows,
+            vec![ControllerOutage {
+                from: 20,
+                until: 22
+            }]
+        );
+        assert!(crash.validate().is_ok());
+        assert!(ZoneOutagePlan::quiet().crash_plan_for(0).is_none());
     }
 }

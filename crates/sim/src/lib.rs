@@ -16,7 +16,11 @@
 //! * [`error`] — typed configuration/construction errors ([`SimError`]).
 //! * [`faults`] — deterministic fault injection ([`FaultPlan`],
 //!   [`FaultInjector`]): message loss, PMU crashes, sensor faults,
-//!   migration failures, all pre-rolled from a dedicated seed.
+//!   migration failures, all pre-rolled from a dedicated seed; plus
+//!   federation-level schedules ([`ZoneOutagePlan`]).
+//! * [`federate`] — multi-zone federation driver
+//!   ([`FederatedSimulation`]): N zone simulations in lockstep under a
+//!   fault-tolerant supply broker.
 //! * [`metrics`] — per-tick and aggregated run metrics.
 //! * [`experiments`] — one runner per paper figure, returning printable row
 //!   series (consumed by the `repro` binary in `willow-bench` and recorded
@@ -31,14 +35,16 @@ pub mod engine;
 pub mod error;
 pub mod experiments;
 pub mod faults;
+pub mod federate;
 pub mod messaging;
 pub mod metrics;
 pub mod parallel;
 pub mod trace;
 
-pub use commands::{ScheduledCommand, SimCommand};
+pub use commands::{parse_timeline, ScheduledCommand, SimCommand};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use error::SimError;
-pub use faults::{FaultInjector, FaultPlan};
+pub use faults::{FaultInjector, FaultPlan, ZoneOutage, ZoneOutageKind, ZoneOutagePlan};
+pub use federate::{FederateConfig, FederatedSimulation, FederationRunMetrics};
 pub use metrics::RunMetrics;

@@ -1,0 +1,254 @@
+//! Property-based tests for federated checkpoint/restore: a
+//! [`FederationSnapshot`] survives a JSON round trip and the restored
+//! federation — zone controllers *and* broker ledger — continues the run
+//! bit-for-bit identically, even when the snapshot is taken with a zone
+//! mid-outage (crashed, isolated, or serving stale reports), and across a
+//! broker crash + checkpoint recovery. Mirrors the single-controller
+//! proptests in `snapshot_props.rs`, one level up.
+
+use proptest::prelude::*;
+use willow_core::config::ControllerConfig;
+use willow_core::controller::Willow;
+use willow_core::disturbance::Disturbances;
+use willow_core::federation::{BrokerConfig, Federation, FederationSnapshot};
+use willow_core::migration::TickReport;
+use willow_core::server::ServerSpec;
+use willow_core::ZoneCondition;
+use willow_sim::faults::{FaultInjector, FaultPlan};
+use willow_thermal::units::Watts;
+use willow_topology::Tree;
+use willow_workload::app::{AppId, Application, SIM_APP_CLASSES};
+
+/// Build one zone controller over `branching` with `apps_per_server`
+/// apps, ids offset so zones stay distinguishable in debug output.
+fn build_zone(branching: &[usize], apps_per_server: usize, id_base: u32) -> Willow {
+    let tree = Tree::uniform(branching);
+    let mut next = id_base;
+    let specs: Vec<ServerSpec> = tree
+        .leaves()
+        .map(|leaf| {
+            let apps: Vec<Application> = (0..apps_per_server)
+                .map(|_| {
+                    let class = next as usize % SIM_APP_CLASSES.len();
+                    let a = Application::new(AppId(next), class, &SIM_APP_CLASSES[class]);
+                    next += 1;
+                    a
+                })
+                .collect();
+            ServerSpec::simulation_default(leaf).with_apps(apps)
+        })
+        .collect();
+    Willow::new(tree, specs, ControllerConfig::default()).expect("valid build")
+}
+
+/// Deterministic per-app demand for zone `z` at tick `t`.
+fn demands(n_apps: usize, z: usize, t: u64) -> Vec<Watts> {
+    (0..n_apps)
+        .map(|i| Watts(10.0 + ((i as u64 * 13 + t * 7 + z as u64 * 29) % 17) as f64 * 8.0))
+        .collect()
+}
+
+/// The condition of each zone at tick `t`: `outage_zone` is under
+/// `outage_kind` inside its window, everyone else is healthy.
+fn conditions_at(
+    n_zones: usize,
+    t: u64,
+    outage_zone: usize,
+    outage_kind: ZoneCondition,
+    window: (u64, u64),
+) -> Vec<ZoneCondition> {
+    (0..n_zones)
+        .map(|i| {
+            if i == outage_zone && (window.0..window.1).contains(&t) {
+                outage_kind
+            } else {
+                ZoneCondition::Healthy
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot the federation while one zone is mid-outage, round-trip
+    /// the snapshot through JSON, restore, and drive original and
+    /// restoree in lockstep on the same demand and disturbance streams:
+    /// every subsequent per-zone tick report must match exactly, through
+    /// the rest of the outage window and past its end (where the broker's
+    /// ledger-upkeep auto-untrip must replay identically from the
+    /// restored counters).
+    #[test]
+    fn federated_json_round_trip_restores_lockstep(
+        n_zones in 2usize..4,
+        shape in prop::collection::vec(1usize..4, 1..3),
+        apps_per_server in 1usize..3,
+        outage_zone_frac in 0.0f64..1.0,
+        kind_pick in 0u8..3,
+        checkpoint_at in 4u64..20,
+        outage_len in 2u64..10,
+        supply_frac in 0.3f64..1.0,
+        fault_seed in 0u64..1_000_000,
+    ) {
+        let outage_zone = ((outage_zone_frac * n_zones as f64) as usize).min(n_zones - 1);
+        let outage_kind = match kind_pick {
+            0 => ZoneCondition::Down,
+            1 => ZoneCondition::Isolated,
+            _ => ZoneCondition::StaleReport,
+        };
+        // The snapshot lands strictly inside the outage window.
+        let window = (checkpoint_at.saturating_sub(outage_len / 2).max(1), checkpoint_at + outage_len);
+        let total_ticks = window.1 + 15;
+
+        let zones: Vec<Willow> = (0..n_zones)
+            .map(|_| build_zone(&shape, apps_per_server, 0))
+            .collect();
+        let n_servers = zones[0].servers().len();
+        let n_apps = n_servers * apps_per_server;
+        let rating: f64 = zones
+            .iter()
+            .flat_map(|z| z.servers().iter())
+            .map(|s| s.thermal.rating().0)
+            .sum();
+        let supply = Watts(rating * supply_frac);
+
+        let plan_for = |z: usize| FaultPlan {
+            seed: fault_seed ^ z as u64,
+            report_loss: 0.15,
+            directive_loss: 0.15,
+            migration_failure: 0.3,
+            abort_fraction: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut fed = Federation::new(zones, BrokerConfig::default()).expect("valid federation");
+        let mut injectors: Vec<FaultInjector> = (0..n_zones)
+            .map(|z| FaultInjector::new(plan_for(z), n_servers).expect("valid plan"))
+            .collect();
+
+        let mut reports = vec![TickReport::default(); n_zones];
+        let step = |fed: &mut Federation,
+                    injectors: &mut [FaultInjector],
+                    reports: &mut [TickReport],
+                    t: u64| {
+            let conds = conditions_at(n_zones, t, outage_zone, outage_kind, window);
+            let dm: Vec<Vec<Watts>> = (0..n_zones).map(|z| demands(n_apps, z, t)).collect();
+            let ds: Vec<Disturbances> = injectors
+                .iter_mut()
+                .map(|inj| inj.disturbances_for(t))
+                .collect();
+            fed.step(supply, true, &conds, &dm, &ds, reports);
+        };
+        for t in 0..checkpoint_at {
+            step(&mut fed, &mut injectors, &mut reports, t);
+        }
+
+        // JSON round trip must be lossless — zone snapshots and the
+        // broker ledger (links, counters, grants) alike.
+        let snap = fed.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let parsed: FederationSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        prop_assert_eq!(&parsed, &snap);
+
+        // The restoree continues bit-for-bit: same grants during the rest
+        // of the outage, same auto-untrip when the window ends.
+        let mut restored = Federation::restore(parsed).expect("snapshot restores");
+        let mut injectors_b: Vec<FaultInjector> = (0..n_zones)
+            .map(|z| FaultInjector::new(plan_for(z), n_servers).expect("valid plan"))
+            .collect();
+        // Fast-forward the twin injectors to the checkpoint tick.
+        for t in 0..checkpoint_at {
+            for inj in injectors_b.iter_mut() {
+                let _ = inj.disturbances_for(t);
+            }
+        }
+        let mut reports_b = vec![TickReport::default(); n_zones];
+        for t in checkpoint_at..total_ticks {
+            step(&mut fed, &mut injectors, &mut reports, t);
+            step(&mut restored, &mut injectors_b, &mut reports_b, t);
+            for z in 0..n_zones {
+                prop_assert_eq!(
+                    format!("{:?}", reports[z]),
+                    format!("{:?}", reports_b[z]),
+                    "zone {} diverged at tick {}",
+                    z,
+                    t
+                );
+            }
+            prop_assert_eq!(fed.broker().grants(), restored.broker().grants(), "grants diverged at tick {}", t);
+        }
+        prop_assert_eq!(fed.snapshot(), restored.snapshot());
+    }
+
+    /// Broker crash mid-run: both the original and a snapshot-restored
+    /// twin ride through the same broker-down window (open-loop protocol
+    /// in every zone), recover the broker from the same pre-crash ledger
+    /// checkpoint, and must agree bit-for-bit throughout — a broker crash
+    /// strands no zone and loses no determinism.
+    #[test]
+    fn broker_crash_recovery_replays_identically(
+        n_zones in 2usize..4,
+        shape in prop::collection::vec(1usize..4, 1..3),
+        apps_per_server in 1usize..3,
+        checkpoint_at in 4u64..16,
+        down_len in 1u64..8,
+        supply_frac in 0.3f64..1.0,
+    ) {
+        let down_window = (checkpoint_at + 2, checkpoint_at + 2 + down_len);
+        let total_ticks = down_window.1 + 12;
+        let zones: Vec<Willow> = (0..n_zones)
+            .map(|_| build_zone(&shape, apps_per_server, 0))
+            .collect();
+        let n_servers = zones[0].servers().len();
+        let n_apps = n_servers * apps_per_server;
+        let rating: f64 = zones
+            .iter()
+            .flat_map(|z| z.servers().iter())
+            .map(|s| s.thermal.rating().0)
+            .sum();
+        let supply = Watts(rating * supply_frac);
+
+        let mut fed = Federation::new(zones, BrokerConfig::default()).expect("valid federation");
+        let healthy = vec![ZoneCondition::Healthy; n_zones];
+        let none = Disturbances::none();
+        let ds: Vec<Disturbances> = vec![none; n_zones];
+        let mut reports = vec![TickReport::default(); n_zones];
+        let drive = |fed: &mut Federation, reports: &mut [TickReport], t: u64, up: bool| {
+            let dm: Vec<Vec<Watts>> = (0..n_zones).map(|z| demands(n_apps, z, t)).collect();
+            fed.step(supply, up, &healthy, &dm, &ds, reports);
+        };
+        for t in 0..checkpoint_at {
+            drive(&mut fed, &mut reports, t, true);
+        }
+        let broker_ckpt = fed.broker().snapshot();
+        let snap = fed.snapshot();
+        let mut twin = Federation::restore(snap).expect("snapshot restores");
+        let mut reports_b = vec![TickReport::default(); n_zones];
+
+        for t in checkpoint_at..total_ticks {
+            let up = !(down_window.0..down_window.1).contains(&t);
+            if up && t == down_window.1 {
+                // First healthy tick: both recover the broker from the
+                // same pre-crash checkpoint, all zones reachable.
+                let reachable = vec![true; n_zones];
+                fed.recover_broker(broker_ckpt.clone(), &reachable)
+                    .expect("recovery succeeds");
+                twin.recover_broker(broker_ckpt.clone(), &reachable)
+                    .expect("recovery succeeds");
+            }
+            drive(&mut fed, &mut reports, t, up);
+            drive(&mut twin, &mut reports_b, t, up);
+            for z in 0..n_zones {
+                prop_assert_eq!(
+                    format!("{:?}", reports[z]),
+                    format!("{:?}", reports_b[z]),
+                    "zone {} diverged at tick {} (up={})",
+                    z,
+                    t,
+                    up
+                );
+            }
+        }
+        prop_assert_eq!(fed.snapshot(), twin.snapshot());
+        prop_assert_eq!(fed.broker().counters(), twin.broker().counters());
+    }
+}

@@ -91,7 +91,13 @@ proptest! {
         let alpha = Seconds(0.02);
         let demands = vec![Watts(13.0); tree.leaves().count()];
         let clean = emulate_round(&tree, alpha, &demands, Watts(900.0));
-        let faults = MessageFaults { loss, duplication: dup, delay, dead_link: None };
+        let faults = MessageFaults {
+            loss,
+            duplication: dup,
+            delay,
+            dead_link: None,
+            flap: None,
+        };
         let f = emulate_round_with_faults(&tree, alpha, &demands, Watts(900.0), &faults, seed);
         prop_assert_eq!(f.outcome.messages, clean.messages);
         prop_assert_eq!(f.outcome.root_view, clean.root_view);
