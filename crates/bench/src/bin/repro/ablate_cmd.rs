@@ -18,9 +18,13 @@
 //! bit-for-bit (the policy plumbing must be behavior-neutral for defaults).
 
 use serde::Value;
-use willow_core::config::{ConsolidationPolicyChoice, PackerChoice, TargetPolicyChoice};
+use willow_core::config::{
+    ConsolidationPolicyChoice, PackerChoice, SupplyPolicyChoice, TargetPolicyChoice,
+};
 use willow_power::SupplyTrace;
 use willow_sim::{RunMetrics, SimConfig, Simulation};
+use willow_thermal::units::Watts;
+use willow_workload::trace::trapezoid_diurnal_profile;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -132,6 +136,162 @@ fn default_reference(sc: Scenario, seed: u64, ticks: usize) -> RunMetrics {
     Simulation::new(scenario_config(sc, seed, ticks))
         .expect("valid")
         .run()
+}
+
+// ---------------------------------------------------------------------
+// Reactive vs predictive supply-policy race.
+//
+// The grid above asks which *orderings* win; this section asks whether
+// acting on forecasts beats acting on measurements. It only makes sense
+// on scenarios where the future is knowable: demand follows a diurnal
+// trapezoid (ramps are trends, not surprises) and — in the scheduled
+// brownout — supply descends on a published ramp. Reactive control pays
+// for every transition after it bites; the predictive policy reads the
+// same histories through its forecasters and pays a horizon early.
+
+#[derive(Clone, Copy)]
+struct PredictiveScenario {
+    name: &'static str,
+    /// Overlay the forecastable supply ramp-down on the second day's
+    /// plateau (the scheduled brownout). Without it the scenario is pure
+    /// diurnal load under ample supply.
+    scheduled_brownout: bool,
+}
+
+const PREDICTIVE_SCENARIOS: [PredictiveScenario; 2] = [
+    PredictiveScenario {
+        name: "scheduled_brownout",
+        scheduled_brownout: true,
+    },
+    PredictiveScenario {
+        name: "diurnal_load",
+        scheduled_brownout: false,
+    },
+];
+
+/// Diurnal night/day utilization levels: nights idle enough that
+/// consolidation parks servers, days busy enough that the parked capacity
+/// is needed back — the regime where wake latency shows up as dropped
+/// demand.
+const DIURNAL_NIGHT_U: f64 = 0.12;
+const DIURNAL_DAY_U: f64 = 0.68;
+/// Scheduled-brownout floor, as a fraction of nominal supply. At the
+/// day-plateau utilization this sits below aggregate demand, so the
+/// plunge is a genuine deficit rather than margin erosion.
+const BROWNOUT_DEPTH: f64 = 0.7;
+
+/// Supply for the scheduled brownout: nominal, then a *ramped* (and thus
+/// forecastable) descent to `BROWNOUT_DEPTH`·nominal across the second
+/// day's plateau, then a ramped recovery. Geometry is expressed in demand
+/// ticks and sampled at the Δ_S grain the engine indexes the trace by.
+fn scheduled_brownout_supply(
+    nominal: Watts,
+    ticks: usize,
+    period: usize,
+    eta1: usize,
+) -> SupplyTrace {
+    let down0 = period + period * 45 / 100;
+    let down1 = period + period * 55 / 100;
+    let up0 = period + period * 75 / 100;
+    let up1 = period + period * 85 / 100;
+    let level = |t: usize| -> f64 {
+        if t < down0 || t >= up1 {
+            1.0
+        } else if t < down1 {
+            let f = (t - down0) as f64 / (down1 - down0) as f64;
+            1.0 - (1.0 - BROWNOUT_DEPTH) * f
+        } else if t < up0 {
+            BROWNOUT_DEPTH
+        } else {
+            let f = (t - up0) as f64 / (up1 - up0) as f64;
+            BROWNOUT_DEPTH + (1.0 - BROWNOUT_DEPTH) * f
+        }
+    };
+    let periods = ticks / eta1 + 2;
+    SupplyTrace::new((0..periods).map(|p| nominal * level(p * eta1)).collect())
+}
+
+fn predictive_scenario_config(
+    sc: PredictiveScenario,
+    seed: u64,
+    ticks: usize,
+    policy: SupplyPolicyChoice,
+) -> SimConfig {
+    let mut cfg = SimConfig::paper_hot_cold(seed, DIURNAL_DAY_U);
+    cfg.ticks = ticks;
+    cfg.warmup = ticks / 5;
+    // Three diurnal cycles per run, whatever the tick budget.
+    let period = (ticks / 3).max(10);
+    let ramp = (period / 5).max(1);
+    cfg.utilization_trace = Some(trapezoid_diurnal_profile(
+        ticks,
+        DIURNAL_NIGHT_U,
+        DIURNAL_DAY_U,
+        period,
+        ramp,
+    ));
+    if sc.scheduled_brownout {
+        cfg.supply = Some(scheduled_brownout_supply(
+            cfg.ample_supply(),
+            ticks,
+            period,
+            cfg.controller.eta1 as usize,
+        ));
+    }
+    cfg.controller.supply_policy = policy;
+    cfg
+}
+
+/// Mean scores of one supply policy on one predictive scenario.
+struct PolicyRow {
+    policy: SupplyPolicyChoice,
+    dropped: f64,
+    demand_migs: f64,
+    consolidation_migs: f64,
+    pingpongs: f64,
+    cluster_power: f64,
+    thermal_slack: Option<f64>,
+    violations: usize,
+}
+
+fn run_supply_policy(
+    sc: PredictiveScenario,
+    seed: u64,
+    ticks: usize,
+    n_seeds: usize,
+    policy: SupplyPolicyChoice,
+) -> PolicyRow {
+    let mut row = PolicyRow {
+        policy,
+        dropped: 0.0,
+        demand_migs: 0.0,
+        consolidation_migs: 0.0,
+        pingpongs: 0.0,
+        cluster_power: 0.0,
+        thermal_slack: None,
+        violations: 0,
+    };
+    let mut peak = f64::NEG_INFINITY;
+    let mut saw_temps = false;
+    for k in 0..n_seeds {
+        let cfg = predictive_scenario_config(sc, seed + k as u64, ticks, policy);
+        let m = Simulation::new(cfg).expect("valid predictive config").run();
+        let n = n_seeds as f64;
+        row.dropped += m.avg_dropped / n;
+        row.demand_migs += m.demand_migrations as f64 / n;
+        row.consolidation_migs += m.consolidation_migrations as f64 / n;
+        row.pingpongs += m.pingpongs as f64 / n;
+        row.cluster_power += m.avg_server_power.iter().sum::<f64>() / n;
+        row.violations += m.invariant_violations;
+        if !m.peak_server_temp.is_empty() {
+            saw_temps = true;
+            peak = m.peak_server_temp.iter().fold(peak, |a: f64, &b| a.max(b));
+        }
+    }
+    if saw_temps {
+        row.thermal_slack = Some(T_LIMIT_C - peak);
+    }
+    row
 }
 
 pub fn run(seed: u64, ticks: usize, n_seeds: usize, smoke: bool) {
@@ -272,6 +432,89 @@ pub fn run(seed: u64, ticks: usize, n_seeds: usize, smoke: bool) {
         }
     }
 
+    // ----- reactive vs predictive supply-policy race -----
+    let mut supply_rows = Vec::new();
+    for sc in PREDICTIVE_SCENARIOS {
+        // Neutrality check, serde edition: a config whose JSON never
+        // mentions `supply_policy` must behave exactly like one that
+        // spells out the Reactive default — the planning seam and the
+        // config plumbing must both be invisible for defaults.
+        let explicit_cfg =
+            predictive_scenario_config(sc, seed, ticks, SupplyPolicyChoice::Reactive);
+        let json = serde_json::to_string(&explicit_cfg).expect("config serializes");
+        let stripped = json.replacen(",\"supply_policy\":\"Reactive\"", "", 1);
+        assert!(
+            !stripped.contains("supply_policy"),
+            "failed to strip the supply_policy key"
+        );
+        let legacy_cfg: SimConfig = serde_json::from_str(&stripped).expect("legacy config parses");
+        let reference = Simulation::new(legacy_cfg).expect("valid").run();
+        let explicit = Simulation::new(explicit_cfg).expect("valid").run();
+        if explicit != reference {
+            println!(
+                "FAIL [{}]: explicit Reactive supply policy is not behavior-neutral",
+                sc.name
+            );
+            failures += 1;
+        }
+
+        let reactive = run_supply_policy(sc, seed, ticks, n_seeds, SupplyPolicyChoice::Reactive);
+        let predictive =
+            run_supply_policy(sc, seed, ticks, n_seeds, SupplyPolicyChoice::Predictive);
+
+        println!("\n== supply-policy race: {} ==", sc.name);
+        println!(
+            "  {:<12} {:>10} {:>8} {:>8} {:>6} {:>12} {:>10}",
+            "policy", "drop(W)", "d-migs", "c-migs", "pp", "power(W)", "slack(°C)"
+        );
+        for r in [&reactive, &predictive] {
+            if r.violations > 0 {
+                println!(
+                    "FAIL [{}]: {:?} supply policy tripped the invariant auditor {} time(s)",
+                    sc.name, r.policy, r.violations
+                );
+                failures += 1;
+            }
+            let slack = r
+                .thermal_slack
+                .map_or_else(|| "n/a".to_string(), |s| format!("{s:.1}"));
+            println!(
+                "  {:<12} {:>10.1} {:>8.1} {:>8.1} {:>6.1} {:>12.1} {:>10}",
+                format!("{:?}", r.policy),
+                r.dropped,
+                r.demand_migs,
+                r.consolidation_migs,
+                r.pingpongs,
+                r.cluster_power,
+                slack
+            );
+            supply_rows.push(obj(vec![
+                ("scenario", Value::Str(sc.name.to_owned())),
+                ("supply_policy", Value::Str(format!("{:?}", r.policy))),
+                ("avg_dropped_w", Value::F64(r.dropped)),
+                ("demand_migrations", Value::F64(r.demand_migs)),
+                ("consolidation_migrations", Value::F64(r.consolidation_migs)),
+                ("pingpongs", Value::F64(r.pingpongs)),
+                ("cluster_power_w", Value::F64(r.cluster_power)),
+                (
+                    "thermal_slack_c",
+                    r.thermal_slack.map_or(Value::Null, Value::F64),
+                ),
+            ]));
+        }
+
+        // The headline claim — forecasts beat measurements where the
+        // future is knowable — is gated in full runs only: smoke runs are
+        // too short for the averages to be stable.
+        if !smoke && sc.scheduled_brownout && predictive.dropped >= reactive.dropped {
+            println!(
+                "FAIL [{}]: predictive dropped {:.1} W >= reactive {:.1} W",
+                sc.name, predictive.dropped, reactive.dropped
+            );
+            failures += 1;
+        }
+    }
+
     if !smoke {
         let doc = obj(vec![
             ("kind", Value::Str("policy_race".to_owned())),
@@ -280,6 +523,7 @@ pub fn run(seed: u64, ticks: usize, n_seeds: usize, smoke: bool) {
             ("n_seeds", Value::U64(n_seeds as u64)),
             ("thermal_limit_c", Value::F64(T_LIMIT_C)),
             ("rows", Value::Array(json_rows)),
+            ("supply_policy_rows", Value::Array(supply_rows)),
         ]);
         let path = "BENCH_policy_race.json";
         std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")

@@ -58,6 +58,29 @@ pub enum ConsolidationPolicyChoice {
     MostHeadroomReceivers,
 }
 
+/// Whether the supply/consolidation stages act on forecasts from the
+/// planning seam ([`PlanningContext`](crate::control::PlanningContext)) or
+/// only on current measurements.
+///
+/// Unlike the other policy knobs this does not swap a trait object: the
+/// predictive behaviors live inside the stages, gated on this choice, and
+/// draw on forecaster state that *is* serialized (in `WillowSnapshot`), so
+/// a restored controller continues predicting bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SupplyPolicyChoice {
+    /// The paper's purely reactive control (default): every stage decides
+    /// from the current tick's measurements.
+    #[default]
+    Reactive,
+    /// MPC-style predictive control: tighten the root budget ahead of a
+    /// forecast supply dip, veto consolidation victims whose demand is
+    /// forecast to ramp past the threshold, and pre-wake sleeping servers
+    /// ahead of a forecast supply/demand shortfall. Tighten-only and
+    /// wake-only — forecasts can start defensive action early but never
+    /// loosen a physical budget.
+    Predictive,
+}
+
 /// How the unidirectional "no migrations into reduced-budget nodes" rule
 /// (§IV-E) is interpreted. See `DESIGN.md`: the literal reading conflicts
 /// with the paper's own deficit experiment, where a global supply plunge —
@@ -251,6 +274,11 @@ pub struct ControllerConfig {
     /// paper's default ordering.
     #[serde(default)]
     pub consolidation_policy: ConsolidationPolicyChoice,
+    /// Reactive (paper) vs predictive (forecast-driven) supply/demand
+    /// control. Absent in persisted configs from before the planning seam
+    /// existed, which deserialize as the paper's reactive behavior.
+    #[serde(default)]
+    pub supply_policy: SupplyPolicyChoice,
 }
 
 impl Default for ControllerConfig {
@@ -275,6 +303,7 @@ impl Default for ControllerConfig {
             threads: 1,
             target_policy: TargetPolicyChoice::AscendingId,
             consolidation_policy: ConsolidationPolicyChoice::HotZonesFirst,
+            supply_policy: SupplyPolicyChoice::Reactive,
         }
     }
 }
@@ -465,12 +494,15 @@ mod tests {
                 ConsolidationPolicyChoice::EmptiestFirst,
                 ConsolidationPolicyChoice::MostHeadroomReceivers,
             ] {
-                let mut c = ControllerConfig::default();
-                c.target_policy = target;
-                c.consolidation_policy = consolidation;
-                let json = serde_json::to_string(&c).unwrap();
-                let back: ControllerConfig = serde_json::from_str(&json).unwrap();
-                assert_eq!(c, back);
+                for supply in [SupplyPolicyChoice::Reactive, SupplyPolicyChoice::Predictive] {
+                    let mut c = ControllerConfig::default();
+                    c.target_policy = target;
+                    c.consolidation_policy = consolidation;
+                    c.supply_policy = supply;
+                    let json = serde_json::to_string(&c).unwrap();
+                    let back: ControllerConfig = serde_json::from_str(&json).unwrap();
+                    assert_eq!(c, back);
+                }
             }
         }
     }
@@ -484,7 +516,8 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let stripped = json
             .replacen(",\"target_policy\":\"AscendingId\"", "", 1)
-            .replacen(",\"consolidation_policy\":\"HotZonesFirst\"", "", 1);
+            .replacen(",\"consolidation_policy\":\"HotZonesFirst\"", "", 1)
+            .replacen(",\"supply_policy\":\"Reactive\"", "", 1);
         assert_ne!(stripped, json, "policy keys found in serialized config");
         let back: ControllerConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.target_policy, TargetPolicyChoice::AscendingId);
@@ -492,6 +525,7 @@ mod tests {
             back.consolidation_policy,
             ConsolidationPolicyChoice::HotZonesFirst
         );
+        assert_eq!(back.supply_policy, SupplyPolicyChoice::Reactive);
         back.validate().unwrap();
     }
 

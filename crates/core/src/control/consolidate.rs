@@ -6,7 +6,9 @@
 //! ambient changes), which reuses the evacuation machinery.
 
 use super::demand::DeficitItem;
+use super::planning::PlanningContext;
 use super::Willow;
+use crate::config::SupplyPolicyChoice;
 use crate::migration::{MigrationReason, MigrationRecord};
 use willow_thermal::units::Watts;
 use willow_topology::{NodeId, Tree};
@@ -67,23 +69,29 @@ impl Willow {
         stage: &mut ConsolidateStage,
         records: &mut Vec<MigrationRecord>,
         slept: &mut Vec<NodeId>,
+        plan: &PlanningContext,
     ) {
         let first_record = records.len();
         stage.candidates.clear();
         // Fenced-state servers are excluded: a draining server's lifecycle
-        // belongs to the command plane alone (see `super::liveops`).
+        // belongs to the command plane alone (see `super::liveops`). The
+        // predictive policy additionally skips victims whose *forecast*
+        // demand crosses the threshold within the next consolidation
+        // period — sleeping a server at the foot of a ramp just forces a
+        // wake (and re-migrations) one period later.
         stage
             .candidates
             .extend((0..self.servers.len()).filter(|&i| {
                 self.servers[i].active
                     && self.servers[i].fence.is_active()
                     && self.servers[i].utilization() < self.config.consolidation_threshold
+                    && !self.predicted_above_threshold(i, plan)
             }));
         {
             let ctx = self.policy_ctx();
             self.policies
                 .consolidation
-                .order_victims(&ctx, &mut stage.candidates);
+                .order_victims(&ctx, plan, &mut stage.candidates);
         }
 
         // Servers that receive consolidated load this round must not be
@@ -115,6 +123,7 @@ impl Willow {
                 &mut stage.evac_free,
                 &mut stage.evac_order,
                 &mut stage.evac_plan,
+                plan,
             ) {
                 // A failed attempt mid-plan (injected reject/abort) stops
                 // the evacuation: the server keeps its remaining apps and
@@ -145,6 +154,59 @@ impl Willow {
         }
     }
 
+    /// True when the predictive policy forecasts server `si`'s demand to
+    /// cross the consolidation threshold within one consolidation period
+    /// (`η2` demand periods). Always false under the reactive default, and
+    /// for servers without enough history to forecast.
+    fn predicted_above_threshold(&self, si: usize, plan: &PlanningContext) -> bool {
+        if self.config.supply_policy != SupplyPolicyChoice::Predictive {
+            return false;
+        }
+        let Some(pred) = plan.predicted_leaf_demand(si, self.config.eta2) else {
+            return false;
+        };
+        let server = &self.servers[si];
+        if server.full_util_power.0 <= 0.0 {
+            return false;
+        }
+        // The leaf series tracks smoothed CP (base load included); strip
+        // the base load so the comparison matches `utilization()`.
+        let pred_util = (pred - server.base_load).non_negative() / server.full_util_power;
+        pred_util >= self.config.consolidation_threshold
+    }
+
+    /// How much rating to wake this consolidation tick. Reactive: exactly
+    /// the demand shed last period (wake-on-deficit as shipped).
+    /// Predictive additionally wakes ahead of a forecast shortfall: if the
+    /// root demand forecast one consolidation period out exceeds what the
+    /// forecast supply — or the active fleet's thermal caps — can serve,
+    /// the gap is woken *now*, before the drops it would cause.
+    pub(super) fn wake_need(&self, plan: &PlanningContext) -> Watts {
+        if self.config.supply_policy != SupplyPolicyChoice::Predictive {
+            return self.last_dropped;
+        }
+        let h = self.config.eta2;
+        let Some(pred_demand) = plan.predicted_root_demand(h) else {
+            return self.last_dropped;
+        };
+        // The supply series ticks once per supply period; translate the
+        // consolidation horizon into (rounded-up) supply periods.
+        let supply_h = h.div_ceil(self.config.eta1).max(1);
+        let Some(pred_supply) = plan.predicted_supply(supply_h) else {
+            return self.last_dropped;
+        };
+        let mut active_cap = Watts::ZERO;
+        for (si, server) in self.servers.iter().enumerate() {
+            let leaf = server.node.index();
+            if server.active && server.fence.is_active() && self.leaf_server[leaf] == Some(si) {
+                active_cap += self.power.cap[leaf];
+            }
+        }
+        let serviceable = pred_supply.min(active_cap);
+        self.last_dropped
+            .max((pred_demand - serviceable).non_negative())
+    }
+
     /// Try to place *all* apps of server `si` elsewhere (local bins first,
     /// then anywhere eligible). Fills `plan` and returns `true`, or returns
     /// `false` if the server cannot be fully evacuated.
@@ -158,6 +220,7 @@ impl Willow {
         free: &mut Vec<f64>,
         order: &mut Vec<usize>,
         plan: &mut Vec<(DeficitItem, NodeId)>,
+        planning: &PlanningContext,
     ) -> bool {
         plan.clear();
         let leaf = self.servers[si].node;
@@ -199,7 +262,7 @@ impl Willow {
             let ctx = self.policy_ctx();
             self.policies
                 .consolidation
-                .order_receivers(&ctx, &mut bins[..n_siblings]);
+                .order_receivers(&ctx, planning, &mut bins[..n_siblings]);
         }
         for l in self.tree.leaves() {
             if l != leaf && self.target_eligible(l) && !bins[..n_siblings].contains(&l) {
@@ -210,7 +273,7 @@ impl Willow {
             let ctx = self.policy_ctx();
             self.policies
                 .consolidation
-                .order_receivers(&ctx, &mut bins[n_siblings..]);
+                .order_receivers(&ctx, planning, &mut bins[n_siblings..]);
         }
         if bins.is_empty() {
             return false;
@@ -278,6 +341,7 @@ impl Willow {
             return true;
         }
         let mut stage = std::mem::take(&mut self.consolidate_stage);
+        let planning = std::mem::take(&mut self.planning);
         let planned = self.plan_full_evacuation(
             server,
             &mut stage.evac_items,
@@ -286,7 +350,9 @@ impl Willow {
             &mut stage.evac_free,
             &mut stage.evac_order,
             &mut stage.evac_plan,
+            &planning,
         );
+        self.planning = planning;
         let mut drained = planned;
         if planned {
             stage.drain_records.clear();

@@ -26,6 +26,7 @@
 //! and journal transaction ids, attempt ordinals and record order are all
 //! part of the deterministic contract.
 
+use super::planning::PlanningContext;
 use super::shard::{shard_range, RawSlice};
 use super::Willow;
 use crate::migration::{MigrationReason, MigrationRecord};
@@ -147,6 +148,7 @@ impl Willow {
         tick: u64,
         stage: &mut DemandStage,
         records: &mut Vec<MigrationRecord>,
+        plan: &PlanningContext,
     ) {
         // Collect deficit items at the leaves.
         self.collect_deficit_items(stage);
@@ -218,6 +220,7 @@ impl Willow {
                     &mut stage.shard_bins,
                     tick,
                     records,
+                    plan,
                 );
                 i = j;
             }
@@ -379,6 +382,7 @@ impl Willow {
         shard_bins: &mut Vec<Vec<NodeId>>,
         tick: u64,
         records: &mut Vec<MigrationRecord>,
+        plan: &PlanningContext,
     ) {
         // Candidate bins come off the cached Euler-tour range in DFS order;
         // the target policy then fixes their ordering (the default restores
@@ -415,7 +419,7 @@ impl Willow {
         }
         {
             let ctx = self.policy_ctx();
-            self.policies.targets.order_targets(&ctx, bins);
+            self.policies.targets.order_targets(&ctx, plan, bins);
         }
         if bins.is_empty() {
             leftovers.extend_from_slice(items);

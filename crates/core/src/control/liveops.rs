@@ -188,6 +188,7 @@ impl Willow {
         self.decay_ds
             .push(decay_factor(state.thermal.params(), self.config.delta_s()));
         self.servers.push(state);
+        self.planning.push_server();
         self.rebuild_stage_scratch();
         Ok(())
     }

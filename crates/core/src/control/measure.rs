@@ -23,10 +23,12 @@ impl Willow {
         let n = self.servers.len();
         let threads = self.pool.threads();
         let reports_lost = AtomicUsize::new(0);
+        debug_assert_eq!(self.planning.leaves.len(), n, "planning tracks the roster");
         {
             let servers = RawSlice::new(&mut self.servers);
             let local_cp = RawSlice::new(&mut self.local_cp);
             let cp = RawSlice::new(&mut self.power.cp);
+            let planning = RawSlice::new(&mut self.planning.leaves);
             let disturb = &self.disturb;
             let leaf_server = &self.leaf_server;
             let lost = &reports_lost;
@@ -35,6 +37,9 @@ impl Willow {
                 // SAFETY: shard ranges over server indices are pairwise
                 // disjoint, and `servers` is indexed by server.
                 let servers = unsafe { servers.range_mut(range.clone()) };
+                // SAFETY: `planning.leaves` is indexed by server like the
+                // roster itself, so this shard's sub-slice is disjoint too.
+                let plan_leaves = unsafe { planning.range_mut(range.clone()) };
                 for (off, server) in servers.iter_mut().enumerate() {
                     let si = range.start + off;
                     let leaf = server.node.index();
@@ -43,6 +48,7 @@ impl Willow {
                     // slot — only the live owner does, which also keeps the
                     // hierarchy's stale view intact under report loss.
                     let owns = leaf_server[leaf] == Some(si);
+                    let mut observed = Watts::ZERO;
                     if server.active {
                         for (i, app) in server.apps.iter().enumerate() {
                             let idx = app.id.0 as usize;
@@ -55,6 +61,7 @@ impl Willow {
                         }
                         let raw = server.raw_demand();
                         let smoothed = server.smoother.observe(raw);
+                        observed = smoothed;
                         debug_assert!(owns, "an active server owns its leaf slot");
                         // SAFETY: exactly one roster row owns any leaf
                         // slot, so these scattered writes are race-free.
@@ -76,6 +83,11 @@ impl Willow {
                             *cp.get_mut(leaf) = Watts::ZERO;
                         }
                     }
+                    // Planning seam: feed this server's demand series —
+                    // the smoothed view for active servers, zero while
+                    // asleep/retired. Per-row like everything above, so
+                    // serial and sharded runs observe identical sequences.
+                    plan_leaves[off].observe(observed);
                     // Migration costs are charged for exactly one period.
                     server.pending_cost = Watts::ZERO;
                 }

@@ -59,6 +59,7 @@ pub mod liveops;
 pub mod measure;
 pub mod migrate;
 pub mod physics;
+pub mod planning;
 pub mod policy;
 pub mod shard;
 pub mod supply;
@@ -72,6 +73,9 @@ mod tests;
 mod testutil;
 
 pub use migrate::Backoff;
+pub use planning::{
+    ForecastModel, Forecaster, HistoryRing, PlanSeries, PlanningContext, HISTORY_DEPTH,
+};
 pub use policy::{
     AscendingIdTargets, BestFitTargets, ConsolidationOrderPolicy, ControlPolicies, EmptiestFirst,
     HotZonesFirst, MigrationTargetPolicy, MostHeadroomReceivers, PolicyCtx, ThermalHeadroomTargets,
@@ -245,6 +249,12 @@ pub struct Willow {
     /// The pluggable policy decision points (packing heuristic, target
     /// ordering, consolidation ordering), boxed once at construction.
     pub(super) policies: ControlPolicies,
+    /// The horizon-aware planning seam (see [`planning`]): history rings
+    /// and forecasters for root supply, root demand, and every roster
+    /// server, updated once per tick and handed read-only to stages 2–4
+    /// and the policy traits. Checkpointed, so restored controllers keep
+    /// forecasting bit-for-bit.
+    pub(super) planning: PlanningContext,
     /// Telemetry handles (disabled until [`Willow::attach_telemetry`]).
     pub(super) tel: ControllerTelemetry,
     /// Live-ops commands awaiting processing (see [`liveops`]). Part of
@@ -328,6 +338,7 @@ impl Willow {
         let consolidate_stage = ConsolidateStage::for_tree(&tree, servers.len());
         let physics_stage = PhysicsStage::for_tree(&tree, servers.len());
         let pool = ShardPool::new(shard::resolve_threads(config.threads));
+        let planning = PlanningContext::for_servers(servers.len());
         Ok(Willow {
             tree,
             config,
@@ -355,6 +366,7 @@ impl Willow {
             physics_stage,
             pool,
             policies,
+            planning,
             tel: ControllerTelemetry::default(),
             pending: Vec::new(),
             next_command_id: 0,
@@ -487,6 +499,13 @@ impl Willow {
         &self.journal
     }
 
+    /// The controller's planning memory: demand/supply history rings and
+    /// forecaster state (see [`crate::control::planning`]).
+    #[must_use]
+    pub fn planning(&self) -> &PlanningContext {
+        &self.planning
+    }
+
     /// Rebuild a controller from a previously captured snapshot (the
     /// checkpoint/restore path — see `crate::snapshot`). Validates the
     /// config, the leaf coverage of the server states, and the shape of
@@ -514,6 +533,7 @@ impl Willow {
             pending,
             next_command_id,
             paused,
+            planning,
         } = snapshot;
         config.validate().map_err(WillowError::Config)?;
         // Retired servers own no leaf (their slot was tombstoned at
@@ -543,6 +563,15 @@ impl Willow {
         shape("local_cp", local_cp.len(), tree.len())?;
         shape("watchdog", watchdog.len(), servers.len())?;
         shape("accepted_temp", accepted_temp.len(), servers.len())?;
+        // Pre-planning snapshots carry no context; restart the forecasts
+        // from scratch rather than rejecting the checkpoint.
+        let planning = match planning {
+            Some(p) => {
+                shape("planning", p.leaves.len(), servers.len())?;
+                p
+            }
+            None => PlanningContext::for_servers(servers.len()),
+        };
         let mut leaf_server = vec![None; tree.len()];
         for (si, server) in servers.iter().enumerate() {
             if server.fence == FenceState::Retired {
@@ -601,6 +630,7 @@ impl Willow {
             physics_stage,
             pool,
             policies,
+            planning,
             tel: ControllerTelemetry::default(),
             pending,
             next_command_id,
@@ -819,11 +849,27 @@ impl Willow {
         // topology). A single branch when the queue is idle.
         self.process_commands(report);
 
+        // -------------------------------------- 1c. planning observation
+        // Root aggregate demand every tick (per-leaf series were fed
+        // inside the sharded measure loop); supply only when a value is
+        // actually applied, so the supply series' horizon unit stays one
+        // supply period. The context is then lent to stages 2–4 —
+        // `mem::take` leaves the inert zero-capacity placeholder, which
+        // nothing observes until the real context returns.
+        let root = self.tree.root();
+        self.planning
+            .root_demand
+            .observe(self.power.cp[root.index()]);
+        if supply_tick && !self.paused {
+            self.planning.supply.observe(supply);
+        }
+        let planning = std::mem::take(&mut self.planning);
+
         // ------------------------------------------- 2. supply adaptation
         if supply_tick && !self.paused {
             let t0 = self.tel.span_start(SLOT_ALLOCATE, tick);
             let mut stage = std::mem::take(&mut self.supply_stage);
-            self.supply_adaptation(supply, &mut stage);
+            self.supply_adaptation(supply, &mut stage, &planning);
             self.supply_stage = stage;
             self.tel.span_allocate.record_since(t0);
             // Downward budget directives: one message per tree link.
@@ -835,7 +881,7 @@ impl Willow {
         if !self.paused {
             let t0 = self.tel.span_start(SLOT_PLAN_MIGRATIONS, tick);
             let mut stage = std::mem::take(&mut self.demand_stage);
-            self.demand_adaptation(tick, &mut stage, &mut report.migrations);
+            self.demand_adaptation(tick, &mut stage, &mut report.migrations, &planning);
             self.demand_stage = stage;
             self.tel.span_plan_migrations.record_since(t0);
         }
@@ -844,18 +890,21 @@ impl Willow {
         if consolidation_tick && !self.paused {
             let t0 = self.tel.span_start(SLOT_CONSOLIDATE, tick);
             let mut stage = std::mem::take(&mut self.consolidate_stage);
-            self.consolidate(tick, &mut stage, &mut report.migrations, &mut report.slept);
-            if self.config.wake_on_deficit && self.last_dropped.0 > 0.0 {
-                self.wake_servers(
-                    self.last_dropped,
-                    tick,
-                    &mut stage.sleeping,
-                    &mut report.woken,
-                );
+            self.consolidate(
+                tick,
+                &mut stage,
+                &mut report.migrations,
+                &mut report.slept,
+                &planning,
+            );
+            let wake_need = self.wake_need(&planning);
+            if self.config.wake_on_deficit && wake_need.0 > 0.0 {
+                self.wake_servers(wake_need, tick, &mut stage.sleeping, &mut report.woken);
             }
             self.consolidate_stage = stage;
             self.tel.span_consolidate.record_since(t0);
         }
+        self.planning = planning;
 
         // ------------------------------------------------- 5. physics
         let t0 = self.tel.span_start(SLOT_THERMAL_UPDATE, tick);

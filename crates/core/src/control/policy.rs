@@ -23,10 +23,15 @@
 //!
 //! Policies must be deterministic: the differential and snapshot-restore
 //! harnesses compare trajectories bit-for-bit, and a restored controller
-//! reconstructs its policies from config alone (they carry no serialized
-//! state).
+//! reconstructs its policies from config alone. Policy *objects* carry no
+//! serialized state; history and forecasts live in the controller's
+//! [`PlanningContext`](super::planning::PlanningContext) (which *is*
+//! checkpointed) and reach every callback as the read-only `plan`
+//! argument. The built-in orderings ignore it — horizon-aware behavior is
+//! opt-in per policy, and ignoring the context is always bit-neutral.
 
 use crate::config::{ConsolidationPolicyChoice, ControllerConfig, TargetPolicyChoice};
+use crate::control::planning::PlanningContext;
 use crate::server::ServerState;
 use crate::state::PowerState;
 use willow_binpack::{packer_for, Packer};
@@ -60,8 +65,10 @@ impl<'a> PolicyCtx<'a> {
 /// when several could.
 pub trait MigrationTargetPolicy {
     /// Reorder `targets` in place. `targets` arrives in DFS (Euler-tour)
-    /// order; the ordering must be deterministic.
-    fn order_targets(&self, ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>);
+    /// order; the ordering must be deterministic. `plan` is the planning
+    /// seam (demand history and forecasts per server) — policies that
+    /// don't look ahead simply ignore it.
+    fn order_targets(&self, ctx: &PolicyCtx<'_>, plan: &PlanningContext, targets: &mut Vec<NodeId>);
 }
 
 /// The default target ordering: ascending arena id — the deterministic
@@ -70,7 +77,12 @@ pub trait MigrationTargetPolicy {
 pub struct AscendingIdTargets;
 
 impl MigrationTargetPolicy for AscendingIdTargets {
-    fn order_targets(&self, _ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
+    fn order_targets(
+        &self,
+        _ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        targets: &mut Vec<NodeId>,
+    ) {
         targets.sort_unstable();
     }
 }
@@ -85,7 +97,12 @@ impl MigrationTargetPolicy for AscendingIdTargets {
 pub struct BestFitTargets;
 
 impl MigrationTargetPolicy for BestFitTargets {
-    fn order_targets(&self, ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
+    fn order_targets(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        targets: &mut Vec<NodeId>,
+    ) {
         let surplus = |n: NodeId| {
             (ctx.power.tp[n.index()].0 - ctx.power.cp[n.index()].0 - ctx.config.margin.0).max(0.0)
         };
@@ -108,7 +125,12 @@ impl MigrationTargetPolicy for BestFitTargets {
 pub struct ThermalHeadroomTargets;
 
 impl MigrationTargetPolicy for ThermalHeadroomTargets {
-    fn order_targets(&self, ctx: &PolicyCtx<'_>, targets: &mut Vec<NodeId>) {
+    fn order_targets(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        targets: &mut Vec<NodeId>,
+    ) {
         let headroom = |n: NodeId| ctx.power.cap[n.index()].0 - ctx.power.cp[n.index()].0;
         targets.sort_unstable_by(|a, b| headroom(*b).total_cmp(&headroom(*a)).then(a.cmp(b)));
     }
@@ -120,11 +142,17 @@ impl MigrationTargetPolicy for ThermalHeadroomTargets {
 /// the sibling-first preference.
 pub trait ConsolidationOrderPolicy {
     /// Reorder candidate victim server indices in place; consolidation
-    /// evacuates them in this order. Must be deterministic.
-    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>);
+    /// evacuates them in this order. Must be deterministic. `plan` is the
+    /// planning seam (demand history and forecasts per server).
+    fn order_victims(&self, ctx: &PolicyCtx<'_>, plan: &PlanningContext, victims: &mut Vec<usize>);
     /// Reorder one locality class of receiver bins in place; evacuation
     /// first-fits into them in this order. Must be deterministic.
-    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]);
+    fn order_receivers(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        plan: &PlanningContext,
+        receivers: &mut [NodeId],
+    );
 }
 
 /// The default consolidation ordering. Victims: thermally constrained
@@ -140,7 +168,12 @@ pub trait ConsolidationOrderPolicy {
 pub struct HotZonesFirst;
 
 impl ConsolidationOrderPolicy for HotZonesFirst {
-    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>) {
+    fn order_victims(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        victims: &mut Vec<usize>,
+    ) {
         victims.sort_unstable_by(|&a, &b| {
             let cap = |i: usize| ctx.power.cap[ctx.servers[i].node.index()].0;
             cap(a)
@@ -154,7 +187,12 @@ impl ConsolidationOrderPolicy for HotZonesFirst {
         });
     }
 
-    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]) {
+    fn order_receivers(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        receivers: &mut [NodeId],
+    ) {
         receivers.sort_unstable_by(|a, b| {
             let cap = |n: NodeId| ctx.power.cap[n.index()].0;
             cap(*b)
@@ -178,7 +216,12 @@ impl ConsolidationOrderPolicy for HotZonesFirst {
 pub struct EmptiestFirst;
 
 impl ConsolidationOrderPolicy for EmptiestFirst {
-    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>) {
+    fn order_victims(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        victims: &mut Vec<usize>,
+    ) {
         victims.sort_unstable_by(|&a, &b| {
             ctx.servers[a]
                 .utilization()
@@ -187,7 +230,12 @@ impl ConsolidationOrderPolicy for EmptiestFirst {
         });
     }
 
-    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]) {
+    fn order_receivers(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        receivers: &mut [NodeId],
+    ) {
         receivers.sort_unstable_by(|a, b| {
             ctx.leaf_utilization(*b)
                 .total_cmp(&ctx.leaf_utilization(*a))
@@ -205,11 +253,16 @@ impl ConsolidationOrderPolicy for EmptiestFirst {
 pub struct MostHeadroomReceivers;
 
 impl ConsolidationOrderPolicy for MostHeadroomReceivers {
-    fn order_victims(&self, ctx: &PolicyCtx<'_>, victims: &mut Vec<usize>) {
-        HotZonesFirst.order_victims(ctx, victims);
+    fn order_victims(&self, ctx: &PolicyCtx<'_>, plan: &PlanningContext, victims: &mut Vec<usize>) {
+        HotZonesFirst.order_victims(ctx, plan, victims);
     }
 
-    fn order_receivers(&self, ctx: &PolicyCtx<'_>, receivers: &mut [NodeId]) {
+    fn order_receivers(
+        &self,
+        ctx: &PolicyCtx<'_>,
+        _plan: &PlanningContext,
+        receivers: &mut [NodeId],
+    ) {
         receivers.sort_unstable_by(|a, b| {
             let headroom = |n: NodeId| ctx.power.tp[n.index()].0 - ctx.power.cp[n.index()].0;
             headroom(*b).total_cmp(&headroom(*a)).then(a.cmp(b))

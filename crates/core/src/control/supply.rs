@@ -5,9 +5,12 @@
 //! open-loop (controller-down) budget fallback, which reuse the same cap
 //! computation.
 
+use super::planning::{PlanningContext, PREDICTIVE_HEADROOM};
 use super::shard::{shard_range, RawSlice};
 use super::Willow;
-use crate::config::{AllocationPolicy, ControllerConfig, ReducedTargetRule, ThermalEstimate};
+use crate::config::{
+    AllocationPolicy, ControllerConfig, ReducedTargetRule, SupplyPolicyChoice, ThermalEstimate,
+};
 use crate::server::{FenceState, ServerState};
 use willow_power::allocation::allocate_proportional_into;
 use willow_thermal::limit::power_limit_with_decay;
@@ -167,7 +170,12 @@ impl Willow {
     /// level-sequential and the other two are cheap linear scans whose
     /// counter updates would need ordering anyway.
     #[allow(unsafe_code)] // disjoint shard slicing; see `super::shard`
-    pub(super) fn supply_adaptation(&mut self, supply: Watts, stage: &mut SupplyStage) {
+    pub(super) fn supply_adaptation(
+        &mut self,
+        supply: Watts,
+        stage: &mut SupplyStage,
+        plan: &PlanningContext,
+    ) {
         let n = self.servers.len();
         let threads = self.pool.threads();
         {
@@ -200,7 +208,24 @@ impl Willow {
 
         self.power.tp_old.copy_from_slice(&self.power.tp);
         let root = self.tree.root();
-        self.power.tp[root.index()] = supply.min(self.power.cap[root.index()]);
+        let mut root_budget = supply.min(self.power.cap[root.index()]);
+        // Predictive pre-tightening: if the supply forecast shows a dip
+        // within the next two supply periods, start shrinking the root
+        // budget toward it now (floored at current demand plus headroom —
+        // see `PREDICTIVE_HEADROOM`), so evacuations off thermally-capped
+        // servers begin a period before the dip instead of during it.
+        // Tighten-only (an extra `.min`), so optimistic forecasts can
+        // never loosen the physical budget.
+        if self.config.supply_policy == SupplyPolicyChoice::Predictive {
+            if let Some(dip) = plan
+                .predicted_supply(1)
+                .map(|p1| p1.min(plan.predicted_supply(2).unwrap_or(p1)))
+            {
+                let floor = self.power.cp[root.index()] * PREDICTIVE_HEADROOM;
+                root_budget = root_budget.min(dip.max(floor));
+            }
+        }
+        self.power.tp[root.index()] = root_budget;
         for level in (1..=self.tree.height()).rev() {
             for &node in self.tree.nodes_at_level(level) {
                 let children = self.tree.children(node);

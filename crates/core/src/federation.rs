@@ -47,7 +47,7 @@ use serde::{Deserialize, Serialize};
 use willow_power::allocation::{allocate_proportional_into, AllocationScratch};
 use willow_thermal::units::Watts;
 
-use crate::control::{Willow, WillowError};
+use crate::control::{PlanSeries, Willow, WillowError};
 use crate::disturbance::Disturbances;
 use crate::migration::TickReport;
 use crate::snapshot::WillowSnapshot;
@@ -67,6 +67,16 @@ pub struct BrokerConfig {
     /// Fraction of the last delivered grant a *tripped* zone self-applies
     /// (and the broker reserves). In `(0, 1]`.
     pub fallback_fraction: f64,
+    /// Split on *predicted* zone demand instead of the last report. The
+    /// broker keeps one [`PlanSeries`] per zone, fed by fresh reports, and
+    /// apportions on each zone's one-period-ahead forecast; a zone whose
+    /// report is stale is forecast further out (`1 + stale periods`), so
+    /// the reactive stale rule — freeze on the last report — becomes the
+    /// degenerate "no forecast available" case. Off by default: a reactive
+    /// broker's split is bit-for-bit what it was before this field
+    /// existed. Absent in pre-forecast configs.
+    #[serde(default)]
+    pub forecast_apportionment: bool,
 }
 
 impl Default for BrokerConfig {
@@ -74,6 +84,7 @@ impl Default for BrokerConfig {
         BrokerConfig {
             missed_grant_threshold: 3,
             fallback_fraction: 0.5,
+            forecast_apportionment: false,
         }
     }
 }
@@ -203,6 +214,12 @@ pub struct BrokerSnapshot {
     /// Grants from the last apportionment, per zone.
     #[serde(default)]
     pub grants: Vec<Watts>,
+    /// Per-zone demand history and forecaster state (one entry per zone,
+    /// fed by fresh reports). Absent in pre-forecast checkpoints, in which
+    /// case restore re-seeds empty series — predictions fall back to the
+    /// last report until the rings refill.
+    #[serde(default)]
+    pub forecasts: Vec<PlanSeries>,
 }
 
 /// Splits total supply across zones proportional to aggregate reported
@@ -215,6 +232,11 @@ pub struct SupplyBroker {
     counters: BrokerCounters,
     /// Ledger of the last apportionment, per zone.
     grants: Vec<Watts>,
+    /// Per-zone demand history and forecaster state, fed by fresh
+    /// reports. Always maintained (it is cheap and keeps checkpoints
+    /// mode-agnostic); only read when
+    /// [`BrokerConfig::forecast_apportionment`] is set.
+    forecasts: Vec<PlanSeries>,
     // Scratch for the proportional split (reused across calls).
     demands: Vec<Watts>,
     caps: Vec<Watts>,
@@ -238,6 +260,7 @@ impl SupplyBroker {
             links: vec![ZoneLink::default(); n_zones],
             counters: BrokerCounters::default(),
             grants: vec![Watts::ZERO; n_zones],
+            forecasts: vec![PlanSeries::standard(); n_zones],
             demands: Vec::with_capacity(n_zones),
             caps: Vec::with_capacity(n_zones),
             budgets: Vec::with_capacity(n_zones),
@@ -275,6 +298,13 @@ impl SupplyBroker {
     #[must_use]
     pub fn grants(&self) -> &[Watts] {
         &self.grants
+    }
+
+    /// Per-zone demand forecasts (fed by fresh reports; read by the
+    /// split only when [`BrokerConfig::forecast_apportionment`] is set).
+    #[must_use]
+    pub fn forecasts(&self) -> &[PlanSeries] {
+        &self.forecasts
     }
 
     /// Split `total` across the zones for one control period.
@@ -317,6 +347,7 @@ impl SupplyBroker {
             if conditions[i].report_fresh() {
                 link.last_report = reports[i].expect("healthy zone must carry a report");
                 link.stale_reports = 0;
+                self.forecasts[i].observe(link.last_report);
             } else {
                 link.stale_reports += 1;
                 if conditions[i].grant_deliverable() {
@@ -373,7 +404,19 @@ impl SupplyBroker {
                 continue;
             }
             self.reachable.push(i);
-            self.demands.push(link.last_report);
+            self.demands.push(if self.config.forecast_apportionment {
+                // Split on where the zone's demand is *going*. A stale
+                // zone's history is frozen, so its forecast extrapolates
+                // further out the longer the report stays missing; with
+                // no history at all the forecast degenerates to the last
+                // report — exactly the reactive rule.
+                let horizon = 1 + link.stale_reports;
+                self.forecasts[i]
+                    .predict(horizon)
+                    .map_or(link.last_report, Watts::non_negative)
+            } else {
+                link.last_report
+            });
             self.caps.push(if conditions[i].report_fresh() {
                 // No broker-side cap for a healthy zone: its own root
                 // clips to the zone thermal/circuit limits.
@@ -457,6 +500,10 @@ impl SupplyBroker {
         link.stale_reports = 0;
         link.missed_grants = 0;
         link.tripped = false;
+        // The rejoining zone's demand re-enters the forecast history too:
+        // an outage is a gap in observations, not a reason to forget the
+        // zone's demand shape.
+        self.forecasts[zone].observe(fresh_report);
     }
 
     /// Capture the broker's complete mutable state.
@@ -467,6 +514,7 @@ impl SupplyBroker {
             links: self.links.clone(),
             counters: self.counters,
             grants: self.grants.clone(),
+            forecasts: self.forecasts.clone(),
         }
     }
 
@@ -480,6 +528,12 @@ impl SupplyBroker {
         broker.counters = snapshot.counters;
         if snapshot.grants.len() == broker.links.len() {
             broker.grants = snapshot.grants;
+        }
+        // Pre-forecast checkpoints carry no series: keep the freshly
+        // seeded empty ones and let predictions fall back to the last
+        // report until the rings refill.
+        if snapshot.forecasts.len() == broker.links.len() {
+            broker.forecasts = snapshot.forecasts;
         }
         Ok(broker)
     }
@@ -506,6 +560,9 @@ impl SupplyBroker {
         self.links = snapshot.links;
         if snapshot.grants.len() == self.links.len() {
             self.grants = snapshot.grants;
+        }
+        if snapshot.forecasts.len() == self.links.len() {
+            self.forecasts = snapshot.forecasts;
         }
         Ok(())
     }
@@ -895,6 +952,7 @@ mod tests {
         let cfg = BrokerConfig {
             missed_grant_threshold: 2,
             fallback_fraction: 0.5,
+            ..BrokerConfig::default()
         };
         let mut broker = SupplyBroker::new(2, cfg).expect("broker");
         broker.apportion(
@@ -960,6 +1018,7 @@ mod tests {
         let cfg = BrokerConfig {
             missed_grant_threshold: 3,
             fallback_fraction: 0.5,
+            ..BrokerConfig::default()
         };
         let mut broker = SupplyBroker::new(2, cfg).expect("broker");
         broker.apportion(
@@ -979,6 +1038,114 @@ mod tests {
             }
         }
         assert_eq!(broker.counters().broker_down_ticks, 4);
+    }
+
+    /// On flat demand Holt's trend is exactly zero and its level is
+    /// exactly the input, so the forecast split degenerates to the
+    /// reactive proportional split bit-for-bit.
+    #[test]
+    fn forecast_split_on_flat_demand_matches_reactive() {
+        let forecast_cfg = BrokerConfig {
+            forecast_apportionment: true,
+            ..BrokerConfig::default()
+        };
+        let mut predictive = SupplyBroker::new(2, forecast_cfg).expect("broker");
+        let mut reactive = SupplyBroker::new(2, BrokerConfig::default()).expect("broker");
+        let conditions = [ZoneCondition::Healthy, ZoneCondition::Healthy];
+        let reports = [Some(Watts(100.0)), Some(Watts(200.0))];
+        for _ in 0..10 {
+            let a = predictive
+                .apportion(Watts(900.0), &conditions, &reports)
+                .to_vec();
+            let b = reactive
+                .apportion(Watts(900.0), &conditions, &reports)
+                .to_vec();
+            assert_eq!(a, b, "flat demand must split identically");
+        }
+    }
+
+    /// A zone on a steady ramp is granted *ahead* of its last report:
+    /// the forecast split gives the ramping zone strictly more than the
+    /// reactive split computed from the same reports.
+    #[test]
+    fn forecast_split_anticipates_a_demand_ramp() {
+        let forecast_cfg = BrokerConfig {
+            forecast_apportionment: true,
+            ..BrokerConfig::default()
+        };
+        let mut predictive = SupplyBroker::new(2, forecast_cfg).expect("broker");
+        let mut reactive = SupplyBroker::new(2, BrokerConfig::default()).expect("broker");
+        let conditions = [ZoneCondition::Healthy, ZoneCondition::Healthy];
+        let total = Watts(500.0);
+        let mut last = (Watts::ZERO, Watts::ZERO);
+        for t in 0..12u32 {
+            // Zone 0 ramps 100 → 320 W; zone 1 holds flat at 300 W. The
+            // total stays scarce so the split actually arbitrates.
+            let reports = [Some(Watts(100.0 + 20.0 * f64::from(t))), Some(Watts(300.0))];
+            let a = predictive.apportion(total, &conditions, &reports)[0];
+            let b = reactive.apportion(total, &conditions, &reports)[0];
+            last = (a, b);
+        }
+        assert!(
+            last.0 > last.1,
+            "forecast split must lead the ramp: predictive {:?} <= reactive {:?}",
+            last.0,
+            last.1
+        );
+        assert_eq!(predictive.counters().conservation_violations, 0);
+    }
+
+    /// While a zone's report is stale its history is frozen: the forecast
+    /// keeps extrapolating the last known trend further out each period,
+    /// and the tightening-only grant cap still applies on top.
+    #[test]
+    fn forecast_stale_zone_extrapolates_frozen_history() {
+        let forecast_cfg = BrokerConfig {
+            forecast_apportionment: true,
+            ..BrokerConfig::default()
+        };
+        let mut broker = SupplyBroker::new(2, forecast_cfg).expect("broker");
+        let conditions = [ZoneCondition::Healthy, ZoneCondition::Healthy];
+        // Zone 0 demand is *falling*; zone 1 flat.
+        for t in 0..8u32 {
+            let reports = [Some(Watts(400.0 - 30.0 * f64::from(t))), Some(Watts(200.0))];
+            broker.apportion(Watts(500.0), &conditions, &reports);
+        }
+        let before = broker.forecasts()[0].latest().expect("has history");
+        // Report goes stale: the frozen downtrend keeps shrinking zone
+        // 0's share of the split, period after period.
+        let stale = [ZoneCondition::StaleReport, ZoneCondition::Healthy];
+        let g1 = broker.apportion(Watts(500.0), &stale, &[None, Some(Watts(200.0))])[0];
+        let g2 = broker.apportion(Watts(500.0), &stale, &[None, Some(Watts(200.0))])[0];
+        assert_eq!(
+            broker.forecasts()[0].latest(),
+            Some(before),
+            "history frozen"
+        );
+        assert!(g2 < g1, "deeper staleness must extrapolate further down");
+        assert_eq!(broker.counters().conservation_violations, 0);
+    }
+
+    /// Pre-forecast broker checkpoints carry no `forecasts` key: they
+    /// must still parse and restore, with predictions falling back to
+    /// the reactive rule until the rings refill.
+    #[test]
+    fn broker_snapshot_without_forecasts_restores() {
+        let mut broker = SupplyBroker::new(2, BrokerConfig::default()).expect("broker");
+        broker.apportion(
+            Watts(600.0),
+            &[ZoneCondition::Healthy, ZoneCondition::Healthy],
+            &[Some(Watts(100.0)), Some(Watts(200.0))],
+        );
+        let json = serde_json::to_string(&broker.snapshot()).expect("serialize");
+        let needle = ",\"forecasts\":";
+        let start = json.find(needle).expect("forecasts key present");
+        let stripped = format!("{}}}", &json[..start]);
+        let snap: BrokerSnapshot = serde_json::from_str(&stripped).expect("legacy parse");
+        assert!(snap.forecasts.is_empty());
+        let restored = SupplyBroker::restore(snap).expect("restore");
+        assert_eq!(restored.links(), broker.links());
+        assert!(restored.forecasts().iter().all(|s| s.latest().is_none()));
     }
 
     #[test]
@@ -1001,6 +1168,7 @@ mod tests {
         assert_eq!(restored.links(), broker.links());
         assert_eq!(restored.counters(), broker.counters());
         assert_eq!(restored.grants(), broker.grants());
+        assert_eq!(restored.forecasts(), broker.forecasts());
     }
 
     #[test]
@@ -1068,7 +1236,8 @@ mod tests {
             2,
             BrokerConfig {
                 missed_grant_threshold: 0,
-                fallback_fraction: 0.5
+                fallback_fraction: 0.5,
+                ..BrokerConfig::default()
             }
         )
         .is_err());
@@ -1076,7 +1245,8 @@ mod tests {
             2,
             BrokerConfig {
                 missed_grant_threshold: 3,
-                fallback_fraction: 0.0
+                fallback_fraction: 0.0,
+                ..BrokerConfig::default()
             }
         )
         .is_err());
@@ -1084,7 +1254,8 @@ mod tests {
             2,
             BrokerConfig {
                 missed_grant_threshold: 3,
-                fallback_fraction: 1.5
+                fallback_fraction: 1.5,
+                ..BrokerConfig::default()
             }
         )
         .is_err());

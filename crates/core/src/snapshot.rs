@@ -67,6 +67,13 @@ pub struct WillowSnapshot {
     /// Whether adaptation was paused by [`crate::command::Command::Pause`].
     #[serde(default)]
     pub paused: bool,
+    /// Planning memory: demand/supply history rings and forecaster state
+    /// (see [`crate::control::planning`]). Absent in pre-planning
+    /// checkpoints, in which case restore re-seeds empty forecasts sized
+    /// to the roster — predictions fall back to reactive until the rings
+    /// refill, exactly as on a cold start.
+    #[serde(default)]
+    pub planning: Option<crate::control::PlanningContext>,
 }
 
 impl Willow {
@@ -90,6 +97,7 @@ impl Willow {
             pending: self.pending_commands().to_vec(),
             next_command_id: self.next_command_id(),
             paused: self.is_paused(),
+            planning: Some(self.planning().clone()),
         }
     }
 
@@ -118,6 +126,10 @@ impl Willow {
         snap.pending.extend_from_slice(self.pending_commands());
         snap.next_command_id = self.next_command_id();
         snap.paused = self.is_paused();
+        match &mut snap.planning {
+            Some(p) => p.clone_from(self.planning()),
+            None => snap.planning = Some(self.planning().clone()),
+        }
     }
 
     /// Reconstruct a controller from a snapshot. The result continues the
@@ -212,6 +224,80 @@ mod tests {
         let a = drive(&mut original, n_apps, 50);
         let b = drive(&mut restored, n_apps, 50);
         assert_eq!(a, b, "restored controller must continue identically");
+    }
+
+    /// The predictive supply policy reads the checkpointed forecaster
+    /// state every stage, so a snapshot that dropped it would diverge the
+    /// moment a prediction differed from a cold-started one. Drive far
+    /// enough that the history rings are full and forecasts are live
+    /// before snapshotting.
+    #[test]
+    fn restore_preserves_forecaster_state_under_predictive_policy() {
+        use crate::config::SupplyPolicyChoice;
+
+        let tree = Tree::uniform(&[2, 3]);
+        let mut id = 0u32;
+        let specs: Vec<ServerSpec> = tree
+            .leaves()
+            .map(|leaf| {
+                let apps: Vec<Application> = (0..2)
+                    .map(|_| {
+                        let class = id as usize % SIM_APP_CLASSES.len();
+                        let a = Application::new(AppId(id), class, &SIM_APP_CLASSES[class]);
+                        id += 1;
+                        a
+                    })
+                    .collect();
+                ServerSpec::simulation_default(leaf).with_apps(apps)
+            })
+            .collect();
+        let mut cfg = ControllerConfig::default();
+        cfg.supply_policy = SupplyPolicyChoice::Predictive;
+        let mut original = Willow::new(tree, specs, cfg).unwrap();
+        let n_apps = id as usize;
+        let _ = drive(&mut original, n_apps, 43); // > HISTORY_DEPTH supply ticks
+
+        let json = serde_json::to_string(&original.snapshot()).expect("serialize");
+        let snap: WillowSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert!(
+            snap.planning.is_some(),
+            "snapshot must carry planning state"
+        );
+        let mut restored = Willow::restore(snap).expect("restore");
+
+        let a = drive(&mut original, n_apps, 60);
+        let b = drive(&mut restored, n_apps, 60);
+        assert_eq!(a, b, "predictive controller must continue identically");
+        assert_eq!(original.planning(), restored.planning());
+    }
+
+    /// Pre-planning checkpoints carry no `planning` key: they must still
+    /// parse, restore, and run — the restored controller simply restarts
+    /// its forecasts from scratch.
+    #[test]
+    fn restore_accepts_checkpoint_without_planning_state() {
+        let (mut w, n_apps) = setup();
+        let _ = drive(&mut w, n_apps, 20);
+        let json = serde_json::to_string(&w.snapshot()).expect("serialize");
+        let needle = ",\"planning\":";
+        let start = json.find(needle).expect("planning key present");
+        // The planning value is the last field: strip through the closing
+        // brace of the snapshot object.
+        let stripped = format!("{}}}", &json[..start]);
+        let snap: WillowSnapshot = serde_json::from_str(&stripped).expect("legacy parse");
+        assert_eq!(snap.planning, None);
+        let mut restored = Willow::restore(snap).expect("restore");
+        assert_eq!(
+            restored.planning().leaves.len(),
+            restored.servers().len(),
+            "restore must re-seed planning to the roster size"
+        );
+        // The re-seeded forecasts start empty and refill as the run
+        // continues; the default reactive policy never reads them, so the
+        // run itself still continues bit-for-bit.
+        let a = drive(&mut w, n_apps, 30);
+        let b = drive(&mut restored, n_apps, 30);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -251,4 +251,80 @@ proptest! {
         prop_assert_eq!(fed.snapshot(), twin.snapshot());
         prop_assert_eq!(fed.broker().counters(), twin.broker().counters());
     }
+
+    /// Forecast-driven apportionment keeps the broker's safety envelope
+    /// under arbitrary linear per-zone demand trends and a zone going
+    /// stale mid-run: grants conserve supply every tick (Σ ≤ total, no
+    /// conservation-violation counts), stay non-negative, and a
+    /// stale-report zone only ever tightens relative to its last grant —
+    /// its forecast extrapolates frozen history but can never loosen the
+    /// cap.
+    #[test]
+    fn forecast_broker_conserves_and_stale_tightens(
+        n_zones in 2usize..5,
+        bases in prop::collection::vec(50.0f64..400.0, 1..5),
+        slopes in prop::collection::vec(-8.0f64..12.0, 1..5),
+        supply_frac in 0.4f64..1.1,
+        stale_zone_frac in 0.0f64..1.0,
+        stale_from in 5u64..20,
+        extra_ticks in 10u64..25,
+    ) {
+        use willow_core::federation::SupplyBroker;
+
+        let stale_zone = ((stale_zone_frac * n_zones as f64) as usize).min(n_zones - 1);
+        let config = BrokerConfig {
+            forecast_apportionment: true,
+            ..BrokerConfig::default()
+        };
+        let mut broker = SupplyBroker::new(n_zones, config).expect("valid broker");
+        let demand_at = |z: usize, t: u64| -> Watts {
+            let base = bases[z % bases.len()];
+            let slope = slopes[z % slopes.len()];
+            Watts((base + slope * t as f64).max(0.0))
+        };
+        // Deliberately scarce-to-ample: supply_frac < 1 exercises real
+        // contention, > 1 exercises the cap-free surplus path.
+        let total = Watts(
+            (0..n_zones).map(|z| bases[z % bases.len()]).sum::<f64>() * supply_frac,
+        );
+
+        for t in 0..stale_from + extra_ticks {
+            let conds: Vec<ZoneCondition> = (0..n_zones)
+                .map(|z| {
+                    if z == stale_zone && t >= stale_from {
+                        ZoneCondition::StaleReport
+                    } else {
+                        ZoneCondition::Healthy
+                    }
+                })
+                .collect();
+            let zone_reports: Vec<Option<Watts>> = (0..n_zones)
+                .map(|z| conds[z].report_fresh().then(|| demand_at(z, t)))
+                .collect();
+            let stale_anchor = broker.links()[stale_zone].last_grant;
+            let grants = broker.apportion(total, &conds, &zone_reports).to_vec();
+
+            let granted: f64 = grants.iter().map(|g| g.0).sum();
+            prop_assert!(
+                granted <= total.0 * (1.0 + 1e-9) + 1e-9,
+                "tick {}: granted {} of total {}",
+                t,
+                granted,
+                total.0
+            );
+            for (z, g) in grants.iter().enumerate() {
+                prop_assert!(g.0 >= 0.0, "tick {}: negative grant for zone {}", t, z);
+            }
+            if t >= stale_from {
+                prop_assert!(
+                    grants[stale_zone].0 <= stale_anchor.0 + 1e-9,
+                    "tick {}: stale zone loosened {} -> {}",
+                    t,
+                    stale_anchor.0,
+                    grants[stale_zone].0
+                );
+            }
+        }
+        prop_assert_eq!(broker.counters().conservation_violations, 0);
+    }
 }

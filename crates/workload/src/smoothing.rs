@@ -45,7 +45,16 @@ impl ExpSmoother {
 
     /// Feed one raw measurement; returns the updated smoothed demand.
     /// The first observation initializes the state directly.
+    ///
+    /// Non-finite measurements (NaN/±∞ from a glitching sensor) are
+    /// discarded without touching the state — Eq. 4's recurrence would
+    /// otherwise propagate a single NaN into every future output. A
+    /// rejected observation returns the current smoothed value (zero
+    /// watts if nothing finite has arrived yet).
     pub fn observe(&mut self, raw: Watts) -> Watts {
+        if !raw.0.is_finite() {
+            return self.state.unwrap_or(Watts::ZERO);
+        }
         let next = match self.state {
             None => raw,
             Some(old) => raw * self.alpha + old * (1.0 - self.alpha),
@@ -98,7 +107,15 @@ impl HoltSmoother {
     }
 
     /// Feed one raw measurement; returns the updated level estimate.
+    ///
+    /// Non-finite measurements are discarded without touching the state
+    /// (a single NaN would otherwise poison both level and trend
+    /// forever); a rejected observation returns the current level, or
+    /// zero watts before the first finite one.
     pub fn observe(&mut self, raw: Watts) -> Watts {
+        if !raw.0.is_finite() {
+            return self.level().unwrap_or(Watts::ZERO);
+        }
         let next = match self.state {
             None => (raw, Watts::ZERO),
             Some((level, trend)) => {
@@ -282,5 +299,41 @@ mod tests {
     #[should_panic(expected = "trend gain")]
     fn holt_rejects_bad_beta() {
         let _ = HoltSmoother::new(0.5, 1.0);
+    }
+
+    #[test]
+    fn exp_smoother_rejects_non_finite_observations() {
+        let mut s = ExpSmoother::new(0.3);
+        // Pre-state glitches leave the smoother uninitialized.
+        assert_eq!(s.observe(Watts(f64::NAN)), Watts::ZERO);
+        assert_eq!(s.value(), None);
+        s.observe(Watts(100.0));
+        // A NaN/∞ burst mid-stream must not poison the state.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(s.observe(Watts(bad)), Watts(100.0));
+        }
+        assert_eq!(s.value(), Some(Watts(100.0)));
+        // Recovery: the next finite observation smooths off the old state.
+        let v = s.observe(Watts(200.0));
+        assert!((v.0 - 130.0).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn holt_smoother_rejects_non_finite_observations() {
+        let mut h = HoltSmoother::new(0.5, 0.3);
+        assert_eq!(h.observe(Watts(f64::NEG_INFINITY)), Watts::ZERO);
+        assert_eq!(h.level(), None);
+        for k in 0..10 {
+            h.observe(Watts(f64::from(k) * 2.0));
+        }
+        let (level, trend) = (h.level().unwrap(), h.trend().unwrap());
+        assert!(level.0.is_finite() && trend.0.is_finite());
+        for bad in [f64::NAN, f64::INFINITY] {
+            assert_eq!(h.observe(Watts(bad)), level);
+        }
+        // Level, trend, and forecasts all survive the glitch untouched.
+        assert_eq!(h.level(), Some(level));
+        assert_eq!(h.trend(), Some(trend));
+        assert!(h.forecast(5).unwrap().0.is_finite());
     }
 }

@@ -113,4 +113,47 @@ proptest! {
         let p = m.power_at(u);
         prop_assert!((m.utilization_for(p) - u).abs() < 1e-9);
     }
+
+    /// On an exact linear ramp Holt's *trend* estimate converges to the
+    /// true slope — the property the planning seam's horizon-h forecasts
+    /// (`level + h·trend`) lean on.
+    #[test]
+    fn holt_trend_converges_to_slope(
+        alpha in 0.2f64..0.8,
+        beta in 0.1f64..0.6,
+        slope in 0.1f64..20.0,
+        intercept in 0.0f64..500.0,
+    ) {
+        let mut h = HoltSmoother::new(alpha, beta);
+        for k in 0..300u32 {
+            h.observe(Watts(intercept + slope * f64::from(k)));
+        }
+        let trend = h.trend().expect("observed").0;
+        prop_assert!(
+            (trend - slope).abs() < slope * 0.02 + 1e-9,
+            "trend {trend} vs slope {slope}"
+        );
+    }
+
+    /// `reset` leaves no residue: a reset smoother fed a second sequence
+    /// is state-for-state identical to a fresh one fed the same sequence.
+    #[test]
+    fn holt_reset_equals_fresh(
+        alpha in 0.1f64..0.9,
+        beta in 0.1f64..0.9,
+        first in prop::collection::vec(0.0f64..1000.0, 0..40),
+        second in prop::collection::vec(0.0f64..1000.0, 1..40),
+    ) {
+        let mut reused = HoltSmoother::new(alpha, beta);
+        for &x in &first {
+            reused.observe(Watts(x));
+        }
+        reused.reset();
+        let mut fresh = HoltSmoother::new(alpha, beta);
+        for &x in &second {
+            prop_assert_eq!(reused.observe(Watts(x)), fresh.observe(Watts(x)));
+        }
+        prop_assert_eq!(reused, fresh);
+        prop_assert_eq!(reused.forecast(3), fresh.forecast(3));
+    }
 }
